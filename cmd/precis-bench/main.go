@@ -1,0 +1,208 @@
+// Command precis-bench regenerates the paper's evaluation (§6): each
+// experiment prints the same series the corresponding figure plots, plus
+// the cost-model validation, the §5 running example, and the §2 baseline
+// contrast.
+//
+// Usage:
+//
+//	precis-bench -exp f7|f8|f9|cm|qe|bl|all [-quick] [-csv]
+//
+// -quick shrinks each experiment's run counts for a fast smoke pass; -csv
+// prints machine-readable rows instead of aligned text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"precis/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: f7, f8, f9, cm, qe, bl, ab or all")
+		quick = flag.Bool("quick", false, "shrink run counts for a fast pass")
+		csv   = flag.Bool("csv", false, "CSV output")
+	)
+	flag.Parse()
+
+	run := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		run[strings.TrimSpace(e)] = true
+	}
+	all := run["all"]
+
+	if all || run["f7"] {
+		if err := runF7(*quick, *csv); err != nil {
+			fatal(err)
+		}
+	}
+	if all || run["f8"] {
+		if err := runF8(*quick, *csv); err != nil {
+			fatal(err)
+		}
+	}
+	if all || run["f9"] {
+		if err := runF9(*quick, *csv); err != nil {
+			fatal(err)
+		}
+	}
+	if all || run["cm"] {
+		if err := runCM(*quick, *csv); err != nil {
+			fatal(err)
+		}
+	}
+	if all || run["qe"] {
+		if err := runQE(); err != nil {
+			fatal(err)
+		}
+	}
+	if all || run["bl"] {
+		if err := runBL(*quick); err != nil {
+			fatal(err)
+		}
+	}
+	if all || run["ab"] {
+		if err := runAB(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func runAB() error {
+	report, err := experiments.Ablations()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablations (design choices of DESIGN.md)")
+	fmt.Printf("  schema-gen pruning:      on=%-12v off=%v (identical outputs)\n",
+		report.PruningOn, report.PruningOff)
+	fmt.Printf("  join ordering (total budget 6): MOVIE tuples weight-ordered=%d fifo=%d\n",
+		report.WeightOrderMovieTuples, report.FIFOMovieTuples)
+	fmt.Printf("  in-degree postponement:  children with=%d without=%d (2 vs 1 expected)\n\n",
+		report.PostponedChildren, report.EagerChildren)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "precis-bench: %v\n", err)
+	os.Exit(1)
+}
+
+func printSeries(s experiments.Series, csv bool) {
+	if !csv {
+		fmt.Print(s.String())
+		fmt.Println()
+		return
+	}
+	fmt.Printf("# %s\nx,mean_us,runs\n", s.Name)
+	for _, p := range s.Points {
+		fmt.Printf("%d,%.2f,%d\n", p.X, float64(p.Mean.Microseconds()), p.Runs)
+	}
+	fmt.Println()
+}
+
+func runF7(quick, csv bool) error {
+	cfg := experiments.DefaultF7Config()
+	if quick {
+		cfg.WeightSets = 4
+		cfg.SeedRels = 4
+	}
+	s, err := experiments.Figure7(cfg)
+	if err != nil {
+		return err
+	}
+	printSeries(s, csv)
+	return nil
+}
+
+func runF8(quick, csv bool) error {
+	cfg := experiments.DefaultF8Config()
+	if quick {
+		cfg.Sets = 3
+		cfg.SeedSets = 2
+	}
+	s, err := experiments.Figure8(cfg)
+	if err != nil {
+		return err
+	}
+	printSeries(s, csv)
+	return nil
+}
+
+func runF9(quick, csv bool) error {
+	cfg := experiments.DefaultF9Config()
+	if quick {
+		cfg.Sets = 2
+		cfg.SeedSets = 2
+	}
+	naive, rr, err := experiments.Figure9(cfg)
+	if err != nil {
+		return err
+	}
+	printSeries(naive, csv)
+	printSeries(rr, csv)
+	return nil
+}
+
+func runCM(quick, csv bool) error {
+	cfg := experiments.DefaultF8Config()
+	if quick {
+		cfg.Cardinalities = []int{10, 50, 90}
+	}
+	report, err := experiments.CostModel(cfg, 5*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Cost model validation (Formulas 1-3)")
+	fmt.Printf("  calibrated: %v\n", report.Params)
+	if csv {
+		fmt.Println("cR,predicted_us,measured_us")
+		for _, row := range report.Rows {
+			fmt.Printf("%d,%.2f,%.2f\n", row.CR,
+				float64(row.Predicted.Microseconds()), float64(row.Measured.Microseconds()))
+		}
+	} else {
+		for _, row := range report.Rows {
+			fmt.Printf("  cR=%-4d predicted=%-12v measured=%v\n", row.CR, row.Predicted, row.Measured)
+		}
+	}
+	fmt.Printf("  Formula 3: budget %v over %d relations -> cR = %d (achieved %v)\n\n",
+		report.Budget, 4, report.SolvedCR, report.Achieved)
+	return nil
+}
+
+func runQE() error {
+	report, err := experiments.RunningExample()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Running example (Q = {\"Woody Allen\"}, w >= 0.9, <= 3 tuples/relation)")
+	fmt.Printf("  result schema relations: %v\n", report.SchemaRelations)
+	fmt.Printf("  MOVIE in-degree: %d (paper: 2)\n", report.MovieInDegree)
+	fmt.Printf("  tuples per relation: %v\n", report.TuplesPerRel)
+	fmt.Printf("  valid sub-database: %v\n", report.SubDatabaseOK)
+	fmt.Printf("  narrative:\n    %s\n\n", strings.ReplaceAll(report.Narrative, "\n", "\n    "))
+	return nil
+}
+
+func runBL(quick bool) error {
+	films, queries := 2000, 50
+	if quick {
+		films, queries = 300, 10
+	}
+	report, err := experiments.Baselines(films, queries)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Baseline contrast (§2)")
+	fmt.Printf("  %d director-name queries over %d films (means)\n", report.Queries, films)
+	fmt.Printf("  précis:          %-12v %.1f relations, %.1f attributes, %.1f tuples\n",
+		report.PrecisTime, report.PrecisRelations, report.PrecisAttributes, report.PrecisTuples)
+	fmt.Printf("  attribute-pair:  %-12v %.1f flat matches\n", report.AttrPairTime, report.AttrPairMatches)
+	fmt.Printf("  tuple-tree:      %-12v %.1f joined trees\n\n", report.TupleTreeTime, report.TupleTreeResults)
+	return nil
+}

@@ -1,0 +1,79 @@
+// Moviesite: the paper's motivating scenario — a web-accessible movies
+// database explored by keyword queries. A visitor types free-form queries
+// and progressively widens the explored region by lowering the weight
+// threshold, exactly the interactive exploration of §3.1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"precis"
+	"precis/internal/dataset"
+)
+
+func main() {
+	cfg := dataset.DefaultSyntheticConfig()
+	cfg.Films = 1000
+	db, err := dataset.SyntheticMovies(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := dataset.PaperGraph(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dataset.AnnotateNarrative(g); err != nil {
+		log.Fatal(err)
+	}
+	eng, err := precis.New(db, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, def := range dataset.StandardMacros() {
+		if err := eng.DefineMacro(def); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A visitor heard about some director; query their name.
+	director := db.Relation("DIRECTOR").Tuples()[0].Values[1].AsString()
+	fmt.Printf("visitor searches for %q\n\n", director)
+
+	// First pass: a tight précis — only the most related information.
+	for _, w := range []float64{0.95, 0.9, 0.5} {
+		ans, err := eng.Query([]string{director}, precis.Options{
+			Degree:      precis.MinPathWeight(w),
+			Cardinality: precis.MaxTuplesPerRelation(4),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== weight threshold %.2f: %d relations, %d tuples ===\n",
+			w, ans.Database.NumRelations(), ans.Database.TotalTuples())
+		fmt.Println(ans.Narrative)
+		fmt.Println()
+	}
+
+	// The visitor follows a "hyperlink": a movie title from the answer
+	// becomes the next query — the iterative searching §1 describes.
+	movies := db.Relation("MOVIE")
+	ti := movies.Schema().ColumnIndex("title")
+	next := ""
+	// Pick the first movie for the follow-up query.
+	for _, t := range movies.Tuples() {
+		next = t.Values[ti].AsString()
+		break
+	}
+	if next != "" {
+		fmt.Printf("visitor follows up with %q\n\n", next)
+		ans, err := eng.Query([]string{next}, precis.Options{
+			Degree:      precis.MinPathWeight(0.5),
+			Cardinality: precis.MaxTuplesPerRelation(4),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(ans.Narrative)
+	}
+}

@@ -1,0 +1,99 @@
+// Quickstart: build a tiny database, annotate its schema graph, and answer
+// a précis query — the minimal end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"precis"
+	"precis/internal/schemagraph"
+	"precis/internal/storage"
+)
+
+func main() {
+	// 1. A two-relation database: authors and their books.
+	db := storage.NewDatabase("library")
+	db.MustCreateRelation(storage.MustSchema("AUTHOR", "aid",
+		storage.Column{Name: "aid", Type: storage.TypeInt},
+		storage.Column{Name: "name", Type: storage.TypeString},
+		storage.Column{Name: "country", Type: storage.TypeString},
+	))
+	db.MustCreateRelation(storage.MustSchema("BOOK", "bid",
+		storage.Column{Name: "bid", Type: storage.TypeInt},
+		storage.Column{Name: "title", Type: storage.TypeString},
+		storage.Column{Name: "year", Type: storage.TypeInt},
+		storage.Column{Name: "aid", Type: storage.TypeInt},
+	))
+	must(db.AddForeignKey(storage.ForeignKey{
+		FromRelation: "BOOK", FromColumn: "aid", ToRelation: "AUTHOR", ToColumn: "aid",
+	}))
+	must(db.CreateJoinIndexes())
+
+	insert := func(rel string, vals ...storage.Value) {
+		if _, err := db.Insert(rel, vals...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	insert("AUTHOR", storage.Int(1), storage.String("Ursula K. Le Guin"), storage.String("USA"))
+	insert("AUTHOR", storage.Int(2), storage.String("Italo Calvino"), storage.String("Italy"))
+	insert("BOOK", storage.Int(1), storage.String("The Dispossessed"), storage.Int(1974), storage.Int(1))
+	insert("BOOK", storage.Int(2), storage.String("The Left Hand of Darkness"), storage.Int(1969), storage.Int(1))
+	insert("BOOK", storage.Int(3), storage.String("Invisible Cities"), storage.Int(1972), storage.Int(2))
+
+	// 2. The weighted schema graph: how strongly each attribute and join
+	// matters for an answer. An answer about an author should include the
+	// books (weight 1); an answer about a book mentions its author a bit
+	// less eagerly (0.9).
+	g := schemagraph.FromDatabase(db)
+	mustProj(g, "AUTHOR", "aid", 0)
+	mustProj(g, "AUTHOR", "country", 0.8)
+	mustProj(g, "BOOK", "bid", 0)
+	mustProj(g, "BOOK", "aid", 0)
+	mustProj(g, "BOOK", "year", 0.9)
+	must(g.SetHeading("AUTHOR", "name"))
+	must(g.SetHeading("BOOK", "title"))
+	for _, e := range g.Relation("BOOK").Out() {
+		e.Weight = 0.9 // BOOK -> AUTHOR
+	}
+	// Narrative templates (optional — defaults exist).
+	g.Relation("AUTHOR").Sentence = `@NAME + " (" + @COUNTRY + ")."`
+	for _, e := range g.Relation("AUTHOR").Out() {
+		e.Label = `@NAME + " wrote " + BOOK_LIST`
+	}
+
+	// 3. The précis engine.
+	eng, err := precis.New(db, g)
+	must(err)
+	must(eng.DefineMacro(`DEFINE BOOK_LIST as ` +
+		`[i<arityOf(@TITLE)] {@TITLE[$i$] + " (" + @YEAR[$i$] + "), "} ` +
+		`[i=arityOf(@TITLE)] {@TITLE[$i$] + " (" + @YEAR[$i$] + ")."}`))
+
+	// 4. Ask about Le Guin: the answer is a sub-database (her tuple plus
+	// her books) and a one-paragraph narrative.
+	ans, err := eng.QueryString(`"Le Guin"`, precis.Options{
+		Degree:      precis.MinPathWeight(0.8),
+		Cardinality: precis.MaxTuplesPerRelation(5),
+	})
+	must(err)
+
+	fmt.Println("narrative:")
+	fmt.Println(" ", ans.Narrative)
+	fmt.Println("\nresult database:")
+	for _, rel := range ans.Database.RelationNames() {
+		fmt.Printf("  %s: %d tuples, columns %v\n",
+			rel, ans.Database.Relation(rel).Len(), ans.Result.DisplayColumns(rel))
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mustProj(g *schemagraph.Graph, rel, attr string, w float64) {
+	if _, err := g.AddProjection(rel, attr, w); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module precis
+
+go 1.22

@@ -1,0 +1,76 @@
+// Package baseline implements the prior keyword-search approaches the paper
+// contrasts précis queries with (§2):
+//
+//   - AttributePairSearch — the behaviour of full-text engines layered on a
+//     relational store (Oracle Text, MSSQL, DB2 Text Extender): the answer
+//     to "Woody Allen" is a set of (Relation, Attribute) matches with the
+//     matching tuples, and nothing about surrounding information.
+//
+//   - TupleTreeSearch — DISCOVER/DBXplorer-style joined tuple trees: minimal
+//     join networks connecting one occurrence of every query term, ranked by
+//     the number of joins. The result is a flattened row per tree, not a
+//     database.
+//
+// Both exist so benchmarks can compare answer richness and cost against the
+// précis pipeline.
+package baseline
+
+import (
+	"sort"
+
+	"precis/internal/invidx"
+	"precis/internal/storage"
+)
+
+// Match is one attribute-level hit for a term.
+type Match struct {
+	Term      string
+	Relation  string
+	Attribute string
+	TupleID   storage.TupleID
+	Value     string // the full attribute value containing the term
+}
+
+// AttributePairSearch resolves each term through the inverted index and
+// returns the flat (relation, attribute, tuple) matches, in deterministic
+// order. This is the baseline whose answer for "Woody Allen" is the pair
+// (Name, Director) — no movies, no genres.
+func AttributePairSearch(db *storage.Database, ix *invidx.Index, terms []string) []Match {
+	var out []Match
+	for _, term := range terms {
+		for _, occ := range ix.Lookup(term) {
+			rel := db.Relation(occ.Relation)
+			if rel == nil {
+				continue
+			}
+			ci := rel.Schema().ColumnIndex(occ.Attribute)
+			for _, id := range occ.TupleIDs {
+				t, ok := rel.Get(id)
+				if !ok {
+					continue
+				}
+				out = append(out, Match{
+					Term:      term,
+					Relation:  occ.Relation,
+					Attribute: occ.Attribute,
+					TupleID:   id,
+					Value:     t.Values[ci].AsString(),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Term != b.Term {
+			return a.Term < b.Term
+		}
+		if a.Relation != b.Relation {
+			return a.Relation < b.Relation
+		}
+		if a.Attribute != b.Attribute {
+			return a.Attribute < b.Attribute
+		}
+		return a.TupleID < b.TupleID
+	})
+	return out
+}

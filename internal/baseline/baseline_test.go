@@ -1,0 +1,261 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"precis/internal/dataset"
+	"precis/internal/invidx"
+)
+
+func TestAttributePairSearch(t *testing.T) {
+	db, _, err := dataset.ExampleMovies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := invidx.New(db)
+	matches := AttributePairSearch(db, ix, []string{"Woody Allen"})
+	if len(matches) != 2 {
+		t.Fatalf("matches = %+v", matches)
+	}
+	// Deterministic order: ACTOR.aname before DIRECTOR.dname.
+	if matches[0].Relation != "ACTOR" || matches[0].Attribute != "aname" {
+		t.Errorf("first match = %+v", matches[0])
+	}
+	if matches[1].Relation != "DIRECTOR" || matches[1].Attribute != "dname" {
+		t.Errorf("second match = %+v", matches[1])
+	}
+	// The baseline answer carries the value but nothing about movies: it is
+	// the (Name, Director) style pair of §2.
+	for _, m := range matches {
+		if m.Value != "Woody Allen" {
+			t.Errorf("value = %q", m.Value)
+		}
+	}
+	if got := AttributePairSearch(db, ix, []string{"zzz"}); len(got) != 0 {
+		t.Errorf("miss = %+v", got)
+	}
+}
+
+func TestTupleTreeSingleTerm(t *testing.T) {
+	db, g, err := dataset.ExampleMovies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := invidx.New(db)
+	trees, err := TupleTreeSearch(db, g, ix, []string{"Match Point"}, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 1 || trees[0].Joins != 0 || trees[0].Relations[0] != "MOVIE" {
+		t.Fatalf("trees = %+v", trees)
+	}
+}
+
+func TestTupleTreeTwoTerms(t *testing.T) {
+	db, g, err := dataset.ExampleMovies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := invidx.New(db)
+	// "Woody Allen" and "Match Point": the director directed the movie
+	// (1 join), and Woody the actor is not in its cast but Scarlett is; the
+	// actor connects via CAST (2 joins) only if Woody acted in it — he did
+	// not, so the shortest trees use DIRECTOR -> MOVIE.
+	trees, err := TupleTreeSearch(db, g, ix, []string{"Woody Allen", "Match Point"}, 3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) == 0 {
+		t.Fatal("no trees found")
+	}
+	best := trees[0]
+	if best.Joins != 1 {
+		t.Errorf("best tree joins = %d, want 1 (%s)", best.Joins, best)
+	}
+	found := false
+	for _, tr := range trees {
+		if len(tr.Relations) == 2 && tr.Relations[0] == "DIRECTOR" && tr.Relations[1] == "MOVIE" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no DIRECTOR->MOVIE tree in %+v", trees)
+	}
+	// Ranking is by ascending joins.
+	for i := 1; i < len(trees); i++ {
+		if trees[i].Joins < trees[i-1].Joins {
+			t.Fatalf("trees out of order: %+v", trees)
+		}
+	}
+}
+
+func TestTupleTreeActorConnection(t *testing.T) {
+	db, g, err := dataset.ExampleMovies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := invidx.New(db)
+	// Woody Allen acted in Anything Else (2 joins via CAST), and also
+	// directed it (1 join). Both trees should be found, directed first.
+	trees, err := TupleTreeSearch(db, g, ix, []string{"Woody Allen", "Anything Else"}, 3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, tr := range trees {
+		got = append(got, strings.Join(tr.Relations, "-"))
+	}
+	joined := strings.Join(got, " ")
+	if !strings.Contains(joined, "DIRECTOR-MOVIE") {
+		t.Errorf("missing 1-join tree: %v", got)
+	}
+	if !strings.Contains(joined, "ACTOR-CAST-MOVIE") {
+		t.Errorf("missing 2-join tree via CAST: %v", got)
+	}
+}
+
+func TestTupleTreeSameRelationTerms(t *testing.T) {
+	db, g, err := dataset.ExampleMovies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := invidx.New(db)
+	// Both terms inside the same tuple: "Match" and "Point".
+	trees, err := TupleTreeSearch(db, g, ix, []string{"Match", "Point"}, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tr := range trees {
+		if tr.Joins == 0 && len(tr.TupleIDs) == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no zero-join tree for same-tuple terms: %+v", trees)
+	}
+}
+
+func TestTupleTreeMisses(t *testing.T) {
+	db, g, err := dataset.ExampleMovies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := invidx.New(db)
+	trees, err := TupleTreeSearch(db, g, ix, []string{"Woody Allen", "zzznothing"}, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trees != nil {
+		t.Errorf("trees for missing term: %+v", trees)
+	}
+	if _, err := TupleTreeSearch(db, g, ix, nil, 3, 10); err == nil {
+		t.Error("empty terms accepted")
+	}
+}
+
+func TestTupleTreeTopK(t *testing.T) {
+	db, g, err := dataset.ExampleMovies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := invidx.New(db)
+	trees, err := TupleTreeSearch(db, g, ix, []string{"Woody Allen", "Comedy"}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) > 2 {
+		t.Errorf("topK not respected: %d trees", len(trees))
+	}
+}
+
+func TestTupleTreeString(t *testing.T) {
+	db, g, err := dataset.ExampleMovies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := invidx.New(db)
+	trees, err := TupleTreeSearch(db, g, ix, []string{"Woody Allen", "Match Point"}, 3, 5)
+	if err != nil || len(trees) == 0 {
+		t.Fatalf("trees = %v, err = %v", trees, err)
+	}
+	if s := trees[0].String(); !strings.Contains(s, "[") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestRankedAttributePairSearch(t *testing.T) {
+	db, _, err := dataset.ExampleMovies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := invidx.New(db)
+	// "comedy" occurs in several GENRE rows; all score equally. "melinda"
+	// occurs twice in one title — tf boosts it over single occurrences of
+	// equally rare words.
+	ranked := RankedAttributePairSearch(db, ix, []string{"melinda"})
+	if len(ranked) != 1 || ranked[0].Score <= 0 {
+		t.Fatalf("ranked = %+v", ranked)
+	}
+	// Rare words outrank common ones at equal tf: "thriller" (1 tuple)
+	// must score above "drama" (3 tuples) in their own values.
+	thr := RankedAttributePairSearch(db, ix, []string{"thriller"})
+	dra := RankedAttributePairSearch(db, ix, []string{"drama"})
+	if len(thr) == 0 || len(dra) == 0 {
+		t.Fatal("missing matches")
+	}
+	if thr[0].Score <= dra[0].Score {
+		t.Errorf("idf ordering broken: thriller %v <= drama %v", thr[0].Score, dra[0].Score)
+	}
+	// Descending order.
+	all := RankedAttributePairSearch(db, ix, []string{"woody", "drama"})
+	for i := 1; i < len(all); i++ {
+		if all[i].Score > all[i-1].Score {
+			t.Fatalf("not descending: %+v", all)
+		}
+	}
+}
+
+func TestRankedTupleTreeSearch(t *testing.T) {
+	db, g, err := dataset.ExampleMovies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := invidx.New(db)
+	trees, err := RankedTupleTreeSearch(db, g, ix, []string{"Woody Allen", "Anything Else"}, 3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) < 2 {
+		t.Fatalf("trees = %+v", trees)
+	}
+	for i := 1; i < len(trees); i++ {
+		if trees[i].Score > trees[i-1].Score {
+			t.Fatalf("not descending: %+v", trees)
+		}
+	}
+	// The 1-join DIRECTOR tree should outrank the 2-join CAST tree: same
+	// relevant endpoints, smaller tree.
+	if trees[0].Joins != 1 {
+		t.Errorf("best tree has %d joins: %+v", trees[0].Joins, trees[0])
+	}
+}
+
+func TestDocFrequency(t *testing.T) {
+	db, _, err := dataset.ExampleMovies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := invidx.New(db)
+	// "woody" appears in one DIRECTOR and one ACTOR tuple.
+	if df := ix.DocFrequency("woody"); df != 2 {
+		t.Errorf("df(woody) = %d", df)
+	}
+	if df := ix.DocFrequency("zzz"); df != 0 {
+		t.Errorf("df(zzz) = %d", df)
+	}
+	if df := ix.DocFrequency("woody allen"); df != 0 {
+		t.Errorf("df on phrase = %d (single tokens only)", df)
+	}
+}

@@ -1,0 +1,110 @@
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"precis/internal/invidx"
+	"precis/internal/schemagraph"
+	"precis/internal/storage"
+)
+
+// IR-style answer-relevance ranking, the §2 alternative to join-count
+// ranking (Hristidis, Gravano, Papakonstantinou — "Efficient IR-Style
+// Keyword Search over Relational Databases", the paper's [9]). Matches are
+// scored with a standard tf·idf formula with length normalization:
+//
+//	score(t, v) = Σ_w  tf(w, v) · ln(1 + N / df(w)) / (1 + ln(len(v)))
+//
+// over the query's words w, where N is the database's tuple count and df
+// the number of tuples containing w.
+
+// ScoredMatch is an attribute-pair match with its relevance score.
+type ScoredMatch struct {
+	Match
+	Score float64
+}
+
+// RankedAttributePairSearch runs AttributePairSearch and orders the matches
+// by descending tf·idf relevance (ties: the deterministic match order).
+func RankedAttributePairSearch(db *storage.Database, ix *invidx.Index, terms []string) []ScoredMatch {
+	matches := AttributePairSearch(db, ix, terms)
+	n := db.TotalTuples()
+	out := make([]ScoredMatch, 0, len(matches))
+	for _, m := range matches {
+		out = append(out, ScoredMatch{Match: m, Score: scoreValue(ix, n, m.Term, m.Value)})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}
+
+// scoreValue computes tf·idf of the term's words within one attribute value.
+func scoreValue(ix *invidx.Index, totalTuples int, term, value string) float64 {
+	valueWords := invidx.Tokenize(value)
+	if len(valueWords) == 0 {
+		return 0
+	}
+	tf := make(map[string]int, len(valueWords))
+	for _, w := range valueWords {
+		tf[w]++
+	}
+	var score float64
+	for _, w := range invidx.Tokenize(term) {
+		f := tf[w]
+		if f == 0 {
+			continue
+		}
+		df := ix.DocFrequency(w)
+		if df == 0 {
+			continue
+		}
+		idf := math.Log(1 + float64(totalTuples)/float64(df))
+		score += float64(f) * idf
+	}
+	return score / (1 + math.Log(float64(len(valueWords))))
+}
+
+// ScoredTree is a joined tuple tree with a combined relevance score.
+type ScoredTree struct {
+	TupleTree
+	Score float64
+}
+
+// RankedTupleTreeSearch runs TupleTreeSearch and re-ranks trees by the [9]
+// combination: the sum of the tree tuples' IR relevance divided by the tree
+// size, so tight trees with relevant tuples rank first.
+func RankedTupleTreeSearch(db *storage.Database, g *schemagraph.Graph, ix *invidx.Index, terms []string, maxJoins, topK int) ([]ScoredTree, error) {
+	trees, err := TupleTreeSearch(db, g, ix, terms, maxJoins, topK)
+	if err != nil {
+		return nil, err
+	}
+	n := db.TotalTuples()
+	out := make([]ScoredTree, 0, len(trees))
+	for _, tr := range trees {
+		ir := 0.0
+		for i, rel := range tr.Relations {
+			if rel == "" {
+				continue
+			}
+			r := db.Relation(rel)
+			if r == nil {
+				continue
+			}
+			t, ok := r.Get(tr.TupleIDs[i])
+			if !ok {
+				continue
+			}
+			for ci, col := range r.Schema().Columns {
+				if col.Type != storage.TypeString || t.Values[ci].IsNull() {
+					continue
+				}
+				for _, term := range terms {
+					ir += scoreValue(ix, n, term, t.Values[ci].AsString())
+				}
+			}
+		}
+		out = append(out, ScoredTree{TupleTree: tr, Score: ir / float64(1+tr.Joins)})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"precis/internal/dataset"
+	"precis/internal/invidx"
+)
+
+func TestNetworkSearchSingleTerm(t *testing.T) {
+	db, g, err := dataset.ExampleMovies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := invidx.New(db)
+	trees, err := NetworkSearch(db, g, ix, []string{"Match Point"}, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) == 0 || trees[0].Joins != 0 || trees[0].Relations[0] != "MOVIE" {
+		t.Fatalf("trees = %+v", trees)
+	}
+}
+
+func TestNetworkSearchTwoTerms(t *testing.T) {
+	db, g, err := dataset.ExampleMovies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := invidx.New(db)
+	trees, err := NetworkSearch(db, g, ix, []string{"Woody Allen", "Match Point"}, 4, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) == 0 {
+		t.Fatal("no trees")
+	}
+	if trees[0].Joins != 1 {
+		t.Errorf("best joins = %d (%s)", trees[0].Joins, trees[0])
+	}
+	for i := 1; i < len(trees); i++ {
+		if trees[i].Joins < trees[i-1].Joins {
+			t.Fatalf("not ascending: %+v", trees)
+		}
+	}
+}
+
+// TestNetworkSearchThreeTerms is what the pairwise path search cannot do:
+// connect a director, an actress and a movie through one tree.
+func TestNetworkSearchThreeTerms(t *testing.T) {
+	db, g, err := dataset.ExampleMovies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := invidx.New(db)
+	trees, err := NetworkSearch(db, g, ix,
+		[]string{"Woody Allen", "Scarlett Johansson", "Match Point"}, 5, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) == 0 {
+		t.Fatal("no covering tree found")
+	}
+	// The tight tree: DIRECTOR[WA] - MOVIE[MP] - CAST - ACTOR[SJ], 3 joins.
+	best := trees[0]
+	if best.Joins != 3 {
+		t.Errorf("best tree joins = %d (%s)", best.Joins, best)
+	}
+	joined := strings.Join(best.Relations, "-")
+	for _, rel := range []string{"DIRECTOR", "MOVIE", "CAST", "ACTOR"} {
+		if !strings.Contains(joined, rel) {
+			t.Errorf("tree %s misses %s", joined, rel)
+		}
+	}
+}
+
+// TestNetworkSearchRepeatedRelation: two actors connected through one
+// movie need ACTOR-CAST-MOVIE-CAST-ACTOR, with ACTOR and CAST repeated.
+func TestNetworkSearchRepeatedRelation(t *testing.T) {
+	db, g, err := dataset.ExampleMovies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := invidx.New(db)
+	// Scarlett Johansson and Jason Biggs both acted in Anything Else? No:
+	// SJ in Match Point + Lost in Translation; Jason Biggs in Anything
+	// Else; Woody Allen (actor) in Anything Else too. Use Woody + Biggs.
+	trees, err := NetworkSearch(db, g, ix,
+		[]string{"Jason Biggs", "Scarlett Johansson"}, 7, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No shared movie: the only connection runs through the shared
+	// director: ACTOR-CAST-MOVIE-DIRECTOR-MOVIE-CAST-ACTOR (7 nodes).
+	found := false
+	for _, tr := range trees {
+		counts := map[string]int{}
+		for _, rel := range tr.Relations {
+			counts[rel]++
+		}
+		if counts["ACTOR"] == 2 && counts["CAST"] == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no repeated-relation tree in %d trees", len(trees))
+	}
+	// Two actors sharing a movie connect with 5 nodes: Woody Allen (actor)
+	// and Jason Biggs both appear in Anything Else.
+	trees, err = NetworkSearch(db, g, ix, []string{"Jason Biggs", "Woody Allen"}, 5, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := false
+	for _, tr := range trees {
+		counts := map[string]int{}
+		for _, rel := range tr.Relations {
+			counts[rel]++
+		}
+		if counts["CAST"] == 2 && counts["MOVIE"] == 1 {
+			shared = true
+		}
+	}
+	if !shared {
+		t.Errorf("no shared-movie tree for co-actors in %d trees", len(trees))
+	}
+}
+
+func TestNetworkSearchMisses(t *testing.T) {
+	db, g, err := dataset.ExampleMovies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := invidx.New(db)
+	trees, err := NetworkSearch(db, g, ix, []string{"Woody Allen", "zzznothing"}, 4, 10)
+	if err != nil || trees != nil {
+		t.Errorf("trees = %v, err = %v", trees, err)
+	}
+	if _, err := NetworkSearch(db, g, ix, nil, 4, 10); err == nil {
+		t.Error("empty terms accepted")
+	}
+}
+
+func TestNetworkSearchTopK(t *testing.T) {
+	db, g, err := dataset.ExampleMovies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := invidx.New(db)
+	trees, err := NetworkSearch(db, g, ix, []string{"woody", "comedy"}, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) > 3 {
+		t.Errorf("topK violated: %d", len(trees))
+	}
+}
+
+// TestNetworkSubsumesPathSearch: on two-term queries the network search
+// finds at least the trees the pairwise search finds.
+func TestNetworkSubsumesPathSearch(t *testing.T) {
+	db, g, err := dataset.ExampleMovies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := invidx.New(db)
+	terms := []string{"Woody Allen", "Anything Else"}
+	paths, err := TupleTreeSearch(db, g, ix, terms, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets, err := NetworkSearch(db, g, ix, terms, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nets) < len(paths) {
+		t.Errorf("network search found %d trees, path search %d", len(nets), len(paths))
+	}
+}

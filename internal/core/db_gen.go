@@ -1,0 +1,540 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"precis/internal/schemagraph"
+	"precis/internal/sqlx"
+	"precis/internal/storage"
+)
+
+// Strategy selects how tuples joining a populated relation are retrieved
+// from the original database (paper §5.2).
+type Strategy uint8
+
+const (
+	// StrategyAuto applies Round-Robin only to 1-n joins, "wherever
+	// required", and NaïveQ everywhere else — the practical configuration
+	// the paper recommends.
+	StrategyAuto Strategy = iota
+	// StrategyNaive always issues a single top-k query per join (Oracle
+	// RowNum style). On 1-n joins it risks starving some driving tuples.
+	StrategyNaive
+	// StrategyRoundRobin always opens one scan per driving tuple and takes
+	// one joining tuple from each scan per round.
+	StrategyRoundRobin
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyAuto:
+		return "auto"
+	case StrategyNaive:
+		return "naiveq"
+	case StrategyRoundRobin:
+		return "roundrobin"
+	default:
+		return fmt.Sprintf("strategy(%d)", uint8(s))
+	}
+}
+
+// GenStats reports the physical work of one result-database generation; its
+// units match the paper's cost model (queries issued, index probes, tuple
+// reads).
+type GenStats struct {
+	Queries           int
+	SQL               sqlx.Stats
+	JoinsExecuted     int
+	TuplesPerRelation map[string]int
+	TotalTuples       int
+}
+
+// ResultDatabase is the précis: a new database D' that is a sub-database of
+// the original, together with the result schema it instantiates and the
+// generation statistics.
+type ResultDatabase struct {
+	DB     *storage.Database
+	Schema *ResultSchema
+	Stats  GenStats
+}
+
+// DisplayColumns returns the columns of rel meant for presentation: the
+// projected attributes of the result schema, excluding join plumbing that
+// was fetched only to execute joins (§5.2: "attributes required for joins
+// ... will not show in the final answer").
+func (rd *ResultDatabase) DisplayColumns(rel string) []string {
+	return rd.Schema.Projections(rel)
+}
+
+// DBGenOptions expose the design choices of the Result Database Generator
+// for ablation studies; the zero value is the paper's algorithm.
+type DBGenOptions struct {
+	// FIFOJoins executes join edges in result-schema declaration order
+	// instead of decreasing weight order (ablates "relations most related
+	// to the query are populated first").
+	FIFOJoins bool
+	// DisablePostponement executes a join as soon as its source is
+	// populated even if arrivals at the source are still pending (ablates
+	// the in-degree bookkeeping; under tight budgets, tuples reached only
+	// through late-arriving paths lose their downstream joins).
+	DisablePostponement bool
+	// Weights enables the paper's §7 extension: per-tuple importance.
+	// When the cardinality budget forces a choice, heavier tuples are
+	// retrieved first (seeds, NaïveQ results, and Round-Robin scans all
+	// honour the ordering).
+	Weights TupleWeights
+}
+
+// generator carries the state of one Figure 5 run.
+type generator struct {
+	eng    *sqlx.Engine
+	rs     *ResultSchema
+	card   CardinalityConstraint
+	strat  Strategy
+	opts   DBGenOptions
+	out    *storage.Database
+	perRel map[string]int
+	total  int
+	stats  GenStats
+	// columns fetched per relation (display + plumbing), in original order.
+	cols map[string][]string
+}
+
+// GenerateDatabase runs the Result Database Algorithm (paper Figure 5).
+// eng wraps the original database; rs is the result schema G'; seedTuples
+// maps each seed relation to the tuple ids the inverted index matched; c is
+// the cardinality constraint and strat the retrieval strategy.
+func GenerateDatabase(eng *sqlx.Engine, rs *ResultSchema, seedTuples map[string][]storage.TupleID, c CardinalityConstraint, strat Strategy) (*ResultDatabase, error) {
+	return GenerateDatabaseOpts(eng, rs, seedTuples, c, strat, DBGenOptions{})
+}
+
+// GenerateDatabaseOpts is GenerateDatabase with explicit ablation options.
+func GenerateDatabaseOpts(eng *sqlx.Engine, rs *ResultSchema, seedTuples map[string][]storage.TupleID, c CardinalityConstraint, strat Strategy, opts DBGenOptions) (*ResultDatabase, error) {
+	if c == nil {
+		return nil, fmt.Errorf("core: nil cardinality constraint")
+	}
+	for rel := range seedTuples {
+		if rs.Graph.Relation(rel) == nil {
+			return nil, fmt.Errorf("core: seed tuples for %s, which is not in the result schema", rel)
+		}
+	}
+	g := &generator{
+		eng:    eng,
+		rs:     rs,
+		card:   c,
+		strat:  strat,
+		opts:   opts,
+		out:    storage.NewDatabase("precis"),
+		perRel: make(map[string]int),
+		cols:   make(map[string][]string),
+	}
+	g.stats.TuplesPerRelation = g.perRel
+	if err := g.buildResultSchemas(); err != nil {
+		return nil, err
+	}
+	baseline := eng.TotalStats()
+	if err := g.placeSeeds(seedTuples); err != nil {
+		return nil, err
+	}
+	if err := g.executeJoins(); err != nil {
+		return nil, err
+	}
+	after := eng.TotalStats()
+	g.stats.SQL = sqlx.Stats{
+		IndexLookups: after.IndexLookups - baseline.IndexLookups,
+		TupleReads:   after.TupleReads - baseline.TupleReads,
+		Scanned:      after.Scanned - baseline.Scanned,
+	}
+	g.stats.TotalTuples = g.total
+	return &ResultDatabase{DB: g.out, Schema: g.rs, Stats: g.stats}, nil
+}
+
+// buildResultSchemas creates in the output database, for every relation of
+// G', a relation whose columns are the projected attributes plus the join
+// columns of incident G' edges, in the original column order.
+func (g *generator) buildResultSchemas() error {
+	orig := g.eng.Database()
+	for _, name := range g.rs.Relations() {
+		rel := orig.Relation(name)
+		if rel == nil {
+			return fmt.Errorf("core: result schema names %s, which is missing from the database", name)
+		}
+		need := make(map[string]bool)
+		for _, a := range g.rs.Projections(name) {
+			need[a] = true
+		}
+		for _, e := range g.rs.Graph.JoinEdges() {
+			if e.From == name {
+				need[e.FromCol] = true
+			}
+			if e.To == name {
+				need[e.ToCol] = true
+			}
+		}
+		var cols []string
+		for _, c := range rel.Schema().Columns {
+			if need[c.Name] {
+				cols = append(cols, c.Name)
+			}
+		}
+		if len(cols) == 0 {
+			// A relation can enter G' purely as a junction on a path (CAST
+			// in the running example): fall back to its key or first column
+			// so it remains representable.
+			if k := rel.Schema().Key; k != "" {
+				cols = []string{k}
+			} else {
+				cols = []string{rel.Schema().Columns[0].Name}
+			}
+		}
+		sub, err := rel.Schema().Project(cols)
+		if err != nil {
+			return err
+		}
+		if _, err := g.out.CreateRelation(sub); err != nil {
+			return err
+		}
+		g.cols[name] = cols
+	}
+	// Foreign keys of the original whose endpoints survive carry over, so
+	// the précis is a database with its own constraints (paper §1).
+	for _, fk := range orig.ForeignKeys() {
+		from := g.out.Relation(fk.FromRelation)
+		to := g.out.Relation(fk.ToRelation)
+		if from == nil || to == nil {
+			continue
+		}
+		if !from.Schema().HasColumn(fk.FromColumn) || !to.Schema().HasColumn(fk.ToColumn) {
+			continue
+		}
+		if err := g.out.AddForeignKey(fk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// budget returns the remaining allowance for rel.
+func (g *generator) budget(rel string) int {
+	return g.card.Budget(rel, g.perRel, g.total)
+}
+
+// selectSQL builds SELECT rowid, <cols> FROM rel WHERE <where> [LIMIT n].
+// Identifiers are quoted as needed so user schemas may use any column name.
+func (g *generator) selectSQL(rel, where string, limit int) string {
+	quoted := make([]string, len(g.cols[rel]))
+	for i, c := range g.cols[rel] {
+		quoted[i] = sqlx.Ident(c)
+	}
+	var b strings.Builder
+	b.WriteString("SELECT rowid, ")
+	b.WriteString(strings.Join(quoted, ", "))
+	b.WriteString(" FROM ")
+	b.WriteString(sqlx.Ident(rel))
+	if where != "" {
+		b.WriteString(" WHERE ")
+		b.WriteString(where)
+	}
+	if limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", limit)
+	}
+	return b.String()
+}
+
+// runSelect executes a generated query and inserts the resulting tuples
+// into the output relation, skipping tuples already present. It returns the
+// number of tuples inserted.
+func (g *generator) runSelect(rel, query string) (int, error) {
+	res, err := g.eng.Exec(query)
+	if err != nil {
+		return 0, fmt.Errorf("core: generated query %q: %w", query, err)
+	}
+	g.stats.Queries++
+	outRel := g.out.Relation(rel)
+	inserted := 0
+	for _, row := range res.Rows {
+		id := storage.TupleID(row[0].AsInt())
+		if _, exists := outRel.Get(id); exists {
+			continue // duplicates are removed (paper §5.2)
+		}
+		if err := g.out.InsertWithID(rel, id, row[1:]...); err != nil {
+			return inserted, err
+		}
+		inserted++
+	}
+	g.perRel[rel] += inserted
+	g.total += inserted
+	return inserted, nil
+}
+
+// placeSeeds performs step 1 of Figure 5: D' starts with the tuples that
+// contain the query tokens, fetched by rowid, capped by the cardinality
+// constraint (NaïveQ takes the first ids; the index returns them in id
+// order, the paper's "random subset").
+func (g *generator) placeSeeds(seedTuples map[string][]storage.TupleID) error {
+	rels := make([]string, 0, len(seedTuples))
+	for rel := range seedTuples {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	for _, rel := range rels {
+		ids := append([]storage.TupleID(nil), seedTuples[rel]...)
+		if len(ids) == 0 {
+			continue
+		}
+		b := g.budget(rel)
+		if b <= 0 {
+			continue
+		}
+		g.opts.Weights.order(rel, ids)
+		var sb strings.Builder
+		sb.WriteString("rowid IN (")
+		for i, id := range ids {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%d", id)
+		}
+		sb.WriteString(")")
+		if _, err := g.runSelect(rel, g.selectSQL(rel, sb.String(), b)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// executeJoins performs step 2 of Figure 5: join edges of G' execute in
+// decreasing weight order; a join departing from a relation with arriving
+// edges still unexecuted is postponed, so every tuple that can reach a
+// relation through any path is present before the walk moves past it.
+func (g *generator) executeJoins() error {
+	pending := g.rs.JoinEdgesByWeight()
+	if g.opts.FIFOJoins {
+		pending = g.rs.Graph.JoinEdges()
+	}
+	arriving := make(map[string]int)
+	for _, e := range pending {
+		arriving[e.To]++
+	}
+	executed := make(map[string]int)
+
+	for len(pending) > 0 {
+		// Pick the highest-weight edge whose source has no unexecuted
+		// arrivals; the list is already weight-ordered.
+		pick := -1
+		for i, e := range pending {
+			if g.opts.DisablePostponement || executed[e.From] >= arriving[e.From] {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			// A cycle in G' (mutual dependence): break it at the
+			// highest-weight remaining edge.
+			pick = 0
+		}
+		e := pending[pick]
+		pending = append(pending[:pick], pending[pick+1:]...)
+		if err := g.executeJoin(e); err != nil {
+			return err
+		}
+		executed[e.To]++
+		g.stats.JoinsExecuted++
+	}
+	return nil
+}
+
+// executeJoin retrieves, for the directed join Ri -> Rj, tuples of Rj
+// joining to the tuples of Ri already in D' (paper: the issued query
+// "does not contain the actual join between the two relations" — it is a
+// selection on the join-attribute values present in R'i).
+func (g *generator) executeJoin(e *schemagraph.JoinEdge) error {
+	b := g.budget(e.To)
+	if b <= 0 {
+		return nil
+	}
+	from := g.out.Relation(e.From)
+	if from == nil || from.Len() == 0 {
+		return nil
+	}
+	values, err := from.DistinctValues(e.FromCol)
+	if err != nil {
+		return err
+	}
+	if len(values) == 0 {
+		return nil
+	}
+
+	toN := g.isToN(e)
+	useRoundRobin := g.strat == StrategyRoundRobin || (g.strat == StrategyAuto && toN)
+	if useRoundRobin {
+		return g.roundRobin(e, values, b)
+	}
+	return g.naiveQ(e, values, b)
+}
+
+// isToN reports whether the join Ri->Rj is 1-n: the referenced column of Rj
+// is not Rj's primary key, so one driving value may match many tuples.
+func (g *generator) isToN(e *schemagraph.JoinEdge) bool {
+	to := g.eng.Database().Relation(e.To)
+	if to == nil {
+		return true
+	}
+	return to.Schema().Key != e.ToCol
+}
+
+// naiveQ is the paper's NaïveQ: one query with an IN list over the driving
+// values and a top-k cut-off (RowNum / LIMIT). Tuples already in D' are
+// excluded in the query itself so the budget buys only new tuples.
+func (g *generator) naiveQ(e *schemagraph.JoinEdge, values []storage.Value, budget int) error {
+	if len(g.opts.Weights[e.To]) > 0 {
+		return g.naiveQWeighted(e, values, budget)
+	}
+	var sb strings.Builder
+	sb.WriteString(sqlx.Ident(e.ToCol))
+	sb.WriteString(" IN (")
+	for i, v := range values {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(v.SQL())
+	}
+	sb.WriteString(")")
+	if excl := g.existingIDs(e.To); excl != "" {
+		sb.WriteString(" AND rowid NOT IN (")
+		sb.WriteString(excl)
+		sb.WriteString(")")
+	}
+	_, err := g.runSelect(e.To, g.selectSQL(e.To, sb.String(), budget))
+	return err
+}
+
+// naiveQWeighted is NaïveQ under the §7 tuple-weights extension: a first
+// query retrieves the candidate ids, which are ordered by tuple weight
+// before the budget cut, and a second query fetches the winners. This costs
+// one extra id-only query per join but lets importance, not storage order,
+// decide which tuples survive the cardinality constraint.
+func (g *generator) naiveQWeighted(e *schemagraph.JoinEdge, values []storage.Value, budget int) error {
+	var sb strings.Builder
+	sb.WriteString("SELECT rowid FROM ")
+	sb.WriteString(sqlx.Ident(e.To))
+	sb.WriteString(" WHERE ")
+	sb.WriteString(sqlx.Ident(e.ToCol))
+	sb.WriteString(" IN (")
+	for i, v := range values {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(v.SQL())
+	}
+	sb.WriteString(")")
+	if excl := g.existingIDs(e.To); excl != "" {
+		sb.WriteString(" AND rowid NOT IN (")
+		sb.WriteString(excl)
+		sb.WriteString(")")
+	}
+	res, err := g.eng.Exec(sb.String())
+	if err != nil {
+		return fmt.Errorf("core: weighted id query: %w", err)
+	}
+	g.stats.Queries++
+	ids := append([]storage.TupleID(nil), res.RowIDs...)
+	g.opts.Weights.order(e.To, ids)
+	if len(ids) > budget {
+		ids = ids[:budget]
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	var fetch strings.Builder
+	fetch.WriteString("rowid IN (")
+	for i, id := range ids {
+		if i > 0 {
+			fetch.WriteString(", ")
+		}
+		fmt.Fprintf(&fetch, "%d", id)
+	}
+	fetch.WriteString(")")
+	_, err = g.runSelect(e.To, g.selectSQL(e.To, fetch.String(), len(ids)))
+	return err
+}
+
+// roundRobin is the paper's Round-Robin: one scan per driving value; each
+// round retrieves at most one joining tuple per scan while the budget
+// holds, so joining tuples distribute fairly across driving tuples whatever
+// the true fan-out distribution. Exhausted scans close.
+func (g *generator) roundRobin(e *schemagraph.JoinEdge, values []storage.Value, budget int) error {
+	outRel := g.out.Relation(e.To)
+	// Open one scan (id cursor) per driving value.
+	cursors := make([][]storage.TupleID, 0, len(values))
+	for _, v := range values {
+		res, err := g.eng.Exec("SELECT rowid FROM " + sqlx.Ident(e.To) + " WHERE " + sqlx.Ident(e.ToCol) + " = " + v.SQL())
+		if err != nil {
+			return fmt.Errorf("core: round-robin scan: %w", err)
+		}
+		g.stats.Queries++
+		ids := make([]storage.TupleID, 0, len(res.Rows))
+		for _, id := range res.RowIDs {
+			if _, exists := outRel.Get(id); !exists {
+				ids = append(ids, id)
+			}
+		}
+		g.opts.Weights.order(e.To, ids)
+		if len(ids) > 0 {
+			cursors = append(cursors, ids)
+		}
+	}
+	taken := 0
+	for taken < budget && len(cursors) > 0 {
+		next := cursors[:0]
+		for _, cur := range cursors {
+			if taken >= budget {
+				break
+			}
+			id := cur[0]
+			cur = cur[1:]
+			// A tuple may have been inserted by an earlier cursor this
+			// round (shared child): skip silently without spending budget.
+			if _, exists := outRel.Get(id); exists {
+				if len(cur) > 0 {
+					next = append(next, cur)
+				}
+				continue
+			}
+			query := g.selectSQL(e.To, fmt.Sprintf("rowid = %d", id), 1)
+			n, err := g.runSelect(e.To, query)
+			if err != nil {
+				return err
+			}
+			taken += n
+			if len(cur) > 0 {
+				next = append(next, cur)
+			}
+		}
+		cursors = next
+	}
+	return nil
+}
+
+// existingIDs renders the ids already present in the output relation as a
+// comma-separated list, or "" when empty.
+func (g *generator) existingIDs(rel string) string {
+	r := g.out.Relation(rel)
+	if r == nil || r.Len() == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	first := true
+	r.Scan(func(t storage.Tuple) bool {
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&sb, "%d", t.ID)
+		return true
+	})
+	return sb.String()
+}

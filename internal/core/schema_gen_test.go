@@ -1,0 +1,310 @@
+package core
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"precis/internal/dataset"
+	"precis/internal/schemagraph"
+)
+
+func paperGraph(t *testing.T) *schemagraph.Graph {
+	t.Helper()
+	_, g, err := dataset.ExampleMovies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func sorted(xs []string) []string {
+	out := append([]string(nil), xs...)
+	sort.Strings(out)
+	return out
+}
+
+// TestPaperRunningExampleSchema reproduces Figure 4: the result schema for
+// Q = {"Woody Allen"} (seeds DIRECTOR and ACTOR) under the degree constraint
+// "projections with weight >= 0.9".
+func TestPaperRunningExampleSchema(t *testing.T) {
+	g := paperGraph(t)
+	rs, err := GenerateSchema(g, []string{"DIRECTOR", "ACTOR"}, MinPathWeight(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRels := []string{"ACTOR", "CAST", "DIRECTOR", "GENRE", "MOVIE"}
+	if got := sorted(rs.Relations()); !reflect.DeepEqual(got, wantRels) {
+		t.Fatalf("relations = %v, want %v", got, wantRels)
+	}
+	wantProj := map[string][]string{
+		"DIRECTOR": {"dname", "blocation", "bdate"},
+		"MOVIE":    {"title", "year"},
+		"GENRE":    {"genre"},
+		"ACTOR":    {"aname"},
+		"CAST":     nil,
+	}
+	for rel, want := range wantProj {
+		got := rs.Projections(rel)
+		if !reflect.DeepEqual(sorted(got), sorted(want)) {
+			t.Errorf("projections of %s = %v, want %v", rel, got, want)
+		}
+	}
+	// Figure 4 remark: MOVIE has in-degree 2 (reached from both DIRECTOR
+	// and ACTOR).
+	if d := rs.SeedInDegree("MOVIE"); d != 2 {
+		t.Errorf("seed in-degree of MOVIE = %d, want 2", d)
+	}
+	if d := rs.SeedInDegree("DIRECTOR"); d != 1 {
+		t.Errorf("seed in-degree of DIRECTOR = %d, want 1", d)
+	}
+	// The join edges of G': DIRECTOR->MOVIE, ACTOR->CAST, CAST->MOVIE,
+	// MOVIE->GENRE.
+	var keys []string
+	for _, e := range rs.Graph.JoinEdges() {
+		keys = append(keys, e.From+"->"+e.To)
+	}
+	wantEdges := []string{"ACTOR->CAST", "CAST->MOVIE", "DIRECTOR->MOVIE", "MOVIE->GENRE"}
+	if !reflect.DeepEqual(sorted(keys), wantEdges) {
+		t.Errorf("join edges = %v, want %v", sorted(keys), wantEdges)
+	}
+	// Join in-degrees drive the data generator's postponement.
+	if d := rs.JoinInDegree("MOVIE"); d != 2 {
+		t.Errorf("join in-degree of MOVIE = %d", d)
+	}
+	// Low-weight regions are excluded at 0.9: PLAY, THEATRE.
+	for _, rel := range []string{"PLAY", "THEATRE"} {
+		if rs.Graph.Relation(rel) != nil {
+			t.Errorf("%s should not appear at w >= 0.9", rel)
+		}
+	}
+}
+
+// TestSchemaLowerThreshold: relaxing the threshold expands the explored
+// region of the database (§3.1 progressive exploration).
+func TestSchemaLowerThreshold(t *testing.T) {
+	g := paperGraph(t)
+	strict, err := GenerateSchema(g, []string{"DIRECTOR"}, MinPathWeight(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := GenerateSchema(g, []string{"DIRECTOR"}, MinPathWeight(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loose.Relations()) <= len(strict.Relations()) {
+		t.Errorf("loose %v should strictly contain strict %v", loose.Relations(), strict.Relations())
+	}
+	// PLAY (via MOVIE->PLAY 0.7, projection date 0.6 => 0.42 < 0.5; but
+	// PLAY.date at 0.7*0.6=0.42 fails; THEATRE.name at 0.7*1*1=0.7 passes).
+	if loose.Graph.Relation("THEATRE") == nil {
+		t.Error("THEATRE should appear at w >= 0.5")
+	}
+	// Monotonicity: every relation and attribute of the strict answer stays.
+	for _, rel := range strict.Relations() {
+		if loose.Graph.Relation(rel) == nil {
+			t.Errorf("relation %s lost when relaxing", rel)
+		}
+		for _, a := range strict.Projections(rel) {
+			found := false
+			for _, b := range loose.Projections(rel) {
+				if a == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("projection %s.%s lost when relaxing", rel, a)
+			}
+		}
+	}
+}
+
+// TestSchemaMonotoneInWeight checks the prefix property across a sweep of
+// thresholds on the paper graph: results only grow as w0 decreases.
+func TestSchemaMonotoneInWeight(t *testing.T) {
+	g := paperGraph(t)
+	prevAttrs := -1
+	for _, w := range []float64{1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3} {
+		rs, err := GenerateSchema(g, []string{"GENRE"}, MinPathWeight(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := rs.NumAttributes()
+		if prevAttrs >= 0 && n < prevAttrs {
+			t.Errorf("attributes shrank from %d to %d at w=%v", prevAttrs, n, w)
+		}
+		prevAttrs = n
+	}
+}
+
+func TestSchemaTopProjections(t *testing.T) {
+	g := paperGraph(t)
+	rs, err := GenerateSchema(g, []string{"DIRECTOR"}, TopProjections(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Paths) != 3 {
+		t.Fatalf("accepted paths = %d, want 3", len(rs.Paths))
+	}
+	// The three heaviest projections from DIRECTOR are dname (1.0),
+	// MOVIE.title via DIRECTOR->MOVIE (1.0), and one of the 0.95s.
+	got := map[string]bool{}
+	for _, p := range rs.Paths {
+		got[p.Proj.Key()] = true
+	}
+	if !got["DIRECTOR.dname"] || !got["MOVIE.title"] {
+		t.Errorf("top-3 = %v", got)
+	}
+}
+
+func TestSchemaMaxAttributesCountsDistinct(t *testing.T) {
+	g := paperGraph(t)
+	// From both seeds, MOVIE.title is reachable; with MaxAttributes the
+	// shared attribute consumes one slot even if two paths project it.
+	rs, err := GenerateSchema(g, []string{"DIRECTOR", "ACTOR"}, MaxAttributes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.NumAttributes() > 4 {
+		t.Errorf("attributes = %d > 4", rs.NumAttributes())
+	}
+}
+
+func TestSchemaPathsOrdered(t *testing.T) {
+	g := paperGraph(t)
+	rs, err := GenerateSchema(g, []string{"DIRECTOR", "ACTOR"}, MinPathWeight(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rs.Paths); i++ {
+		if rs.Paths[i].Weight() > rs.Paths[i-1].Weight()+1e-12 {
+			t.Fatalf("paths out of order at %d: %v after %v",
+				i, rs.Paths[i].Weight(), rs.Paths[i-1].Weight())
+		}
+	}
+}
+
+func TestSchemaSingleSeedNoJoins(t *testing.T) {
+	// A graph with one isolated relation: result is just its projections.
+	g := schemagraph.New()
+	g.AddRelation("R")
+	if _, err := g.AddProjection("R", "a", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddProjection("R", "b", 0.4); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := GenerateSchema(g, []string{"R"}, MinPathWeight(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rs.Projections("R"); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Errorf("projections = %v", got)
+	}
+}
+
+func TestSchemaErrors(t *testing.T) {
+	g := paperGraph(t)
+	if _, err := GenerateSchema(g, nil, MinPathWeight(0.5)); err == nil {
+		t.Error("no seeds accepted")
+	}
+	if _, err := GenerateSchema(g, []string{"NOPE"}, MinPathWeight(0.5)); err == nil {
+		t.Error("unknown seed accepted")
+	}
+	if _, err := GenerateSchema(g, []string{"MOVIE", "MOVIE"}, MinPathWeight(0.5)); err == nil {
+		t.Error("duplicate seed accepted")
+	}
+	if _, err := GenerateSchema(g, []string{"MOVIE"}, nil); err == nil {
+		t.Error("nil constraint accepted")
+	}
+}
+
+func TestSchemaZeroDegreeStillHasSeeds(t *testing.T) {
+	g := paperGraph(t)
+	rs, err := GenerateSchema(g, []string{"MOVIE"}, TopProjections(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No projections survive, but the seed relation must be present so the
+	// matching tuples can still be placed.
+	if rs.Graph.Relation("MOVIE") == nil {
+		t.Error("seed relation missing from empty-degree schema")
+	}
+	if rs.NumAttributes() != 0 {
+		t.Errorf("attributes = %d, want 0", rs.NumAttributes())
+	}
+}
+
+func TestCopyAnnotations(t *testing.T) {
+	g := paperGraph(t)
+	rs, err := GenerateSchema(g, []string{"DIRECTOR"}, MinPathWeight(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.CopyAnnotations(g)
+	if rs.Graph.Relation("MOVIE").Heading != "title" {
+		t.Error("heading not copied")
+	}
+	if rs.Graph.Relation("DIRECTOR").Heading != "dname" {
+		t.Error("seed heading not copied")
+	}
+}
+
+// TestSchemaPruningAblation: with pruning disabled the result is identical
+// (pruning is a pure optimization) for weight-monotone constraints.
+func TestSchemaPruningAblation(t *testing.T) {
+	g := paperGraph(t)
+	for _, w := range []float64{0.9, 0.7, 0.5} {
+		a, err := GenerateSchema(g, []string{"DIRECTOR", "ACTOR"}, MinPathWeight(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := GenerateSchemaOpts(g, []string{"DIRECTOR", "ACTOR"}, MinPathWeight(w),
+			SchemaGeneratorOptions{DisablePruning: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sorted(a.Relations()), sorted(b.Relations())) {
+			t.Fatalf("w=%v: relations differ: %v vs %v", w, a.Relations(), b.Relations())
+		}
+		for _, rel := range a.Relations() {
+			if !reflect.DeepEqual(sorted(a.Projections(rel)), sorted(b.Projections(rel))) {
+				t.Fatalf("w=%v rel=%s: projections differ", w, rel)
+			}
+		}
+	}
+}
+
+func TestSeedDistance(t *testing.T) {
+	g := paperGraph(t)
+	rs, err := GenerateSchema(g, []string{"DIRECTOR", "ACTOR"}, MinPathWeight(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := rs.SeedDistance()
+	want := map[string]int{
+		"DIRECTOR": 0, "ACTOR": 0, // seeds
+		"CAST":  1, // ACTOR -> CAST
+		"MOVIE": 1, // DIRECTOR -> MOVIE
+		"GENRE": 2, // ... -> MOVIE -> GENRE
+	}
+	for rel, d := range want {
+		if dist[rel] != d {
+			t.Errorf("dist[%s] = %d, want %d", rel, dist[rel], d)
+		}
+	}
+	// Join ordering: among the weight-1.0 edges, DIRECTOR->MOVIE (source
+	// distance 0) precedes CAST->MOVIE (source distance 1).
+	edges := rs.JoinEdgesByWeight()
+	posOf := func(from, to string) int {
+		for i, e := range edges {
+			if e.From == from && e.To == to {
+				return i
+			}
+		}
+		return -1
+	}
+	if posOf("DIRECTOR", "MOVIE") > posOf("CAST", "MOVIE") {
+		t.Errorf("seed-distance tie-break not applied: %v", edges)
+	}
+}

@@ -1,0 +1,94 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+
+	"precis/internal/sqlx"
+)
+
+func TestFormulas(t *testing.T) {
+	p := Params{IndexTime: 2 * time.Microsecond, TupleTime: 1 * time.Microsecond}
+	if p.PerTuple() != 3*time.Microsecond {
+		t.Errorf("PerTuple = %v", p.PerTuple())
+	}
+	// Formula 1 over measured cardinalities.
+	cards := map[string]int{"A": 10, "B": 20}
+	if got := Cost(p, cards); got != 90*time.Microsecond {
+		t.Errorf("Cost = %v", got)
+	}
+	// Formula 2: uniform cardinalities.
+	if got := CostUniform(p, 5, 4); got != 60*time.Microsecond {
+		t.Errorf("CostUniform = %v", got)
+	}
+	// Formula 2 is Formula 1 with uniform cards.
+	if CostUniform(p, 7, 3) != Cost(p, map[string]int{"a": 7, "b": 7, "c": 7}) {
+		t.Error("formulas disagree")
+	}
+}
+
+func TestSolveCR(t *testing.T) {
+	p := Params{IndexTime: 2 * time.Microsecond, TupleTime: 1 * time.Microsecond}
+	// budget 60us, 4 relations, 3us per tuple -> cR = 5.
+	if got := SolveCR(p, 60*time.Microsecond, 4); got != 5 {
+		t.Errorf("SolveCR = %d", got)
+	}
+	// Round-trip: predicted cost of the solved cR fits the budget.
+	for _, nR := range []int{1, 2, 4, 8} {
+		budget := 100 * time.Microsecond
+		cr := SolveCR(p, budget, nR)
+		if CostUniform(p, cr, nR) > budget {
+			t.Errorf("nR=%d: solved cR %d exceeds budget", nR, cr)
+		}
+		if CostUniform(p, cr+1, nR) <= budget {
+			t.Errorf("nR=%d: cR %d is not maximal", nR, cr)
+		}
+	}
+	if SolveCR(p, time.Second, 0) != 0 {
+		t.Error("nR=0 should solve to 0")
+	}
+	if SolveCR(Params{}, time.Second, 4) != 0 {
+		t.Error("zero params should solve to 0")
+	}
+	if SolveCR(p, 0, 4) != 0 {
+		t.Error("zero budget should solve to 0")
+	}
+}
+
+func TestFromStats(t *testing.T) {
+	p := Params{IndexTime: 10 * time.Nanosecond, TupleTime: 3 * time.Nanosecond}
+	s := sqlx.Stats{IndexLookups: 4, TupleReads: 100}
+	if got := FromStats(p, s); got != 340*time.Nanosecond {
+		t.Errorf("FromStats = %v", got)
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration timing in -short mode")
+	}
+	p, err := Calibrate(CalibrationConfig{Rows: 2000, Group: 10, Rounds: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: both parameters are non-negative and the per-tuple cost is
+	// positive (an in-memory engine still does real work per tuple).
+	if p.TupleTime < 0 || p.IndexTime < 0 {
+		t.Errorf("negative params: %v", p)
+	}
+	if p.PerTuple() <= 0 {
+		t.Errorf("per-tuple cost = %v", p.PerTuple())
+	}
+	// And implausibly large values indicate a broken measurement.
+	if p.PerTuple() > time.Millisecond {
+		t.Errorf("per-tuple cost %v implausibly large", p.PerTuple())
+	}
+}
+
+func TestCalibrationDefaults(t *testing.T) {
+	var cfg CalibrationConfig
+	cfg.defaults()
+	if cfg.Rows != 5000 || cfg.Group != 20 || cfg.Rounds != 200 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}

@@ -1,0 +1,282 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"precis/internal/schemagraph"
+	"precis/internal/storage"
+)
+
+// ChainConfig describes the randomly generated multi-relation databases the
+// experiments of §6 run over ("sets of 4 relations, making sure that there
+// is no relation in any set that does not join with another relation of this
+// set"). Relations form a chain R0 <- R1 <- ... <- R(n-1): each Ri (i>0)
+// carries a foreign key to R(i-1), giving a 1-n join in the forward
+// direction and an n-1 join backwards, so both NaïveQ and Round-Robin code
+// paths are exercised.
+type ChainConfig struct {
+	Relations   int   // n_R: number of relations in the chain
+	RowsPerRel  int   // tuples in R0; children multiply by Fanout
+	Fanout      int   // children per parent tuple (1-n join selectivity)
+	Seed        int64 // PRNG seed
+	UniformRows bool  // if true every relation has RowsPerRel tuples (fanout randomized)
+}
+
+// DefaultChainConfig returns the shape used by Figures 8 and 9: 4 relations,
+// a thousand rows each, fanout 3.
+func DefaultChainConfig() ChainConfig {
+	return ChainConfig{Relations: 4, RowsPerRel: 1000, Fanout: 3, Seed: 1, UniformRows: true}
+}
+
+// Chain builds a random chain database plus a schema graph whose join edges
+// follow both directions with weight 1 and whose non-key attributes carry
+// weight 1 projections. Relation Ri has schema Ri(id, label, parent) with
+// parent referencing R(i-1).id (absent for R0). Labels contain searchable
+// tokens "tokR<i> v<k>".
+func Chain(cfg ChainConfig) (*storage.Database, *schemagraph.Graph, error) {
+	if cfg.Relations < 1 {
+		return nil, nil, fmt.Errorf("dataset: chain needs >= 1 relation, got %d", cfg.Relations)
+	}
+	if cfg.RowsPerRel < 1 || cfg.Fanout < 1 {
+		return nil, nil, fmt.Errorf("dataset: chain needs positive rows and fanout, got %+v", cfg)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	db := storage.NewDatabase(fmt.Sprintf("chain-%d", cfg.Relations))
+
+	relName := func(i int) string { return fmt.Sprintf("R%d", i) }
+	for i := 0; i < cfg.Relations; i++ {
+		cols := []storage.Column{
+			{Name: "id", Type: storage.TypeInt},
+			{Name: "label", Type: storage.TypeString},
+		}
+		if i > 0 {
+			cols = append(cols, storage.Column{Name: "parent", Type: storage.TypeInt})
+		}
+		if _, err := db.CreateRelation(storage.MustSchema(relName(i), "id", cols...)); err != nil {
+			return nil, nil, err
+		}
+		if i > 0 {
+			fk := storage.ForeignKey{
+				FromRelation: relName(i), FromColumn: "parent",
+				ToRelation: relName(i - 1), ToColumn: "id",
+			}
+			if err := db.AddForeignKey(fk); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	prevCount := 0
+	for i := 0; i < cfg.Relations; i++ {
+		var count int
+		if i == 0 || cfg.UniformRows {
+			count = cfg.RowsPerRel
+		} else {
+			count = prevCount * cfg.Fanout
+		}
+		for k := 1; k <= count; k++ {
+			label := fmt.Sprintf("tok%s v%d", relName(i), k)
+			vals := []storage.Value{storage.Int(int64(k)), storage.String(label)}
+			if i > 0 {
+				var parent int
+				if cfg.UniformRows {
+					parent = 1 + r.Intn(prevCount)
+				} else {
+					parent = (k-1)/cfg.Fanout + 1
+				}
+				vals = append(vals, storage.Int(int64(parent)))
+			}
+			if _, err := db.Insert(relName(i), vals...); err != nil {
+				return nil, nil, err
+			}
+		}
+		prevCount = count
+	}
+	if err := db.CreateJoinIndexes(); err != nil {
+		return nil, nil, err
+	}
+
+	g := schemagraph.FromDatabase(db)
+	// Key columns are join plumbing: never project them.
+	for i := 0; i < cfg.Relations; i++ {
+		if _, err := g.AddProjection(relName(i), "id", 0); err != nil {
+			return nil, nil, err
+		}
+		if i > 0 {
+			if _, err := g.AddProjection(relName(i), "parent", 0); err != nil {
+				return nil, nil, err
+			}
+		}
+		if err := g.SetHeading(relName(i), "label"); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := g.Validate(db); err != nil {
+		return nil, nil, err
+	}
+	return db, g, nil
+}
+
+// RandomWeights assigns every projection and join edge of g a weight drawn
+// uniformly from [lo, hi], reproducing the paper's "20 randomly generated
+// sets of weights" protocol. Weights are applied in place; pass g.Clone()
+// to keep the original. Heading-attribute projections keep weight 1, as the
+// paper requires them always present.
+func RandomWeights(g *schemagraph.Graph, lo, hi float64, seed int64) error {
+	if lo < 0 || hi > 1 || lo > hi {
+		return fmt.Errorf("dataset: weight range [%v, %v] outside [0,1]", lo, hi)
+	}
+	r := rand.New(rand.NewSource(seed))
+	draw := func() float64 { return lo + r.Float64()*(hi-lo) }
+	for _, rel := range g.Relations() {
+		n := g.Relation(rel)
+		for _, p := range n.Projections() {
+			if p.Attribute == n.Heading {
+				p.Weight = 1
+				continue
+			}
+			if p.Weight == 0 {
+				continue // join plumbing stays hidden
+			}
+			p.Weight = draw()
+		}
+		for _, e := range n.Out() {
+			e.Weight = draw()
+		}
+	}
+	return nil
+}
+
+// StarConfig describes a star-shaped schema: a hub relation H referenced by
+// n satellite relations S1..Sn, exercising wide fan-out in the result schema
+// generator (many edges attached to one node, as with MOVIE in Figure 1).
+type StarConfig struct {
+	Satellites int
+	RowsPerRel int
+	Fanout     int
+	Seed       int64
+}
+
+// Star builds the star database and graph. Satellites Si(id, label, hub)
+// reference HUB(id, label).
+func Star(cfg StarConfig) (*storage.Database, *schemagraph.Graph, error) {
+	if cfg.Satellites < 1 || cfg.RowsPerRel < 1 || cfg.Fanout < 1 {
+		return nil, nil, fmt.Errorf("dataset: star needs positive sizes, got %+v", cfg)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	db := storage.NewDatabase(fmt.Sprintf("star-%d", cfg.Satellites))
+	if _, err := db.CreateRelation(storage.MustSchema("HUB", "id",
+		storage.Column{Name: "id", Type: storage.TypeInt},
+		storage.Column{Name: "label", Type: storage.TypeString})); err != nil {
+		return nil, nil, err
+	}
+	for k := 1; k <= cfg.RowsPerRel; k++ {
+		if _, err := db.Insert("HUB", storage.Int(int64(k)), storage.String(fmt.Sprintf("tokHUB v%d", k))); err != nil {
+			return nil, nil, err
+		}
+	}
+	for s := 1; s <= cfg.Satellites; s++ {
+		name := fmt.Sprintf("S%d", s)
+		if _, err := db.CreateRelation(storage.MustSchema(name, "id",
+			storage.Column{Name: "id", Type: storage.TypeInt},
+			storage.Column{Name: "label", Type: storage.TypeString},
+			storage.Column{Name: "hub", Type: storage.TypeInt})); err != nil {
+			return nil, nil, err
+		}
+		fk := storage.ForeignKey{FromRelation: name, FromColumn: "hub", ToRelation: "HUB", ToColumn: "id"}
+		if err := db.AddForeignKey(fk); err != nil {
+			return nil, nil, err
+		}
+		for k := 1; k <= cfg.RowsPerRel*cfg.Fanout; k++ {
+			hub := 1 + r.Intn(cfg.RowsPerRel)
+			if _, err := db.Insert(name, storage.Int(int64(k)),
+				storage.String(fmt.Sprintf("tok%s v%d", name, k)), storage.Int(int64(hub))); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if err := db.CreateJoinIndexes(); err != nil {
+		return nil, nil, err
+	}
+	g := schemagraph.FromDatabase(db)
+	for _, rel := range db.RelationNames() {
+		if _, err := g.AddProjection(rel, "id", 0); err != nil {
+			return nil, nil, err
+		}
+		if rel != "HUB" {
+			if _, err := g.AddProjection(rel, "hub", 0); err != nil {
+				return nil, nil, err
+			}
+		}
+		if err := g.SetHeading(rel, "label"); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := g.Validate(db); err != nil {
+		return nil, nil, err
+	}
+	return db, g, nil
+}
+
+// GraphConfig describes a random schema graph (no data) for schema-generator
+// experiments: the Figure 7 sweep needs graphs with enough attributes that
+// degrees up to ~100 are meaningful, and "20 randomly generated sets of
+// weights".
+type GraphConfig struct {
+	Relations   int
+	AttrsPerRel int
+	ExtraJoins  int // joins beyond the spanning chain that guarantees connectivity
+	Seed        int64
+}
+
+// DefaultGraphConfig sizes the Figure 7 graph: 15 relations x 8 attributes
+// = 120 candidate projections.
+func DefaultGraphConfig() GraphConfig {
+	return GraphConfig{Relations: 15, AttrsPerRel: 8, ExtraJoins: 10, Seed: 1}
+}
+
+// RandomGraph builds a connected random schema graph with random weights in
+// (0, 1]: a spanning chain of bidirectional joins plus ExtraJoins random
+// bidirectional edges, and AttrsPerRel weighted projections per relation.
+func RandomGraph(cfg GraphConfig) (*schemagraph.Graph, error) {
+	if cfg.Relations < 1 || cfg.AttrsPerRel < 1 {
+		return nil, fmt.Errorf("dataset: graph needs positive sizes, got %+v", cfg)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := schemagraph.New()
+	name := func(i int) string { return fmt.Sprintf("T%d", i) }
+	draw := func() float64 { return 0.05 + 0.95*r.Float64() }
+	for i := 0; i < cfg.Relations; i++ {
+		g.AddRelation(name(i))
+		for a := 0; a < cfg.AttrsPerRel; a++ {
+			if _, err := g.AddProjection(name(i), fmt.Sprintf("a%d", a), draw()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	addBoth := func(i, j int) error {
+		col := fmt.Sprintf("k%d_%d", i, j)
+		if _, err := g.AddJoin(name(i), name(j), col, col, draw()); err != nil {
+			return err
+		}
+		_, err := g.AddJoin(name(j), name(i), col, col, draw())
+		return err
+	}
+	for i := 1; i < cfg.Relations; i++ {
+		if err := addBoth(i-1, i); err != nil {
+			return nil, err
+		}
+	}
+	for e := 0; e < cfg.ExtraJoins && cfg.Relations > 2; e++ {
+		i := r.Intn(cfg.Relations)
+		j := r.Intn(cfg.Relations)
+		if i == j {
+			continue
+		}
+		if err := addBoth(i, j); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"fmt"
+
+	"precis/internal/schemagraph"
+)
+
+// StandardMacros returns the macro definitions (paper §5.3 syntax) used by
+// the movies narrative: lists of movies with years, genres, actors and
+// theatres with correct separators.
+func StandardMacros() []string {
+	return []string{
+		`DEFINE MOVIE_LIST as [i<arityOf(@TITLE)] {@TITLE[$i$] + " (" + @YEAR[$i$] + "), "} [i=arityOf(@TITLE)] {@TITLE[$i$] + " (" + @YEAR[$i$] + ")."}`,
+		`DEFINE GENRE_LIST as [i<arityOf(@GENRE)] {@GENRE[$i$] + ", "} [i=arityOf(@GENRE)] {@GENRE[$i$] + "."}`,
+		`DEFINE ACTOR_LIST as [i<arityOf(@ANAME)] {@ANAME[$i$] + ", "} [i=arityOf(@ANAME)] {@ANAME[$i$] + "."}`,
+		`DEFINE THEATRE_LIST as [i<arityOf(@NAME)] {@NAME[$i$] + ", "} [i=arityOf(@NAME)] {@NAME[$i$] + "."}`,
+	}
+}
+
+// AnnotateNarrative attaches the §5.3 sentence templates and join-edge
+// labels to a movies schema graph, so the translator can produce the
+// paper's narrative:
+//
+//	Woody Allen was born on December 1, 1935 in Brooklyn, New York, USA.
+//	As a director, Woody Allen's work includes Match Point (2005), ...
+//	Match Point is Drama, Thriller. ...
+func AnnotateNarrative(g *schemagraph.Graph) error {
+	// Sentence templates are section-based so that attributes the degree
+	// constraint excluded simply drop out of the clause instead of leaving
+	// holes ("was born on in").
+	sentences := map[string]string{
+		"DIRECTOR": `@DNAME [i=arityOf(@BDATE)] {" was born on " + @BDATE} [i=arityOf(@BLOCATION)] {" in " + @BLOCATION} "."`,
+		"ACTOR":    `@ANAME [i=arityOf(@BDATE)] {" was born on " + @BDATE} [i=arityOf(@BLOCATION)] {" in " + @BLOCATION} "."`,
+		"MOVIE":    `@TITLE + " (" + @YEAR + ")."`,
+		"GENRE":    `"Genre: " + @GENRE + "."`,
+		"THEATRE":  `@NAME + " is a theatre in " + @REGION + " (phone " + @PHONE + ")."`,
+	}
+	for rel, tpl := range sentences {
+		n := g.Relation(rel)
+		if n == nil {
+			return fmt.Errorf("dataset: annotate: no relation %s", rel)
+		}
+		n.Sentence = tpl
+	}
+
+	labels := map[[2]string]string{
+		{"DIRECTOR", "MOVIE"}: `"As a director, " + @DNAME + "'s work includes " + MOVIE_LIST`,
+		{"CAST", "MOVIE"}:     `"As an actor, " + @ANAME + "'s work includes " + MOVIE_LIST`,
+		{"MOVIE", "GENRE"}:    `@TITLE + " is " + GENRE_LIST`,
+		{"MOVIE", "DIRECTOR"}: `@TITLE + " was directed by " + @DNAME + "."`,
+		{"GENRE", "MOVIE"}:    `"Movies of genre " + @GENRE + " include " + MOVIE_LIST`,
+		{"CAST", "ACTOR"}:     `"The cast of " + @TITLE + " includes " + ACTOR_LIST`,
+		{"PLAY", "THEATRE"}:   `@TITLE + " plays at " + THEATRE_LIST`,
+		{"PLAY", "MOVIE"}:     `"Movies playing at " + @NAME + " include " + MOVIE_LIST`,
+		// ACTOR->CAST, MOVIE->CAST, MOVIE->PLAY, THEATRE->PLAY carry no
+		// label: CAST and PLAY are heading-less junctions the renderer
+		// traverses through, keeping the current subject.
+	}
+	for key, tpl := range labels {
+		n := g.Relation(key[0])
+		if n == nil {
+			return fmt.Errorf("dataset: annotate: no relation %s", key[0])
+		}
+		found := false
+		for _, e := range n.Out() {
+			if e.To == key[1] {
+				e.Label = tpl
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("dataset: annotate: no join edge %s -> %s", key[0], key[1])
+		}
+	}
+	return nil
+}

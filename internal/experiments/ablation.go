@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"sort"
+	"time"
+
+	"precis/internal/core"
+	"precis/internal/dataset"
+	"precis/internal/invidx"
+	"precis/internal/schemagraph"
+	"precis/internal/sqlx"
+	"precis/internal/storage"
+)
+
+// AblationReport quantifies the design choices DESIGN.md calls out.
+type AblationReport struct {
+	// Schema-generator pruning (Figure 3's expansion cut-off): time with
+	// and without, with identical outputs.
+	PruningOn, PruningOff time.Duration
+	// Join ordering under a tight total budget on the running example:
+	// tuples landed in MOVIE (the highest-weight join target) per policy.
+	WeightOrderMovieTuples, FIFOMovieTuples int
+	// In-degree postponement in the two-seed diamond scenario: tuples of
+	// the downstream relation retrieved with and without postponement
+	// (2 expected with, 1 without).
+	PostponedChildren, EagerChildren int
+}
+
+// Ablations runs all three studies.
+func Ablations() (AblationReport, error) {
+	var report AblationReport
+
+	// 1. Pruning.
+	gcfg := dataset.DefaultGraphConfig()
+	g, err := dataset.RandomGraph(gcfg)
+	if err != nil {
+		return report, err
+	}
+	seed := g.Relations()[0]
+	timeGen := func(opts core.SchemaGeneratorOptions) (time.Duration, error) {
+		var best time.Duration
+		for rep := 0; rep < 5; rep++ {
+			start := time.Now()
+			if _, err := core.GenerateSchemaOpts(g, []string{seed}, core.MaxAttributes(60), opts); err != nil {
+				return 0, err
+			}
+			if d := time.Since(start); rep == 0 || d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+	if report.PruningOn, err = timeGen(core.SchemaGeneratorOptions{}); err != nil {
+		return report, err
+	}
+	if report.PruningOff, err = timeGen(core.SchemaGeneratorOptions{DisablePruning: true}); err != nil {
+		return report, err
+	}
+
+	// 2. Join ordering on the running example under a total budget of 6.
+	db, mg, err := dataset.ExampleMovies()
+	if err != nil {
+		return report, err
+	}
+	ix := invidx.New(db)
+	occs := ix.Lookup("Woody Allen")
+	seeds := make(map[string][]storage.TupleID)
+	var seedRels []string
+	for _, o := range occs {
+		seeds[o.Relation] = append(seeds[o.Relation], o.TupleIDs...)
+		seedRels = append(seedRels, o.Relation)
+	}
+	sort.Strings(seedRels)
+	rs, err := core.GenerateSchema(mg, seedRels, core.MinPathWeight(0.9))
+	if err != nil {
+		return report, err
+	}
+	movieTuples := func(opts core.DBGenOptions) (int, error) {
+		rd, err := core.GenerateDatabaseOpts(sqlx.NewEngine(db), rs, seeds,
+			core.MaxTotalTuples(6), core.StrategyAuto, opts)
+		if err != nil {
+			return 0, err
+		}
+		return rd.DB.Relation("MOVIE").Len(), nil
+	}
+	if report.WeightOrderMovieTuples, err = movieTuples(core.DBGenOptions{}); err != nil {
+		return report, err
+	}
+	if report.FIFOMovieTuples, err = movieTuples(core.DBGenOptions{FIFOJoins: true}); err != nil {
+		return report, err
+	}
+
+	// 3. Postponement in the diamond scenario.
+	if report.PostponedChildren, report.EagerChildren, err = postponementStudy(); err != nil {
+		return report, err
+	}
+	return report, nil
+}
+
+// postponementStudy builds the A/B -> M -> G diamond where M -> G outweighs
+// B -> M and counts G's tuples with and without in-degree postponement.
+func postponementStudy() (postponed, eager int, err error) {
+	build := func() (*storage.Database, *schemagraph.Graph, storage.TupleID, storage.TupleID, error) {
+		db := storage.NewDatabase("diamond")
+		idc := storage.Column{Name: "id", Type: storage.TypeInt}
+		lbl := storage.Column{Name: "label", Type: storage.TypeString}
+		mid := storage.Column{Name: "mid", Type: storage.TypeInt}
+		db.MustCreateRelation(storage.MustSchema("A", "id", idc, lbl, mid))
+		db.MustCreateRelation(storage.MustSchema("B", "id", idc, lbl, mid))
+		db.MustCreateRelation(storage.MustSchema("M", "id", idc, lbl))
+		db.MustCreateRelation(storage.MustSchema("G", "id", idc, lbl, mid))
+		for _, fk := range []storage.ForeignKey{
+			{FromRelation: "A", FromColumn: "mid", ToRelation: "M", ToColumn: "id"},
+			{FromRelation: "B", FromColumn: "mid", ToRelation: "M", ToColumn: "id"},
+			{FromRelation: "G", FromColumn: "mid", ToRelation: "M", ToColumn: "id"},
+		} {
+			if err := db.AddForeignKey(fk); err != nil {
+				return nil, nil, 0, 0, err
+			}
+		}
+		if err := db.CreateJoinIndexes(); err != nil {
+			return nil, nil, 0, 0, err
+		}
+		ins := func(rel string, vals ...storage.Value) (storage.TupleID, error) {
+			return db.Insert(rel, vals...)
+		}
+		if _, err := ins("M", storage.Int(1), storage.String("m1")); err != nil {
+			return nil, nil, 0, 0, err
+		}
+		if _, err := ins("M", storage.Int(2), storage.String("m2")); err != nil {
+			return nil, nil, 0, 0, err
+		}
+		aid, err := ins("A", storage.Int(1), storage.String("seedA"), storage.Int(1))
+		if err != nil {
+			return nil, nil, 0, 0, err
+		}
+		bid, err := ins("B", storage.Int(1), storage.String("seedB"), storage.Int(2))
+		if err != nil {
+			return nil, nil, 0, 0, err
+		}
+		if _, err := ins("G", storage.Int(1), storage.String("g1"), storage.Int(1)); err != nil {
+			return nil, nil, 0, 0, err
+		}
+		if _, err := ins("G", storage.Int(2), storage.String("g2"), storage.Int(2)); err != nil {
+			return nil, nil, 0, 0, err
+		}
+		g := schemagraph.FromDatabase(db)
+		set := func(from, to string, w float64) {
+			for _, e := range g.Relation(from).Out() {
+				if e.To == to {
+					e.Weight = w
+				}
+			}
+		}
+		set("A", "M", 1.0)
+		set("M", "G", 0.95)
+		set("B", "M", 0.9)
+		set("M", "A", 0)
+		set("M", "B", 0)
+		set("G", "M", 0)
+		return db, g, aid, bid, nil
+	}
+
+	run := func(opts core.DBGenOptions) (int, error) {
+		db, g, aid, bid, err := build()
+		if err != nil {
+			return 0, err
+		}
+		rs, err := core.GenerateSchema(g, []string{"A", "B"}, core.MinPathWeight(0.85))
+		if err != nil {
+			return 0, err
+		}
+		seeds := map[string][]storage.TupleID{"A": {aid}, "B": {bid}}
+		rd, err := core.GenerateDatabaseOpts(sqlx.NewEngine(db), rs, seeds,
+			core.Unlimited(), core.StrategyAuto, opts)
+		if err != nil {
+			return 0, err
+		}
+		return rd.DB.Relation("G").Len(), nil
+	}
+	if postponed, err = run(core.DBGenOptions{}); err != nil {
+		return 0, 0, err
+	}
+	if eager, err = run(core.DBGenOptions{DisablePostponement: true}); err != nil {
+		return 0, 0, err
+	}
+	return postponed, eager, nil
+}

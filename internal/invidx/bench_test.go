@@ -1,0 +1,36 @@
+package invidx
+
+import (
+	"testing"
+
+	"precis/internal/dataset"
+)
+
+func benchIndex(b *testing.B) *Index {
+	b.Helper()
+	cfg := dataset.DefaultSyntheticConfig()
+	cfg.Films = 1000
+	db, err := dataset.SyntheticMovies(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return New(db)
+}
+
+func BenchmarkLookupSingleToken(b *testing.B) {
+	ix := benchIndex(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if occs := ix.Lookup("drama"); len(occs) == 0 {
+			b.Fatal("no occurrences")
+		}
+	}
+}
+
+func BenchmarkLookupPhrase(b *testing.B) {
+	ix := benchIndex(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Lookup("Night City")
+	}
+}

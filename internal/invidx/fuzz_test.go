@@ -1,0 +1,36 @@
+package invidx
+
+import (
+	"testing"
+
+	"precis/internal/storage"
+)
+
+// FuzzTokenizeAndLookup checks the tokenizer and phrase lookup never panic
+// on arbitrary UTF-8 (and invalid UTF-8) input, whether it arrives as data
+// or as a query.
+func FuzzTokenizeAndLookup(f *testing.F) {
+	f.Add("Woody Allen", "woody")
+	f.Add("  --- ", "\xff\xfe")
+	f.Add("élan R2D2 "+string(rune(0x1F600)), "élan r2d2")
+	f.Fuzz(func(t *testing.T, value, query string) {
+		if len(value) > 256 || len(query) > 64 {
+			return
+		}
+		Tokenize(value)
+		db := storage.NewDatabase("fuzz")
+		db.MustCreateRelation(storage.MustSchema("R", "",
+			storage.Column{Name: "s", Type: storage.TypeString}))
+		if _, err := db.Insert("R", storage.String(value)); err != nil {
+			t.Fatal(err)
+		}
+		ix := New(db)
+		ix.Lookup(query)
+		// Every token of the stored value must be findable.
+		for _, tok := range Tokenize(value) {
+			if occs := ix.Lookup(tok); len(occs) == 0 {
+				t.Fatalf("token %q of %q not indexed", tok, value)
+			}
+		}
+	})
+}

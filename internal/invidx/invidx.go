@@ -1,0 +1,352 @@
+// Package invidx implements the inverted index of the précis architecture
+// (paper §4): it associates each token appearing in the database's string
+// attributes with its occurrences, each occurrence being a
+// (relation, attribute) pair plus the ids of the tuples whose attribute
+// value contains the token. Multi-word terms such as "Woody Allen" are
+// resolved by intersecting per-word postings and verifying the phrase
+// against the stored value.
+package invidx
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+
+	"precis/internal/storage"
+)
+
+// Occurrence is one (relation, attribute) location of a term together with
+// the matching tuple ids, exactly the k_i -> {(R_j, A_lj, Tids_lj)} mapping
+// of the paper.
+type Occurrence struct {
+	Relation  string
+	Attribute string
+	TupleIDs  []storage.TupleID
+}
+
+// postingKey addresses one (relation, attribute) posting list.
+type postingKey struct {
+	rel, attr string
+}
+
+// Index is an inverted index over every string attribute of a database.
+// It supports incremental maintenance as tuples are added and removed.
+type Index struct {
+	db       *storage.Database
+	postings map[string]map[postingKey]map[storage.TupleID]bool
+	synonyms map[string]string // alias (tokenized) -> canonical term
+	tokens   int               // distinct tokens (== len(postings), kept for clarity)
+}
+
+// Tokenize lower-cases s and splits it into maximal runs of letters and
+// digits. It is the single tokenizer used for both indexing and querying.
+func Tokenize(s string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			out = append(out, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// New builds an index over all string attributes of db.
+func New(db *storage.Database) *Index {
+	ix := &Index{
+		db:       db,
+		postings: make(map[string]map[postingKey]map[storage.TupleID]bool),
+	}
+	for _, name := range db.RelationNames() {
+		rel := db.Relation(name)
+		rel.Scan(func(t storage.Tuple) bool {
+			ix.addTuple(name, rel.Schema(), t)
+			return true
+		})
+	}
+	return ix
+}
+
+// AddTuple indexes a newly inserted tuple of the named relation.
+func (ix *Index) AddTuple(relation string, t storage.Tuple) {
+	rel := ix.db.Relation(relation)
+	if rel == nil {
+		return
+	}
+	ix.addTuple(relation, rel.Schema(), t)
+}
+
+func (ix *Index) addTuple(relation string, schema *storage.Schema, t storage.Tuple) {
+	for i, col := range schema.Columns {
+		if col.Type != storage.TypeString {
+			continue
+		}
+		v := t.Values[i]
+		if v.IsNull() {
+			continue
+		}
+		key := postingKey{relation, col.Name}
+		for _, tok := range Tokenize(v.AsString()) {
+			byLoc := ix.postings[tok]
+			if byLoc == nil {
+				byLoc = make(map[postingKey]map[storage.TupleID]bool)
+				ix.postings[tok] = byLoc
+				ix.tokens++
+			}
+			ids := byLoc[key]
+			if ids == nil {
+				ids = make(map[storage.TupleID]bool)
+				byLoc[key] = ids
+			}
+			ids[t.ID] = true
+		}
+	}
+}
+
+// RemoveTuple un-indexes a tuple that is being deleted. The caller passes
+// the tuple as it was stored (the index needs its values).
+func (ix *Index) RemoveTuple(relation string, t storage.Tuple) {
+	rel := ix.db.Relation(relation)
+	if rel == nil {
+		return
+	}
+	schema := rel.Schema()
+	for i, col := range schema.Columns {
+		if col.Type != storage.TypeString {
+			continue
+		}
+		v := t.Values[i]
+		if v.IsNull() {
+			continue
+		}
+		key := postingKey{relation, col.Name}
+		for _, tok := range Tokenize(v.AsString()) {
+			byLoc := ix.postings[tok]
+			if byLoc == nil {
+				continue
+			}
+			ids := byLoc[key]
+			if ids == nil {
+				continue
+			}
+			delete(ids, t.ID)
+			if len(ids) == 0 {
+				delete(byLoc, key)
+			}
+			if len(byLoc) == 0 {
+				delete(ix.postings, tok)
+				ix.tokens--
+			}
+		}
+	}
+}
+
+// NumTokens returns the number of distinct indexed tokens.
+func (ix *Index) NumTokens() int { return ix.tokens }
+
+// Lookup resolves a query term to its occurrences. A term may be a single
+// word or a phrase ("Woody Allen"); phrases are verified against the stored
+// attribute values with case-insensitive containment so that only genuine
+// phrase matches survive. Occurrences are returned sorted by relation then
+// attribute, with sorted tuple ids.
+func (ix *Index) Lookup(term string) []Occurrence {
+	words := Tokenize(term)
+	if len(words) == 0 {
+		return nil
+	}
+	first := ix.postings[words[0]]
+	if first == nil {
+		return nil
+	}
+	var out []Occurrence
+	for key, ids := range first {
+		matched := make([]storage.TupleID, 0, len(ids))
+		if len(words) == 1 {
+			for id := range ids {
+				matched = append(matched, id)
+			}
+		} else {
+			// Intersect with the remaining words' postings at the same
+			// location, then verify the phrase in the stored value.
+			candidate := ids
+			ok := true
+			for _, w := range words[1:] {
+				byLoc := ix.postings[w]
+				if byLoc == nil || byLoc[key] == nil {
+					ok = false
+					break
+				}
+				next := make(map[storage.TupleID]bool)
+				other := byLoc[key]
+				for id := range candidate {
+					if other[id] {
+						next[id] = true
+					}
+				}
+				candidate = next
+				if len(candidate) == 0 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			rel := ix.db.Relation(key.rel)
+			ci := rel.Schema().ColumnIndex(key.attr)
+			needle := strings.ToLower(term)
+			for id := range candidate {
+				t, found := rel.Get(id)
+				if !found {
+					continue
+				}
+				if strings.Contains(strings.ToLower(t.Values[ci].AsString()), needle) {
+					matched = append(matched, id)
+				}
+			}
+		}
+		if len(matched) == 0 {
+			continue
+		}
+		sort.Slice(matched, func(i, j int) bool { return matched[i] < matched[j] })
+		out = append(out, Occurrence{Relation: key.rel, Attribute: key.attr, TupleIDs: matched})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Relation != out[j].Relation {
+			return out[i].Relation < out[j].Relation
+		}
+		return out[i].Attribute < out[j].Attribute
+	})
+	return out
+}
+
+// LookupAll resolves each term of a précis query Q = {k1, ..., km} and
+// returns the occurrence lists keyed by term. Terms with no occurrences map
+// to a nil slice so callers can report unmatched tokens.
+func (ix *Index) LookupAll(terms []string) map[string][]Occurrence {
+	out := make(map[string][]Occurrence, len(terms))
+	for _, term := range terms {
+		out[term] = ix.Lookup(term)
+	}
+	return out
+}
+
+// Relations returns the distinct relation names across occurrences, sorted.
+func Relations(occs []Occurrence) []string {
+	set := make(map[string]bool)
+	for _, o := range occs {
+		set[o.Relation] = true
+	}
+	out := make([]string, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DocFrequency returns the number of distinct tuples (across all relations
+// and attributes) containing the token — the df statistic of IR-style
+// relevance ranking.
+func (ix *Index) DocFrequency(token string) int {
+	words := Tokenize(token)
+	if len(words) != 1 {
+		return 0
+	}
+	byLoc := ix.postings[words[0]]
+	if byLoc == nil {
+		return 0
+	}
+	// A tuple may match in several attributes; count it once per relation
+	// via (relation, id) identity. Tuple ids are database-unique, so the id
+	// alone suffices.
+	seen := make(map[storage.TupleID]bool)
+	for _, ids := range byLoc {
+		for id := range ids {
+			seen[id] = true
+		}
+	}
+	return len(seen)
+}
+
+// AddSynonym declares that queries for alias should also match occurrences
+// of canonical — the §5.1 synonym problem ("W. Allen" and "Woody Allen"
+// denoting the same person). The paper treats full reference reconciliation
+// as orthogonal (citing [19, 20]); this hook lets a deployment plug the
+// output of such a tool into the index. Synonyms apply at query time only
+// and may chain one level (alias -> canonical); aliases are case-folded
+// through the standard tokenizer.
+func (ix *Index) AddSynonym(alias, canonical string) {
+	key := synonymKey(alias)
+	if key == "" {
+		return
+	}
+	if ix.synonyms == nil {
+		ix.synonyms = make(map[string]string)
+	}
+	ix.synonyms[key] = canonical
+}
+
+// synonymKey canonicalizes an alias for lookup.
+func synonymKey(term string) string {
+	return strings.Join(Tokenize(term), " ")
+}
+
+// expandTerm returns the terms a query term stands for: itself plus its
+// registered canonical form, if any.
+func (ix *Index) expandTerm(term string) []string {
+	out := []string{term}
+	if canonical, ok := ix.synonyms[synonymKey(term)]; ok {
+		out = append(out, canonical)
+	}
+	return out
+}
+
+// LookupExpanded is Lookup with synonym expansion: occurrences of the term
+// and of its canonical form are merged (deduplicated per relation and
+// attribute, ids re-sorted).
+func (ix *Index) LookupExpanded(term string) []Occurrence {
+	terms := ix.expandTerm(term)
+	if len(terms) == 1 {
+		return ix.Lookup(term)
+	}
+	merged := make(map[postingKey]map[storage.TupleID]bool)
+	for _, t := range terms {
+		for _, occ := range ix.Lookup(t) {
+			key := postingKey{occ.Relation, occ.Attribute}
+			ids := merged[key]
+			if ids == nil {
+				ids = make(map[storage.TupleID]bool)
+				merged[key] = ids
+			}
+			for _, id := range occ.TupleIDs {
+				ids[id] = true
+			}
+		}
+	}
+	var out []Occurrence
+	for key, ids := range merged {
+		occ := Occurrence{Relation: key.rel, Attribute: key.attr}
+		for id := range ids {
+			occ.TupleIDs = append(occ.TupleIDs, id)
+		}
+		sort.Slice(occ.TupleIDs, func(i, j int) bool { return occ.TupleIDs[i] < occ.TupleIDs[j] })
+		out = append(out, occ)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Relation != out[j].Relation {
+			return out[i].Relation < out[j].Relation
+		}
+		return out[i].Attribute < out[j].Attribute
+	})
+	return out
+}

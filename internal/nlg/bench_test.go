@@ -1,0 +1,34 @@
+package nlg
+
+import (
+	"strings"
+	"testing"
+)
+
+func BenchmarkNarrative(b *testing.B) {
+	// Reuse the full Woody Allen pipeline from the tests.
+	rd, occs := woodyPrecis(b, 100)
+	r := paperRenderer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := r.Narrative(rd, occs)
+		if err != nil || !strings.Contains(out, "Woody Allen") {
+			b.Fatalf("narrative: %v", err)
+		}
+	}
+}
+
+func BenchmarkTemplateRender(b *testing.B) {
+	tpl := MustTemplate(`@DNAME + " was born on " + @BDATE + " in " + @BLOCATION + "."`)
+	ctx := Context{}
+	ctx.Bind("dname", []string{"Woody Allen"})
+	ctx.Bind("bdate", []string{"December 1, 1935"})
+	ctx.Bind("blocation", []string{"Brooklyn, New York, USA"})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tpl.Render(ctx, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

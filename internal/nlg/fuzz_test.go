@@ -1,0 +1,40 @@
+package nlg
+
+import "testing"
+
+// FuzzParseTemplate checks the template parser never panics, and that
+// accepted templates render without panicking against a small context.
+func FuzzParseTemplate(f *testing.F) {
+	seeds := []string{
+		`@DNAME + " was born on " + @BDATE + "."`,
+		`[i<arityOf(@T)] {@T[$i$] + ", "} [i=arityOf(@T)] {@T[$i$] + "."}`,
+		`upper(@A) + lower(@B[$i$])`,
+		`MACRO_NAME + arityOf(@X)`,
+		`"\"escaped\"" + 'single'`,
+		`[i<arityOf(@A)]`,
+		`@`, `{`, `}`, `+`, `[][]`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tpl, err := ParseTemplate(src)
+		if err != nil {
+			return
+		}
+		ctx := Context{}
+		ctx.Bind("a", []string{"x", "y"})
+		ctx.Bind("t", []string{"one", "two", "three"})
+		_, _ = tpl.Render(ctx, Macros{})
+	})
+}
+
+// FuzzParseDefine checks macro definitions never panic.
+func FuzzParseDefine(f *testing.F) {
+	f.Add(`DEFINE L as [i<arityOf(@X)] {@X[$i$]}`)
+	f.Add("DEFINE")
+	f.Add("define x as y")
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _, _ = ParseDefine(src)
+	})
+}

@@ -1,0 +1,396 @@
+package nlg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"precis/internal/core"
+	"precis/internal/invidx"
+	"precis/internal/schemagraph"
+	"precis/internal/storage"
+)
+
+// Renderer synthesizes the narrative form of a précis. Translation is
+// realized separately for every occurrence of a token (paper §5.3): the
+// narrative starts at the relation containing the token, renders the clause
+// of that relation (heading attribute first), then composes clauses for the
+// foreign-key relationships of the result schema graph, carrying the
+// subject through heading-less junction relations.
+type Renderer struct {
+	// Macros are available to every template (MOVIE_LIST etc.).
+	Macros Macros
+	// MaxClauses caps narrative length per occurrence; 0 means the default
+	// of 64. A précis "may be incomplete in many ways" (§1) — the cap keeps
+	// big results readable.
+	MaxClauses int
+
+	// cache memoizes parsed label/sentence templates by source text; safe
+	// under the concurrent queries the précis engine allows.
+	cache sync.Map
+}
+
+// parse returns the cached parse of a template source.
+func (r *Renderer) parse(src string) (*Template, error) {
+	if v, ok := r.cache.Load(src); ok {
+		return v.(*Template), nil
+	}
+	t, err := ParseTemplate(src)
+	if err != nil {
+		return nil, err
+	}
+	r.cache.Store(src, t)
+	return t, nil
+}
+
+// NewRenderer returns a Renderer with an empty macro registry.
+func NewRenderer() *Renderer { return &Renderer{Macros: Macros{}} }
+
+// DefineMacro parses and registers a "DEFINE NAME as ..." macro.
+func (r *Renderer) DefineMacro(def string) error {
+	name, t, err := ParseDefine(def)
+	if err != nil {
+		return err
+	}
+	r.Macros[name] = t
+	return nil
+}
+
+// Narrative renders the result database for the given token occurrences
+// (as returned by the inverted index). Each occurrence of the token yields
+// one paragraph; paragraphs are separated by blank lines.
+func (r *Renderer) Narrative(rd *core.ResultDatabase, occs []invidx.Occurrence) (string, error) {
+	var paragraphs []string
+	for _, occ := range occs {
+		rel := rd.DB.Relation(occ.Relation)
+		if rel == nil {
+			continue
+		}
+		for _, id := range occ.TupleIDs {
+			t, ok := rel.Get(id)
+			if !ok {
+				continue // cut by the cardinality constraint
+			}
+			p, err := r.paragraph(rd, occ.Relation, t)
+			if err != nil {
+				return "", err
+			}
+			if p != "" {
+				paragraphs = append(paragraphs, p)
+			}
+		}
+	}
+	return strings.Join(paragraphs, "\n\n"), nil
+}
+
+// maxClauses resolves the clause cap.
+func (r *Renderer) maxClauses() int {
+	if r.MaxClauses > 0 {
+		return r.MaxClauses
+	}
+	return 64
+}
+
+// paragraph renders the clauses for one seed tuple.
+func (r *Renderer) paragraph(rd *core.ResultDatabase, relName string, seed storage.Tuple) (string, error) {
+	var clauses []string
+
+	// Clause 1: the relation's own sentence, heading attribute first.
+	ctx := Context{}
+	r.bindTuples(ctx, rd, relName, []storage.Tuple{seed})
+	node := rd.Schema.Graph.Relation(relName)
+	sentence := ""
+	if node != nil && node.Sentence != "" {
+		t, err := r.parse(node.Sentence)
+		if err != nil {
+			return "", fmt.Errorf("nlg: sentence template of %s: %w", relName, err)
+		}
+		sentence, err = t.Render(ctx, r.Macros)
+		if err != nil {
+			return "", err
+		}
+	} else {
+		sentence = r.defaultSentence(rd, relName, seed)
+	}
+	if s := strings.TrimSpace(sentence); s != "" {
+		clauses = append(clauses, s)
+	}
+
+	visited := map[string]bool{relName: true}
+	sub, err := r.expand(rd, relName, []storage.Tuple{seed}, ctx, visited, r.maxClauses()-len(clauses))
+	if err != nil {
+		return "", err
+	}
+	clauses = append(clauses, sub...)
+	return strings.Join(clauses, " "), nil
+}
+
+// cloneSet copies a string set.
+func cloneSet(in map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// cloneContext copies a rendering context (value slices are shared; they
+// are never mutated after binding).
+func cloneContext(in Context) Context {
+	out := make(Context, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// expand walks the join edges of the result schema from rel, composing
+// clauses that combine information from joined relations (§5.3: "each of
+// these clauses has as subject the heading attribute of the relation that
+// has the primary key").
+func (r *Renderer) expand(rd *core.ResultDatabase, rel string, anchors []storage.Tuple, subject Context, visited map[string]bool, budget int) ([]string, error) {
+	if budget <= 0 || len(anchors) == 0 {
+		return nil, nil
+	}
+	node := rd.Schema.Graph.Relation(rel)
+	if node == nil {
+		return nil, nil
+	}
+	edges := node.Out()
+	sort.SliceStable(edges, func(i, j int) bool {
+		if edges[i].Weight != edges[j].Weight {
+			return edges[i].Weight > edges[j].Weight
+		}
+		return edges[i].Key() < edges[j].Key()
+	})
+
+	var clauses []string
+	for _, e := range edges {
+		if visited[e.To] || budget <= 0 {
+			continue
+		}
+		toNode := rd.Schema.Graph.Relation(e.To)
+		branchVisited := cloneSet(visited)
+		branchVisited[e.To] = true
+
+		// A heading-less relation with no label is a pure junction (CAST,
+		// PLAY): traverse through it. The current anchors become the
+		// subject on the far side — per anchor tuple when this relation has
+		// a heading, so each subject keeps its own clauses.
+		if toNode != nil && toNode.Heading == "" && e.Label == "" {
+			var passGroups [][]storage.Tuple
+			if node.Heading != "" {
+				for i := range anchors {
+					passGroups = append(passGroups, anchors[i:i+1])
+				}
+			} else {
+				passGroups = [][]storage.Tuple{anchors}
+			}
+			for _, group := range passGroups {
+				joined := r.joinTuples(rd, e, group)
+				if len(joined) == 0 {
+					continue
+				}
+				passSubject := cloneContext(subject)
+				r.bindTuples(passSubject, rd, rel, group)
+				sub, err := r.expand(rd, e.To, joined, passSubject, branchVisited, budget)
+				if err != nil {
+					return nil, err
+				}
+				clauses = append(clauses, sub...)
+				budget -= len(sub)
+			}
+			continue
+		}
+
+		// Group per anchor tuple when the current relation has a heading
+		// (one clause per subject), else treat all anchors as one group.
+		var groups [][]storage.Tuple
+		if node.Heading != "" {
+			for i := range anchors {
+				groups = append(groups, anchors[i:i+1])
+			}
+		} else {
+			groups = [][]storage.Tuple{anchors}
+		}
+		for _, group := range groups {
+			if budget <= 0 {
+				break
+			}
+			joined := r.joinTuples(rd, e, group)
+			if len(joined) == 0 {
+				continue
+			}
+			ctx := cloneContext(subject)
+			r.bindTuples(ctx, rd, rel, group)
+			r.bindTuples(ctx, rd, e.To, joined)
+			var clause string
+			if e.Label != "" {
+				t, err := r.parse(e.Label)
+				if err != nil {
+					return nil, fmt.Errorf("nlg: label of %s: %w", e.Key(), err)
+				}
+				clause, err = t.Render(ctx, r.Macros)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				clause = r.defaultJoinClause(rd, rel, e.To, group, joined)
+			}
+			if c := strings.TrimSpace(clause); c != "" {
+				clauses = append(clauses, c)
+				budget--
+			}
+			// Recurse with the joined tuples as anchors; the subject for
+			// deeper clauses is the current group's bindings.
+			deeper := cloneContext(subject)
+			r.bindTuples(deeper, rd, rel, group)
+			sub, err := r.expand(rd, e.To, joined, deeper, branchVisited, budget)
+			if err != nil {
+				return nil, err
+			}
+			clauses = append(clauses, sub...)
+			budget -= len(sub)
+		}
+	}
+	return clauses, nil
+}
+
+// joinTuples returns the tuples of e.To in the result database joining any
+// anchor tuple via e, in tuple-id order.
+func (r *Renderer) joinTuples(rd *core.ResultDatabase, e *schemagraph.JoinEdge, anchors []storage.Tuple) []storage.Tuple {
+	return joinAcross(rd, e.From, e.FromCol, e.To, e.ToCol, anchors)
+}
+
+// joinAcross matches anchors' FromCol values against ToCol of the target
+// relation in the result database.
+func joinAcross(rd *core.ResultDatabase, from, fromCol, to, toCol string, anchors []storage.Tuple) []storage.Tuple {
+	fromRel := rd.DB.Relation(from)
+	toRel := rd.DB.Relation(to)
+	if fromRel == nil || toRel == nil {
+		return nil
+	}
+	fi := fromRel.Schema().ColumnIndex(fromCol)
+	ti := toRel.Schema().ColumnIndex(toCol)
+	if fi < 0 || ti < 0 {
+		return nil
+	}
+	want := make(map[storage.Value]bool, len(anchors))
+	for _, a := range anchors {
+		if v := a.Values[fi]; !v.IsNull() {
+			want[v] = true
+		}
+	}
+	var out []storage.Tuple
+	toRel.Scan(func(t storage.Tuple) bool {
+		if want[t.Values[ti]] {
+			out = append(out, t)
+		}
+		return true
+	})
+	// Order by original tuple id: the id order of the source database is
+	// its insertion order, which keeps lists stable regardless of which
+	// join populated the result relation first.
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// bindTuples binds every column of rel's result relation to the value lists
+// across the given tuples.
+func (r *Renderer) bindTuples(ctx Context, rd *core.ResultDatabase, rel string, tuples []storage.Tuple) {
+	relation := rd.DB.Relation(rel)
+	if relation == nil {
+		return
+	}
+	for ci, col := range relation.Schema().Columns {
+		vals := make([]string, 0, len(tuples))
+		for _, t := range tuples {
+			if v := t.Values[ci]; !v.IsNull() {
+				vals = append(vals, v.String())
+			}
+		}
+		ctx.Bind(col.Name, vals)
+	}
+}
+
+// defaultSentence renders a fallback clause for a relation without an
+// annotated sentence template.
+func (r *Renderer) defaultSentence(rd *core.ResultDatabase, rel string, t storage.Tuple) string {
+	relation := rd.DB.Relation(rel)
+	node := rd.Schema.Graph.Relation(rel)
+	heading := ""
+	if node != nil {
+		heading = node.Heading
+	}
+	var head string
+	var rest []string
+	for _, col := range rd.DisplayColumns(rel) {
+		ci := relation.Schema().ColumnIndex(col)
+		if ci < 0 {
+			continue
+		}
+		v := t.Values[ci]
+		if v.IsNull() {
+			continue
+		}
+		if col == heading {
+			head = v.String()
+			continue
+		}
+		rest = append(rest, fmt.Sprintf("%s: %s", col, v.String()))
+	}
+	switch {
+	case head != "" && len(rest) > 0:
+		return fmt.Sprintf("%s (%s).", head, strings.Join(rest, "; "))
+	case head != "":
+		return head + "."
+	case len(rest) > 0:
+		return fmt.Sprintf("%s (%s).", rel, strings.Join(rest, "; "))
+	default:
+		return ""
+	}
+}
+
+// defaultJoinClause renders a fallback clause for a join edge without an
+// annotated label: the heading values of the joined tuples attached to the
+// anchor's heading.
+func (r *Renderer) defaultJoinClause(rd *core.ResultDatabase, from, to string, anchors, joined []storage.Tuple) string {
+	subjects := r.headingValues(rd, from, anchors)
+	objects := r.headingValues(rd, to, joined)
+	if len(objects) == 0 {
+		return ""
+	}
+	name := strings.ToLower(to)
+	if len(subjects) == 0 {
+		return fmt.Sprintf("Related %s: %s.", name, strings.Join(objects, ", "))
+	}
+	return fmt.Sprintf("The %s of %s: %s.", name, strings.Join(subjects, ", "), strings.Join(objects, ", "))
+}
+
+// headingValues extracts heading-attribute values (or first display column)
+// of the tuples; for anchors it returns the single subject string.
+func (r *Renderer) headingValues(rd *core.ResultDatabase, rel string, tuples []storage.Tuple) []string {
+	relation := rd.DB.Relation(rel)
+	node := rd.Schema.Graph.Relation(rel)
+	if relation == nil {
+		return nil
+	}
+	col := ""
+	if node != nil && node.Heading != "" {
+		col = node.Heading
+	} else if disp := rd.DisplayColumns(rel); len(disp) > 0 {
+		col = disp[0]
+	}
+	ci := relation.Schema().ColumnIndex(col)
+	if ci < 0 {
+		return nil
+	}
+	var out []string
+	for _, t := range tuples {
+		if v := t.Values[ci]; !v.IsNull() {
+			out = append(out, v.String())
+		}
+	}
+	return out
+}

@@ -1,0 +1,532 @@
+// Package nlg implements the Result Database Translator (paper §5.3): it
+// renders the relational précis into a natural-language synthesis of
+// results, driven by designer-supplied template labels on the schema graph
+// and a small macro language supporting variables, loops and functions.
+//
+// The template language follows the paper's examples:
+//
+//	@DNAME + " was born on " + @BDATE + " in " + @BLOCATION + "."
+//
+//	DEFINE MOVIE_LIST as
+//	  [i<arityOf(@TITLE)] {@TITLE[$i$] + " (" + @YEAR[$i$] + "), "}
+//	  [i=arityOf(@TITLE)] {@TITLE[$i$] + " (" + @YEAR[$i$] + "). "}
+//
+// An expression is a +-concatenation of string literals, attribute
+// references (@ATTR, or @ATTR[$i$] inside a loop section), macro names,
+// arityOf(@ATTR), and the string functions upper(@ATTR) and lower(@ATTR).
+// A template is a sequence of sections; a section guarded by
+// [i<arityOf(@X)] renders its body for i = 1 .. arity-1, and [i=arityOf(@X)]
+// renders it once with i = arity, which together produce comma-separated
+// lists with a distinct final separator.
+package nlg
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Context binds attribute names (upper-cased) to their value lists for one
+// rendering. Arity of an attribute is len(Context[name]).
+type Context map[string][]string
+
+// Bind adds values under the canonical upper-cased key.
+func (c Context) Bind(attr string, values []string) {
+	c[strings.ToUpper(attr)] = values
+}
+
+// Macros is a registry of named templates usable inside expressions.
+type Macros map[string]*Template
+
+// Template is a parsed template: an ordered list of sections.
+type Template struct {
+	src      string
+	sections []section
+}
+
+// Source returns the original template text.
+func (t *Template) Source() string { return t.src }
+
+// section is one optionally-guarded piece of a template.
+type section struct {
+	guard *guard
+	body  []exprNode
+}
+
+// guardOp distinguishes [i<arityOf(..)] from [i=arityOf(..)].
+type guardOp uint8
+
+const (
+	guardLess guardOp = iota // loop i = 1 .. arity-1
+	guardEq                  // render once with i = arity
+)
+
+type guard struct {
+	op   guardOp
+	attr string // the attribute whose arity bounds the loop
+}
+
+// exprNode is one term of a +-concatenation.
+type exprNode interface{ node() }
+
+type litNode struct{ text string }
+
+type attrNode struct {
+	name    string
+	indexed bool // @ATTR[$i$]
+}
+
+type macroNode struct{ name string }
+
+type arityNode struct{ attr string }
+
+// funcNode applies a string function (upper, lower) to an attribute value.
+type funcNode struct {
+	fn   string // "upper" or "lower"
+	attr attrNode
+}
+
+func (litNode) node()   {}
+func (attrNode) node()  {}
+func (macroNode) node() {}
+func (arityNode) node() {}
+func (funcNode) node()  {}
+
+// ParseTemplate parses a template expression such as a label or sentence.
+func ParseTemplate(src string) (*Template, error) {
+	p := &tparser{src: src}
+	t, err := p.template()
+	if err != nil {
+		return nil, err
+	}
+	t.src = src
+	return t, nil
+}
+
+// MustTemplate is ParseTemplate that panics, for static annotations.
+func MustTemplate(src string) *Template {
+	t, err := ParseTemplate(src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// ParseDefine parses a macro definition of the form
+// "DEFINE NAME as <template>" and returns the macro name and its template.
+func ParseDefine(src string) (string, *Template, error) {
+	trimmed := strings.TrimSpace(src)
+	up := strings.ToUpper(trimmed)
+	if !strings.HasPrefix(up, "DEFINE ") {
+		return "", nil, fmt.Errorf("nlg: macro definition must start with DEFINE: %q", src)
+	}
+	rest := strings.TrimSpace(trimmed[len("DEFINE "):])
+	sp := strings.IndexAny(rest, " \t\n")
+	if sp < 0 {
+		return "", nil, fmt.Errorf("nlg: DEFINE %q has no body", src)
+	}
+	name := rest[:sp]
+	rest = strings.TrimSpace(rest[sp:])
+	upRest := strings.ToUpper(rest)
+	if !strings.HasPrefix(upRest, "AS ") && !strings.HasPrefix(upRest, "AS\n") {
+		return "", nil, fmt.Errorf("nlg: DEFINE %s must be followed by 'as'", name)
+	}
+	body := strings.TrimSpace(rest[2:])
+	t, err := ParseTemplate(body)
+	if err != nil {
+		return "", nil, fmt.Errorf("nlg: macro %s: %w", name, err)
+	}
+	return name, t, nil
+}
+
+// tparser is a recursive-descent parser over the template source.
+type tparser struct {
+	src string
+	i   int
+}
+
+func (p *tparser) skipSpace() {
+	for p.i < len(p.src) && (p.src[p.i] == ' ' || p.src[p.i] == '\t' || p.src[p.i] == '\n' || p.src[p.i] == '\r') {
+		p.i++
+	}
+}
+
+func (p *tparser) template() (*Template, error) {
+	t := &Template{}
+	p.skipSpace()
+	for p.i < len(p.src) {
+		if p.src[p.i] == '[' {
+			g, err := p.guard()
+			if err != nil {
+				return nil, err
+			}
+			p.skipSpace()
+			if p.i >= len(p.src) || p.src[p.i] != '{' {
+				return nil, fmt.Errorf("nlg: guard must be followed by {body} at offset %d", p.i)
+			}
+			p.i++ // consume {
+			body, err := p.expr('}')
+			if err != nil {
+				return nil, err
+			}
+			if p.i >= len(p.src) || p.src[p.i] != '}' {
+				return nil, fmt.Errorf("nlg: unterminated section body")
+			}
+			p.i++ // consume }
+			t.sections = append(t.sections, section{guard: g, body: body})
+		} else {
+			body, err := p.expr(0)
+			if err != nil {
+				return nil, err
+			}
+			if len(body) > 0 {
+				t.sections = append(t.sections, section{body: body})
+			}
+		}
+		p.skipSpace()
+	}
+	if len(t.sections) == 0 {
+		return nil, fmt.Errorf("nlg: empty template")
+	}
+	return t, nil
+}
+
+// guard parses [i<arityOf(@A)] or [i=arityOf(@A)].
+func (p *tparser) guard() (*guard, error) {
+	start := p.i
+	p.i++ // consume [
+	p.skipSpace()
+	if p.i >= len(p.src) || p.src[p.i] != 'i' {
+		return nil, fmt.Errorf("nlg: guard must use loop variable i (offset %d)", start)
+	}
+	p.i++
+	p.skipSpace()
+	var op guardOp
+	switch {
+	case p.i < len(p.src) && p.src[p.i] == '<':
+		op = guardLess
+	case p.i < len(p.src) && p.src[p.i] == '=':
+		op = guardEq
+	default:
+		return nil, fmt.Errorf("nlg: guard operator must be < or = (offset %d)", p.i)
+	}
+	p.i++
+	p.skipSpace()
+	if !p.consumeWord("arityOf") {
+		return nil, fmt.Errorf("nlg: guard must compare against arityOf(@A) (offset %d)", p.i)
+	}
+	p.skipSpace()
+	if p.i >= len(p.src) || p.src[p.i] != '(' {
+		return nil, fmt.Errorf("nlg: arityOf needs parentheses (offset %d)", p.i)
+	}
+	p.i++
+	p.skipSpace()
+	attr, err := p.attrName()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.i >= len(p.src) || p.src[p.i] != ')' {
+		return nil, fmt.Errorf("nlg: unterminated arityOf (offset %d)", p.i)
+	}
+	p.i++
+	p.skipSpace()
+	if p.i >= len(p.src) || p.src[p.i] != ']' {
+		return nil, fmt.Errorf("nlg: unterminated guard (offset %d)", p.i)
+	}
+	p.i++
+	return &guard{op: op, attr: attr}, nil
+}
+
+// consumeWord consumes the exact word (case-insensitive) if present.
+func (p *tparser) consumeWord(w string) bool {
+	if p.i+len(w) <= len(p.src) && strings.EqualFold(p.src[p.i:p.i+len(w)], w) {
+		p.i += len(w)
+		return true
+	}
+	return false
+}
+
+// peekWordWithParen reports whether the input continues with word followed
+// (after optional spaces) by an opening parenthesis, distinguishing the
+// function call upper(...) from a macro named UPPER.
+func (p *tparser) peekWordWithParen(w string) bool {
+	if p.i+len(w) > len(p.src) || !strings.EqualFold(p.src[p.i:p.i+len(w)], w) {
+		return false
+	}
+	j := p.i + len(w)
+	for j < len(p.src) && (p.src[j] == ' ' || p.src[j] == '\t') {
+		j++
+	}
+	return j < len(p.src) && p.src[j] == '('
+}
+
+// funcCall parses (@ATTR[$i$]?) after a recognised function name.
+func (p *tparser) funcCall(fn string) (exprNode, error) {
+	p.skipSpace()
+	if p.i >= len(p.src) || p.src[p.i] != '(' {
+		return nil, fmt.Errorf("nlg: %s needs parentheses", fn)
+	}
+	p.i++
+	p.skipSpace()
+	name, err := p.attrName()
+	if err != nil {
+		return nil, err
+	}
+	node := funcNode{fn: fn, attr: attrNode{name: name}}
+	p.skipSpace()
+	if p.i < len(p.src) && p.src[p.i] == '[' {
+		p.i++
+		p.skipSpace()
+		if !p.consumeWord("$i$") {
+			return nil, fmt.Errorf("nlg: %s index must be $i$", fn)
+		}
+		p.skipSpace()
+		if p.i >= len(p.src) || p.src[p.i] != ']' {
+			return nil, fmt.Errorf("nlg: unterminated index in %s", fn)
+		}
+		p.i++
+		node.attr.indexed = true
+	}
+	p.skipSpace()
+	if p.i >= len(p.src) || p.src[p.i] != ')' {
+		return nil, fmt.Errorf("nlg: unterminated %s", fn)
+	}
+	p.i++
+	return node, nil
+}
+
+// attrName parses @NAME and returns NAME upper-cased.
+func (p *tparser) attrName() (string, error) {
+	if p.i >= len(p.src) || p.src[p.i] != '@' {
+		return "", fmt.Errorf("nlg: expected @attribute (offset %d)", p.i)
+	}
+	p.i++
+	start := p.i
+	for p.i < len(p.src) && isWordByte(p.src[p.i]) {
+		p.i++
+	}
+	if p.i == start {
+		return "", fmt.Errorf("nlg: @ must be followed by an attribute name (offset %d)", start)
+	}
+	return strings.ToUpper(p.src[start:p.i]), nil
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// expr parses a +-concatenation until the stop byte (or a '[' starting a new
+// section, or end of input when stop is 0).
+func (p *tparser) expr(stop byte) ([]exprNode, error) {
+	var out []exprNode
+	for {
+		p.skipSpace()
+		if p.i >= len(p.src) {
+			return out, nil
+		}
+		c := p.src[p.i]
+		if stop != 0 && c == stop {
+			return out, nil
+		}
+		if stop == 0 && c == '[' {
+			return out, nil
+		}
+		node, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, node)
+		p.skipSpace()
+		if p.i < len(p.src) && p.src[p.i] == '+' {
+			p.i++
+			continue
+		}
+		// Without an explicit +, the expression ends.
+		if p.i < len(p.src) {
+			c := p.src[p.i]
+			if (stop != 0 && c == stop) || (stop == 0 && c == '[') {
+				return out, nil
+			}
+			if stop == 0 {
+				return nil, fmt.Errorf("nlg: expected + between terms (offset %d)", p.i)
+			}
+			return nil, fmt.Errorf("nlg: expected + or %q (offset %d)", string(stop), p.i)
+		}
+	}
+}
+
+// term parses one expression term: literal, @attr[, index], macro, arityOf.
+func (p *tparser) term() (exprNode, error) {
+	c := p.src[p.i]
+	switch {
+	case c == '"' || c == '\'':
+		quote := c
+		p.i++
+		var b strings.Builder
+		for p.i < len(p.src) && p.src[p.i] != quote {
+			if p.src[p.i] == '\\' && p.i+1 < len(p.src) {
+				p.i++
+			}
+			b.WriteByte(p.src[p.i])
+			p.i++
+		}
+		if p.i >= len(p.src) {
+			return nil, fmt.Errorf("nlg: unterminated string literal")
+		}
+		p.i++
+		return litNode{text: b.String()}, nil
+
+	case c == '@':
+		name, err := p.attrName()
+		if err != nil {
+			return nil, err
+		}
+		// Optional [$i$] index.
+		save := p.i
+		p.skipSpace()
+		if p.i < len(p.src) && p.src[p.i] == '[' {
+			p.i++
+			p.skipSpace()
+			if p.consumeWord("$i$") {
+				p.skipSpace()
+				if p.i < len(p.src) && p.src[p.i] == ']' {
+					p.i++
+					return attrNode{name: name, indexed: true}, nil
+				}
+				return nil, fmt.Errorf("nlg: unterminated index after @%s[$i$", name)
+			}
+			// Not an index: rewind (a section may follow).
+			p.i = save
+		} else {
+			p.i = save
+		}
+		return attrNode{name: name}, nil
+
+	default:
+		for _, fn := range []string{"upper", "lower"} {
+			if p.peekWordWithParen(fn) {
+				p.consumeWord(fn)
+				node, err := p.funcCall(fn)
+				if err != nil {
+					return nil, err
+				}
+				return node, nil
+			}
+		}
+		if p.consumeWord("arityOf") {
+			p.skipSpace()
+			if p.i >= len(p.src) || p.src[p.i] != '(' {
+				return nil, fmt.Errorf("nlg: arityOf needs parentheses")
+			}
+			p.i++
+			p.skipSpace()
+			attr, err := p.attrName()
+			if err != nil {
+				return nil, err
+			}
+			p.skipSpace()
+			if p.i >= len(p.src) || p.src[p.i] != ')' {
+				return nil, fmt.Errorf("nlg: unterminated arityOf")
+			}
+			p.i++
+			return arityNode{attr: attr}, nil
+		}
+		if isWordByte(c) {
+			start := p.i
+			for p.i < len(p.src) && isWordByte(p.src[p.i]) {
+				p.i++
+			}
+			return macroNode{name: p.src[start:p.i]}, nil
+		}
+		return nil, fmt.Errorf("nlg: unexpected character %q (offset %d)", string(c), p.i)
+	}
+}
+
+// Render evaluates the template against ctx with the given macro registry.
+func (t *Template) Render(ctx Context, macros Macros) (string, error) {
+	var b strings.Builder
+	for _, s := range t.sections {
+		if err := renderSection(&b, s, ctx, macros, 0); err != nil {
+			return "", err
+		}
+	}
+	return b.String(), nil
+}
+
+const maxMacroDepth = 16
+
+func renderSection(b *strings.Builder, s section, ctx Context, macros Macros, depth int) error {
+	if s.guard == nil {
+		return renderBody(b, s.body, ctx, macros, 0, depth)
+	}
+	arity := len(ctx[s.guard.attr])
+	switch s.guard.op {
+	case guardLess:
+		for i := 1; i < arity; i++ {
+			if err := renderBody(b, s.body, ctx, macros, i, depth); err != nil {
+				return err
+			}
+		}
+	case guardEq:
+		if arity >= 1 {
+			if err := renderBody(b, s.body, ctx, macros, arity, depth); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// renderBody evaluates a concatenation with loop index i (1-based; 0 means
+// "no index in scope").
+func renderBody(b *strings.Builder, body []exprNode, ctx Context, macros Macros, i int, depth int) error {
+	if depth > maxMacroDepth {
+		return fmt.Errorf("nlg: macro recursion deeper than %d", maxMacroDepth)
+	}
+	for _, n := range body {
+		switch n := n.(type) {
+		case litNode:
+			b.WriteString(n.text)
+		case attrNode:
+			vals := ctx[n.name]
+			switch {
+			case n.indexed:
+				if i < 1 {
+					return fmt.Errorf("nlg: @%s[$i$] used outside a loop section", n.name)
+				}
+				if i <= len(vals) {
+					b.WriteString(vals[i-1])
+				}
+			case len(vals) == 1:
+				b.WriteString(vals[0])
+			case len(vals) > 1:
+				b.WriteString(strings.Join(vals, ", "))
+			}
+		case macroNode:
+			m, ok := macros[n.name]
+			if !ok {
+				return fmt.Errorf("nlg: unknown macro %s", n.name)
+			}
+			for _, ms := range m.sections {
+				if err := renderSection(b, ms, ctx, macros, depth+1); err != nil {
+					return err
+				}
+			}
+		case arityNode:
+			b.WriteString(strconv.Itoa(len(ctx[n.attr])))
+		case funcNode:
+			var inner strings.Builder
+			if err := renderBody(&inner, []exprNode{n.attr}, ctx, macros, i, depth); err != nil {
+				return err
+			}
+			switch n.fn {
+			case "upper":
+				b.WriteString(strings.ToUpper(inner.String()))
+			case "lower":
+				b.WriteString(strings.ToLower(inner.String()))
+			}
+		}
+	}
+	return nil
+}

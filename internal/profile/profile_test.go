@@ -1,0 +1,222 @@
+package profile
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"precis/internal/core"
+	"precis/internal/dataset"
+)
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Add(Reviewer()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(Fan()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(Fan()); err == nil {
+		t.Error("duplicate profile accepted")
+	}
+	if err := r.Add(&Profile{}); err == nil {
+		t.Error("unnamed profile accepted")
+	}
+	if err := r.Add(nil); err == nil {
+		t.Error("nil profile accepted")
+	}
+	if got := r.Names(); len(got) != 2 || got[0] != "fan" || got[1] != "reviewer" {
+		t.Errorf("Names = %v", got)
+	}
+	if r.Get("reviewer") == nil || r.Get("nope") != nil {
+		t.Error("Get")
+	}
+}
+
+func TestApplyOverlay(t *testing.T) {
+	_, g, err := dataset.ExampleMovies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Profile{
+		Name: "region-lover",
+		Weights: map[string]float64{
+			"THEATRE.region": 1.0,
+			"THEATRE.phone":  0.1,
+		},
+	}
+	applied, err := p.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied.Relation("THEATRE").Projection("region").Weight != 1.0 {
+		t.Error("overlay not applied")
+	}
+	// Original untouched.
+	if g.Relation("THEATRE").Projection("region").Weight != 0.7 {
+		t.Error("original graph mutated")
+	}
+	bad := &Profile{Name: "bad", Weights: map[string]float64{"NOPE.x": 1}}
+	if _, err := bad.Apply(g); err == nil {
+		t.Error("unknown overlay key accepted")
+	}
+}
+
+func TestArchetypesDiffer(t *testing.T) {
+	// The reviewer explores more than the fan: same query, larger schema.
+	_, g, err := dataset.ExampleMovies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, fan := Reviewer(), Fan()
+	rsRev, err := core.GenerateSchema(g, []string{"DIRECTOR"}, rev.Degree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsFan, err := core.GenerateSchema(g, []string{"DIRECTOR"}, fan.Degree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rsRev.Relations()) <= len(rsFan.Relations()) {
+		t.Errorf("reviewer schema (%v) should exceed fan schema (%v)",
+			rsRev.Relations(), rsFan.Relations())
+	}
+}
+
+// TestPersonalizedAnswersDiffer reproduces the §3.1 scenario: one user
+// cares about a theatre's region, another about its phone — different
+// weights, different answers to the same query.
+func TestPersonalizedAnswersDiffer(t *testing.T) {
+	_, g, err := dataset.ExampleMovies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	regionFan := &Profile{Name: "region", Weights: map[string]float64{
+		"THEATRE.region": 0.9, "THEATRE.phone": 0.2,
+	}}
+	phoneFan := &Profile{Name: "phone", Weights: map[string]float64{
+		"THEATRE.region": 0.2, "THEATRE.phone": 0.9,
+	}}
+	gRegion, err := regionFan.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gPhone, err := phoneFan.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := core.MinPathWeight(0.9)
+	rsRegion, err := core.GenerateSchema(gRegion, []string{"THEATRE"}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsPhone, err := core.GenerateSchema(gPhone, []string{"THEATRE"}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasAttr := func(rs *core.ResultSchema, attr string) bool {
+		for _, a := range rs.Projections("THEATRE") {
+			if a == attr {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasAttr(rsRegion, "region") || hasAttr(rsRegion, "phone") {
+		t.Errorf("region profile projections = %v", rsRegion.Projections("THEATRE"))
+	}
+	if !hasAttr(rsPhone, "phone") || hasAttr(rsPhone, "region") {
+		t.Errorf("phone profile projections = %v", rsPhone.Projections("THEATRE"))
+	}
+}
+
+func TestSpecBuild(t *testing.T) {
+	spec := Spec{
+		Name:        "deep",
+		Description: "explores widely",
+		Weights:     map[string]float64{"MOVIE.year": 1.0},
+		Degree:      DegreeSpec{MinWeight: 0.4, MaxAttributes: 12},
+		Cardinality: CardinalitySpec{PerRelation: 20, Total: 100},
+		Strategy:    "roundrobin",
+	}
+	p, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "deep" || p.Degree == nil || p.Cardinality == nil {
+		t.Fatalf("profile = %+v", p)
+	}
+	if p.Strategy != core.StrategyRoundRobin {
+		t.Errorf("strategy = %v", p.Strategy)
+	}
+	// Budget combines both cardinality bounds.
+	if b := p.Cardinality.Budget("R", map[string]int{"R": 5}, 95); b != 5 {
+		t.Errorf("budget = %d", b)
+	}
+	// Errors.
+	if _, err := (Spec{}).Build(); err == nil {
+		t.Error("unnamed spec accepted")
+	}
+	if _, err := (Spec{Name: "x", Strategy: "wibble"}).Build(); err == nil {
+		t.Error("bad strategy accepted")
+	}
+	if _, err := (Spec{Name: "x", Degree: DegreeSpec{MinWeight: 2}}).Build(); err == nil {
+		t.Error("bad minWeight accepted")
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	spec := Spec{
+		Name:        "fan",
+		Weights:     map[string]float64{"THEATRE.phone": 0.2},
+		Degree:      DegreeSpec{MinWeight: 0.9},
+		Cardinality: CardinalitySpec{PerRelation: 3},
+	}
+	var buf bytes.Buffer
+	if err := SaveJSON(&buf, spec); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "fan" || p.Weights["THEATRE.phone"] != 0.2 {
+		t.Fatalf("profile = %+v", p)
+	}
+	if _, err := LoadJSON(strings.NewReader(`{"name":"x","bogus":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := LoadJSON(strings.NewReader(`{broken`)); err == nil {
+		t.Error("broken JSON accepted")
+	}
+}
+
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("b_reviewer.json", `{"name":"reviewer","degree":{"minWeight":0.4},"cardinality":{"perRelation":25}}`)
+	write("a_fan.json", `{"name":"fan","degree":{"minWeight":0.9},"cardinality":{"perRelation":3}}`)
+	write("notes.txt", "ignored")
+	ps, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 || ps[0].Name != "fan" || ps[1].Name != "reviewer" {
+		t.Fatalf("profiles = %+v", ps)
+	}
+	// Broken file surfaces with its name.
+	write("c_bad.json", `{"name":""}`)
+	if _, err := LoadDir(dir); err == nil || !strings.Contains(err.Error(), "c_bad.json") {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := LoadDir(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing dir accepted")
+	}
+}

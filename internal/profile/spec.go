@@ -1,0 +1,148 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"precis/internal/core"
+)
+
+// Spec is the declarative, JSON-serializable form of a profile — the
+// paper's "multiple sets of weights corresponding to different user
+// profiles may be stored in the system" (§3.1). Zero-valued constraint
+// fields are simply absent from the built profile.
+type Spec struct {
+	Name        string             `json:"name"`
+	Description string             `json:"description,omitempty"`
+	Weights     map[string]float64 `json:"weights,omitempty"`
+	Degree      DegreeSpec         `json:"degree,omitempty"`
+	Cardinality CardinalitySpec    `json:"cardinality,omitempty"`
+	Strategy    string             `json:"strategy,omitempty"` // auto | naiveq | roundrobin
+}
+
+// DegreeSpec declares the degree constraints of Table 1; set fields combine
+// conjunctively.
+type DegreeSpec struct {
+	MinWeight      float64 `json:"minWeight,omitempty"`
+	MaxAttributes  int     `json:"maxAttributes,omitempty"`
+	MaxPathLength  int     `json:"maxPathLength,omitempty"`
+	TopProjections int     `json:"topProjections,omitempty"`
+}
+
+// CardinalitySpec declares the cardinality constraints of Table 2.
+type CardinalitySpec struct {
+	PerRelation int `json:"perRelation,omitempty"`
+	Total       int `json:"total,omitempty"`
+}
+
+// Build materializes the spec into a usable profile.
+func (s Spec) Build() (*Profile, error) {
+	if s.Name == "" {
+		return nil, fmt.Errorf("profile: spec needs a name")
+	}
+	p := &Profile{Name: s.Name, Description: s.Description, Weights: s.Weights}
+
+	var degrees []core.DegreeConstraint
+	if s.Degree.MinWeight > 0 {
+		if s.Degree.MinWeight > 1 {
+			return nil, fmt.Errorf("profile %s: minWeight %v outside (0,1]", s.Name, s.Degree.MinWeight)
+		}
+		degrees = append(degrees, core.MinPathWeight(s.Degree.MinWeight))
+	}
+	if s.Degree.MaxAttributes > 0 {
+		degrees = append(degrees, core.MaxAttributes(s.Degree.MaxAttributes))
+	}
+	if s.Degree.MaxPathLength > 0 {
+		degrees = append(degrees, core.MaxPathLength(s.Degree.MaxPathLength))
+	}
+	if s.Degree.TopProjections > 0 {
+		degrees = append(degrees, core.TopProjections(s.Degree.TopProjections))
+	}
+	switch len(degrees) {
+	case 0:
+	case 1:
+		p.Degree = degrees[0]
+	default:
+		p.Degree = core.AllDegree(degrees...)
+	}
+
+	var cards []core.CardinalityConstraint
+	if s.Cardinality.PerRelation > 0 {
+		cards = append(cards, core.MaxTuplesPerRelation(s.Cardinality.PerRelation))
+	}
+	if s.Cardinality.Total > 0 {
+		cards = append(cards, core.MaxTotalTuples(s.Cardinality.Total))
+	}
+	switch len(cards) {
+	case 0:
+	case 1:
+		p.Cardinality = cards[0]
+	default:
+		p.Cardinality = core.AllCardinality(cards...)
+	}
+
+	switch strings.ToLower(s.Strategy) {
+	case "", "auto":
+		p.Strategy = core.StrategyAuto
+	case "naiveq":
+		p.Strategy = core.StrategyNaive
+	case "roundrobin":
+		p.Strategy = core.StrategyRoundRobin
+	default:
+		return nil, fmt.Errorf("profile %s: unknown strategy %q", s.Name, s.Strategy)
+	}
+	return p, nil
+}
+
+// LoadJSON reads one profile spec.
+func LoadJSON(r io.Reader) (*Profile, error) {
+	var spec Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	return spec.Build()
+}
+
+// SaveJSON writes a spec as indented JSON.
+func SaveJSON(w io.Writer, spec Spec) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(spec)
+}
+
+// LoadDir loads every *.json profile in a directory, sorted by file name,
+// so a server can boot its stored profiles from disk.
+func LoadDir(dir string) ([]*Profile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var out []*Profile
+	for _, name := range names {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		p, err := LoadJSON(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

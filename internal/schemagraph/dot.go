@@ -1,0 +1,51 @@
+package schemagraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax, the visualization a domain
+// expert uses when assigning weights (§3.1). Relation nodes are boxes whose
+// rows list projection weights (heading attributes are marked with •); join
+// edges are labelled with their weight and join columns. The output is
+// deterministic.
+func (g *Graph) DOT(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=LR;\n  node [shape=record, fontsize=10];\n")
+
+	names := append([]string(nil), g.order...)
+	sort.Strings(names)
+	for _, name := range names {
+		n := g.nodes[name]
+		var rows []string
+		rows = append(rows, escapeDOT(name))
+		for _, p := range n.Projections() {
+			mark := ""
+			if p.Attribute == n.Heading {
+				mark = " •"
+			}
+			rows = append(rows, fmt.Sprintf("%s%s %.2f", escapeDOT(p.Attribute), mark, p.Weight))
+		}
+		fmt.Fprintf(&b, "  %q [label=\"{%s}\"];\n", name, strings.Join(rows, "|"))
+	}
+	for _, name := range names {
+		edges := append([]*JoinEdge(nil), g.nodes[name].out...)
+		sort.Slice(edges, func(i, j int) bool { return edges[i].Key() < edges[j].Key() })
+		for _, e := range edges {
+			fmt.Fprintf(&b, "  %q -> %q [label=\"%.2f (%s)\"];\n", e.From, e.To, e.Weight, escapeDOT(e.FromCol))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// escapeDOT escapes record-label metacharacters.
+func escapeDOT(s string) string {
+	r := strings.NewReplacer(
+		`"`, `\"`, "{", `\{`, "}", `\}`, "|", `\|`, "<", `\<`, ">", `\>`,
+	)
+	return r.Replace(s)
+}

@@ -1,0 +1,117 @@
+package schemagraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The JSON form of a schema graph lets a domain expert author weights,
+// heading attributes and narrative templates in a file instead of code —
+// the paper's "sets of weights may be created by a designer" (§3.1) made
+// concrete. SaveJSON and LoadJSON round-trip every annotation.
+
+// graphJSON is the serialized shape.
+type graphJSON struct {
+	Relations []relationJSON `json:"relations"`
+}
+
+type relationJSON struct {
+	Name        string           `json:"name"`
+	Heading     string           `json:"heading,omitempty"`
+	Sentence    string           `json:"sentence,omitempty"`
+	Projections []projectionJSON `json:"projections,omitempty"`
+	Joins       []joinJSON       `json:"joins,omitempty"`
+}
+
+type projectionJSON struct {
+	Attribute string  `json:"attribute"`
+	Weight    float64 `json:"weight"`
+	Label     string  `json:"label,omitempty"`
+}
+
+type joinJSON struct {
+	To         string  `json:"to"`
+	FromColumn string  `json:"fromColumn"`
+	ToColumn   string  `json:"toColumn"`
+	Weight     float64 `json:"weight"`
+	Label      string  `json:"label,omitempty"`
+}
+
+// SaveJSON writes the graph (declaration order preserved) as indented JSON.
+func (g *Graph) SaveJSON(w io.Writer) error {
+	out := graphJSON{}
+	for _, name := range g.order {
+		n := g.nodes[name]
+		rj := relationJSON{Name: name, Heading: n.Heading, Sentence: n.Sentence}
+		for _, p := range n.Projections() {
+			rj.Projections = append(rj.Projections, projectionJSON{
+				Attribute: p.Attribute, Weight: p.Weight, Label: p.Label,
+			})
+		}
+		for _, e := range n.out {
+			rj.Joins = append(rj.Joins, joinJSON{
+				To: e.To, FromColumn: e.FromCol, ToColumn: e.ToCol,
+				Weight: e.Weight, Label: e.Label,
+			})
+		}
+		out.Relations = append(out.Relations, rj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadJSON reads a graph previously written by SaveJSON (or hand-authored
+// in the same shape), validating weights and endpoint references.
+func LoadJSON(r io.Reader) (*Graph, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var in graphJSON
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("schemagraph: %w", err)
+	}
+	if len(in.Relations) == 0 {
+		return nil, fmt.Errorf("schemagraph: graph file declares no relations")
+	}
+	g := New()
+	for _, rj := range in.Relations {
+		if rj.Name == "" {
+			return nil, fmt.Errorf("schemagraph: relation with empty name")
+		}
+		if g.Relation(rj.Name) != nil {
+			return nil, fmt.Errorf("schemagraph: relation %s declared twice", rj.Name)
+		}
+		g.AddRelation(rj.Name)
+	}
+	for _, rj := range in.Relations {
+		n := g.Relation(rj.Name)
+		n.Sentence = rj.Sentence
+		for _, pj := range rj.Projections {
+			p, err := g.AddProjection(rj.Name, pj.Attribute, pj.Weight)
+			if err != nil {
+				return nil, err
+			}
+			p.Label = pj.Label
+		}
+		for _, jj := range rj.Joins {
+			if g.Relation(jj.To) == nil {
+				return nil, fmt.Errorf("schemagraph: join %s -> %s targets an undeclared relation", rj.Name, jj.To)
+			}
+			e, err := g.AddJoin(rj.Name, jj.To, jj.FromColumn, jj.ToColumn, jj.Weight)
+			if err != nil {
+				return nil, err
+			}
+			e.Label = jj.Label
+		}
+		if rj.Heading != "" {
+			if n.Projection(rj.Heading) == nil {
+				return nil, fmt.Errorf("schemagraph: heading %s.%s has no projection", rj.Name, rj.Heading)
+			}
+			if err := g.SetHeading(rj.Name, rj.Heading); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}

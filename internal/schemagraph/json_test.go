@@ -1,0 +1,78 @@
+package schemagraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := tinyGraph(t)
+	if err := g.SetHeading("A", "name"); err != nil {
+		t.Fatal(err)
+	}
+	g.Relation("A").Sentence = `@NAME + "."`
+	g.Relation("A").Projection("name").Label = "the name"
+	g.Relation("A").Out()[0].Label = `"related: " + @NAME`
+
+	var buf bytes.Buffer
+	if err := g.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadJSON: %v\n%s", err, buf.String())
+	}
+	// Full structural equality via a second serialization.
+	var buf2 bytes.Buffer
+	if err := back.SaveJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Errorf("round trip changed the graph:\n%s\nvs\n%s", buf.String(), buf2.String())
+	}
+	// Annotations survived.
+	if back.Relation("A").Heading != "name" || back.Relation("A").Sentence == "" {
+		t.Error("annotations lost")
+	}
+	if back.Relation("A").Out()[0].Label == "" {
+		t.Error("join label lost")
+	}
+	if back.Relation("A").Projection("x").Weight != 0.8 {
+		t.Error("weight lost")
+	}
+}
+
+func TestLoadJSONErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`{bad json`,
+		`{"relations": []}`,
+		`{"relations": [{"name": ""}]}`,
+		`{"relations": [{"name": "A"}, {"name": "A"}]}`,
+		`{"relations": [{"name": "A", "joins": [{"to": "GHOST", "fromColumn": "x", "toColumn": "x", "weight": 1}]}]}`,
+		`{"relations": [{"name": "A", "projections": [{"attribute": "x", "weight": 2}]}]}`,
+		`{"relations": [{"name": "A", "heading": "missing"}]}`,
+		`{"relations": [{"name": "A"}], "unknown": 1}`,
+	}
+	for _, src := range cases {
+		if _, err := LoadJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("LoadJSON(%q) accepted", src)
+		}
+	}
+}
+
+func TestLoadJSONForwardJoins(t *testing.T) {
+	// A join may reference a relation declared later in the file.
+	src := `{"relations": [
+		{"name": "A", "joins": [{"to": "B", "fromColumn": "k", "toColumn": "k", "weight": 0.5}]},
+		{"name": "B"}
+	]}`
+	g, err := LoadJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.JoinEdges()) != 1 {
+		t.Errorf("joins = %v", g.JoinEdges())
+	}
+}

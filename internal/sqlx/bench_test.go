@@ -1,0 +1,62 @@
+package sqlx
+
+import (
+	"fmt"
+	"testing"
+
+	"precis/internal/storage"
+)
+
+func benchEngine(b *testing.B, rows int) *Engine {
+	b.Helper()
+	db := storage.NewDatabase("bench")
+	e := NewEngine(db)
+	e.MustExec("CREATE TABLE R (id INT, k INT, s TEXT, PRIMARY KEY (id))")
+	for i := 0; i < rows; i++ {
+		e.MustExec(fmt.Sprintf("INSERT INTO R VALUES (%d, %d, 'row %d')", i, i%100, i))
+	}
+	e.MustExec("CREATE INDEX ON R (k)")
+	e.MustExec("CREATE ORDERED INDEX ON R (k)")
+	return e
+}
+
+func BenchmarkParse(b *testing.B) {
+	const q = "SELECT id, s FROM R WHERE k IN (1, 2, 3) AND s LIKE '%row%' ORDER BY id DESC LIMIT 10"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecIndexed(b *testing.B) {
+	e := benchEngine(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := e.MustExec(fmt.Sprintf("SELECT id FROM R WHERE k = %d", i%100))
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkExecRange(b *testing.B) {
+	e := benchEngine(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := i % 80
+		res := e.MustExec(fmt.Sprintf("SELECT id FROM R WHERE k >= %d AND k < %d", lo, lo+10))
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkExecScan(b *testing.B) {
+	e := benchEngine(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.MustExec("SELECT id FROM R WHERE s LIKE '%row 99%' LIMIT 5")
+	}
+}

@@ -1,0 +1,832 @@
+package sqlx
+
+import (
+	"fmt"
+	"sort"
+
+	"precis/internal/storage"
+)
+
+// RowIDColumn is the pseudo-column exposing tuple ids, mirroring Oracle's
+// rowid in the paper's prototype.
+const RowIDColumn = "rowid"
+
+// Stats counts the physical work a query performed. The précis cost model
+// (paper Formula 1) is expressed in exactly these units: index probes and
+// tuple reads.
+type Stats struct {
+	IndexLookups int // hash-index probes
+	TupleReads   int // tuples materialized into the result or filtered post-index
+	Scanned      int // tuples visited by full scans
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.IndexLookups += other.IndexLookups
+	s.TupleReads += other.TupleReads
+	s.Scanned += other.Scanned
+}
+
+// Result is the outcome of executing one statement.
+type Result struct {
+	Columns  []string
+	Rows     [][]storage.Value
+	RowIDs   []storage.TupleID // parallel to Rows for SELECTs
+	Affected int               // rows inserted/deleted
+	Stats    Stats
+}
+
+// Engine executes SQL against a storage database and accumulates stats.
+type Engine struct {
+	db    *storage.Database
+	total Stats
+}
+
+// NewEngine wraps a database.
+func NewEngine(db *storage.Database) *Engine { return &Engine{db: db} }
+
+// Database returns the wrapped database.
+func (e *Engine) Database() *storage.Database { return e.db }
+
+// TotalStats returns the cumulative stats across all executed statements.
+func (e *Engine) TotalStats() Stats { return e.total }
+
+// ResetStats clears the cumulative stats.
+func (e *Engine) ResetStats() { e.total = Stats{} }
+
+// Exec parses and executes one statement.
+func (e *Engine) Exec(src string) (*Result, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.ExecStmt(st)
+	if err != nil {
+		return nil, err
+	}
+	e.total.Add(res.Stats)
+	return res, nil
+}
+
+// MustExec is Exec that panics on error, for fixtures and tests.
+func (e *Engine) MustExec(src string) *Result {
+	res, err := e.Exec(src)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// ExecStmt executes an already-parsed statement.
+func (e *Engine) ExecStmt(st Stmt) (*Result, error) {
+	switch st := st.(type) {
+	case *SelectStmt:
+		return e.execSelect(st)
+	case *InsertStmt:
+		return e.execInsert(st)
+	case *CreateTableStmt:
+		_, err := e.db.CreateRelation(st.Schema)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *DeleteStmt:
+		return e.execDelete(st)
+	case *UpdateStmt:
+		return e.execUpdate(st)
+	case *DropTableStmt:
+		if err := e.db.DropRelation(st.Table); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *CreateIndexStmt:
+		rel := e.db.Relation(st.Table)
+		if rel == nil {
+			return nil, fmt.Errorf("sql: no relation %s", st.Table)
+		}
+		var err error
+		if st.Ordered {
+			_, err = rel.CreateOrderedIndex(st.Column)
+		} else {
+			_, err = rel.CreateIndex(st.Column)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *ExplainStmt:
+		return e.execExplain(st)
+	default:
+		return nil, fmt.Errorf("sql: unsupported statement %T", st)
+	}
+}
+
+func (e *Engine) execInsert(st *InsertStmt) (*Result, error) {
+	if _, err := e.db.Insert(st.Table, st.Values...); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: 1}, nil
+}
+
+func (e *Engine) execDelete(st *DeleteStmt) (*Result, error) {
+	rel := e.db.Relation(st.Table)
+	if rel == nil {
+		return nil, fmt.Errorf("sql: no relation %s", st.Table)
+	}
+	ev, err := newEvaluator(rel.Schema(), st.Where)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	var doomed []storage.TupleID
+	rel.Scan(func(t storage.Tuple) bool {
+		res.Stats.Scanned++
+		ok, err2 := ev.matches(t)
+		if err2 != nil {
+			err = err2
+			return false
+		}
+		if ok {
+			doomed = append(doomed, t.ID)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range doomed {
+		if _, err := e.db.Delete(st.Table, id); err != nil {
+			return nil, err
+		}
+	}
+	res.Affected = len(doomed)
+	return res, nil
+}
+
+func (e *Engine) execUpdate(st *UpdateStmt) (*Result, error) {
+	rel := e.db.Relation(st.Table)
+	if rel == nil {
+		return nil, fmt.Errorf("sql: no relation %s", st.Table)
+	}
+	schema := rel.Schema()
+	setIdx := make([]int, len(st.Set))
+	for i, sc := range st.Set {
+		ci := schema.ColumnIndex(sc.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("sql: relation %s has no column %s", st.Table, sc.Column)
+		}
+		setIdx[i] = ci
+	}
+	ev, err := newEvaluator(schema, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	// Collect matching ids first so index maintenance during the update
+	// cannot disturb the scan.
+	var matched []storage.TupleID
+	rel.Scan(func(t storage.Tuple) bool {
+		res.Stats.Scanned++
+		ok, err2 := ev.matches(t)
+		if err2 != nil {
+			err = err2
+			return false
+		}
+		if ok {
+			matched = append(matched, t.ID)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range matched {
+		t, ok := rel.Get(id)
+		if !ok {
+			continue
+		}
+		vals := append([]storage.Value(nil), t.Values...)
+		for i, sc := range st.Set {
+			vals[setIdx[i]] = sc.Value
+		}
+		if err := e.db.Update(st.Table, id, vals); err != nil {
+			return nil, err
+		}
+		res.Affected++
+	}
+	return res, nil
+}
+
+// execExplain reports the access path the planner would choose: "rowid",
+// "index(col)" with the probe count, or "scan".
+func (e *Engine) execExplain(st *ExplainStmt) (*Result, error) {
+	rel := e.db.Relation(st.Inner.Table)
+	if rel == nil {
+		return nil, fmt.Errorf("sql: no relation %s", st.Inner.Table)
+	}
+	// Validate the inner statement fully (columns, predicate, order keys).
+	if _, err := newEvaluator(rel.Schema(), st.Inner.Where); err != nil {
+		return nil, err
+	}
+	plan := "scan"
+	conjuncts := collectConjuncts(st.Inner.Where)
+	for _, c := range conjuncts {
+		if col, vals, ok := eqOrInTarget(c); ok && col == RowIDColumn {
+			plan = fmt.Sprintf("rowid fetch (%d ids)", len(vals))
+			break
+		}
+	}
+	if plan == "scan" {
+		for _, c := range conjuncts {
+			col, vals, ok := eqOrInTarget(c)
+			if ok && rel.Schema().HasColumn(col) && rel.HasIndex(col) {
+				plan = fmt.Sprintf("index(%s) probes=%d", col, len(vals))
+				break
+			}
+		}
+	}
+	if plan == "scan" {
+		if col, _, _, ok := rangeTarget(rel, conjuncts); ok {
+			plan = fmt.Sprintf("range(%s)", col)
+		}
+	}
+	return &Result{
+		Columns: []string{"plan"},
+		Rows:    [][]storage.Value{{storage.String(plan)}},
+		RowIDs:  []storage.TupleID{0},
+	}, nil
+}
+
+func (e *Engine) execSelect(st *SelectStmt) (*Result, error) {
+	rel := e.db.Relation(st.Table)
+	if rel == nil {
+		return nil, fmt.Errorf("sql: no relation %s", st.Table)
+	}
+	schema := rel.Schema()
+
+	outCols := st.Columns
+	if outCols == nil {
+		outCols = schema.ColumnNames()
+	}
+	outIdx := make([]int, len(outCols)) // -1 means rowid
+	for i, c := range outCols {
+		if c == RowIDColumn {
+			outIdx[i] = -1
+			continue
+		}
+		ci := schema.ColumnIndex(c)
+		if ci < 0 {
+			return nil, fmt.Errorf("sql: relation %s has no column %s", st.Table, c)
+		}
+		outIdx[i] = ci
+	}
+
+	ev, err := newEvaluator(schema, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	// ORDER BY keys may name any column of the relation, not only projected
+	// ones; capture their positions for key extraction at emit time.
+	orderIdx := make([]int, len(st.OrderBy)) // -1 means rowid
+	for i, k := range st.OrderBy {
+		if k.Column == RowIDColumn {
+			orderIdx[i] = -1
+			continue
+		}
+		ci := schema.ColumnIndex(k.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("sql: ORDER BY column %s does not exist in %s", k.Column, st.Table)
+		}
+		orderIdx[i] = ci
+	}
+
+	res := &Result{Columns: outCols}
+
+	// Plan: try an index-backed access path from the WHERE clause, else scan.
+	candidates, planned := e.planAccess(rel, st.Where, &res.Stats)
+
+	// ORDER BY served by an ordered index: when no WHERE access path was
+	// chosen and the single sort key has a B-tree index covering every
+	// tuple (no NULLs in the column, which the index skips), stream ids in
+	// index order and skip the sort — with LIMIT this is a top-k that never
+	// materializes the full result.
+	orderedByIndex := false
+	if !planned && !st.Distinct && len(st.OrderBy) == 1 {
+		key := st.OrderBy[0]
+		if ix := rel.OrderedIndexOn(key.Column); ix != nil && ix.Len() == rel.Len() {
+			ids := make([]storage.TupleID, 0, ix.Len())
+			ix.Range(nil, nil, func(_ storage.Value, id storage.TupleID) bool {
+				ids = append(ids, id)
+				return true
+			})
+			if key.Desc {
+				for i, j := 0, len(ids)-1; i < j; i, j = i+1, j-1 {
+					ids[i], ids[j] = ids[j], ids[i]
+				}
+			}
+			res.Stats.IndexLookups++
+			candidates, planned, orderedByIndex = ids, true, true
+		}
+	}
+
+	var sortKeys [][]storage.Value
+	emit := func(t storage.Tuple) error {
+		ok, err := ev.matches(t)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		row := make([]storage.Value, len(outIdx))
+		for i, ci := range outIdx {
+			if ci < 0 {
+				row[i] = storage.Int(int64(t.ID))
+			} else {
+				row[i] = t.Values[ci]
+			}
+		}
+		res.Rows = append(res.Rows, row)
+		res.RowIDs = append(res.RowIDs, t.ID)
+		if len(orderIdx) > 0 {
+			keys := make([]storage.Value, len(orderIdx))
+			for i, ci := range orderIdx {
+				if ci < 0 {
+					keys[i] = storage.Int(int64(t.ID))
+				} else {
+					keys[i] = t.Values[ci]
+				}
+			}
+			sortKeys = append(sortKeys, keys)
+		}
+		res.Stats.TupleReads++
+		return nil
+	}
+
+	// When no post-processing will reorder or cut rows, the LIMIT (plus any
+	// OFFSET) can stop the producer early (the RowNum-style top-k of the
+	// paper). An index-ordered producer already emits in output order.
+	earlyCount := -1
+	if st.Limit >= 0 && (len(st.OrderBy) == 0 || orderedByIndex) && !st.Distinct {
+		earlyCount = st.Limit + st.Offset
+	}
+	earlyLimit := earlyCount >= 0
+
+	if planned {
+		for _, id := range candidates {
+			if earlyLimit && len(res.Rows) >= earlyCount {
+				break
+			}
+			t, ok := rel.Get(id)
+			if !ok {
+				continue
+			}
+			if err := emit(t); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		var scanErr error
+		rel.Scan(func(t storage.Tuple) bool {
+			if earlyLimit && len(res.Rows) >= earlyCount {
+				return false
+			}
+			res.Stats.Scanned++
+			if err := emit(t); err != nil {
+				scanErr = err
+				return false
+			}
+			return true
+		})
+		if scanErr != nil {
+			return nil, scanErr
+		}
+	}
+
+	// Sort before deduplication: dedupe keeps first occurrences in order,
+	// so a sorted input stays sorted, and the sort-key slice stays aligned
+	// with the rows it was captured for.
+	if len(st.OrderBy) > 0 && !orderedByIndex {
+		res.sortByKeys(st.OrderBy, sortKeys)
+	}
+	if st.Distinct {
+		res.dedupe()
+	}
+	if st.Offset > 0 {
+		if st.Offset >= len(res.Rows) {
+			res.Rows = nil
+			res.RowIDs = nil
+		} else {
+			res.Rows = res.Rows[st.Offset:]
+			res.RowIDs = res.RowIDs[st.Offset:]
+		}
+	}
+	if st.Limit >= 0 && len(res.Rows) > st.Limit {
+		res.Rows = res.Rows[:st.Limit]
+		res.RowIDs = res.RowIDs[:st.Limit]
+	}
+	return res, nil
+}
+
+// planAccess inspects the top-level AND-conjuncts of where for an equality
+// or IN predicate on rowid or on an indexed column and, if found, returns
+// the candidate tuple ids (in deterministic order) for re-checking against
+// the full predicate. The boolean reports whether a plan was found.
+func (e *Engine) planAccess(rel *storage.Relation, where Expr, stats *Stats) ([]storage.TupleID, bool) {
+	conjuncts := collectConjuncts(where)
+	schema := rel.Schema()
+
+	// Prefer rowid predicates: direct fetches, no index probe needed.
+	for _, c := range conjuncts {
+		if col, vals, ok := eqOrInTarget(c); ok && col == RowIDColumn {
+			ids := make([]storage.TupleID, 0, len(vals))
+			for _, v := range vals {
+				if v.Kind() == storage.KindInt {
+					ids = append(ids, storage.TupleID(v.AsInt()))
+				}
+			}
+			return ids, true
+		}
+	}
+	// Otherwise the first indexed equality/IN column wins.
+	for _, c := range conjuncts {
+		col, vals, ok := eqOrInTarget(c)
+		if !ok || !schema.HasColumn(col) || !rel.HasIndex(col) {
+			continue
+		}
+		var ids []storage.TupleID
+		for _, v := range vals {
+			stats.IndexLookups++
+			found, err := rel.Lookup(col, v)
+			if err == nil {
+				ids = append(ids, found...)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		// Dedupe (IN lists may repeat values).
+		ids = dedupeIDs(ids)
+		return ids, true
+	}
+	// Finally, a range over an ordered (B-tree) index.
+	if col, lo, hi, ok := rangeTarget(rel, conjuncts); ok {
+		ix := rel.OrderedIndexOn(col)
+		stats.IndexLookups++
+		var ids []storage.TupleID
+		ix.Range(lo, hi, func(_ storage.Value, id storage.TupleID) bool {
+			ids = append(ids, id)
+			return true
+		})
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return ids, true
+	}
+	return nil, false
+}
+
+// rangeTarget folds the top-level range conjuncts (col < v, col >= v, ...)
+// over a single ordered-indexed column into [lo, hi] bounds. It returns ok
+// when at least one bound exists on some ordered-indexed column; remaining
+// predicates are re-checked by the evaluator as usual.
+func rangeTarget(rel *storage.Relation, conjuncts []Expr) (string, *storage.Bound, *storage.Bound, bool) {
+	type bounds struct{ lo, hi *storage.Bound }
+	perCol := map[string]*bounds{}
+	order := []string{}
+	for _, c := range conjuncts {
+		cmp, ok := c.(*Compare)
+		if !ok {
+			continue
+		}
+		var col string
+		var lit storage.Value
+		op := cmp.Op
+		if cr, ok := cmp.Left.(*ColumnRef); ok {
+			if l, ok := cmp.Right.(*Literal); ok {
+				col, lit = cr.Name, l.Value
+			}
+		} else if cr, ok := cmp.Right.(*ColumnRef); ok {
+			if l, ok := cmp.Left.(*Literal); ok {
+				// Flip: v < col means col > v.
+				col, lit = cr.Name, l.Value
+				switch op {
+				case OpLt:
+					op = OpGt
+				case OpLe:
+					op = OpGe
+				case OpGt:
+					op = OpLt
+				case OpGe:
+					op = OpLe
+				}
+			}
+		}
+		if col == "" || lit.IsNull() || rel.OrderedIndexOn(col) == nil {
+			continue
+		}
+		b := perCol[col]
+		if b == nil {
+			b = &bounds{}
+			perCol[col] = b
+			order = append(order, col)
+		}
+		switch op {
+		case OpGt:
+			b.lo = tighterLo(b.lo, &storage.Bound{Value: lit, Inclusive: false})
+		case OpGe:
+			b.lo = tighterLo(b.lo, &storage.Bound{Value: lit, Inclusive: true})
+		case OpLt:
+			b.hi = tighterHi(b.hi, &storage.Bound{Value: lit, Inclusive: false})
+		case OpLe:
+			b.hi = tighterHi(b.hi, &storage.Bound{Value: lit, Inclusive: true})
+		}
+	}
+	for _, col := range order {
+		b := perCol[col]
+		if b.lo != nil || b.hi != nil {
+			return col, b.lo, b.hi, true
+		}
+	}
+	return "", nil, nil, false
+}
+
+// tighterLo keeps the stricter (larger) lower bound.
+func tighterLo(a, b *storage.Bound) *storage.Bound {
+	if a == nil {
+		return b
+	}
+	c := b.Value.Compare(a.Value)
+	if c > 0 || (c == 0 && !b.Inclusive) {
+		return b
+	}
+	return a
+}
+
+// tighterHi keeps the stricter (smaller) upper bound.
+func tighterHi(a, b *storage.Bound) *storage.Bound {
+	if a == nil {
+		return b
+	}
+	c := b.Value.Compare(a.Value)
+	if c < 0 || (c == 0 && !b.Inclusive) {
+		return b
+	}
+	return a
+}
+
+// collectConjuncts flattens nested ANDs into a list; a nil expression yields
+// an empty list.
+func collectConjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if l, ok := e.(*Logical); ok && l.And {
+		return append(collectConjuncts(l.Left), collectConjuncts(l.Right)...)
+	}
+	return []Expr{e}
+}
+
+// eqOrInTarget recognises `col = literal` (either side) and `col IN (...)`
+// conjuncts and returns the column and candidate values.
+func eqOrInTarget(e Expr) (string, []storage.Value, bool) {
+	switch e := e.(type) {
+	case *Compare:
+		if e.Op != OpEq {
+			return "", nil, false
+		}
+		if c, ok := e.Left.(*ColumnRef); ok {
+			if lit, ok := e.Right.(*Literal); ok {
+				return c.Name, []storage.Value{lit.Value}, true
+			}
+		}
+		if c, ok := e.Right.(*ColumnRef); ok {
+			if lit, ok := e.Left.(*Literal); ok {
+				return c.Name, []storage.Value{lit.Value}, true
+			}
+		}
+	case *InList:
+		if e.Not {
+			return "", nil, false
+		}
+		if c, ok := e.Left.(*ColumnRef); ok {
+			return c.Name, e.Values, true
+		}
+	}
+	return "", nil, false
+}
+
+func dedupeIDs(ids []storage.TupleID) []storage.TupleID {
+	out := ids[:0]
+	var prev storage.TupleID = -1
+	for _, id := range ids {
+		if id != prev {
+			out = append(out, id)
+		}
+		prev = id
+	}
+	return out
+}
+
+// dedupe removes duplicate rows (by rendered values), keeping first
+// occurrences in order.
+func (r *Result) dedupe() {
+	seen := make(map[string]bool, len(r.Rows))
+	outRows := r.Rows[:0]
+	outIDs := r.RowIDs[:0]
+	for i, row := range r.Rows {
+		key := ""
+		for _, v := range row {
+			key += v.SQL() + "\x00"
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		outRows = append(outRows, row)
+		outIDs = append(outIDs, r.RowIDs[i])
+	}
+	r.Rows = outRows
+	r.RowIDs = outIDs
+}
+
+// sortByKeys orders rows by pre-extracted key values (parallel to Rows),
+// so the sort keys may name columns the projection dropped.
+func (r *Result) sortByKeys(keys []OrderKey, sortKeys [][]storage.Value) {
+	type pair struct {
+		row  []storage.Value
+		id   storage.TupleID
+		keys []storage.Value
+	}
+	pairs := make([]pair, len(r.Rows))
+	for i := range r.Rows {
+		pairs[i] = pair{r.Rows[i], r.RowIDs[i], sortKeys[i]}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool {
+		for k := range keys {
+			cmp := pairs[i].keys[k].Compare(pairs[j].keys[k])
+			if keys[k].Desc {
+				cmp = -cmp
+			}
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	for i := range pairs {
+		r.Rows[i] = pairs[i].row
+		r.RowIDs[i] = pairs[i].id
+	}
+}
+
+// evaluator checks a tuple against a parsed predicate.
+type evaluator struct {
+	schema *storage.Schema
+	expr   Expr
+}
+
+func newEvaluator(schema *storage.Schema, e Expr) (*evaluator, error) {
+	ev := &evaluator{schema: schema, expr: e}
+	if e != nil {
+		if err := ev.check(e); err != nil {
+			return nil, err
+		}
+	}
+	return ev, nil
+}
+
+// check validates column references eagerly so errors surface at parse time
+// rather than mid-scan.
+func (ev *evaluator) check(e Expr) error {
+	switch e := e.(type) {
+	case *ColumnRef:
+		if e.Name != RowIDColumn && !ev.schema.HasColumn(e.Name) {
+			return errf(e.Pos, "relation %s has no column %s", ev.schema.Name, e.Name)
+		}
+	case *Compare:
+		if err := ev.check(e.Left); err != nil {
+			return err
+		}
+		return ev.check(e.Right)
+	case *InList:
+		return ev.check(e.Left)
+	case *Like:
+		return ev.check(e.Left)
+	case *IsNull:
+		return ev.check(e.Left)
+	case *Logical:
+		if err := ev.check(e.Left); err != nil {
+			return err
+		}
+		return ev.check(e.Right)
+	case *Not:
+		return ev.check(e.Inner)
+	}
+	return nil
+}
+
+// matches reports whether tuple t satisfies the predicate (nil matches all).
+func (ev *evaluator) matches(t storage.Tuple) (bool, error) {
+	if ev.expr == nil {
+		return true, nil
+	}
+	return ev.eval(ev.expr, t)
+}
+
+func (ev *evaluator) value(e Expr, t storage.Tuple) (storage.Value, error) {
+	switch e := e.(type) {
+	case *ColumnRef:
+		if e.Name == RowIDColumn {
+			return storage.Int(int64(t.ID)), nil
+		}
+		return t.Values[ev.schema.ColumnIndex(e.Name)], nil
+	case *Literal:
+		return e.Value, nil
+	default:
+		return storage.Null, fmt.Errorf("sql: expression %q is not a scalar", exprString(e))
+	}
+}
+
+func (ev *evaluator) eval(e Expr, t storage.Tuple) (bool, error) {
+	switch e := e.(type) {
+	case *Compare:
+		l, err := ev.value(e.Left, t)
+		if err != nil {
+			return false, err
+		}
+		r, err := ev.value(e.Right, t)
+		if err != nil {
+			return false, err
+		}
+		// SQL three-valued logic: comparisons with NULL are not true.
+		if l.IsNull() || r.IsNull() {
+			return false, nil
+		}
+		switch e.Op {
+		case OpEq:
+			return l.Equal(r), nil
+		case OpNe:
+			return !l.Equal(r), nil
+		case OpLt:
+			return l.Compare(r) < 0, nil
+		case OpLe:
+			return l.Compare(r) <= 0, nil
+		case OpGt:
+			return l.Compare(r) > 0, nil
+		case OpGe:
+			return l.Compare(r) >= 0, nil
+		}
+		return false, nil
+	case *InList:
+		l, err := ev.value(e.Left, t)
+		if err != nil {
+			return false, err
+		}
+		if l.IsNull() {
+			return false, nil
+		}
+		found := false
+		for _, v := range e.Values {
+			if l.Equal(v) {
+				found = true
+				break
+			}
+		}
+		return found != e.Not, nil
+	case *Like:
+		l, err := ev.value(e.Left, t)
+		if err != nil {
+			return false, err
+		}
+		if l.Kind() != storage.KindString {
+			return false, nil
+		}
+		return likeMatch(e.Pattern, l.AsString()) != e.Not, nil
+	case *IsNull:
+		l, err := ev.value(e.Left, t)
+		if err != nil {
+			return false, err
+		}
+		return l.IsNull() != e.Not, nil
+	case *Logical:
+		l, err := ev.eval(e.Left, t)
+		if err != nil {
+			return false, err
+		}
+		if e.And {
+			if !l {
+				return false, nil
+			}
+			return ev.eval(e.Right, t)
+		}
+		if l {
+			return true, nil
+		}
+		return ev.eval(e.Right, t)
+	case *Not:
+		v, err := ev.eval(e.Inner, t)
+		if err != nil {
+			return false, err
+		}
+		return !v, nil
+	default:
+		return false, fmt.Errorf("sql: expression %q is not boolean", exprString(e))
+	}
+}

@@ -1,0 +1,101 @@
+package sqlx
+
+import (
+	"reflect"
+	"testing"
+)
+
+func kinds(toks []token) []tokenKind {
+	out := make([]tokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.kind
+	}
+	return out
+}
+
+func texts(toks []token) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.text
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lexAll("SELECT title, year FROM MOVIE WHERE mid = 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"SELECT", "title", ",", "year", "FROM", "MOVIE", "WHERE", "mid", "=", "5", ""}
+	if got := texts(toks); !reflect.DeepEqual(got, want) {
+		t.Errorf("texts = %v", got)
+	}
+	if toks[0].kind != tokKeyword || toks[1].kind != tokIdent || toks[9].kind != tokInt {
+		t.Errorf("kinds = %v", kinds(toks))
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := lexAll("select FrOm WHERE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if texts(toks)[0] != "SELECT" || texts(toks)[1] != "FROM" || texts(toks)[2] != "WHERE" {
+		t.Errorf("keywords not canonicalized: %v", texts(toks))
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := lexAll("42 -7 3.25 -0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := []tokenKind{tokInt, tokInt, tokFloat, tokFloat, tokEOF}
+	if got := kinds(toks); !reflect.DeepEqual(got, wantKinds) {
+		t.Errorf("kinds = %v", got)
+	}
+	if texts(toks)[1] != "-7" || texts(toks)[3] != "-0.5" {
+		t.Errorf("texts = %v", texts(toks))
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := lexAll("'Woody Allen' 'O''Hara' ''")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Woody Allen", "O'Hara", "", ""}
+	if got := texts(toks); !reflect.DeepEqual(got, want) {
+		t.Errorf("texts = %v", got)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := lexAll("< <= > >= <> != = ( ) , *")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"<", "<=", ">", ">=", "<>", "!=", "=", "(", ")", ",", "*", ""}
+	if got := texts(toks); !reflect.DeepEqual(got, want) {
+		t.Errorf("texts = %v", got)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", "@", "!x"} {
+		if _, err := lexAll(src); err == nil {
+			t.Errorf("lexAll(%q) accepted", src)
+		}
+	}
+}
+
+func TestQuoteIdent(t *testing.T) {
+	if q, ok := QuoteIdent("title"); !ok || q != "title" {
+		t.Error("valid identifier rejected")
+	}
+	for _, bad := range []string{"", "1abc", "a b", "a;b", "SELECT", "a'b"} {
+		if _, ok := QuoteIdent(bad); ok {
+			t.Errorf("QuoteIdent(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,599 @@
+package sqlx
+
+import (
+	"strconv"
+	"strings"
+
+	"precis/internal/storage"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses a single SQL statement.
+func Parse(src string) (Stmt, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, errf(p.cur().pos, "unexpected trailing input %s", p.cur())
+	}
+	return st, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) atEOF() bool { return p.cur().kind == tokEOF }
+
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+// acceptKeyword consumes the keyword if present.
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.cur().kind == tokKeyword && p.cur().text == kw {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return errf(p.cur().pos, "expected %s, got %s", kw, p.cur())
+	}
+	return nil
+}
+
+// acceptSymbol consumes the symbol if present.
+func (p *parser) acceptSymbol(sym string) bool {
+	if p.cur().kind == tokSymbol && p.cur().text == sym {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return errf(p.cur().pos, "expected %q, got %s", sym, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.cur().kind != tokIdent {
+		return "", errf(p.cur().pos, "expected identifier, got %s", p.cur())
+	}
+	return p.advance().text, nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	switch {
+	case p.acceptKeyword("SELECT"):
+		return p.selectStmt()
+	case p.acceptKeyword("INSERT"):
+		return p.insertStmt()
+	case p.acceptKeyword("CREATE"):
+		return p.createStmt()
+	case p.acceptKeyword("DELETE"):
+		return p.deleteStmt()
+	case p.acceptKeyword("UPDATE"):
+		return p.updateStmt()
+	case p.acceptKeyword("DROP"):
+		return p.dropStmt()
+	case p.acceptKeyword("EXPLAIN"):
+		if err := p.expectKeyword("SELECT"); err != nil {
+			return nil, err
+		}
+		sel, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Inner: sel}, nil
+	default:
+		return nil, errf(p.cur().pos,
+			"expected SELECT, INSERT, CREATE, DELETE, UPDATE, DROP or EXPLAIN, got %s", p.cur())
+	}
+}
+
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	st := &SelectStmt{Limit: -1}
+	st.Distinct = p.acceptKeyword("DISTINCT")
+	if p.acceptSymbol("*") {
+		st.Columns = nil
+	} else {
+		for {
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			st.Columns = append(st.Columns, name)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = table
+	if p.acceptKeyword("WHERE") {
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Column: name}
+			if p.acceptKeyword("DESC") {
+				key.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			st.OrderBy = append(st.OrderBy, key)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		if p.cur().kind != tokInt {
+			return nil, errf(p.cur().pos, "LIMIT expects an integer, got %s", p.cur())
+		}
+		n, err := strconv.Atoi(p.advance().text)
+		if err != nil || n < 0 {
+			return nil, errf(p.cur().pos, "invalid LIMIT")
+		}
+		st.Limit = n
+		if p.acceptKeyword("OFFSET") {
+			if p.cur().kind != tokInt {
+				return nil, errf(p.cur().pos, "OFFSET expects an integer, got %s", p.cur())
+			}
+			m, err := strconv.Atoi(p.advance().text)
+			if err != nil || m < 0 {
+				return nil, errf(p.cur().pos, "invalid OFFSET")
+			}
+			st.Offset = m
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) updateStmt() (*UpdateStmt, error) {
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{Table: table}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		st.Set = append(st.Set, SetClause{Column: col, Value: v})
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *parser) dropStmt() (*DropTableStmt, error) {
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTableStmt{Table: table}, nil
+}
+
+func (p *parser) insertStmt() (*InsertStmt, error) {
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: table}
+	for {
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		st.Values = append(st.Values, v)
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) createStmt() (Stmt, error) {
+	if p.acceptKeyword("ORDERED") {
+		if err := p.expectKeyword("INDEX"); err != nil {
+			return nil, err
+		}
+		return p.createIndexStmt(true)
+	}
+	if p.acceptKeyword("INDEX") {
+		return p.createIndexStmt(false)
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var cols []storage.Column
+	key := ""
+	for {
+		if p.acceptKeyword("PRIMARY") {
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			key, err = p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+		} else {
+			colName, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			t := p.cur()
+			if t.kind != tokKeyword {
+				return nil, errf(t.pos, "expected column type, got %s", t)
+			}
+			var ct storage.ColType
+			switch t.text {
+			case "INT":
+				ct = storage.TypeInt
+			case "FLOAT":
+				ct = storage.TypeFloat
+			case "TEXT":
+				ct = storage.TypeString
+			case "BOOL":
+				ct = storage.TypeBool
+			default:
+				return nil, errf(t.pos, "unknown column type %s", t)
+			}
+			p.advance()
+			cols = append(cols, storage.Column{Name: colName, Type: ct})
+		}
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	schema, err := storage.NewSchema(name, key, cols...)
+	if err != nil {
+		return nil, errf(0, "%v", err)
+	}
+	return &CreateTableStmt{Schema: schema}, nil
+}
+
+// createIndexStmt parses the tail of CREATE [ORDERED] INDEX: ON t (col).
+func (p *parser) createIndexStmt(ordered bool) (*CreateIndexStmt, error) {
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	col, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return &CreateIndexStmt{Table: table, Column: col, Ordered: ordered}, nil
+}
+
+func (p *parser) deleteStmt() (*DeleteStmt, error) {
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: table}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+// literal parses a constant: number, string, TRUE/FALSE, NULL.
+func (p *parser) literal() (storage.Value, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return storage.Null, errf(t.pos, "invalid integer %s", t)
+		}
+		p.advance()
+		return storage.Int(n), nil
+	case tokFloat:
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return storage.Null, errf(t.pos, "invalid float %s", t)
+		}
+		p.advance()
+		return storage.Float(f), nil
+	case tokString:
+		p.advance()
+		return storage.String(t.text), nil
+	case tokKeyword:
+		switch t.text {
+		case "TRUE":
+			p.advance()
+			return storage.Bool(true), nil
+		case "FALSE":
+			p.advance()
+			return storage.Bool(false), nil
+		case "NULL":
+			p.advance()
+			return storage.Null, nil
+		}
+	}
+	return storage.Null, errf(t.pos, "expected literal, got %s", t)
+}
+
+// orExpr = andExpr (OR andExpr)*
+func (p *parser) orExpr() (Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &Logical{And: false, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// andExpr = notExpr (AND notExpr)*
+func (p *parser) andExpr() (Expr, error) {
+	left, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &Logical{And: true, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// notExpr = [NOT] predicate
+func (p *parser) notExpr() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		inner, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{Inner: inner}, nil
+	}
+	return p.predicate()
+}
+
+// predicate = '(' orExpr ')' | operand (compare | IN | LIKE | IS NULL)
+func (p *parser) predicate() (Expr, error) {
+	if p.acceptSymbol("(") {
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	left, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	// Optional NOT before IN / LIKE.
+	neg := false
+	if p.acceptKeyword("NOT") {
+		neg = true
+	}
+	switch {
+	case p.acceptKeyword("IN"):
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		in := &InList{Left: left, Not: neg}
+		for {
+			v, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			in.Values = append(in.Values, v)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+
+	case p.acceptKeyword("LIKE"):
+		t := p.cur()
+		if t.kind != tokString {
+			return nil, errf(t.pos, "LIKE expects a string pattern, got %s", t)
+		}
+		p.advance()
+		return &Like{Left: left, Pattern: t.text, Not: neg}, nil
+
+	case neg:
+		return nil, errf(p.cur().pos, "expected IN or LIKE after NOT, got %s", p.cur())
+
+	case p.acceptKeyword("IS"):
+		not := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{Left: left, Not: not}, nil
+
+	default:
+		t := p.cur()
+		if t.kind != tokSymbol {
+			return nil, errf(t.pos, "expected comparison operator, got %s", t)
+		}
+		var op CompareOp
+		switch t.text {
+		case "=":
+			op = OpEq
+		case "<>", "!=":
+			op = OpNe
+		case "<":
+			op = OpLt
+		case "<=":
+			op = OpLe
+		case ">":
+			op = OpGt
+		case ">=":
+			op = OpGe
+		default:
+			return nil, errf(t.pos, "expected comparison operator, got %s", t)
+		}
+		p.advance()
+		right, err := p.operand()
+		if err != nil {
+			return nil, err
+		}
+		return &Compare{Op: op, Left: left, Right: right}, nil
+	}
+}
+
+// operand = column reference | literal
+func (p *parser) operand() (Expr, error) {
+	t := p.cur()
+	if t.kind == tokIdent {
+		p.advance()
+		return &ColumnRef{Name: t.text, Pos: t.pos}, nil
+	}
+	v, err := p.literal()
+	if err != nil {
+		return nil, err
+	}
+	return &Literal{Value: v}, nil
+}
+
+// QuoteIdent validates an identifier for safe interpolation into generated
+// SQL. The précis layer builds queries textually (as the paper's prototype
+// did against Oracle); this guards against malformed relation or column
+// names reaching the parser.
+func QuoteIdent(name string) (string, bool) {
+	if name == "" || !isIdentStart(name[0]) {
+		return "", false
+	}
+	for i := 1; i < len(name); i++ {
+		if !isIdentPart(name[i]) {
+			return "", false
+		}
+	}
+	if keywords[strings.ToUpper(name)] {
+		return "", false
+	}
+	return name, true
+}
+
+// Ident renders an identifier for interpolation into generated SQL,
+// double-quoting it when the bare form would collide with a keyword (a
+// column named "text", say) or contains no safe spelling.
+func Ident(name string) string {
+	if q, ok := QuoteIdent(name); ok {
+		return q
+	}
+	return `"` + strings.ReplaceAll(name, `"`, ``) + `"`
+}

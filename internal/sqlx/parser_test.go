@@ -1,0 +1,233 @@
+package sqlx
+
+import (
+	"reflect"
+	"testing"
+
+	"precis/internal/storage"
+)
+
+func parseSelect(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	st, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		t.Fatalf("Parse(%q) = %T, want *SelectStmt", src, st)
+	}
+	return sel
+}
+
+func TestParseSelectStar(t *testing.T) {
+	sel := parseSelect(t, "SELECT * FROM MOVIE")
+	if sel.Columns != nil || sel.Table != "MOVIE" || sel.Where != nil || sel.Limit != -1 {
+		t.Errorf("sel = %+v", sel)
+	}
+}
+
+func TestParseSelectColumns(t *testing.T) {
+	sel := parseSelect(t, "SELECT title, year, rowid FROM MOVIE")
+	if !reflect.DeepEqual(sel.Columns, []string{"title", "year", "rowid"}) {
+		t.Errorf("columns = %v", sel.Columns)
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	sel := parseSelect(t, "SELECT DISTINCT did FROM MOVIE")
+	if !sel.Distinct {
+		t.Error("DISTINCT not parsed")
+	}
+}
+
+func TestParseWherePrecedence(t *testing.T) {
+	sel := parseSelect(t, "SELECT * FROM R WHERE a = 1 OR b = 2 AND c = 3")
+	or, ok := sel.Where.(*Logical)
+	if !ok || or.And {
+		t.Fatalf("top = %T (%+v), want OR", sel.Where, sel.Where)
+	}
+	and, ok := or.Right.(*Logical)
+	if !ok || !and.And {
+		t.Fatalf("right = %T, want AND (AND binds tighter than OR)", or.Right)
+	}
+}
+
+func TestParseParens(t *testing.T) {
+	sel := parseSelect(t, "SELECT * FROM R WHERE (a = 1 OR b = 2) AND c = 3")
+	and, ok := sel.Where.(*Logical)
+	if !ok || !and.And {
+		t.Fatalf("top = %T, want AND", sel.Where)
+	}
+	if _, ok := and.Left.(*Logical); !ok {
+		t.Fatalf("left = %T, want OR group", and.Left)
+	}
+}
+
+func TestParseInList(t *testing.T) {
+	sel := parseSelect(t, "SELECT * FROM R WHERE id IN (1, 2, 3)")
+	in, ok := sel.Where.(*InList)
+	if !ok {
+		t.Fatalf("where = %T", sel.Where)
+	}
+	want := []storage.Value{storage.Int(1), storage.Int(2), storage.Int(3)}
+	if !reflect.DeepEqual(in.Values, want) {
+		t.Errorf("values = %v", in.Values)
+	}
+	sel2 := parseSelect(t, "SELECT * FROM R WHERE id NOT IN (1)")
+	if in2 := sel2.Where.(*InList); !in2.Not {
+		t.Error("NOT IN not parsed")
+	}
+}
+
+func TestParseLikeAndIsNull(t *testing.T) {
+	sel := parseSelect(t, "SELECT * FROM R WHERE name LIKE '%allen%'")
+	like, ok := sel.Where.(*Like)
+	if !ok || like.Pattern != "%allen%" {
+		t.Fatalf("where = %#v", sel.Where)
+	}
+	sel2 := parseSelect(t, "SELECT * FROM R WHERE name IS NOT NULL AND x IS NULL")
+	and := sel2.Where.(*Logical)
+	if l := and.Left.(*IsNull); !l.Not {
+		t.Error("IS NOT NULL")
+	}
+	if r := and.Right.(*IsNull); r.Not {
+		t.Error("IS NULL")
+	}
+}
+
+func TestParseNot(t *testing.T) {
+	sel := parseSelect(t, "SELECT * FROM R WHERE NOT a = 1")
+	if _, ok := sel.Where.(*Not); !ok {
+		t.Fatalf("where = %T", sel.Where)
+	}
+}
+
+func TestParseOrderByLimit(t *testing.T) {
+	sel := parseSelect(t, "SELECT * FROM R ORDER BY a DESC, b ASC, c LIMIT 10")
+	want := []OrderKey{{"a", true}, {"b", false}, {"c", false}}
+	if !reflect.DeepEqual(sel.OrderBy, want) {
+		t.Errorf("order = %v", sel.OrderBy)
+	}
+	if sel.Limit != 10 {
+		t.Errorf("limit = %d", sel.Limit)
+	}
+}
+
+func TestParseComparisonOps(t *testing.T) {
+	ops := map[string]CompareOp{"=": OpEq, "<>": OpNe, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe}
+	for sym, op := range ops {
+		sel := parseSelect(t, "SELECT * FROM R WHERE a "+sym+" 1")
+		cmp, ok := sel.Where.(*Compare)
+		if !ok || cmp.Op != op {
+			t.Errorf("op %q parsed as %#v", sym, sel.Where)
+		}
+	}
+}
+
+func TestParseLiteralKinds(t *testing.T) {
+	sel := parseSelect(t, "SELECT * FROM R WHERE a = 'x' OR b = 1.5 OR c = TRUE OR d = NULL")
+	_ = sel // structure checked by parsing successfully
+}
+
+func TestParseInsert(t *testing.T) {
+	st, err := Parse("INSERT INTO MOVIE VALUES (1, 'Match Point', 2005, TRUE, NULL, 1.5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*InsertStmt)
+	if ins.Table != "MOVIE" || len(ins.Values) != 6 {
+		t.Fatalf("ins = %+v", ins)
+	}
+	if ins.Values[1] != storage.String("Match Point") || !ins.Values[4].IsNull() {
+		t.Errorf("values = %v", ins.Values)
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st, err := Parse("CREATE TABLE MOVIE (mid INT, title TEXT, score FLOAT, seen BOOL, PRIMARY KEY (mid))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(*CreateTableStmt)
+	if ct.Schema.Name != "MOVIE" || ct.Schema.Key != "mid" || len(ct.Schema.Columns) != 4 {
+		t.Fatalf("schema = %v", ct.Schema)
+	}
+	if ct.Schema.Columns[2].Type != storage.TypeFloat {
+		t.Error("FLOAT column type")
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	st, err := Parse("DELETE FROM MOVIE WHERE year < 1990")
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := st.(*DeleteStmt)
+	if del.Table != "MOVIE" || del.Where == nil {
+		t.Fatalf("del = %+v", del)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC * FROM R",
+		"SELECT FROM R",
+		"SELECT * R",
+		"SELECT * FROM R WHERE",
+		"SELECT * FROM R WHERE a =",
+		"SELECT * FROM R WHERE a NOT 5",
+		"SELECT * FROM R LIMIT x",
+		"SELECT * FROM R LIMIT -1",
+		"SELECT * FROM R ORDER a",
+		"SELECT * FROM R extra",
+		"INSERT INTO R (1)",
+		"INSERT INTO R VALUES 1",
+		"INSERT INTO R VALUES (1",
+		"CREATE TABLE R (a WIBBLE)",
+		"CREATE TABLE R (a INT, a INT)",
+		"SELECT * FROM R WHERE a IN ()",
+		"SELECT * FROM R WHERE a LIKE 5",
+		"DELETE R",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"abc", "abc", true},
+		{"abc", "abd", false},
+		{"a%", "abc", true},
+		{"%c", "abc", true},
+		{"%b%", "abc", true},
+		{"a_c", "abc", true},
+		{"a_c", "abbc", false},
+		{"%", "", true},
+		{"", "", true},
+		{"", "x", false},
+		{"%%x%%", "yyxyy", true},
+		{"_", "", false},
+		{"a%b%c", "a123b456c", true},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.pattern, c.s); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v", c.pattern, c.s, got)
+		}
+	}
+}
+
+func TestExprString(t *testing.T) {
+	sel := parseSelect(t, "SELECT * FROM R WHERE a = 1 AND b NOT IN (2, 3) OR NOT c LIKE 'x%' AND d IS NOT NULL")
+	s := exprString(sel.Where)
+	if s == "" || s == "?" {
+		t.Errorf("exprString = %q", s)
+	}
+}

@@ -1,0 +1,98 @@
+// Package sqlx implements the SQL subset through which the précis engine
+// talks to the storage layer, mirroring the paper's architecture in which
+// the result database is produced "by submitting to the database a series of
+// selection queries without joins". It provides a lexer, parser, and an
+// index-aware executor for:
+//
+//	CREATE TABLE t (col TYPE, ..., PRIMARY KEY (col))
+//	CREATE [ORDERED] INDEX ON t (col)
+//	DROP TABLE t
+//	INSERT INTO t VALUES (v, ...)
+//	SELECT cols FROM t [WHERE expr] [ORDER BY col [ASC|DESC], ...]
+//	    [LIMIT n [OFFSET m]]
+//	UPDATE t SET col = v, ... [WHERE expr]
+//	DELETE FROM t [WHERE expr]
+//	EXPLAIN SELECT ...
+//
+// Expressions support comparisons, IN lists, LIKE, IS [NOT] NULL, NOT, AND,
+// OR and parentheses. The pseudo-column "rowid" exposes tuple ids the way
+// Oracle's rowid does in the paper's prototype, and LIMIT plays the role of
+// Oracle's RowNum top-k cut-off.
+package sqlx
+
+import "fmt"
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokSymbol // ( ) , * = < > <= >= <> !=
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokKeyword:
+		return "keyword"
+	case tokInt:
+		return "integer"
+	case tokFloat:
+		return "float"
+	case tokString:
+		return "string"
+	case tokSymbol:
+		return "symbol"
+	default:
+		return "token"
+	}
+}
+
+// token is one lexical element with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string // canonical text; keywords upper-cased, strings unquoted
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// keywords recognised by the lexer (always case-insensitive in input).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "IN": true, "LIKE": true, "IS": true, "NULL": true,
+	"ORDER": true, "BY": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"CREATE": true, "TABLE": true, "PRIMARY": true, "KEY": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "DELETE": true,
+	"UPDATE": true, "SET": true, "DROP": true, "OFFSET": true, "EXPLAIN": true,
+	"INDEX": true, "ORDERED": true, "ON": true,
+	"INT": true, "FLOAT": true, "TEXT": true, "BOOL": true,
+	"TRUE": true, "FALSE": true, "DISTINCT": true,
+}
+
+// Error is a SQL front-end error carrying the offending position.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("sql: %s (at offset %d)", e.Msg, e.Pos)
+}
+
+func errf(pos int, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,93 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchDB(b *testing.B, rows int) *Database {
+	b.Helper()
+	db := NewDatabase("bench")
+	db.MustCreateRelation(MustSchema("R", "id",
+		Column{"id", TypeInt}, Column{"k", TypeInt}, Column{"s", TypeString}))
+	if _, err := db.Relation("R").CreateIndex("k"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if _, err := db.Insert("R", Int(int64(i)), Int(int64(i%100)), String(fmt.Sprintf("row %d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+func BenchmarkInsert(b *testing.B) {
+	db := NewDatabase("bench")
+	db.MustCreateRelation(MustSchema("R", "id",
+		Column{"id", TypeInt}, Column{"k", TypeInt}, Column{"s", TypeString}))
+	if _, err := db.Relation("R").CreateIndex("k"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Insert("R", Int(int64(i)), Int(int64(i%100)), String("x")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashLookup(b *testing.B) {
+	db := benchDB(b, 10000)
+	rel := db.Relation("R")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rel.Lookup("k", Int(int64(i%100))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBTreeInsertDelete(b *testing.B) {
+	bt := newBTree()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := btreeKey{v: Int(int64(i % 5000)), id: TupleID(i)}
+		bt.insert(k)
+		if i%3 == 0 {
+			bt.delete(k)
+		}
+	}
+}
+
+func BenchmarkOrderedRange(b *testing.B) {
+	db := benchDB(b, 10000)
+	rel := db.Relation("R")
+	if _, err := rel.CreateOrderedIndex("k"); err != nil {
+		b.Fatal(err)
+	}
+	ix := rel.OrderedIndexOn("k")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		ix.Range(&Bound{Int(int64(i % 80)), true}, &Bound{Int(int64(i%80 + 10)), true},
+			func(Value, TupleID) bool {
+				n++
+				return true
+			})
+		if n == 0 {
+			b.Fatal("empty range")
+		}
+	}
+}
+
+func BenchmarkExport(b *testing.B) {
+	db := benchDB(b, 2000)
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Export(db, fmt.Sprintf("%s/run%d", dir, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package storage
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestBTreeBasics(t *testing.T) {
+	bt := newBTree()
+	if !bt.insert(btreeKey{v: Int(1), id: 1}) {
+		t.Fatal("insert")
+	}
+	if bt.insert(btreeKey{v: Int(1), id: 1}) {
+		t.Fatal("duplicate accepted")
+	}
+	if !bt.insert(btreeKey{v: Int(1), id: 2}) {
+		t.Fatal("same value, new id rejected")
+	}
+	if bt.size != 2 {
+		t.Fatalf("size = %d", bt.size)
+	}
+	if !bt.contains(btreeKey{v: Int(1), id: 2}) {
+		t.Fatal("contains")
+	}
+	if !bt.delete(btreeKey{v: Int(1), id: 1}) || bt.delete(btreeKey{v: Int(1), id: 1}) {
+		t.Fatal("delete semantics")
+	}
+	if bt.size != 1 {
+		t.Fatalf("size after delete = %d", bt.size)
+	}
+}
+
+// checkBTreeInvariants walks the tree verifying node fill, ordering and
+// uniform leaf depth.
+func checkBTreeInvariants(t *testing.T, bt *btree) {
+	t.Helper()
+	var walk func(n *btreeNode, depth int, isRoot bool) int
+	var leafDepth = -1
+	var prev *btreeKey
+	walk = func(n *btreeNode, depth int, isRoot bool) int {
+		if !isRoot && (len(n.keys) < btreeDegree-1 || len(n.keys) > 2*btreeDegree-1) {
+			t.Fatalf("node fill %d outside [%d, %d]", len(n.keys), btreeDegree-1, 2*btreeDegree-1)
+		}
+		if n.leaf() {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				t.Fatalf("leaf depth %d != %d", depth, leafDepth)
+			}
+			for i := range n.keys {
+				if prev != nil && !prev.less(n.keys[i]) {
+					t.Fatalf("keys out of order")
+				}
+				k := n.keys[i]
+				prev = &k
+			}
+			return 1
+		}
+		if len(n.children) != len(n.keys)+1 {
+			t.Fatalf("children %d for %d keys", len(n.children), len(n.keys))
+		}
+		count := 0
+		for i := range n.keys {
+			count += walk(n.children[i], depth+1, false)
+			if prev != nil && !prev.less(n.keys[i]) {
+				t.Fatalf("separator out of order")
+			}
+			k := n.keys[i]
+			prev = &k
+		}
+		count += walk(n.children[len(n.children)-1], depth+1, false)
+		return count
+	}
+	walk(bt.root, 0, true)
+}
+
+// TestBTreeRandomOpsVsReference drives the tree with random inserts and
+// deletes, checking contents against a sorted-slice reference model and
+// structural invariants along the way.
+func TestBTreeRandomOpsVsReference(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	bt := newBTree()
+	ref := map[btreeKey]bool{}
+	for step := 0; step < 20000; step++ {
+		k := btreeKey{v: Int(int64(r.Intn(500))), id: TupleID(r.Intn(10))}
+		if r.Intn(3) == 0 {
+			got := bt.delete(k)
+			want := ref[k]
+			if got != want {
+				t.Fatalf("step %d: delete(%v) = %v, want %v", step, k, got, want)
+			}
+			delete(ref, k)
+		} else {
+			got := bt.insert(k)
+			want := !ref[k]
+			if got != want {
+				t.Fatalf("step %d: insert(%v) = %v, want %v", step, k, got, want)
+			}
+			ref[k] = true
+		}
+		if step%2500 == 0 {
+			checkBTreeInvariants(t, bt)
+		}
+	}
+	checkBTreeInvariants(t, bt)
+	if bt.size != len(ref) {
+		t.Fatalf("size %d != %d", bt.size, len(ref))
+	}
+	// Full in-order traversal equals the sorted reference.
+	var got []btreeKey
+	bt.ascend(btreeKey{v: Null, id: -1 << 62}, func(k btreeKey) bool {
+		got = append(got, k)
+		return true
+	})
+	want := make([]btreeKey, 0, len(ref))
+	for k := range ref {
+		want = append(want, k)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i].less(want[j]) })
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("traversal mismatch: %d vs %d keys", len(got), len(want))
+	}
+}
+
+func TestOrderedIndexRange(t *testing.T) {
+	db := NewDatabase("d")
+	db.MustCreateRelation(MustSchema("R", "",
+		Column{"year", TypeInt}, Column{"title", TypeString}))
+	rel := db.Relation("R")
+	if _, err := rel.CreateOrderedIndex("year"); err != nil {
+		t.Fatal(err)
+	}
+	years := []int64{1990, 1995, 2000, 2000, 2005, 2010}
+	for _, y := range years {
+		if _, err := db.Insert("R", Int(y), String("t")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Insert("R", Null, String("null-year")); err != nil {
+		t.Fatal(err)
+	}
+	ix := rel.OrderedIndexOn("year")
+	if ix == nil {
+		t.Fatal("no ordered index")
+	}
+	if ix.Len() != 6 {
+		t.Fatalf("Len = %d (NULL must not be indexed)", ix.Len())
+	}
+	collect := func(lo, hi *Bound) []int64 {
+		var out []int64
+		ix.Range(lo, hi, func(v Value, id TupleID) bool {
+			out = append(out, v.AsInt())
+			return true
+		})
+		return out
+	}
+	if got := collect(&Bound{Int(1995), true}, &Bound{Int(2005), true}); !reflect.DeepEqual(got, []int64{1995, 2000, 2000, 2005}) {
+		t.Errorf("closed range = %v", got)
+	}
+	if got := collect(&Bound{Int(1995), false}, &Bound{Int(2005), false}); !reflect.DeepEqual(got, []int64{2000, 2000}) {
+		t.Errorf("open range = %v", got)
+	}
+	if got := collect(nil, &Bound{Int(1995), true}); !reflect.DeepEqual(got, []int64{1990, 1995}) {
+		t.Errorf("unbounded low = %v", got)
+	}
+	if got := collect(&Bound{Int(2005), true}, nil); !reflect.DeepEqual(got, []int64{2005, 2010}) {
+		t.Errorf("unbounded high = %v", got)
+	}
+	if got := collect(nil, nil); len(got) != 6 {
+		t.Errorf("full range = %v", got)
+	}
+	// Early stop.
+	n := 0
+	ix.Range(nil, nil, func(Value, TupleID) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+// TestOrderedIndexMaintenance: the index follows inserts, deletes and
+// updates.
+func TestOrderedIndexMaintenance(t *testing.T) {
+	db := NewDatabase("d")
+	db.MustCreateRelation(MustSchema("R", "id",
+		Column{"id", TypeInt}, Column{"year", TypeInt}))
+	rel := db.Relation("R")
+	if _, err := rel.CreateOrderedIndex("year"); err != nil {
+		t.Fatal(err)
+	}
+	id1, _ := db.Insert("R", Int(1), Int(2000))
+	id2, _ := db.Insert("R", Int(2), Int(2005))
+	if _, err := db.Delete("R", id1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Update("R", id2, []Value{Int(2), Int(1990)}); err != nil {
+		t.Fatal(err)
+	}
+	ix := rel.OrderedIndexOn("year")
+	var got []int64
+	ix.Range(nil, nil, func(v Value, _ TupleID) bool {
+		got = append(got, v.AsInt())
+		return true
+	})
+	if !reflect.DeepEqual(got, []int64{1990}) {
+		t.Errorf("index contents = %v", got)
+	}
+}
+
+// TestOrderedIndexMatchesScan is the range-index correctness property over
+// random data and random bounds.
+func TestOrderedIndexMatchesScan(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	db := NewDatabase("d")
+	db.MustCreateRelation(MustSchema("R", "",
+		Column{"k", TypeInt}, Column{"pad", TypeString}))
+	rel := db.Relation("R")
+	if _, err := rel.CreateOrderedIndex("k"); err != nil {
+		t.Fatal(err)
+	}
+	var live []TupleID
+	for step := 0; step < 2000; step++ {
+		if len(live) > 0 && r.Intn(4) == 0 {
+			i := r.Intn(len(live))
+			if _, err := db.Delete("R", live[i]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		} else {
+			var v Value = Int(int64(r.Intn(100)))
+			if r.Intn(10) == 0 {
+				v = Null
+			}
+			id, err := db.Insert("R", v, String("x"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, id)
+		}
+	}
+	ix := rel.OrderedIndexOn("k")
+	for trial := 0; trial < 200; trial++ {
+		lo := int64(r.Intn(100))
+		hi := lo + int64(r.Intn(30))
+		loIncl, hiIncl := r.Intn(2) == 0, r.Intn(2) == 0
+		var got []TupleID
+		ix.Range(&Bound{Int(lo), loIncl}, &Bound{Int(hi), hiIncl}, func(_ Value, id TupleID) bool {
+			got = append(got, id)
+			return true
+		})
+		var want []TupleID
+		rel.Scan(func(tu Tuple) bool {
+			v := tu.Values[0]
+			if v.IsNull() {
+				return true
+			}
+			k := v.AsInt()
+			if (k > lo || (loIncl && k == lo)) && (k < hi || (hiIncl && k == hi)) {
+				want = append(want, tu.ID)
+			}
+			return true
+		})
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d [%d..%d]: index %v != scan %v", trial, lo, hi, got, want)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Database is a named collection of relations plus the foreign keys that
+// relate them. Tuple ids are unique across the whole database so that an
+// inverted-index posting (relation, attribute, tuple id) is unambiguous.
+type Database struct {
+	name   string
+	rels   map[string]*Relation
+	order  []string // relation names in creation order, for deterministic walks
+	fks    []ForeignKey
+	nextID TupleID
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase(name string) *Database {
+	return &Database{name: name, rels: make(map[string]*Relation), nextID: 1}
+}
+
+// Name returns the database name.
+func (db *Database) Name() string { return db.name }
+
+// CreateRelation adds an empty relation for the schema.
+func (db *Database) CreateRelation(s *Schema) (*Relation, error) {
+	if s == nil {
+		return nil, fmt.Errorf("storage: nil schema")
+	}
+	if _, ok := db.rels[s.Name]; ok {
+		return nil, fmt.Errorf("storage: relation %s already exists", s.Name)
+	}
+	r := newRelation(s.Clone())
+	db.rels[s.Name] = r
+	db.order = append(db.order, s.Name)
+	return r, nil
+}
+
+// MustCreateRelation is CreateRelation that panics on error, for fixtures.
+func (db *Database) MustCreateRelation(s *Schema) *Relation {
+	r, err := db.CreateRelation(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Relation returns the named relation, or nil.
+func (db *Database) Relation(name string) *Relation { return db.rels[name] }
+
+// RelationNames returns the relation names in creation order.
+func (db *Database) RelationNames() []string {
+	return append([]string(nil), db.order...)
+}
+
+// NumRelations returns the number of relations.
+func (db *Database) NumRelations() int { return len(db.order) }
+
+// TotalTuples returns the number of live tuples across all relations.
+func (db *Database) TotalTuples() int {
+	n := 0
+	for _, name := range db.order {
+		n += db.rels[name].Len()
+	}
+	return n
+}
+
+// AddForeignKey declares a foreign key and validates that both endpoints
+// exist. It does not retro-check existing data; see CheckIntegrity.
+func (db *Database) AddForeignKey(fk ForeignKey) error {
+	from := db.rels[fk.FromRelation]
+	if from == nil {
+		return fmt.Errorf("storage: foreign key %s: no relation %s", fk, fk.FromRelation)
+	}
+	if !from.Schema().HasColumn(fk.FromColumn) {
+		return fmt.Errorf("storage: foreign key %s: %s has no column %s", fk, fk.FromRelation, fk.FromColumn)
+	}
+	to := db.rels[fk.ToRelation]
+	if to == nil {
+		return fmt.Errorf("storage: foreign key %s: no relation %s", fk, fk.ToRelation)
+	}
+	if !to.Schema().HasColumn(fk.ToColumn) {
+		return fmt.Errorf("storage: foreign key %s: %s has no column %s", fk, fk.ToRelation, fk.ToColumn)
+	}
+	db.fks = append(db.fks, fk)
+	return nil
+}
+
+// ForeignKeys returns the declared foreign keys.
+func (db *Database) ForeignKeys() []ForeignKey {
+	return append([]ForeignKey(nil), db.fks...)
+}
+
+// Insert adds a tuple to the named relation and returns its id.
+func (db *Database) Insert(relation string, vals ...Value) (TupleID, error) {
+	r := db.rels[relation]
+	if r == nil {
+		return 0, fmt.Errorf("storage: no relation %s", relation)
+	}
+	id := db.nextID
+	got, err := r.insert(id, vals)
+	if err != nil {
+		return 0, err
+	}
+	db.nextID++
+	return got, nil
+}
+
+// InsertWithID adds a tuple with a caller-chosen id, used when materializing
+// a result database whose tuples must keep the ids of the original database.
+func (db *Database) InsertWithID(relation string, id TupleID, vals ...Value) error {
+	r := db.rels[relation]
+	if r == nil {
+		return fmt.Errorf("storage: no relation %s", relation)
+	}
+	if id <= 0 {
+		return fmt.Errorf("storage: tuple id must be positive, got %d", id)
+	}
+	if _, ok := r.Get(id); ok {
+		return fmt.Errorf("storage: relation %s already holds tuple %d", relation, id)
+	}
+	if _, err := r.insert(id, vals); err != nil {
+		return err
+	}
+	if id >= db.nextID {
+		db.nextID = id + 1
+	}
+	return nil
+}
+
+// Delete removes a tuple from the named relation.
+func (db *Database) Delete(relation string, id TupleID) (bool, error) {
+	r := db.rels[relation]
+	if r == nil {
+		return false, fmt.Errorf("storage: no relation %s", relation)
+	}
+	return r.delete(id), nil
+}
+
+// CreateJoinIndexes builds hash indexes on every column that participates in
+// a declared foreign key, mirroring the paper's "indexes on all join
+// attributes" experimental setup.
+func (db *Database) CreateJoinIndexes() error {
+	for _, fk := range db.fks {
+		if _, err := db.rels[fk.FromRelation].CreateIndex(fk.FromColumn); err != nil {
+			return err
+		}
+		if _, err := db.rels[fk.ToRelation].CreateIndex(fk.ToColumn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IntegrityViolation describes one referential-integrity failure.
+type IntegrityViolation struct {
+	ForeignKey ForeignKey
+	TupleID    TupleID
+	Value      Value
+}
+
+// String renders the violation for error messages.
+func (v IntegrityViolation) String() string {
+	return fmt.Sprintf("tuple %d of %s: %s=%s has no match in %s.%s",
+		v.TupleID, v.ForeignKey.FromRelation, v.ForeignKey.FromColumn,
+		v.Value.String(), v.ForeignKey.ToRelation, v.ForeignKey.ToColumn)
+}
+
+// CheckIntegrity verifies every declared foreign key over the current data
+// and returns all violations found. NULL references are allowed.
+func (db *Database) CheckIntegrity() []IntegrityViolation {
+	var out []IntegrityViolation
+	for _, fk := range db.fks {
+		from := db.rels[fk.FromRelation]
+		to := db.rels[fk.ToRelation]
+		fi := from.Schema().ColumnIndex(fk.FromColumn)
+		from.Scan(func(t Tuple) bool {
+			v := t.Values[fi]
+			if v.IsNull() {
+				return true
+			}
+			ids, err := to.Lookup(fk.ToColumn, v)
+			if err == nil && len(ids) == 0 {
+				out = append(out, IntegrityViolation{ForeignKey: fk, TupleID: t.ID, Value: v})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// Stats summarises a database for reporting.
+type Stats struct {
+	Relations int
+	Tuples    int
+	PerRel    map[string]int
+}
+
+// Stats returns relation and tuple counts.
+func (db *Database) Stats() Stats {
+	st := Stats{Relations: len(db.order), PerRel: make(map[string]int, len(db.order))}
+	for _, name := range db.order {
+		n := db.rels[name].Len()
+		st.PerRel[name] = n
+		st.Tuples += n
+	}
+	return st
+}
+
+// String renders a short summary like name{R1:10, R2:20}.
+func (db *Database) String() string {
+	names := append([]string(nil), db.order...)
+	sort.Strings(names)
+	s := db.name + "{"
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s:%d", n, db.rels[n].Len())
+	}
+	return s + "}"
+}
+
+// DropRelation removes a relation and every foreign key that references or
+// departs from it.
+func (db *Database) DropRelation(name string) error {
+	if _, ok := db.rels[name]; !ok {
+		return fmt.Errorf("storage: no relation %s", name)
+	}
+	delete(db.rels, name)
+	for i, n := range db.order {
+		if n == name {
+			db.order = append(db.order[:i], db.order[i+1:]...)
+			break
+		}
+	}
+	kept := db.fks[:0]
+	for _, fk := range db.fks {
+		if fk.FromRelation != name && fk.ToRelation != name {
+			kept = append(kept, fk)
+		}
+	}
+	db.fks = kept
+	return nil
+}
+
+// Update replaces the values of an existing tuple, maintaining indexes and
+// primary-key uniqueness. The tuple keeps its id.
+func (db *Database) Update(relation string, id TupleID, vals []Value) error {
+	r := db.rels[relation]
+	if r == nil {
+		return fmt.Errorf("storage: no relation %s", relation)
+	}
+	return r.update(id, vals)
+}

@@ -1,0 +1,141 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation schema.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema is a relation schema R(A1, ..., Ak). Following the paper we assume
+// primary keys are not composite; Key names the primary-key column, or is
+// empty for relations identified only by their internal tuple id (junction
+// relations such as CAST or PLAY in the movies schema).
+type Schema struct {
+	Name    string
+	Columns []Column
+	Key     string // primary-key column name, "" if none
+}
+
+// NewSchema builds a schema, validating column names.
+func NewSchema(name string, key string, cols ...Column) (*Schema, error) {
+	if name == "" {
+		return nil, fmt.Errorf("storage: schema needs a relation name")
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("storage: schema %s needs at least one column", name)
+	}
+	seen := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("storage: schema %s has an unnamed column", name)
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("storage: schema %s declares column %s twice", name, c.Name)
+		}
+		if c.Type < TypeInt || c.Type > TypeBool {
+			return nil, fmt.Errorf("storage: schema %s column %s has invalid type", name, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	if key != "" && !seen[key] {
+		return nil, fmt.Errorf("storage: schema %s primary key %s is not a column", name, key)
+	}
+	s := &Schema{Name: name, Columns: append([]Column(nil), cols...), Key: key}
+	return s, nil
+}
+
+// MustSchema is NewSchema for statically-known-good schemas; it panics on error.
+func MustSchema(name string, key string, cols ...Column) *Schema {
+	s, err := NewSchema(name, key, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (s *Schema) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasColumn reports whether the schema declares the named column.
+func (s *Schema) HasColumn(name string) bool { return s.ColumnIndex(name) >= 0 }
+
+// ColumnNames returns the declared column names in order.
+func (s *Schema) ColumnNames() []string {
+	names := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Project returns a copy of the schema restricted to the named columns, in
+// the order given. The primary key is kept only if it survives the projection.
+func (s *Schema) Project(cols []string) (*Schema, error) {
+	out := &Schema{Name: s.Name}
+	for _, name := range cols {
+		i := s.ColumnIndex(name)
+		if i < 0 {
+			return nil, fmt.Errorf("storage: relation %s has no column %s", s.Name, name)
+		}
+		out.Columns = append(out.Columns, s.Columns[i])
+		if name == s.Key {
+			out.Key = name
+		}
+	}
+	if len(out.Columns) == 0 {
+		return nil, fmt.Errorf("storage: projection of %s selects no columns", s.Name)
+	}
+	return out, nil
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	return &Schema{Name: s.Name, Columns: append([]Column(nil), s.Columns...), Key: s.Key}
+}
+
+// String renders the schema as NAME(col type, ...), with the key marked.
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('(')
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		if c.Name == s.Key {
+			b.WriteByte('*')
+		}
+		b.WriteByte(' ')
+		b.WriteString(c.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// ForeignKey declares that FromRelation.FromColumn references
+// ToRelation.ToColumn. Foreign keys induce the "natural" join edges of the
+// database schema graph; a domain expert may add further join edges on top.
+type ForeignKey struct {
+	FromRelation string
+	FromColumn   string
+	ToRelation   string
+	ToColumn     string
+}
+
+// String renders the foreign key as From.Col -> To.Col.
+func (fk ForeignKey) String() string {
+	return fmt.Sprintf("%s.%s -> %s.%s", fk.FromRelation, fk.FromColumn, fk.ToRelation, fk.ToColumn)
+}

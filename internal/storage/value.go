@@ -1,0 +1,243 @@
+// Package storage implements the in-memory relational engine that the précis
+// system runs on. It plays the role that Oracle 9i R2 plays in the paper: it
+// stores typed relations, enforces primary-key and referential-integrity
+// constraints, and maintains hash indexes on join attributes so that the
+// result-database generator can fetch tuples by join-attribute value in
+// near-constant time (the IndexTime + TupleTime cost model of the paper).
+package storage
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type carried by a Value.
+type Kind uint8
+
+// The supported value kinds. Null is the zero Kind so that the zero Value is
+// a well-formed SQL NULL.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a compact tagged union holding a single attribute value.
+// Values are comparable with == (no reference fields), which lets them be
+// used directly as hash-index and map keys.
+type Value struct {
+	kind Kind
+	i    int64 // also carries bool as 0/1
+	f    float64
+	s    string
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String returns a string value.
+func String(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Kind reports the dynamic kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload. It is valid only when Kind is KindInt.
+func (v Value) AsInt() int64 { return v.i }
+
+// AsFloat returns the numeric payload as a float64 for KindInt and KindFloat.
+func (v Value) AsFloat() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// AsString returns the string payload. It is valid only when Kind is KindString.
+func (v Value) AsString() string { return v.s }
+
+// AsBool returns the boolean payload. It is valid only when Kind is KindBool.
+func (v Value) AsBool() bool { return v.i != 0 }
+
+// String renders the value for display; strings are returned verbatim.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// SQL renders the value as a SQL literal (strings quoted and escaped).
+func (v Value) SQL() string {
+	if v.kind == KindString {
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	}
+	return v.String()
+}
+
+// numericKinds reports whether both values carry numbers.
+func numericKinds(a, b Value) bool {
+	return (a.kind == KindInt || a.kind == KindFloat) && (b.kind == KindInt || b.kind == KindFloat)
+}
+
+// Equal reports value equality. Int and float compare numerically; NULL is
+// equal only to NULL (three-valued logic is handled by callers that need it).
+func (v Value) Equal(o Value) bool {
+	if v.kind == o.kind {
+		return v == o
+	}
+	if numericKinds(v, o) {
+		return v.AsFloat() == o.AsFloat()
+	}
+	return false
+}
+
+// Compare returns -1, 0 or +1 ordering v relative to o. NULL sorts first,
+// then cross-kind values order by kind; numbers compare numerically.
+func (v Value) Compare(o Value) int {
+	if numericKinds(v, o) && v.kind != o.kind {
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.kind != o.kind {
+		switch {
+		case v.kind < o.kind:
+			return -1
+		default:
+			return 1
+		}
+	}
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindInt, KindBool:
+		switch {
+		case v.i < o.i:
+			return -1
+		case v.i > o.i:
+			return 1
+		default:
+			return 0
+		}
+	case KindFloat:
+		switch {
+		case v.f < o.f:
+			return -1
+		case v.f > o.f:
+			return 1
+		default:
+			return 0
+		}
+	case KindString:
+		return strings.Compare(v.s, o.s)
+	default:
+		return 0
+	}
+}
+
+// Less reports whether v sorts before o under Compare.
+func (v Value) Less(o Value) bool { return v.Compare(o) < 0 }
+
+// ColType is the declared type of a column.
+type ColType uint8
+
+// Declared column types.
+const (
+	TypeInt ColType = iota + 1
+	TypeFloat
+	TypeString
+	TypeBool
+)
+
+// String returns the SQL-ish name of the type.
+func (t ColType) String() string {
+	switch t {
+	case TypeInt:
+		return "INT"
+	case TypeFloat:
+		return "FLOAT"
+	case TypeString:
+		return "TEXT"
+	case TypeBool:
+		return "BOOL"
+	default:
+		return fmt.Sprintf("TYPE(%d)", uint8(t))
+	}
+}
+
+// Accepts reports whether a value of kind k may be stored in a column of
+// type t. NULL is storable in any column; ints are accepted by float columns.
+func (t ColType) Accepts(k Kind) bool {
+	switch k {
+	case KindNull:
+		return true
+	case KindInt:
+		return t == TypeInt || t == TypeFloat
+	case KindFloat:
+		return t == TypeFloat
+	case KindString:
+		return t == TypeString
+	case KindBool:
+		return t == TypeBool
+	default:
+		return false
+	}
+}

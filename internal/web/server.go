@@ -1,0 +1,304 @@
+// Package web serves précis queries over HTTP — the paper's motivating
+// deployment ("web accessible databases, which have emerged as libraries,
+// museums, and other organizations publish their electronic contents on
+// the Web", §1). It offers a small HTML search UI and a JSON API.
+//
+//	GET /                 search form (+ results when q is present)
+//	GET /api/search?q=    JSON answer: narrative, result database, stats
+//	GET /api/schema       JSON description of the schema graph
+//	GET /graph.dot        the schema graph in Graphviz dot syntax
+//	GET /healthz          liveness probe
+//
+// Query parameters for both search endpoints: q (required; quotes group
+// phrases), w (min path weight), card (max tuples/relation), total (max
+// total tuples), strategy (auto|naiveq|roundrobin), profile (stored
+// profile name).
+package web
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"html/template"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"precis"
+	"precis/internal/storage"
+)
+
+// Server wraps a précis engine with HTTP handlers.
+type Server struct {
+	eng *precis.Engine
+	mux *http.ServeMux
+}
+
+// NewServer builds the handler set around an engine.
+func NewServer(eng *precis.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /", s.handleHome)
+	s.mux.HandleFunc("GET /api/search", s.handleAPISearch)
+	s.mux.HandleFunc("GET /api/schema", s.handleAPISchema)
+	s.mux.HandleFunc("GET /graph.dot", s.handleDOT)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// parseOptions extracts query options from URL parameters.
+func parseOptions(r *http.Request) (precis.Options, error) {
+	var opts precis.Options
+	q := r.URL.Query()
+	var degrees []precis.DegreeConstraint
+	if v := q.Get("w"); v != "" {
+		w, err := strconv.ParseFloat(v, 64)
+		if err != nil || w < 0 || w > 1 {
+			return opts, fmt.Errorf("bad w %q (want a number in [0,1])", v)
+		}
+		degrees = append(degrees, precis.MinPathWeight(w))
+	}
+	if v := q.Get("attrs"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return opts, fmt.Errorf("bad attrs %q", v)
+		}
+		degrees = append(degrees, precis.MaxAttributes(n))
+	}
+	if len(degrees) == 1 {
+		opts.Degree = degrees[0]
+	} else if len(degrees) > 1 {
+		opts.Degree = precis.AllDegree(degrees...)
+	}
+	var cards []precis.CardinalityConstraint
+	if v := q.Get("card"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return opts, fmt.Errorf("bad card %q", v)
+		}
+		cards = append(cards, precis.MaxTuplesPerRelation(n))
+	}
+	if v := q.Get("total"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return opts, fmt.Errorf("bad total %q", v)
+		}
+		cards = append(cards, precis.MaxTotalTuples(n))
+	}
+	if len(cards) == 1 {
+		opts.Cardinality = cards[0]
+	} else if len(cards) > 1 {
+		opts.Cardinality = precis.AllCardinality(cards...)
+	}
+	switch q.Get("strategy") {
+	case "", "auto":
+		opts.Strategy = precis.StrategyAuto
+	case "naiveq":
+		opts.Strategy = precis.StrategyNaive
+	case "roundrobin":
+		opts.Strategy = precis.StrategyRoundRobin
+	default:
+		return opts, fmt.Errorf("bad strategy %q", q.Get("strategy"))
+	}
+	opts.Profile = q.Get("profile")
+	return opts, nil
+}
+
+// apiAnswer is the JSON shape of a précis answer.
+type apiAnswer struct {
+	Terms     []string      `json:"terms"`
+	Unmatched []string      `json:"unmatched,omitempty"`
+	Narrative string        `json:"narrative"`
+	Relations []apiRelation `json:"relations"`
+	Stats     apiStats      `json:"stats"`
+}
+
+type apiRelation struct {
+	Name    string     `json:"name"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+type apiStats struct {
+	Relations int `json:"relations"`
+	Tuples    int `json:"tuples"`
+	Queries   int `json:"queries"`
+}
+
+// buildAPIAnswer converts an engine answer into the JSON shape, using only
+// display columns (join plumbing stays hidden, §5.2).
+func buildAPIAnswer(ans *precis.Answer) apiAnswer {
+	out := apiAnswer{
+		Terms:     ans.Terms,
+		Unmatched: ans.Unmatched,
+		Narrative: ans.Narrative,
+		Stats: apiStats{
+			Relations: ans.Database.NumRelations(),
+			Tuples:    ans.Database.TotalTuples(),
+			Queries:   ans.Stats.Queries,
+		},
+	}
+	for _, rel := range ans.Database.RelationNames() {
+		cols := ans.Result.DisplayColumns(rel)
+		if len(cols) == 0 {
+			continue
+		}
+		r := ans.Database.Relation(rel)
+		idx := make([]int, len(cols))
+		for i, c := range cols {
+			idx[i] = r.Schema().ColumnIndex(c)
+		}
+		ar := apiRelation{Name: rel, Columns: cols}
+		r.Scan(func(t storage.Tuple) bool {
+			row := make([]string, len(idx))
+			for i, ci := range idx {
+				row[i] = t.Values[ci].String()
+			}
+			ar.Rows = append(ar.Rows, row)
+			return true
+		})
+		out.Relations = append(out.Relations, ar)
+	}
+	return out
+}
+
+// search runs a query from request parameters.
+func (s *Server) search(r *http.Request) (*precis.Answer, int, error) {
+	q := strings.TrimSpace(r.URL.Query().Get("q"))
+	if q == "" {
+		return nil, http.StatusBadRequest, fmt.Errorf("missing query parameter q")
+	}
+	opts, err := parseOptions(r)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	ans, err := s.eng.QueryString(q, opts)
+	if err != nil {
+		if errors.Is(err, precis.ErrNoMatches) {
+			return ans, http.StatusNotFound, err
+		}
+		return nil, http.StatusBadRequest, err
+	}
+	return ans, http.StatusOK, nil
+}
+
+func (s *Server) handleAPISearch(w http.ResponseWriter, r *http.Request) {
+	ans, code, err := s.search(r)
+	w.Header().Set("Content-Type", "application/json")
+	if err != nil {
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+		return
+	}
+	_ = json.NewEncoder(w).Encode(buildAPIAnswer(ans))
+}
+
+// apiSchemaRelation describes one relation node of the schema graph.
+type apiSchemaRelation struct {
+	Name        string             `json:"name"`
+	Heading     string             `json:"heading,omitempty"`
+	Projections map[string]float64 `json:"projections"`
+	Joins       []apiSchemaJoin    `json:"joins,omitempty"`
+}
+
+type apiSchemaJoin struct {
+	To     string  `json:"to"`
+	On     string  `json:"on"`
+	Weight float64 `json:"weight"`
+}
+
+func (s *Server) handleAPISchema(w http.ResponseWriter, _ *http.Request) {
+	g := s.eng.Graph()
+	var out []apiSchemaRelation
+	for _, name := range g.Relations() {
+		n := g.Relation(name)
+		rel := apiSchemaRelation{Name: name, Heading: n.Heading, Projections: map[string]float64{}}
+		for _, p := range n.Projections() {
+			rel.Projections[p.Attribute] = p.Weight
+		}
+		for _, e := range n.Out() {
+			rel.Joins = append(rel.Joins, apiSchemaJoin{To: e.To, On: e.FromCol, Weight: e.Weight})
+		}
+		out = append(out, rel)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) handleDOT(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/vnd.graphviz")
+	fmt.Fprint(w, s.eng.Graph().DOT(s.eng.Database().Name()))
+}
+
+var homeTemplate = template.Must(template.New("home").Parse(`<!DOCTYPE html>
+<html><head><title>précis search</title>
+<style>
+body { font-family: Georgia, serif; margin: 2rem auto; max-width: 46rem; }
+input[type=text] { width: 24rem; font-size: 1rem; }
+.narrative { background: #f6f3ea; padding: 1rem; border-radius: 6px; }
+table { border-collapse: collapse; margin: 0.8rem 0; }
+td, th { border: 1px solid #ccc; padding: 2px 8px; font-size: 0.9rem; }
+.stats { color: #666; font-size: 0.85rem; }
+.error { color: #a00; }
+</style></head><body>
+<h1>précis</h1>
+<form action="/" method="get">
+<input type="text" name="q" value="{{.Query}}" placeholder='e.g. "Woody Allen"'>
+<input type="submit" value="search">
+<label> w ≥ <input type="text" name="w" value="{{.W}}" size="4"></label>
+<label> tuples/rel ≤ <input type="text" name="card" value="{{.Card}}" size="4"></label>
+</form>
+{{if .Error}}<p class="error">{{.Error}}</p>{{end}}
+{{if .Answer}}
+<div class="narrative">{{.Answer.Narrative}}</div>
+{{range .Answer.Relations}}
+<h3>{{.Name}}</h3>
+<table><tr>{{range .Columns}}<th>{{.}}</th>{{end}}</tr>
+{{range .Rows}}<tr>{{range .}}<td>{{.}}</td>{{end}}</tr>{{end}}</table>
+{{end}}
+<p class="stats">{{.Answer.Stats.Relations}} relations, {{.Answer.Stats.Tuples}} tuples, {{.Answer.Stats.Queries}} queries</p>
+{{end}}
+</body></html>`))
+
+type homeData struct {
+	Query  string
+	W      string
+	Card   string
+	Error  string
+	Answer *apiAnswer
+}
+
+func (s *Server) handleHome(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	data := homeData{
+		Query: r.URL.Query().Get("q"),
+		W:     r.URL.Query().Get("w"),
+		Card:  r.URL.Query().Get("card"),
+	}
+	if data.W == "" {
+		data.W = "0.8"
+	}
+	if data.Card == "" {
+		data.Card = "10"
+	}
+	if data.Query != "" {
+		ans, _, err := s.search(r)
+		if err != nil {
+			data.Error = err.Error()
+		} else {
+			api := buildAPIAnswer(ans)
+			data.Answer = &api
+		}
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := homeTemplate.Execute(w, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,217 @@
+package web
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"precis"
+	"precis/internal/dataset"
+	"precis/internal/profile"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	db, g, err := dataset.ExampleMovies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.AnnotateNarrative(g); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := precis.New(db, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, def := range dataset.StandardMacros() {
+		if err := eng.DefineMacro(def); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.AddProfile(profile.Fan()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(eng).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// query builds a properly encoded URL from key/value pairs.
+func query(base, path string, kv ...string) string {
+	vals := url.Values{}
+	for i := 0; i+1 < len(kv); i += 2 {
+		vals.Set(kv[i], kv[i+1])
+	}
+	if len(vals) == 0 {
+		return base + path
+	}
+	return base + path + "?" + vals.Encode()
+}
+
+func get(t *testing.T, target string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp.StatusCode, b.String()
+}
+
+func TestAPISearch(t *testing.T) {
+	ts := testServer(t)
+	code, body := get(t, query(ts.URL, "/api/search", "q", `"Woody Allen"`, "w", "0.9", "card", "3"))
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+	var ans apiAnswer
+	if err := json.Unmarshal([]byte(body), &ans); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if !strings.Contains(ans.Narrative, "Woody Allen was born on December 1, 1935") {
+		t.Errorf("narrative = %q", ans.Narrative)
+	}
+	if ans.Stats.Relations != 5 {
+		t.Errorf("relations = %d", ans.Stats.Relations)
+	}
+	foundMovie := false
+	for _, rel := range ans.Relations {
+		if rel.Name == "MOVIE" {
+			foundMovie = true
+			if len(rel.Rows) == 0 || len(rel.Columns) == 0 {
+				t.Errorf("MOVIE = %+v", rel)
+			}
+			for _, c := range rel.Columns {
+				if c == "mid" || c == "did" {
+					t.Errorf("plumbing column %s leaked into API output", c)
+				}
+			}
+		}
+	}
+	if !foundMovie {
+		t.Error("MOVIE missing from answer")
+	}
+}
+
+func TestAPISearchErrors(t *testing.T) {
+	ts := testServer(t)
+	if code, _ := get(t, ts.URL+"/api/search"); code != http.StatusBadRequest {
+		t.Errorf("missing q: %d", code)
+	}
+	if code, _ := get(t, query(ts.URL, "/api/search", "q", "zzznothing")); code != http.StatusNotFound {
+		t.Errorf("no matches: %d", code)
+	}
+	if code, _ := get(t, query(ts.URL, "/api/search", "q", "x", "w", "nope")); code != http.StatusBadRequest {
+		t.Errorf("bad w: %d", code)
+	}
+	if code, _ := get(t, query(ts.URL, "/api/search", "q", "x", "w", "2")); code != http.StatusBadRequest {
+		t.Errorf("out-of-range w: %d", code)
+	}
+	if code, _ := get(t, query(ts.URL, "/api/search", "q", "x", "card", "-1")); code != http.StatusBadRequest {
+		t.Errorf("bad card: %d", code)
+	}
+	if code, _ := get(t, query(ts.URL, "/api/search", "q", "x", "strategy", "wibble")); code != http.StatusBadRequest {
+		t.Errorf("bad strategy: %d", code)
+	}
+	if code, body := get(t, query(ts.URL, "/api/search", "q", "Woody", "profile", "ghost")); code != http.StatusBadRequest {
+		t.Errorf("bad profile: %d %s", code, body)
+	}
+}
+
+func TestAPISearchWithProfile(t *testing.T) {
+	ts := testServer(t)
+	code, body := get(t, query(ts.URL, "/api/search", "q", `"Match Point"`, "profile", "fan"))
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+	var ans apiAnswer
+	if err := json.Unmarshal([]byte(body), &ans); err != nil {
+		t.Fatal(err)
+	}
+	// The fan profile keeps answers short: w >= 0.9 excludes theatres.
+	for _, rel := range ans.Relations {
+		if rel.Name == "THEATRE" {
+			t.Error("fan profile leaked THEATRE")
+		}
+	}
+}
+
+func TestAPISchema(t *testing.T) {
+	ts := testServer(t)
+	code, body := get(t, ts.URL+"/api/schema")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var rels []apiSchemaRelation
+	if err := json.Unmarshal([]byte(body), &rels); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(rels) != 7 {
+		t.Fatalf("relations = %d", len(rels))
+	}
+	byName := map[string]apiSchemaRelation{}
+	for _, r := range rels {
+		byName[r.Name] = r
+	}
+	if byName["MOVIE"].Heading != "title" {
+		t.Errorf("MOVIE heading = %q", byName["MOVIE"].Heading)
+	}
+	if byName["THEATRE"].Projections["phone"] != 0.8 {
+		t.Errorf("THEATRE.phone = %v", byName["THEATRE"].Projections["phone"])
+	}
+}
+
+func TestGraphDOT(t *testing.T) {
+	ts := testServer(t)
+	code, body := get(t, ts.URL+"/graph.dot")
+	if code != http.StatusOK || !strings.Contains(body, "digraph") {
+		t.Errorf("dot: %d %q", code, body[:40])
+	}
+}
+
+func TestHomePage(t *testing.T) {
+	ts := testServer(t)
+	code, body := get(t, ts.URL+"/")
+	if code != http.StatusOK || !strings.Contains(body, "<form") {
+		t.Errorf("home: %d", code)
+	}
+	code, body = get(t, query(ts.URL, "/", "q", `"Woody Allen"`, "w", "0.9", "card", "3"))
+	if code != http.StatusOK {
+		t.Fatalf("search page: %d", code)
+	}
+	if !strings.Contains(body, "Woody Allen was born on December 1, 1935") {
+		t.Error("narrative missing from page")
+	}
+	if !strings.Contains(body, "<table>") {
+		t.Error("result tables missing from page")
+	}
+	// Errors render inline.
+	code, body = get(t, query(ts.URL, "/", "q", "zzznothing"))
+	if code != http.StatusOK || !strings.Contains(body, "class=\"error\"") {
+		t.Errorf("error rendering: %d", code)
+	}
+	// Unknown paths 404.
+	if code, _ := get(t, ts.URL+"/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path: %d", code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := testServer(t)
+	code, body := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("healthz: %d %q", code, body)
+	}
+}

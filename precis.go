@@ -1,0 +1,413 @@
+// Package precis implements précis queries over relational databases, a
+// faithful reproduction of "Précis: The Essence of a Query Answer"
+// (Koutrika, Simitsis, Ioannidis — ICDE 2006).
+//
+// A précis query is a free-form set of tokens. Its answer is not a flat
+// relation but a whole new database — a sub-database of the original with
+// its own schema, constraints and contents — containing the tuples matching
+// the tokens plus information implicitly related to them, selected by
+// weights on the database schema graph and bounded by degree (schema size)
+// and cardinality (data size) constraints. The answer can additionally be
+// rendered as a natural-language narrative.
+//
+// Basic use:
+//
+//	db, graph, _ := dataset.ExampleMovies()   // or build your own
+//	eng, _ := precis.New(db, graph)
+//	ans, _ := eng.Query([]string{"Woody Allen"}, precis.Options{
+//		Degree:      precis.MinPathWeight(0.9),
+//		Cardinality: precis.MaxTuplesPerRelation(3),
+//	})
+//	fmt.Println(ans.Narrative)
+package precis
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"precis/internal/core"
+	"precis/internal/costmodel"
+	"precis/internal/invidx"
+	"precis/internal/nlg"
+	"precis/internal/profile"
+	"precis/internal/schemagraph"
+	"precis/internal/sqlx"
+	"precis/internal/storage"
+)
+
+// ErrNoMatches is returned when no query token occurs in the database.
+var ErrNoMatches = errors.New("precis: no token matched the database")
+
+// Re-exported constraint and strategy types. The concrete constructors
+// below build the constraints of the paper's Tables 1 and 2.
+type (
+	// DegreeConstraint bounds the result schema (paper Table 1).
+	DegreeConstraint = core.DegreeConstraint
+	// CardinalityConstraint bounds the result data (paper Table 2).
+	CardinalityConstraint = core.CardinalityConstraint
+	// Strategy selects NaïveQ vs Round-Robin tuple retrieval.
+	Strategy = core.Strategy
+	// Profile is a stored personalization (weights + default constraints).
+	Profile = profile.Profile
+	// TupleWeights assigns per-tuple importance (the paper's §7 extension):
+	// when the cardinality budget forces a choice, heavier tuples survive.
+	TupleWeights = core.TupleWeights
+)
+
+// Retrieval strategies (paper §5.2).
+const (
+	StrategyAuto       = core.StrategyAuto
+	StrategyNaive      = core.StrategyNaive
+	StrategyRoundRobin = core.StrategyRoundRobin
+)
+
+// TopProjections keeps the r top-weighted projection paths.
+func TopProjections(r int) DegreeConstraint { return core.TopProjections(r) }
+
+// MaxAttributes bounds the number of distinct projected attributes.
+func MaxAttributes(n int) DegreeConstraint { return core.MaxAttributes(n) }
+
+// MinPathWeight keeps projections whose transitive path weight is >= w.
+func MinPathWeight(w float64) DegreeConstraint { return core.MinPathWeight(w) }
+
+// MaxPathLength keeps projection paths of length at most l.
+func MaxPathLength(l int) DegreeConstraint { return core.MaxPathLength(l) }
+
+// AllDegree combines degree constraints conjunctively.
+func AllDegree(cs ...DegreeConstraint) DegreeConstraint { return core.AllDegree(cs...) }
+
+// MaxTuplesPerRelation caps every result relation at c tuples.
+func MaxTuplesPerRelation(c int) CardinalityConstraint { return core.MaxTuplesPerRelation(c) }
+
+// MaxTotalTuples caps the whole result database at c tuples.
+func MaxTotalTuples(c int) CardinalityConstraint { return core.MaxTotalTuples(c) }
+
+// Unlimited imposes no cardinality bound.
+func Unlimited() CardinalityConstraint { return core.Unlimited() }
+
+// AllCardinality combines cardinality constraints conjunctively.
+func AllCardinality(cs ...CardinalityConstraint) CardinalityConstraint {
+	return core.AllCardinality(cs...)
+}
+
+// TimeBudget converts a response-time budget into a per-relation
+// cardinality constraint via the paper's Formula 3, using calibrated engine
+// parameters and the expected number of relations in the result.
+func TimeBudget(params costmodel.Params, budget time.Duration, relations int) CardinalityConstraint {
+	return core.MaxTuplesPerRelation(costmodel.SolveCR(params, budget, relations))
+}
+
+// Engine answers précis queries over one database + annotated schema graph.
+// Queries may run concurrently; mutations (Insert, Delete, DefineMacro,
+// AddProfile) are serialized against them internally.
+type Engine struct {
+	mu       sync.RWMutex
+	db       *storage.Database
+	graph    *schemagraph.Graph
+	index    *invidx.Index
+	renderer *nlg.Renderer
+	profiles *profile.Registry
+}
+
+// New builds an engine: it validates the graph against the database and
+// constructs the inverted index over all string attributes.
+func New(db *storage.Database, g *schemagraph.Graph) (*Engine, error) {
+	if db == nil || g == nil {
+		return nil, fmt.Errorf("precis: need a database and a schema graph")
+	}
+	if err := g.Validate(db); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		db:       db,
+		graph:    g,
+		index:    invidx.New(db),
+		renderer: nlg.NewRenderer(),
+		profiles: profile.NewRegistry(),
+	}, nil
+}
+
+// Database returns the underlying database.
+func (e *Engine) Database() *storage.Database { return e.db }
+
+// Graph returns the annotated schema graph.
+func (e *Engine) Graph() *schemagraph.Graph { return e.graph }
+
+// Index returns the inverted index.
+func (e *Engine) Index() *invidx.Index { return e.index }
+
+// AddSynonym declares that queries for alias also match canonical — the
+// §5.1 synonym case ("W. Allen" for "Woody Allen"); deployments plug a
+// reference-reconciliation tool's output in through this.
+func (e *Engine) AddSynonym(alias, canonical string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.index.AddSynonym(alias, canonical)
+}
+
+// DefineMacro registers a narrative macro ("DEFINE NAME as ...").
+func (e *Engine) DefineMacro(def string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.renderer.DefineMacro(def)
+}
+
+// AddProfile stores a personalization profile.
+func (e *Engine) AddProfile(p *Profile) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.profiles.Add(p)
+}
+
+// Profiles returns the registered profile names, sorted.
+func (e *Engine) Profiles() []string { return e.profiles.Names() }
+
+// Insert adds a tuple and keeps the inverted index current.
+func (e *Engine) Insert(relation string, vals ...storage.Value) (storage.TupleID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id, err := e.db.Insert(relation, vals...)
+	if err != nil {
+		return 0, err
+	}
+	if t, ok := e.db.Relation(relation).Get(id); ok {
+		e.index.AddTuple(relation, t)
+	}
+	return id, nil
+}
+
+// Update replaces a tuple's values and keeps the inverted index current.
+func (e *Engine) Update(relation string, id storage.TupleID, vals []storage.Value) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rel := e.db.Relation(relation)
+	if rel == nil {
+		return fmt.Errorf("precis: no relation %s", relation)
+	}
+	old, ok := rel.Get(id)
+	if !ok {
+		return fmt.Errorf("precis: relation %s has no tuple %d", relation, id)
+	}
+	if err := e.db.Update(relation, id, vals); err != nil {
+		return err
+	}
+	e.index.RemoveTuple(relation, old)
+	if t, ok := rel.Get(id); ok {
+		e.index.AddTuple(relation, t)
+	}
+	return nil
+}
+
+// Delete removes a tuple and keeps the inverted index current.
+func (e *Engine) Delete(relation string, id storage.TupleID) (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rel := e.db.Relation(relation)
+	if rel == nil {
+		return false, fmt.Errorf("precis: no relation %s", relation)
+	}
+	t, ok := rel.Get(id)
+	if !ok {
+		return false, nil
+	}
+	e.index.RemoveTuple(relation, t)
+	return e.db.Delete(relation, id)
+}
+
+// Options tune one query. Zero-value fields fall back to the selected
+// profile's defaults, then to the engine defaults (MinPathWeight 0.8, 10
+// tuples per relation, auto strategy).
+type Options struct {
+	Degree        DegreeConstraint
+	Cardinality   CardinalityConstraint
+	Strategy      Strategy
+	Profile       string             // name of a registered profile
+	WeightOverlay map[string]float64 // ad-hoc per-query weight changes (§3.1 interactive exploration)
+	// TupleWeights biases which tuples survive the cardinality budget
+	// (§7 extension); nil disables it.
+	TupleWeights TupleWeights
+	// SkipNarrative suppresses narrative rendering (benchmarks).
+	SkipNarrative bool
+}
+
+// Answer is the result of a précis query.
+type Answer struct {
+	Terms []string
+	// Occurrences maps each matched term to its index occurrences.
+	Occurrences map[string][]invidx.Occurrence
+	// Unmatched lists terms with no occurrence.
+	Unmatched []string
+	// Schema is the result schema G'.
+	Schema *core.ResultSchema
+	// Result is the generated result database (the précis itself).
+	Result *core.ResultDatabase
+	// Database is Result.DB, the new database D'.
+	Database *storage.Database
+	// Narrative is the natural-language synthesis (empty if skipped).
+	Narrative string
+	// Stats records the physical work of data generation.
+	Stats core.GenStats
+}
+
+// ParseQuery splits a free-form query string into terms, honouring double
+// quotes for phrases: `"Woody Allen" comedy` → ["Woody Allen", "comedy"].
+func ParseQuery(q string) []string {
+	var terms []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if s := strings.TrimSpace(cur.String()); s != "" {
+			terms = append(terms, s)
+		}
+		cur.Reset()
+	}
+	for _, r := range q {
+		switch {
+		case r == '"':
+			if inQuote {
+				flush()
+			}
+			inQuote = !inQuote
+		case !inQuote && (r == ' ' || r == '\t' || r == '\n'):
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return terms
+}
+
+// QueryString parses a free-form query string and runs Query.
+func (e *Engine) QueryString(q string, opts Options) (*Answer, error) {
+	return e.Query(ParseQuery(q), opts)
+}
+
+// Query answers a précis query Q = {k1, ..., km}: it resolves the tokens
+// through the inverted index, generates the result schema under the degree
+// constraint, populates the result database under the cardinality
+// constraint, and renders the narrative.
+func (e *Engine) Query(terms []string, opts Options) (*Answer, error) {
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("precis: empty query")
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+
+	// Resolve the effective configuration: options > profile > defaults.
+	g := e.graph
+	degree := opts.Degree
+	card := opts.Cardinality
+	strat := opts.Strategy
+	if opts.Profile != "" {
+		p := e.profiles.Get(opts.Profile)
+		if p == nil {
+			return nil, fmt.Errorf("precis: no profile %q", opts.Profile)
+		}
+		pg, err := p.Apply(g)
+		if err != nil {
+			return nil, err
+		}
+		g = pg
+		if degree == nil {
+			degree = p.Degree
+		}
+		if card == nil {
+			card = p.Cardinality
+		}
+		if strat == StrategyAuto {
+			strat = p.Strategy
+		}
+	}
+	if len(opts.WeightOverlay) > 0 {
+		og := g.Clone()
+		if err := og.ApplyWeights(opts.WeightOverlay); err != nil {
+			return nil, err
+		}
+		g = og
+	}
+	if degree == nil {
+		degree = core.MinPathWeight(0.8)
+	}
+	if card == nil {
+		card = core.MaxTuplesPerRelation(10)
+	}
+
+	ans := &Answer{Terms: append([]string(nil), terms...), Occurrences: make(map[string][]invidx.Occurrence)}
+
+	// Step 1: inverted index.
+	seeds := make(map[string][]storage.TupleID)
+	var seedRels []string
+	seen := make(map[string]bool)
+	var allOccs []invidx.Occurrence
+	for _, term := range terms {
+		occs := e.index.LookupExpanded(term)
+		if len(occs) == 0 {
+			ans.Unmatched = append(ans.Unmatched, term)
+			continue
+		}
+		ans.Occurrences[term] = occs
+		allOccs = append(allOccs, occs...)
+		for _, o := range occs {
+			seeds[o.Relation] = appendUniqueIDs(seeds[o.Relation], o.TupleIDs)
+			if !seen[o.Relation] {
+				seen[o.Relation] = true
+				seedRels = append(seedRels, o.Relation)
+			}
+		}
+	}
+	if len(seedRels) == 0 {
+		return ans, ErrNoMatches
+	}
+	sort.Strings(seedRels)
+
+	// Step 2: result schema generation.
+	rs, err := core.GenerateSchema(g, seedRels, degree)
+	if err != nil {
+		return nil, err
+	}
+	rs.CopyAnnotations(g)
+	ans.Schema = rs
+
+	// Step 3: result database generation. Each query gets its own SQL
+	// engine over the shared database, so concurrent queries do not race on
+	// statistics accumulation.
+	rd, err := core.GenerateDatabaseOpts(sqlx.NewEngine(e.db), rs, seeds, card, strat,
+		core.DBGenOptions{Weights: opts.TupleWeights})
+	if err != nil {
+		return nil, err
+	}
+	ans.Result = rd
+	ans.Database = rd.DB
+	ans.Stats = rd.Stats
+
+	// Step 4: translation.
+	if !opts.SkipNarrative {
+		narrative, err := e.renderer.Narrative(rd, allOccs)
+		if err != nil {
+			return nil, err
+		}
+		ans.Narrative = narrative
+	}
+	return ans, nil
+}
+
+// appendUniqueIDs merges ids into dst preserving sorted uniqueness.
+func appendUniqueIDs(dst []storage.TupleID, ids []storage.TupleID) []storage.TupleID {
+	present := make(map[storage.TupleID]bool, len(dst))
+	for _, id := range dst {
+		present[id] = true
+	}
+	for _, id := range ids {
+		if !present[id] {
+			dst = append(dst, id)
+			present[id] = true
+		}
+	}
+	sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
+	return dst
+}
