@@ -311,3 +311,90 @@ func BenchmarkInvertedIndexBuild(b *testing.B) {
 		}
 	}
 }
+
+// benchParallelEngine builds the synthetic workload the parallel and cache
+// benches share: a 2000-film database queried for its most prolific
+// director with a wide round-robin précis (narrative skipped so the timer
+// isolates generation).
+func benchParallelEngine(b *testing.B) (*precis.Engine, string) {
+	b.Helper()
+	cfg := dataset.DefaultSyntheticConfig()
+	cfg.Films = 2000
+	db, err := dataset.SyntheticMovies(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := dataset.PaperGraph(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := dataset.AnnotateNarrative(g); err != nil {
+		b.Fatal(err)
+	}
+	eng, err := precis.New(db, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Most prolific director = head of the zipf skew.
+	movies := db.Relation("MOVIE")
+	di := movies.Schema().ColumnIndex("did")
+	counts := map[string]int{}
+	movies.Scan(func(t storage.Tuple) bool {
+		counts[t.Values[di].String()]++
+		return true
+	})
+	directors := db.Relation("DIRECTOR")
+	did := directors.Schema().ColumnIndex("did")
+	dn := directors.Schema().ColumnIndex("dname")
+	best, bestN := "", -1
+	directors.Scan(func(t storage.Tuple) bool {
+		if n := counts[t.Values[did].String()]; n > bestN {
+			bestN, best = n, t.Values[dn].AsString()
+		}
+		return true
+	})
+	return eng, best
+}
+
+func benchParallelOptions(workers int) precis.Options {
+	return precis.Options{
+		Degree:        precis.MinPathWeight(0.05),
+		Cardinality:   precis.MaxTuplesPerRelation(150),
+		Strategy:      precis.StrategyRoundRobin,
+		SkipNarrative: true,
+		Parallelism:   workers,
+	}
+}
+
+// BenchmarkQueryParallel sweeps the worker pool over one heavy query. The
+// answer is byte-identical at every pool size; only latency changes.
+func BenchmarkQueryParallel(b *testing.B) {
+	eng, q := benchParallelEngine(b)
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("%dworkers", workers), func(b *testing.B) {
+			opts := benchParallelOptions(workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.QueryString(q, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQueryCached measures an answer-cache hit on the same workload.
+func BenchmarkQueryCached(b *testing.B) {
+	eng, q := benchParallelEngine(b)
+	eng.EnableCache(precis.CacheConfig{MaxEntries: 64})
+	opts := benchParallelOptions(0)
+	if _, err := eng.QueryString(q, opts); err != nil { // warm the entry
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.QueryString(q, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

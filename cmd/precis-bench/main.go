@@ -6,9 +6,13 @@
 // Usage:
 //
 //	precis-bench -exp f7|f8|f9|cm|qe|bl|all [-quick] [-csv]
+//	precis-bench -parallel [-quick]   worker-pool speedup sweep
+//	precis-bench -cache [-quick]      answer-cache hit vs cold latency
 //
 // -quick shrinks each experiment's run counts for a fast smoke pass; -csv
-// prints machine-readable rows instead of aligned text.
+// prints machine-readable rows instead of aligned text. -parallel and
+// -cache run the engine-level concurrency experiments (they can be
+// combined with -exp).
 package main
 
 import (
@@ -23,15 +27,30 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: f7, f8, f9, cm, qe, bl, ab or all")
-		quick = flag.Bool("quick", false, "shrink run counts for a fast pass")
-		csv   = flag.Bool("csv", false, "CSV output")
+		exp      = flag.String("exp", "all", "experiment: f7, f8, f9, cm, qe, bl, ab or all")
+		quick    = flag.Bool("quick", false, "shrink run counts for a fast pass")
+		csv      = flag.Bool("csv", false, "CSV output")
+		parallel = flag.Bool("parallel", false, "measure worker-pool speedup on one query")
+		cache    = flag.Bool("cache", false, "measure answer-cache hit vs cold latency")
 	)
 	flag.Parse()
 
 	run := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
 		run[strings.TrimSpace(e)] = true
+	}
+	if *parallel || *cache {
+		// The concurrency experiments replace the figure suite unless the
+		// caller asked for both explicitly.
+		if *exp == "all" {
+			run = map[string]bool{}
+		}
+		if *parallel {
+			run["pl"] = true
+		}
+		if *cache {
+			run["cc"] = true
+		}
 	}
 	all := run["all"]
 
@@ -70,6 +89,46 @@ func main() {
 			fatal(err)
 		}
 	}
+	if run["pl"] {
+		if err := runParallel(*quick); err != nil {
+			fatal(err)
+		}
+	}
+	if run["cc"] {
+		if err := runCache(*quick); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func runParallel(quick bool) error {
+	cfg := experiments.DefaultParallelConfig()
+	if quick {
+		cfg.Films = 500
+		cfg.Workers = []int{1, 4}
+		cfg.Runs = 3
+	}
+	report, err := experiments.Parallel(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.String())
+	fmt.Println()
+	return nil
+}
+
+func runCache(quick bool) error {
+	films, runs := 2000, 5
+	if quick {
+		films, runs = 500, 3
+	}
+	report, err := experiments.Cache(films, runs)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.String())
+	fmt.Println()
+	return nil
 }
 
 func runAB() error {

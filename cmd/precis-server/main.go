@@ -6,7 +6,12 @@
 // Usage:
 //
 //	precis-server [-addr :8080] [-db example|synthetic] [-films N] [-seed N]
-//	              [-profiles DIR]
+//	              [-profiles DIR] [-cache-size N] [-cache-ttl D]
+//	              [-query-timeout D]
+//
+// The answer cache is on by default (-cache-size 0 disables it); any
+// mutation through the engine invalidates it wholesale. Every search runs
+// under -query-timeout (0 restores the package default, negative disables).
 package main
 
 import (
@@ -26,17 +31,23 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		dbKind   = flag.String("db", "example", "data source: example or synthetic")
-		films    = flag.Int("films", 2000, "synthetic film count")
-		seed     = flag.Int64("seed", 1, "synthetic generator seed")
-		profiles = flag.String("profiles", "", "directory of stored profile specs (*.json)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		dbKind    = flag.String("db", "example", "data source: example or synthetic")
+		films     = flag.Int("films", 2000, "synthetic film count")
+		seed      = flag.Int64("seed", 1, "synthetic generator seed")
+		profiles  = flag.String("profiles", "", "directory of stored profile specs (*.json)")
+		cacheSize = flag.Int("cache-size", 256, "answer cache capacity (0 disables the cache)")
+		cacheTTL  = flag.Duration("cache-ttl", 10*time.Minute, "answer cache entry lifetime (0 = no expiry)")
+		timeout   = flag.Duration("query-timeout", web.DefaultQueryTimeout, "per-request query deadline (negative disables)")
 	)
 	flag.Parse()
 
 	eng, err := buildEngine(*dbKind, *films, *seed)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *cacheSize > 0 {
+		eng.EnableCache(precis.CacheConfig{MaxEntries: *cacheSize, TTL: *cacheTTL})
 	}
 	for _, p := range []*precis.Profile{profile.Reviewer(), profile.Fan()} {
 		if err := eng.AddProfile(p); err != nil {
@@ -57,11 +68,11 @@ func main() {
 	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           web.NewServer(eng).Handler(),
+		Handler:           web.NewServerWithConfig(eng, web.Config{QueryTimeout: *timeout}).Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("précis server on %s (%s data, %d tuples)",
-		*addr, *dbKind, eng.Database().TotalTuples())
+	log.Printf("précis server on %s (%s data, %d tuples, cache=%d, timeout=%v)",
+		*addr, *dbKind, eng.Database().TotalTuples(), *cacheSize, *timeout)
 	log.Fatal(srv.ListenAndServe())
 }
 

@@ -1,9 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
-	"strings"
 
 	"precis/internal/schemagraph"
 	"precis/internal/sqlx"
@@ -86,21 +86,46 @@ type DBGenOptions struct {
 	// retrieved first (seeds, NaïveQ results, and Round-Robin scans all
 	// honour the ordering).
 	Weights TupleWeights
+	// Workers bounds the fetch worker pool. Values <= 1 run the serial
+	// algorithm (the seed behavior). Values > 1 fetch independent frontier
+	// joins and the per-relation seed queries concurrently, while inserts
+	// and budget accounting stay serialized in the serial algorithm's
+	// order, so the produced result database is byte-identical to the
+	// serial path for any worker count. GenStats may count slightly more
+	// physical work in the parallel path (a fetch issued under an
+	// optimistic budget can be discarded when a concurrent frontier edge
+	// consumed the remaining total-tuple budget first).
+	Workers int
+	// Context, when non-nil, cancels generation between scheduling steps;
+	// the error returned wraps ctx.Err() so callers can detect timeouts.
+	Context context.Context
 }
 
 // generator carries the state of one Figure 5 run.
 type generator struct {
-	eng    *sqlx.Engine
-	rs     *ResultSchema
-	card   CardinalityConstraint
-	strat  Strategy
-	opts   DBGenOptions
-	out    *storage.Database
-	perRel map[string]int
-	total  int
-	stats  GenStats
+	eng     *sqlx.Engine
+	rs      *ResultSchema
+	card    CardinalityConstraint
+	strat   Strategy
+	opts    DBGenOptions
+	workers int
+	ctx     context.Context
+	out     *storage.Database
+	perRel  map[string]int
+	total   int
+	stats   GenStats
 	// columns fetched per relation (display + plumbing), in original order.
 	cols map[string][]string
+}
+
+// fetched is the outcome of one fetch task: candidate rows (rowid first,
+// then the fetched columns) in the deterministic order the serial algorithm
+// would insert them, plus the physical work the fetch performed. The apply
+// phase inserts a prefix of rows bounded by the live cardinality budget.
+type fetched struct {
+	rows    [][]storage.Value
+	queries int
+	sql     sqlx.Stats
 }
 
 // GenerateDatabase runs the Result Database Algorithm (paper Figure 5).
@@ -121,35 +146,60 @@ func GenerateDatabaseOpts(eng *sqlx.Engine, rs *ResultSchema, seedTuples map[str
 			return nil, fmt.Errorf("core: seed tuples for %s, which is not in the result schema", rel)
 		}
 	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	g := &generator{
-		eng:    eng,
-		rs:     rs,
-		card:   c,
-		strat:  strat,
-		opts:   opts,
-		out:    storage.NewDatabase("precis"),
-		perRel: make(map[string]int),
-		cols:   make(map[string][]string),
+		eng:     eng,
+		rs:      rs,
+		card:    c,
+		strat:   strat,
+		opts:    opts,
+		workers: workers,
+		ctx:     ctx,
+		out:     storage.NewDatabase("precis"),
+		perRel:  make(map[string]int),
+		cols:    make(map[string][]string),
 	}
 	g.stats.TuplesPerRelation = g.perRel
 	if err := g.buildResultSchemas(); err != nil {
 		return nil, err
 	}
-	baseline := eng.TotalStats()
 	if err := g.placeSeeds(seedTuples); err != nil {
 		return nil, err
 	}
 	if err := g.executeJoins(); err != nil {
 		return nil, err
 	}
-	after := eng.TotalStats()
-	g.stats.SQL = sqlx.Stats{
-		IndexLookups: after.IndexLookups - baseline.IndexLookups,
-		TupleReads:   after.TupleReads - baseline.TupleReads,
-		Scanned:      after.Scanned - baseline.Scanned,
-	}
 	g.stats.TotalTuples = g.total
 	return &ResultDatabase{DB: g.out, Schema: g.rs, Stats: g.stats}, nil
+}
+
+// ctxErr reports a cancellation of the surrounding context, if any.
+func (g *generator) ctxErr() error {
+	select {
+	case <-g.ctx.Done():
+		return fmt.Errorf("core: result database generation canceled: %w", g.ctx.Err())
+	default:
+		return nil
+	}
+}
+
+// execFetch runs one generated SELECT against the original database.
+// Generated queries are built as ASTs and executed through ExecStmt, which
+// skips the render/lex/parse round-trip (it dominated CPU profiles of
+// round-robin workloads, whose per-tuple fetches issue hundreds of tiny
+// queries) and — unlike Exec — does not touch the engine's shared stats
+// accumulator, so concurrent fetch tasks can share g.eng for its read-only
+// SELECT path. Each task keeps its stats in the returned Result; the apply
+// phase folds them back into the caller's engine serially.
+func (g *generator) execFetch(st *sqlx.SelectStmt) (*sqlx.Result, error) {
+	return g.eng.ExecStmt(st)
 }
 
 // buildResultSchemas creates in the output database, for every relation of
@@ -222,94 +272,163 @@ func (g *generator) budget(rel string) int {
 	return g.card.Budget(rel, g.perRel, g.total)
 }
 
-// selectSQL builds SELECT rowid, <cols> FROM rel WHERE <where> [LIMIT n].
-// Identifiers are quoted as needed so user schemas may use any column name.
-func (g *generator) selectSQL(rel, where string, limit int) string {
-	quoted := make([]string, len(g.cols[rel]))
-	for i, c := range g.cols[rel] {
-		quoted[i] = sqlx.Ident(c)
-	}
-	var b strings.Builder
-	b.WriteString("SELECT rowid, ")
-	b.WriteString(strings.Join(quoted, ", "))
-	b.WriteString(" FROM ")
-	b.WriteString(sqlx.Ident(rel))
-	if where != "" {
-		b.WriteString(" WHERE ")
-		b.WriteString(where)
-	}
-	if limit >= 0 {
-		fmt.Fprintf(&b, " LIMIT %d", limit)
-	}
-	return b.String()
+// stmtSelect builds the AST of SELECT rowid, <cols> FROM rel WHERE <where>
+// [LIMIT n] (limit < 0 means unlimited, nil where matches all).
+func (g *generator) stmtSelect(rel string, where sqlx.Expr, limit int) *sqlx.SelectStmt {
+	cols := make([]string, 0, len(g.cols[rel])+1)
+	cols = append(cols, sqlx.RowIDColumn)
+	cols = append(cols, g.cols[rel]...)
+	return &sqlx.SelectStmt{Columns: cols, Table: rel, Where: where, Limit: limit}
 }
 
-// runSelect executes a generated query and inserts the resulting tuples
-// into the output relation, skipping tuples already present. It returns the
-// number of tuples inserted.
-func (g *generator) runSelect(rel, query string) (int, error) {
-	res, err := g.eng.Exec(query)
-	if err != nil {
-		return 0, fmt.Errorf("core: generated query %q: %w", query, err)
+// stmtIDs builds the AST of SELECT rowid FROM rel WHERE <where>.
+func stmtIDs(rel string, where sqlx.Expr) *sqlx.SelectStmt {
+	return &sqlx.SelectStmt{Columns: []string{sqlx.RowIDColumn}, Table: rel, Where: where, Limit: -1}
+}
+
+// rowidRef is the pseudo-column reference generated predicates filter on.
+func rowidRef() *sqlx.ColumnRef { return &sqlx.ColumnRef{Name: sqlx.RowIDColumn} }
+
+// rowidIn builds the predicate rowid IN (ids...).
+func rowidIn(ids []storage.TupleID) *sqlx.InList {
+	vals := make([]storage.Value, len(ids))
+	for i, id := range ids {
+		vals[i] = storage.Int(int64(id))
 	}
-	g.stats.Queries++
+	return &sqlx.InList{Left: rowidRef(), Values: vals}
+}
+
+// fetchStmt executes one generated query and records its rows into f.
+func (g *generator) fetchStmt(f *fetched, st *sqlx.SelectStmt) error {
+	res, err := g.execFetch(st)
+	if err != nil {
+		return fmt.Errorf("core: generated query on %s: %w", st.Table, err)
+	}
+	f.queries++
+	f.sql.Add(res.Stats)
+	f.rows = append(f.rows, res.Rows...)
+	return nil
+}
+
+// apply inserts the fetched rows into the output relation in order,
+// skipping duplicates (paper §5.2) and stopping once budget tuples were
+// inserted. It also folds the fetch's physical work into the generation
+// stats and the caller-visible engine totals.
+func (g *generator) apply(rel string, f *fetched, budget int) error {
+	if f == nil {
+		return nil
+	}
+	g.stats.Queries += f.queries
+	g.stats.SQL.Add(f.sql)
+	g.eng.AccumulateStats(f.sql)
+	if budget <= 0 {
+		return nil
+	}
 	outRel := g.out.Relation(rel)
 	inserted := 0
-	for _, row := range res.Rows {
+	for _, row := range f.rows {
+		if inserted >= budget {
+			break
+		}
 		id := storage.TupleID(row[0].AsInt())
 		if _, exists := outRel.Get(id); exists {
 			continue // duplicates are removed (paper §5.2)
 		}
 		if err := g.out.InsertWithID(rel, id, row[1:]...); err != nil {
-			return inserted, err
+			return err
 		}
 		inserted++
 	}
 	g.perRel[rel] += inserted
 	g.total += inserted
-	return inserted, nil
+	return nil
 }
 
 // placeSeeds performs step 1 of Figure 5: D' starts with the tuples that
 // contain the query tokens, fetched by rowid, capped by the cardinality
 // constraint (NaïveQ takes the first ids; the index returns them in id
-// order, the paper's "random subset").
+// order, the paper's "random subset"). Per-relation seed queries are
+// independent reads of the original database, so with Workers > 1 they are
+// fetched concurrently; inserts are applied serially in sorted relation
+// order, preserving the serial result exactly.
 func (g *generator) placeSeeds(seedTuples map[string][]storage.TupleID) error {
 	rels := make([]string, 0, len(seedTuples))
 	for rel := range seedTuples {
-		rels = append(rels, rel)
+		if len(seedTuples[rel]) > 0 {
+			rels = append(rels, rel)
+		}
 	}
 	sort.Strings(rels)
-	for _, rel := range rels {
-		ids := append([]storage.TupleID(nil), seedTuples[rel]...)
-		if len(ids) == 0 {
-			continue
-		}
-		b := g.budget(rel)
-		if b <= 0 {
-			continue
-		}
-		g.opts.Weights.order(rel, ids)
-		var sb strings.Builder
-		sb.WriteString("rowid IN (")
-		for i, id := range ids {
-			if i > 0 {
-				sb.WriteString(", ")
+	if err := g.ctxErr(); err != nil {
+		return err
+	}
+
+	if g.workers <= 1 || len(rels) < 2 {
+		for _, rel := range rels {
+			b := g.budget(rel)
+			if b <= 0 {
+				continue
 			}
-			fmt.Fprintf(&sb, "%d", id)
+			f, err := g.fetchSeed(rel, seedTuples[rel], b)
+			if err != nil {
+				return err
+			}
+			if err := g.apply(rel, f, b); err != nil {
+				return err
+			}
 		}
-		sb.WriteString(")")
-		if _, err := g.runSelect(rel, g.selectSQL(rel, sb.String(), b)); err != nil {
+		return nil
+	}
+
+	// Parallel path: snapshot optimistic budgets before any fetch (the live
+	// budget can only shrink as earlier relations are applied, so each
+	// fetch over-retrieves and the apply phase truncates).
+	budgets := make([]int, len(rels))
+	for i, rel := range rels {
+		budgets[i] = g.budget(rel)
+	}
+	results := make([]*fetched, len(rels))
+	errs := make([]error, len(rels))
+	parallelFor(len(rels), g.workers, func(i int) {
+		if budgets[i] <= 0 {
+			return
+		}
+		results[i], errs[i] = g.fetchSeed(rels[i], seedTuples[rels[i]], budgets[i])
+	})
+	for i, rel := range rels {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		if err := g.apply(rel, results[i], g.budget(rel)); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// fetchSeed retrieves the seed tuples of one relation by rowid, capped at
+// limit, in tuple-weight order when the §7 extension is active.
+func (g *generator) fetchSeed(rel string, ids []storage.TupleID, limit int) (*fetched, error) {
+	ids = append([]storage.TupleID(nil), ids...)
+	g.opts.Weights.order(rel, ids)
+	f := &fetched{}
+	if err := g.fetchStmt(f, g.stmtSelect(rel, rowidIn(ids), limit)); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
 // executeJoins performs step 2 of Figure 5: join edges of G' execute in
 // decreasing weight order; a join departing from a relation with arriving
 // edges still unexecuted is postponed, so every tuple that can reach a
 // relation through any path is present before the walk moves past it.
+//
+// With Workers > 1 the walk is batched: a batch collects, in the exact
+// order the serial algorithm would pick them, frontier edges that neither
+// read a relation written earlier in the batch nor write a relation another
+// batch edge writes. The batch's fetch queries then run concurrently while
+// the inserts are applied serially in pick order — parallelism never
+// changes the produced result database.
 func (g *generator) executeJoins() error {
 	pending := g.rs.JoinEdgesByWeight()
 	if g.opts.FIFOJoins {
@@ -322,10 +441,34 @@ func (g *generator) executeJoins() error {
 	executed := make(map[string]int)
 
 	for len(pending) > 0 {
-		// Pick the highest-weight edge whose source has no unexecuted
-		// arrivals; the list is already weight-ordered.
+		if err := g.ctxErr(); err != nil {
+			return err
+		}
+		batch := g.nextBatch(&pending, arriving, executed)
+		if err := g.runBatch(batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// nextBatch removes from pending the next group of at most g.workers
+// conflict-free edges, replaying the serial algorithm's pick order: the
+// highest-weight edge whose source has no unexecuted arrivals wins (or, on
+// a cycle, the highest-weight remaining edge). An edge that reads or writes
+// a relation an earlier pick of the same batch writes closes the batch, so
+// fetches within a batch observe exactly the state the serial walk would
+// show them.
+func (g *generator) nextBatch(pending *[]*schemagraph.JoinEdge, arriving, executed map[string]int) []*schemagraph.JoinEdge {
+	max := g.workers
+	if max < 1 {
+		max = 1
+	}
+	var batch []*schemagraph.JoinEdge
+	written := make(map[string]bool)
+	for len(batch) < max && len(*pending) > 0 {
 		pick := -1
-		for i, e := range pending {
+		for i, e := range *pending {
 			if g.opts.DisablePostponement || executed[e.From] >= arriving[e.From] {
 				pick = i
 				break
@@ -336,44 +479,102 @@ func (g *generator) executeJoins() error {
 			// highest-weight remaining edge.
 			pick = 0
 		}
-		e := pending[pick]
-		pending = append(pending[:pick], pending[pick+1:]...)
-		if err := g.executeJoin(e); err != nil {
-			return err
+		e := (*pending)[pick]
+		if len(batch) > 0 && (written[e.From] || written[e.To]) {
+			break
 		}
+		*pending = append((*pending)[:pick], (*pending)[pick+1:]...)
+		batch = append(batch, e)
+		written[e.To] = true
 		executed[e.To]++
+	}
+	return batch
+}
+
+// runBatch fetches every edge of the batch (concurrently when the pool
+// allows) and applies the results serially in pick order.
+func (g *generator) runBatch(batch []*schemagraph.JoinEdge) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	if len(batch) == 1 {
+		// Single frontier edge: any intra-join parallelism (Round-Robin
+		// scans, per-tuple fetches) gets the whole pool.
+		return g.runJoin(batch[0], g.workers)
+	}
+	inner := g.workers / len(batch)
+	if inner < 1 {
+		inner = 1
+	}
+	budgets := make([]int, len(batch))
+	for i, e := range batch {
+		budgets[i] = g.budget(e.To)
+	}
+	results := make([]*fetched, len(batch))
+	errs := make([]error, len(batch))
+	parallelFor(len(batch), g.workers, func(i int) {
+		if budgets[i] <= 0 {
+			return
+		}
+		results[i], errs[i] = g.fetchJoin(batch[i], budgets[i], inner)
+	})
+	for i, e := range batch {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		if results[i] != nil {
+			if err := g.apply(e.To, results[i], g.budget(e.To)); err != nil {
+				return err
+			}
+		}
 		g.stats.JoinsExecuted++
 	}
 	return nil
 }
 
-// executeJoin retrieves, for the directed join Ri -> Rj, tuples of Rj
-// joining to the tuples of Ri already in D' (paper: the issued query
-// "does not contain the actual join between the two relations" — it is a
-// selection on the join-attribute values present in R'i).
-func (g *generator) executeJoin(e *schemagraph.JoinEdge) error {
+// runJoin executes one join edge end-to-end: fetch under the live budget,
+// then apply.
+func (g *generator) runJoin(e *schemagraph.JoinEdge, workers int) error {
 	b := g.budget(e.To)
-	if b <= 0 {
-		return nil
+	if b > 0 {
+		f, err := g.fetchJoin(e, b, workers)
+		if err != nil {
+			return err
+		}
+		if f != nil {
+			if err := g.apply(e.To, f, b); err != nil {
+				return err
+			}
+		}
 	}
+	g.stats.JoinsExecuted++
+	return nil
+}
+
+// fetchJoin retrieves, for the directed join Ri -> Rj, candidate tuples of
+// Rj joining to the tuples of Ri already in D' (paper: the issued query
+// "does not contain the actual join between the two relations" — it is a
+// selection on the join-attribute values present in R'i). It returns nil
+// when the join has nothing to do.
+func (g *generator) fetchJoin(e *schemagraph.JoinEdge, limit, workers int) (*fetched, error) {
 	from := g.out.Relation(e.From)
 	if from == nil || from.Len() == 0 {
-		return nil
+		return nil, nil
 	}
 	values, err := from.DistinctValues(e.FromCol)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if len(values) == 0 {
-		return nil
+		return nil, nil
 	}
 
 	toN := g.isToN(e)
 	useRoundRobin := g.strat == StrategyRoundRobin || (g.strat == StrategyAuto && toN)
 	if useRoundRobin {
-		return g.roundRobin(e, values, b)
+		return g.fetchRoundRobin(e, values, limit, workers)
 	}
-	return g.naiveQ(e, values, b)
+	return g.fetchNaiveQ(e, values, limit)
 }
 
 // isToN reports whether the join Ri->Rj is 1-n: the referenced column of Rj
@@ -386,155 +587,192 @@ func (g *generator) isToN(e *schemagraph.JoinEdge) bool {
 	return to.Schema().Key != e.ToCol
 }
 
-// naiveQ is the paper's NaïveQ: one query with an IN list over the driving
-// values and a top-k cut-off (RowNum / LIMIT). Tuples already in D' are
-// excluded in the query itself so the budget buys only new tuples.
-func (g *generator) naiveQ(e *schemagraph.JoinEdge, values []storage.Value, budget int) error {
+// fetchNaiveQ is the paper's NaïveQ: one query with an IN list over the
+// driving values and a top-k cut-off (RowNum / LIMIT). Tuples already in D'
+// are excluded in the query itself so the budget buys only new tuples.
+func (g *generator) fetchNaiveQ(e *schemagraph.JoinEdge, values []storage.Value, limit int) (*fetched, error) {
 	if len(g.opts.Weights[e.To]) > 0 {
-		return g.naiveQWeighted(e, values, budget)
+		return g.fetchNaiveQWeighted(e, values, limit)
 	}
-	var sb strings.Builder
-	sb.WriteString(sqlx.Ident(e.ToCol))
-	sb.WriteString(" IN (")
-	for i, v := range values {
-		if i > 0 {
-			sb.WriteString(", ")
-		}
-		sb.WriteString(v.SQL())
+	where := g.naiveWhere(e, values)
+	f := &fetched{}
+	if err := g.fetchStmt(f, g.stmtSelect(e.To, where, limit)); err != nil {
+		return nil, err
 	}
-	sb.WriteString(")")
-	if excl := g.existingIDs(e.To); excl != "" {
-		sb.WriteString(" AND rowid NOT IN (")
-		sb.WriteString(excl)
-		sb.WriteString(")")
-	}
-	_, err := g.runSelect(e.To, g.selectSQL(e.To, sb.String(), budget))
-	return err
+	return f, nil
 }
 
-// naiveQWeighted is NaïveQ under the §7 tuple-weights extension: a first
-// query retrieves the candidate ids, which are ordered by tuple weight
-// before the budget cut, and a second query fetches the winners. This costs
-// one extra id-only query per join but lets importance, not storage order,
-// decide which tuples survive the cardinality constraint.
-func (g *generator) naiveQWeighted(e *schemagraph.JoinEdge, values []storage.Value, budget int) error {
-	var sb strings.Builder
-	sb.WriteString("SELECT rowid FROM ")
-	sb.WriteString(sqlx.Ident(e.To))
-	sb.WriteString(" WHERE ")
-	sb.WriteString(sqlx.Ident(e.ToCol))
-	sb.WriteString(" IN (")
-	for i, v := range values {
-		if i > 0 {
-			sb.WriteString(", ")
+// naiveWhere builds NaïveQ's predicate: toCol IN (driving values), with the
+// tuples already in D' excluded so the budget buys only new tuples.
+func (g *generator) naiveWhere(e *schemagraph.JoinEdge, values []storage.Value) sqlx.Expr {
+	var where sqlx.Expr = &sqlx.InList{Left: &sqlx.ColumnRef{Name: e.ToCol}, Values: values}
+	if excl := g.existingIDs(e.To); len(excl) > 0 {
+		where = &sqlx.Logical{
+			And:   true,
+			Left:  where,
+			Right: &sqlx.InList{Left: rowidRef(), Values: excl, Not: true},
 		}
-		sb.WriteString(v.SQL())
 	}
-	sb.WriteString(")")
-	if excl := g.existingIDs(e.To); excl != "" {
-		sb.WriteString(" AND rowid NOT IN (")
-		sb.WriteString(excl)
-		sb.WriteString(")")
-	}
-	res, err := g.eng.Exec(sb.String())
+	return where
+}
+
+// fetchNaiveQWeighted is NaïveQ under the §7 tuple-weights extension: a
+// first query retrieves the candidate ids, which are ordered by tuple
+// weight before the budget cut, and a second query fetches the winners.
+// This costs one extra id-only query per join but lets importance, not
+// storage order, decide which tuples survive the cardinality constraint.
+func (g *generator) fetchNaiveQWeighted(e *schemagraph.JoinEdge, values []storage.Value, limit int) (*fetched, error) {
+	f := &fetched{}
+	res, err := g.execFetch(stmtIDs(e.To, g.naiveWhere(e, values)))
 	if err != nil {
-		return fmt.Errorf("core: weighted id query: %w", err)
+		return nil, fmt.Errorf("core: weighted id query: %w", err)
 	}
-	g.stats.Queries++
+	f.queries++
+	f.sql.Add(res.Stats)
 	ids := append([]storage.TupleID(nil), res.RowIDs...)
 	g.opts.Weights.order(e.To, ids)
-	if len(ids) > budget {
-		ids = ids[:budget]
+	if len(ids) > limit {
+		ids = ids[:limit]
 	}
 	if len(ids) == 0 {
-		return nil
+		return f, nil
 	}
-	var fetch strings.Builder
-	fetch.WriteString("rowid IN (")
-	for i, id := range ids {
-		if i > 0 {
-			fetch.WriteString(", ")
-		}
-		fmt.Fprintf(&fetch, "%d", id)
+	if err := g.fetchStmt(f, g.stmtSelect(e.To, rowidIn(ids), len(ids))); err != nil {
+		return nil, err
 	}
-	fetch.WriteString(")")
-	_, err = g.runSelect(e.To, g.selectSQL(e.To, fetch.String(), len(ids)))
-	return err
+	return f, nil
 }
 
-// roundRobin is the paper's Round-Robin: one scan per driving value; each
-// round retrieves at most one joining tuple per scan while the budget
+// fetchRoundRobin is the paper's Round-Robin: one scan per driving value;
+// each round retrieves at most one joining tuple per scan while the budget
 // holds, so joining tuples distribute fairly across driving tuples whatever
 // the true fan-out distribution. Exhausted scans close.
-func (g *generator) roundRobin(e *schemagraph.JoinEdge, values []storage.Value, budget int) error {
+//
+// The per-value id scans and the per-tuple row fetches are independent
+// reads of the original database; with workers > 1 both run on the worker
+// pool, while the round-robin consumption order — and therefore the set
+// and order of retrieved tuples — is computed by a deterministic serial
+// simulation.
+func (g *generator) fetchRoundRobin(e *schemagraph.JoinEdge, values []storage.Value, limit, workers int) (*fetched, error) {
 	outRel := g.out.Relation(e.To)
+
 	// Open one scan (id cursor) per driving value.
-	cursors := make([][]storage.TupleID, 0, len(values))
-	for _, v := range values {
-		res, err := g.eng.Exec("SELECT rowid FROM " + sqlx.Ident(e.To) + " WHERE " + sqlx.Ident(e.ToCol) + " = " + v.SQL())
+	type scanRes struct {
+		ids []storage.TupleID
+		sql sqlx.Stats
+		err error
+	}
+	scans := make([]scanRes, len(values))
+	parallelFor(len(values), workers, func(i int) {
+		res, err := g.execFetch(stmtIDs(e.To, &sqlx.Compare{
+			Op:    sqlx.OpEq,
+			Left:  &sqlx.ColumnRef{Name: e.ToCol},
+			Right: &sqlx.Literal{Value: values[i]},
+		}))
 		if err != nil {
-			return fmt.Errorf("core: round-robin scan: %w", err)
+			scans[i].err = fmt.Errorf("core: round-robin scan: %w", err)
+			return
 		}
-		g.stats.Queries++
-		ids := make([]storage.TupleID, 0, len(res.Rows))
+		ids := make([]storage.TupleID, 0, len(res.RowIDs))
 		for _, id := range res.RowIDs {
 			if _, exists := outRel.Get(id); !exists {
 				ids = append(ids, id)
 			}
 		}
 		g.opts.Weights.order(e.To, ids)
-		if len(ids) > 0 {
-			cursors = append(cursors, ids)
+		scans[i].ids = ids
+		scans[i].sql = res.Stats
+	})
+	f := &fetched{}
+	cursors := make([][]storage.TupleID, 0, len(values))
+	for i := range scans {
+		if scans[i].err != nil {
+			return nil, scans[i].err
+		}
+		f.queries++
+		f.sql.Add(scans[i].sql)
+		if len(scans[i].ids) > 0 {
+			cursors = append(cursors, scans[i].ids)
 		}
 	}
-	taken := 0
-	for taken < budget && len(cursors) > 0 {
+
+	// Deterministic round-robin simulation: choose up to limit ids, one per
+	// cursor per round. A tuple chosen by an earlier cursor this round (a
+	// shared child) is skipped silently without spending budget — exactly
+	// the serial algorithm's in-flight duplicate handling.
+	capHint := 0
+	for _, c := range cursors {
+		capHint += len(c)
+	}
+	if capHint > limit {
+		capHint = limit // limit may be math.MaxInt (Unlimited)
+	}
+	chosen := make([]storage.TupleID, 0, capHint)
+	chosenSet := make(map[storage.TupleID]bool)
+	for len(chosen) < limit && len(cursors) > 0 {
+		if err := g.ctxErr(); err != nil {
+			return nil, err
+		}
 		next := cursors[:0]
 		for _, cur := range cursors {
-			if taken >= budget {
+			if len(chosen) >= limit {
 				break
 			}
 			id := cur[0]
 			cur = cur[1:]
-			// A tuple may have been inserted by an earlier cursor this
-			// round (shared child): skip silently without spending budget.
-			if _, exists := outRel.Get(id); exists {
-				if len(cur) > 0 {
-					next = append(next, cur)
-				}
-				continue
+			if !chosenSet[id] {
+				chosen = append(chosen, id)
+				chosenSet[id] = true
 			}
-			query := g.selectSQL(e.To, fmt.Sprintf("rowid = %d", id), 1)
-			n, err := g.runSelect(e.To, query)
-			if err != nil {
-				return err
-			}
-			taken += n
 			if len(cur) > 0 {
 				next = append(next, cur)
 			}
 		}
 		cursors = next
 	}
-	return nil
+
+	// Fetch the chosen tuples, preserving consumption order.
+	type rowRes struct {
+		rows [][]storage.Value
+		sql  sqlx.Stats
+		err  error
+	}
+	fetchedRows := make([]rowRes, len(chosen))
+	parallelFor(len(chosen), workers, func(i int) {
+		res, err := g.execFetch(g.stmtSelect(e.To, &sqlx.Compare{
+			Op:    sqlx.OpEq,
+			Left:  rowidRef(),
+			Right: &sqlx.Literal{Value: storage.Int(int64(chosen[i]))},
+		}, 1))
+		if err != nil {
+			fetchedRows[i].err = err
+			return
+		}
+		fetchedRows[i].rows = res.Rows
+		fetchedRows[i].sql = res.Stats
+	})
+	for i := range fetchedRows {
+		if fetchedRows[i].err != nil {
+			return nil, fetchedRows[i].err
+		}
+		f.queries++
+		f.sql.Add(fetchedRows[i].sql)
+		f.rows = append(f.rows, fetchedRows[i].rows...)
+	}
+	return f, nil
 }
 
-// existingIDs renders the ids already present in the output relation as a
-// comma-separated list, or "" when empty.
-func (g *generator) existingIDs(rel string) string {
+// existingIDs returns the ids already present in the output relation as
+// literal values for a NOT IN predicate, or nil when empty.
+func (g *generator) existingIDs(rel string) []storage.Value {
 	r := g.out.Relation(rel)
 	if r == nil || r.Len() == 0 {
-		return ""
+		return nil
 	}
-	var sb strings.Builder
-	first := true
+	vals := make([]storage.Value, 0, r.Len())
 	r.Scan(func(t storage.Tuple) bool {
-		if !first {
-			sb.WriteString(", ")
-		}
-		first = false
-		fmt.Fprintf(&sb, "%d", t.ID)
+		vals = append(vals, storage.Int(int64(t.ID)))
 		return true
 	})
-	return sb.String()
+	return vals
 }

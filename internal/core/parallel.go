@@ -1,0 +1,79 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxWorkers caps any worker pool the engine spawns; beyond this the
+// coordination overhead dominates on the read-mostly workloads the
+// generator runs.
+const MaxWorkers = 64
+
+// NormalizeWorkers resolves a requested pool size: 0 means one worker per
+// logical CPU (runtime.GOMAXPROCS), negatives mean serial, and everything
+// is capped at MaxWorkers.
+func NormalizeWorkers(n int) int {
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		return 1
+	}
+	if n > MaxWorkers {
+		return MaxWorkers
+	}
+	return n
+}
+
+// ParallelFor runs fn(i) for every i in [0, n) on at most workers
+// goroutines, returning when all calls finished. With workers <= 1 (or a
+// single item) it degenerates to a plain loop on the calling goroutine, so
+// serial paths pay no synchronization cost. Work is handed out through an
+// atomic counter in chunks (so tiny per-item tasks don't pay one
+// synchronization per index), which makes the mapping of index to goroutine
+// arbitrary — fn must be safe to call concurrently and should only write
+// state owned by its index (e.g. slot i of a results slice).
+func ParallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Chunked handout: aim for a few chunks per worker so the pool stays
+	// balanced under skewed task costs without an atomic op per index.
+	chunk := n / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// parallelFor is the package-internal alias used by the generator.
+func parallelFor(n, workers int, fn func(i int)) { ParallelFor(n, workers, fn) }

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"precis"
+	"precis/internal/dataset"
+	"precis/internal/storage"
+)
+
+// ParallelConfig scales the parallel-speedup experiment: a synthetic
+// database large enough that result-database generation dominates, queried
+// for a popular director (the zipf skew concentrates films on the first
+// directors, so the précis spans hundreds of tuples).
+type ParallelConfig struct {
+	Films   int
+	Workers []int // pool sizes to sweep; 1 is the serial baseline
+	Runs    int   // timed runs per pool size (median reported)
+}
+
+// DefaultParallelConfig sweeps the pool sizes the issue's acceptance
+// criteria cite.
+func DefaultParallelConfig() ParallelConfig {
+	return ParallelConfig{Films: 2000, Workers: []int{1, 2, 4, 8, 16}, Runs: 5}
+}
+
+// ParallelPoint is one pool size's result.
+type ParallelPoint struct {
+	Workers int
+	Median  time.Duration
+	Speedup float64 // serial median / this median
+}
+
+// ParallelReport is the output of Parallel.
+type ParallelReport struct {
+	Films  int
+	Query  string
+	Tuples int // tuples in the answer (identical across pool sizes)
+	Points []ParallelPoint
+}
+
+func (r ParallelReport) String() string {
+	s := fmt.Sprintf("Parallel query execution (%d films, q=%q, %d answer tuples)\n",
+		r.Films, r.Query, r.Tuples)
+	for _, p := range r.Points {
+		s += fmt.Sprintf("  workers=%-3d median=%-12v speedup=%.2fx\n", p.Workers, p.Median, p.Speedup)
+	}
+	return s
+}
+
+// popularQuery builds a synthetic-movies engine and returns it with the
+// name of its most prolific director (the zipf head), whose précis is the
+// heaviest answer the dataset can produce.
+func popularQuery(films int) (*precis.Engine, string, error) {
+	cfg := dataset.DefaultSyntheticConfig()
+	cfg.Films = films
+	db, err := dataset.SyntheticMovies(cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	g, err := dataset.PaperGraph(db)
+	if err != nil {
+		return nil, "", err
+	}
+	if err := dataset.AnnotateNarrative(g); err != nil {
+		return nil, "", err
+	}
+	eng, err := precis.New(db, g)
+	if err != nil {
+		return nil, "", err
+	}
+	// Count films per director and pick the head of the zipf curve.
+	movies := db.Relation("MOVIE")
+	di := movies.Schema().ColumnIndex("did")
+	counts := make(map[string]int)
+	movies.Scan(func(t storage.Tuple) bool {
+		counts[t.Values[di].String()]++
+		return true
+	})
+	best, bestN := "", -1
+	directors := db.Relation("DIRECTOR")
+	did := directors.Schema().ColumnIndex("did")
+	dn := directors.Schema().ColumnIndex("dname")
+	directors.Scan(func(t storage.Tuple) bool {
+		if n := counts[t.Values[did].String()]; n > bestN {
+			bestN = n
+			best = t.Values[dn].AsString()
+		}
+		return true
+	})
+	return eng, best, nil
+}
+
+// parallelOptions is the workload every pool size runs: round-robin
+// retrieval over a wide, deep précis with the narrative skipped so timings
+// isolate generation.
+func parallelOptions(workers int) precis.Options {
+	return precis.Options{
+		Degree:        precis.MinPathWeight(0.05),
+		Cardinality:   precis.MaxTuplesPerRelation(150),
+		Strategy:      precis.StrategyRoundRobin,
+		SkipNarrative: true,
+		Parallelism:   workers,
+	}
+}
+
+// Parallel measures the same précis query across worker-pool sizes and
+// reports the speedup over the serial path. Answers are verified to have
+// identical tuple counts — parallelism must only change latency.
+func Parallel(cfg ParallelConfig) (ParallelReport, error) {
+	var report ParallelReport
+	report.Films = cfg.Films
+	eng, q, err := popularQuery(cfg.Films)
+	if err != nil {
+		return report, err
+	}
+	report.Query = q
+	if cfg.Runs < 1 {
+		cfg.Runs = 1
+	}
+	serial := time.Duration(0)
+	for _, w := range cfg.Workers {
+		opts := parallelOptions(w)
+		// Warm-up run, also the answer-shape check.
+		ans, err := eng.QueryString(q, opts)
+		if err != nil {
+			return report, err
+		}
+		tuples := ans.Database.TotalTuples()
+		if report.Tuples == 0 {
+			report.Tuples = tuples
+		} else if tuples != report.Tuples {
+			return report, fmt.Errorf("parallel: workers=%d produced %d tuples, serial produced %d",
+				w, tuples, report.Tuples)
+		}
+		durs := make([]time.Duration, 0, cfg.Runs)
+		for r := 0; r < cfg.Runs; r++ {
+			start := time.Now()
+			if _, err := eng.QueryString(q, opts); err != nil {
+				return report, err
+			}
+			durs = append(durs, time.Since(start))
+		}
+		med := median(durs)
+		if serial == 0 {
+			serial = med
+		}
+		sp := 0.0
+		if med > 0 {
+			sp = float64(serial) / float64(med)
+		}
+		report.Points = append(report.Points, ParallelPoint{Workers: w, Median: med, Speedup: sp})
+	}
+	return report, nil
+}
+
+// CacheReport contrasts cold query latency against answer-cache hits.
+type CacheReport struct {
+	Films   int
+	Query   string
+	Cold    time.Duration // median uncached latency
+	Hot     time.Duration // median cache-hit latency
+	Speedup float64
+	Stats   precis.CacheStats
+}
+
+func (r CacheReport) String() string {
+	return fmt.Sprintf(
+		"Answer cache (%d films, q=%q)\n  cold=%-12v hot=%-12v speedup=%.0fx  (hits=%d misses=%d entries=%d)\n",
+		r.Films, r.Query, r.Cold, r.Hot, r.Speedup, r.Stats.Hits, r.Stats.Misses, r.Stats.Entries)
+}
+
+// Cache measures the answer cache: cold medians with the cache disabled,
+// then hot medians on a warmed cache.
+func Cache(films, runs int) (CacheReport, error) {
+	var report CacheReport
+	report.Films = films
+	eng, q, err := popularQuery(films)
+	if err != nil {
+		return report, err
+	}
+	report.Query = q
+	if runs < 1 {
+		runs = 1
+	}
+	opts := parallelOptions(0)
+
+	cold := make([]time.Duration, 0, runs)
+	for r := 0; r < runs; r++ {
+		start := time.Now()
+		if _, err := eng.QueryString(q, opts); err != nil {
+			return report, err
+		}
+		cold = append(cold, time.Since(start))
+	}
+	report.Cold = median(cold)
+
+	eng.EnableCache(precis.CacheConfig{MaxEntries: 64})
+	if _, err := eng.QueryString(q, opts); err != nil { // warm the entry
+		return report, err
+	}
+	hot := make([]time.Duration, 0, runs)
+	for r := 0; r < runs; r++ {
+		start := time.Now()
+		if _, err := eng.QueryString(q, opts); err != nil {
+			return report, err
+		}
+		hot = append(hot, time.Since(start))
+	}
+	report.Hot = median(hot)
+	if report.Hot > 0 {
+		report.Speedup = float64(report.Cold) / float64(report.Hot)
+	}
+	report.Stats = eng.CacheStats()
+	return report, nil
+}

@@ -54,6 +54,13 @@ func (e *Engine) TotalStats() Stats { return e.total }
 // ResetStats clears the cumulative stats.
 func (e *Engine) ResetStats() { e.total = Stats{} }
 
+// AccumulateStats merges externally measured work into the engine's
+// cumulative totals. The parallel result-database generator runs each fetch
+// on a private engine (so concurrent fetches never race on statistics) and
+// folds the per-fetch stats back through this method, keeping TotalStats on
+// the caller's engine meaningful for cost-model accounting.
+func (e *Engine) AccumulateStats(s Stats) { e.total.Add(s) }
+
 // Exec parses and executes one statement.
 func (e *Engine) Exec(src string) (*Result, error) {
 	st, err := Parse(src)

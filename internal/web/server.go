@@ -6,16 +6,22 @@
 //	GET /                 search form (+ results when q is present)
 //	GET /api/search?q=    JSON answer: narrative, result database, stats
 //	GET /api/schema       JSON description of the schema graph
+//	GET /api/stats        engine statistics: answer cache counters, sizes
 //	GET /graph.dot        the schema graph in Graphviz dot syntax
 //	GET /healthz          liveness probe
 //
 // Query parameters for both search endpoints: q (required; quotes group
 // phrases), w (min path weight), card (max tuples/relation), total (max
 // total tuples), strategy (auto|naiveq|roundrobin), profile (stored
-// profile name).
+// profile name), workers (query worker pool size; 0 = one per CPU).
+//
+// Every search runs under a per-request timeout (Config.QueryTimeout);
+// queries that exceed it are canceled mid-generation and answered with
+// 504 Gateway Timeout.
 package web
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -23,23 +29,47 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"precis"
 	"precis/internal/storage"
 )
 
+// DefaultQueryTimeout bounds a single search when Config.QueryTimeout is
+// zero. Précis answers are interactive (the paper's Formula 3 targets
+// seconds); anything slower than this indicates a runaway query.
+const DefaultQueryTimeout = 15 * time.Second
+
+// Config tunes the HTTP layer.
+type Config struct {
+	// QueryTimeout is the per-request deadline for /api/search and the
+	// HTML search page. Zero means DefaultQueryTimeout; negative disables
+	// the timeout entirely.
+	QueryTimeout time.Duration
+}
+
 // Server wraps a précis engine with HTTP handlers.
 type Server struct {
 	eng *precis.Engine
 	mux *http.ServeMux
+	cfg Config
 }
 
-// NewServer builds the handler set around an engine.
+// NewServer builds the handler set around an engine with default config.
 func NewServer(eng *precis.Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux()}
+	return NewServerWithConfig(eng, Config{})
+}
+
+// NewServerWithConfig builds the handler set with explicit configuration.
+func NewServerWithConfig(eng *precis.Engine, cfg Config) *Server {
+	if cfg.QueryTimeout == 0 {
+		cfg.QueryTimeout = DefaultQueryTimeout
+	}
+	s := &Server{eng: eng, mux: http.NewServeMux(), cfg: cfg}
 	s.mux.HandleFunc("GET /", s.handleHome)
 	s.mux.HandleFunc("GET /api/search", s.handleAPISearch)
 	s.mux.HandleFunc("GET /api/schema", s.handleAPISchema)
+	s.mux.HandleFunc("GET /api/stats", s.handleAPIStats)
 	s.mux.HandleFunc("GET /graph.dot", s.handleDOT)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -105,6 +135,13 @@ func parseOptions(r *http.Request) (precis.Options, error) {
 		return opts, fmt.Errorf("bad strategy %q", q.Get("strategy"))
 	}
 	opts.Profile = q.Get("profile")
+	if v := q.Get("workers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return opts, fmt.Errorf("bad workers %q", v)
+		}
+		opts.Parallelism = n
+	}
 	return opts, nil
 }
 
@@ -166,7 +203,8 @@ func buildAPIAnswer(ans *precis.Answer) apiAnswer {
 	return out
 }
 
-// search runs a query from request parameters.
+// search runs a query from request parameters under the per-request
+// timeout.
 func (s *Server) search(r *http.Request) (*precis.Answer, int, error) {
 	q := strings.TrimSpace(r.URL.Query().Get("q"))
 	if q == "" {
@@ -176,10 +214,22 @@ func (s *Server) search(r *http.Request) (*precis.Answer, int, error) {
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	ans, err := s.eng.QueryString(q, opts)
+	ctx := r.Context()
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+	ans, err := s.eng.QueryStringContext(ctx, q, opts)
 	if err != nil {
-		if errors.Is(err, precis.ErrNoMatches) {
+		switch {
+		case errors.Is(err, precis.ErrNoMatches):
 			return ans, http.StatusNotFound, err
+		case errors.Is(err, context.DeadlineExceeded):
+			return nil, http.StatusGatewayTimeout,
+				fmt.Errorf("query exceeded the %v time budget", s.cfg.QueryTimeout)
+		case errors.Is(err, context.Canceled):
+			return nil, 499, err // client went away
 		}
 		return nil, http.StatusBadRequest, err
 	}
@@ -195,6 +245,29 @@ func (s *Server) handleAPISearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	_ = json.NewEncoder(w).Encode(buildAPIAnswer(ans))
+}
+
+// apiEngineStats is the JSON shape of /api/stats.
+type apiEngineStats struct {
+	Database  string             `json:"database"`
+	Relations int                `json:"relations"`
+	Tuples    int                `json:"tuples"`
+	Cache     *precis.CacheStats `json:"cache,omitempty"` // nil when the cache is disabled
+}
+
+func (s *Server) handleAPIStats(w http.ResponseWriter, _ *http.Request) {
+	db := s.eng.Database()
+	out := apiEngineStats{
+		Database:  db.Name(),
+		Relations: db.NumRelations(),
+		Tuples:    db.TotalTuples(),
+	}
+	if s.eng.CacheEnabled() {
+		cs := s.eng.CacheStats()
+		out.Cache = &cs
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
 }
 
 // apiSchemaRelation describes one relation node of the schema graph.

@@ -7,6 +7,7 @@ import (
 	"net/url"
 	"strings"
 	"testing"
+	"time"
 
 	"precis"
 	"precis/internal/dataset"
@@ -213,5 +214,99 @@ func TestHealthz(t *testing.T) {
 	code, body := get(t, ts.URL+"/healthz")
 	if code != http.StatusOK || !strings.Contains(body, "ok") {
 		t.Errorf("healthz: %d %q", code, body)
+	}
+}
+
+// testEngine builds the example engine without wrapping it in a server, for
+// tests that need custom server configuration.
+func testEngine(t *testing.T) *precis.Engine {
+	t.Helper()
+	db, g, err := dataset.ExampleMovies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.AnnotateNarrative(g); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := precis.New(db, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, def := range dataset.StandardMacros() {
+		if err := eng.DefineMacro(def); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng
+}
+
+func TestAPIStats(t *testing.T) {
+	eng := testEngine(t)
+	eng.EnableCache(precis.CacheConfig{MaxEntries: 16})
+	ts := httptest.NewServer(NewServer(eng).Handler())
+	t.Cleanup(ts.Close)
+
+	// Two identical searches: one miss, one hit.
+	for i := 0; i < 2; i++ {
+		if code, body := get(t, query(ts.URL, "/api/search", "q", "Woody Allen")); code != http.StatusOK {
+			t.Fatalf("search %d: code=%d body=%s", i, code, body)
+		}
+	}
+	code, body := get(t, ts.URL+"/api/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats code=%d", code)
+	}
+	var out struct {
+		Database  string `json:"database"`
+		Relations int    `json:"relations"`
+		Tuples    int    `json:"tuples"`
+		Cache     *struct {
+			Hits    uint64 `json:"hits"`
+			Misses  uint64 `json:"misses"`
+			Entries int    `json:"entries"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("bad stats JSON: %v\n%s", err, body)
+	}
+	if out.Database != "movies" || out.Relations == 0 || out.Tuples == 0 {
+		t.Fatalf("stats = %+v", out)
+	}
+	if out.Cache == nil || out.Cache.Hits != 1 || out.Cache.Misses != 1 || out.Cache.Entries != 1 {
+		t.Fatalf("cache stats = %+v", out.Cache)
+	}
+}
+
+func TestAPIStatsCacheDisabled(t *testing.T) {
+	ts := testServer(t)
+	code, body := get(t, ts.URL+"/api/stats")
+	if code != http.StatusOK {
+		t.Fatalf("code=%d", code)
+	}
+	if strings.Contains(body, `"cache"`) {
+		t.Fatalf("disabled cache appears in stats: %s", body)
+	}
+}
+
+func TestSearchWorkersParam(t *testing.T) {
+	ts := testServer(t)
+	if code, body := get(t, query(ts.URL, "/api/search", "q", "Woody Allen", "workers", "4")); code != http.StatusOK {
+		t.Fatalf("workers=4: code=%d body=%s", code, body)
+	}
+	if code, _ := get(t, query(ts.URL, "/api/search", "q", "Woody Allen", "workers", "abc")); code != http.StatusBadRequest {
+		t.Fatalf("bad workers accepted: code=%d", code)
+	}
+}
+
+func TestSearchTimeout(t *testing.T) {
+	eng := testEngine(t)
+	ts := httptest.NewServer(NewServerWithConfig(eng, Config{QueryTimeout: time.Nanosecond}).Handler())
+	t.Cleanup(ts.Close)
+	code, body := get(t, query(ts.URL, "/api/search", "q", "Woody Allen"))
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("code=%d body=%s, want 504", code, body)
+	}
+	if !strings.Contains(body, "time budget") {
+		t.Fatalf("timeout body: %s", body)
 	}
 }

@@ -22,13 +22,16 @@
 package precis
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"precis/internal/anscache"
 	"precis/internal/core"
 	"precis/internal/costmodel"
 	"precis/internal/invidx"
@@ -103,7 +106,9 @@ func TimeBudget(params costmodel.Params, budget time.Duration, relations int) Ca
 
 // Engine answers précis queries over one database + annotated schema graph.
 // Queries may run concurrently; mutations (Insert, Delete, DefineMacro,
-// AddProfile) are serialized against them internally.
+// AddProfile, SetTupleWeights) are serialized against them internally, and
+// every mutation invalidates the answer cache so concurrent readers never
+// observe a stale précis.
 type Engine struct {
 	mu       sync.RWMutex
 	db       *storage.Database
@@ -111,6 +116,104 @@ type Engine struct {
 	index    *invidx.Index
 	renderer *nlg.Renderer
 	profiles *profile.Registry
+	// weights are the engine-level default tuple weights (§7 extension),
+	// applied when Options.TupleWeights is nil. The engine owns a private
+	// deep copy, replaced wholesale under mu, so queries read it without
+	// further locking.
+	weights TupleWeights
+	// cache holds computed answers; nil until EnableCache.
+	cache *anscache.Cache
+}
+
+// CacheConfig sizes the engine's answer cache.
+type CacheConfig struct {
+	// MaxEntries bounds the number of resident answers (<= 0: 128).
+	MaxEntries int
+	// TTL expires answers by age; 0 disables time-based expiry (entries
+	// still fall out by LRU order and on invalidation).
+	TTL time.Duration
+}
+
+// CacheStats reports the answer cache's hit/miss counters.
+type CacheStats = anscache.Stats
+
+// EnableCache turns on (or resizes) the engine's LRU answer cache. Repeated
+// queries with the same normalized tokens, constraints, profile, and weight
+// overlay are then answered from memory until a mutation invalidates them.
+// Resizing drops existing entries.
+func (e *Engine) EnableCache(cfg CacheConfig) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cache = anscache.New(cfg.MaxEntries, cfg.TTL)
+}
+
+// DisableCache removes the answer cache.
+func (e *Engine) DisableCache() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cache = nil
+}
+
+// InvalidateCache explicitly drops every cached answer. The engine already
+// invalidates on its own mutations (Insert, Update, Delete, AddSynonym,
+// DefineMacro, AddProfile, SetTupleWeights); call this after mutating the
+// underlying database or schema graph through a side channel.
+func (e *Engine) InvalidateCache() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.purgeCacheLocked()
+}
+
+// CacheStats snapshots the answer cache counters (zero value when the
+// cache is disabled).
+func (e *Engine) CacheStats() CacheStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.Stats()
+}
+
+// CacheEnabled reports whether the answer cache is on.
+func (e *Engine) CacheEnabled() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.cache != nil
+}
+
+// purgeCacheLocked drops all cached answers; callers hold e.mu.
+func (e *Engine) purgeCacheLocked() {
+	if e.cache != nil {
+		e.cache.Purge()
+	}
+}
+
+// SetTupleWeights stores engine-level default tuple weights (the §7
+// extension), used whenever Options.TupleWeights is nil. The weights are
+// deep-copied, so later changes to w by the caller do not affect the
+// engine; pass nil to clear. Changing weights invalidates the cache.
+func (e *Engine) SetTupleWeights(w TupleWeights) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.weights = copyTupleWeights(w)
+	e.purgeCacheLocked()
+}
+
+// copyTupleWeights deep-copies a tuple-weight map (nil stays nil).
+func copyTupleWeights(w TupleWeights) TupleWeights {
+	if w == nil {
+		return nil
+	}
+	out := make(TupleWeights, len(w))
+	for rel, m := range w {
+		cm := make(map[storage.TupleID]float64, len(m))
+		for id, wt := range m {
+			cm[id] = wt
+		}
+		out[rel] = cm
+	}
+	return out
 }
 
 // New builds an engine: it validates the graph against the database and
@@ -147,12 +250,14 @@ func (e *Engine) AddSynonym(alias, canonical string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.index.AddSynonym(alias, canonical)
+	e.purgeCacheLocked()
 }
 
 // DefineMacro registers a narrative macro ("DEFINE NAME as ...").
 func (e *Engine) DefineMacro(def string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.purgeCacheLocked()
 	return e.renderer.DefineMacro(def)
 }
 
@@ -160,16 +265,25 @@ func (e *Engine) DefineMacro(def string) error {
 func (e *Engine) AddProfile(p *Profile) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.purgeCacheLocked()
 	return e.profiles.Add(p)
 }
 
-// Profiles returns the registered profile names, sorted.
-func (e *Engine) Profiles() []string { return e.profiles.Names() }
+// Profiles returns the registered profile names, sorted. It holds the
+// engine read lock: before this fix the registry map was read without any
+// lock while AddProfile wrote it, a data race `go test -race` flags (see
+// TestProfilesConcurrentWithAddProfile).
+func (e *Engine) Profiles() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.profiles.Names()
+}
 
 // Insert adds a tuple and keeps the inverted index current.
 func (e *Engine) Insert(relation string, vals ...storage.Value) (storage.TupleID, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.purgeCacheLocked()
 	id, err := e.db.Insert(relation, vals...)
 	if err != nil {
 		return 0, err
@@ -184,6 +298,7 @@ func (e *Engine) Insert(relation string, vals ...storage.Value) (storage.TupleID
 func (e *Engine) Update(relation string, id storage.TupleID, vals []storage.Value) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.purgeCacheLocked()
 	rel := e.db.Relation(relation)
 	if rel == nil {
 		return fmt.Errorf("precis: no relation %s", relation)
@@ -206,6 +321,7 @@ func (e *Engine) Update(relation string, id storage.TupleID, vals []storage.Valu
 func (e *Engine) Delete(relation string, id storage.TupleID) (bool, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.purgeCacheLocked()
 	rel := e.db.Relation(relation)
 	if rel == nil {
 		return false, fmt.Errorf("precis: no relation %s", relation)
@@ -228,10 +344,19 @@ type Options struct {
 	Profile       string             // name of a registered profile
 	WeightOverlay map[string]float64 // ad-hoc per-query weight changes (§3.1 interactive exploration)
 	// TupleWeights biases which tuples survive the cardinality budget
-	// (§7 extension); nil disables it.
+	// (§7 extension); nil falls back to the engine-level weights set with
+	// SetTupleWeights. The map is deep-copied at query start, so the
+	// generator never observes concurrent caller mutations mid-query.
+	// Queries with per-call TupleWeights bypass the answer cache.
 	TupleWeights TupleWeights
 	// SkipNarrative suppresses narrative rendering (benchmarks).
 	SkipNarrative bool
+	// Parallelism bounds the worker pool used for inverted-index probes
+	// and result-database generation: 0 uses one worker per logical CPU
+	// (runtime.GOMAXPROCS), negative values force the serial path, and
+	// everything is capped at 64. The answer is byte-identical for every
+	// setting — parallelism only changes latency.
+	Parallelism int
 }
 
 // Answer is the result of a précis query.
@@ -287,17 +412,120 @@ func (e *Engine) QueryString(q string, opts Options) (*Answer, error) {
 	return e.Query(ParseQuery(q), opts)
 }
 
+// QueryStringContext parses a free-form query string and runs QueryContext.
+func (e *Engine) QueryStringContext(ctx context.Context, q string, opts Options) (*Answer, error) {
+	return e.QueryContext(ctx, ParseQuery(q), opts)
+}
+
 // Query answers a précis query Q = {k1, ..., km}: it resolves the tokens
 // through the inverted index, generates the result schema under the degree
 // constraint, populates the result database under the cardinality
 // constraint, and renders the narrative.
 func (e *Engine) Query(terms []string, opts Options) (*Answer, error) {
+	return e.QueryContext(context.Background(), terms, opts)
+}
+
+// cacheKey fingerprints the inputs a cached answer depends on: the
+// normalized (tokenized, case-folded) terms in order, the requested
+// constraints and strategy, the profile name, the ad-hoc weight overlay,
+// and whether the narrative was rendered. Database contents and engine
+// weights are not part of the key — any change to them purges the whole
+// cache instead. The second return is false when the query is not
+// cacheable (per-call tuple weights carry arbitrary maps that are not
+// worth fingerprinting).
+func cacheKey(terms []string, opts Options) (string, bool) {
+	if opts.TupleWeights != nil {
+		return "", false
+	}
+	var sb strings.Builder
+	for _, t := range terms {
+		sb.WriteString(strings.Join(invidx.Tokenize(t), " "))
+		sb.WriteByte('\x1f')
+	}
+	sb.WriteByte('\x1e')
+	if opts.Degree != nil {
+		sb.WriteString(opts.Degree.String())
+	}
+	sb.WriteByte('\x1e')
+	if opts.Cardinality != nil {
+		sb.WriteString(opts.Cardinality.String())
+	}
+	sb.WriteByte('\x1e')
+	sb.WriteString(opts.Strategy.String())
+	sb.WriteByte('\x1e')
+	sb.WriteString(opts.Profile)
+	sb.WriteByte('\x1e')
+	if len(opts.WeightOverlay) > 0 {
+		keys := make([]string, 0, len(opts.WeightOverlay))
+		for k := range opts.WeightOverlay {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			sb.WriteString(k)
+			sb.WriteByte('=')
+			sb.WriteString(strconv.FormatFloat(opts.WeightOverlay[k], 'g', -1, 64))
+			sb.WriteByte('\x1f')
+		}
+	}
+	sb.WriteByte('\x1e')
+	if opts.SkipNarrative {
+		sb.WriteByte('1')
+	}
+	return sb.String(), true
+}
+
+// shallowCopy returns a copy of the answer struct so cache hits hand each
+// caller its own Answer header. The result database, schema, and occurrence
+// slices stay shared and must be treated as read-only — which they are for
+// every engine code path, since each query builds a fresh result database.
+func (a *Answer) shallowCopy() *Answer {
+	cp := *a
+	return &cp
+}
+
+// QueryContext is Query with cancellation: ctx deadlines and cancellations
+// are honoured between pipeline stages and between result-database
+// generation steps, and the returned error wraps ctx.Err(). The web layer
+// uses this for per-request timeouts.
+func (e *Engine) QueryContext(ctx context.Context, terms []string, opts Options) (*Answer, error) {
 	if len(terms) == 0 {
 		return nil, fmt.Errorf("precis: empty query")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 
+	// Answer cache: the lookup happens under the engine read lock, so a
+	// mutation that completed before this query began has already purged
+	// the cache — a hit can never serve a stale answer.
+	key, cacheable := "", false
+	if e.cache != nil {
+		if key, cacheable = cacheKey(terms, opts); cacheable {
+			if v, ok := e.cache.Get(key); ok {
+				return v.(*Answer).shallowCopy(), nil
+			}
+		}
+	}
+
+	ans, err := e.queryLocked(ctx, terms, opts)
+	if err != nil {
+		// ErrNoMatches answers are cheap to recompute and carry partial
+		// state; don't cache errors.
+		return ans, err
+	}
+	if cacheable && e.cache != nil {
+		e.cache.Put(key, ans)
+		// Hand out a copy so the caller's Answer header stays private.
+		ans = ans.shallowCopy()
+	}
+	return ans, nil
+}
+
+// queryLocked runs the four-stage pipeline; callers hold e.mu.RLock.
+func (e *Engine) queryLocked(ctx context.Context, terms []string, opts Options) (*Answer, error) {
 	// Resolve the effective configuration: options > profile > defaults.
 	g := e.graph
 	degree := opts.Degree
@@ -337,15 +565,37 @@ func (e *Engine) Query(terms []string, opts Options) (*Answer, error) {
 		card = core.MaxTuplesPerRelation(10)
 	}
 
+	// Resolve the effective tuple weights: per-call weights win (deep-copied
+	// so the generator never observes caller mutations mid-query), otherwise
+	// the engine-level weights set with SetTupleWeights apply. e.weights is
+	// already a private copy and only replaced wholesale under e.mu.Lock, so
+	// sharing it with the generator is race-free under our RLock.
+	weights := e.weights
+	if opts.TupleWeights != nil {
+		weights = copyTupleWeights(opts.TupleWeights)
+	}
+
+	workers := core.NormalizeWorkers(opts.Parallelism)
+
 	ans := &Answer{Terms: append([]string(nil), terms...), Occurrences: make(map[string][]invidx.Occurrence)}
 
-	// Step 1: inverted index.
+	// Step 1: inverted index. The per-term probes are independent pure
+	// reads, so they fan out across the worker pool; results land in a
+	// position-indexed slice and are folded back in term order, keeping the
+	// answer byte-identical to the serial walk.
+	perTerm := make([][]invidx.Occurrence, len(terms))
+	core.ParallelFor(len(terms), workers, func(i int) {
+		perTerm[i] = e.index.LookupExpanded(terms[i])
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("precis: query canceled: %w", err)
+	}
 	seeds := make(map[string][]storage.TupleID)
 	var seedRels []string
 	seen := make(map[string]bool)
 	var allOccs []invidx.Occurrence
-	for _, term := range terms {
-		occs := e.index.LookupExpanded(term)
+	for i, term := range terms {
+		occs := perTerm[i]
 		if len(occs) == 0 {
 			ans.Unmatched = append(ans.Unmatched, term)
 			continue
@@ -372,18 +622,25 @@ func (e *Engine) Query(terms []string, opts Options) (*Answer, error) {
 	}
 	rs.CopyAnnotations(g)
 	ans.Schema = rs
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("precis: query canceled: %w", err)
+	}
 
 	// Step 3: result database generation. Each query gets its own SQL
 	// engine over the shared database, so concurrent queries do not race on
-	// statistics accumulation.
+	// statistics accumulation. The generator honours ctx between steps and
+	// fans independent fetches out over the same worker pool.
 	rd, err := core.GenerateDatabaseOpts(sqlx.NewEngine(e.db), rs, seeds, card, strat,
-		core.DBGenOptions{Weights: opts.TupleWeights})
+		core.DBGenOptions{Weights: weights, Workers: workers, Context: ctx})
 	if err != nil {
 		return nil, err
 	}
 	ans.Result = rd
 	ans.Database = rd.DB
 	ans.Stats = rd.Stats
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("precis: query canceled: %w", err)
+	}
 
 	// Step 4: translation.
 	if !opts.SkipNarrative {

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI gate: vet, build, and the full test suite under the race detector.
+#
+# The race run is the point of this script — the engine's parallel fetch
+# pool, the answer cache, and the profile registry are all exercised by
+# dedicated concurrency tests (race_test.go, determinism_test.go,
+# internal/anscache) that only bite under -race.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race -count=1 ./...
+
+echo "CI OK"
