@@ -8,10 +8,11 @@
 //	precis-bench -exp f7|f8|f9|cm|qe|bl|all [-quick] [-csv]
 //	precis-bench -parallel [-quick]   worker-pool speedup sweep
 //	precis-bench -cache [-quick]      answer-cache hit vs cold latency
+//	precis-bench -deadline [-quick]   answer size vs wall-clock deadline
 //
 // -quick shrinks each experiment's run counts for a fast smoke pass; -csv
-// prints machine-readable rows instead of aligned text. -parallel and
-// -cache run the engine-level concurrency experiments (they can be
+// prints machine-readable rows instead of aligned text. -parallel, -cache
+// and -deadline run the engine-level resource experiments (they can be
 // combined with -exp).
 package main
 
@@ -32,6 +33,7 @@ func main() {
 		csv      = flag.Bool("csv", false, "CSV output")
 		parallel = flag.Bool("parallel", false, "measure worker-pool speedup on one query")
 		cache    = flag.Bool("cache", false, "measure answer-cache hit vs cold latency")
+		deadline = flag.Bool("deadline", false, "measure answer size vs wall-clock deadline (graceful degradation)")
 	)
 	flag.Parse()
 
@@ -39,8 +41,8 @@ func main() {
 	for _, e := range strings.Split(*exp, ",") {
 		run[strings.TrimSpace(e)] = true
 	}
-	if *parallel || *cache {
-		// The concurrency experiments replace the figure suite unless the
+	if *parallel || *cache || *deadline {
+		// The resource experiments replace the figure suite unless the
 		// caller asked for both explicitly.
 		if *exp == "all" {
 			run = map[string]bool{}
@@ -50,6 +52,9 @@ func main() {
 		}
 		if *cache {
 			run["cc"] = true
+		}
+		if *deadline {
+			run["dl"] = true
 		}
 	}
 	all := run["all"]
@@ -99,6 +104,27 @@ func main() {
 			fatal(err)
 		}
 	}
+	if run["dl"] {
+		if err := runDeadline(*quick); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func runDeadline(quick bool) error {
+	cfg := experiments.DefaultDegradationConfig()
+	if quick {
+		cfg.Films = 500
+		cfg.Deadlines = []time.Duration{time.Millisecond, 5 * time.Millisecond, 0}
+		cfg.Runs = 3
+	}
+	report, err := experiments.Degradation(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.String())
+	fmt.Println()
+	return nil
 }
 
 func runParallel(quick bool) error {

@@ -7,18 +7,29 @@
 //
 //	precis-server [-addr :8080] [-db example|synthetic] [-films N] [-seed N]
 //	              [-profiles DIR] [-cache-size N] [-cache-ttl D]
-//	              [-query-timeout D]
+//	              [-query-timeout D] [-max-inflight N] [-queue-depth N]
 //
 // The answer cache is on by default (-cache-size 0 disables it); any
 // mutation through the engine invalidates it wholesale. Every search runs
 // under -query-timeout (0 restores the package default, negative disables).
+//
+// Load governance: at most -max-inflight searches run concurrently and at
+// most -queue-depth wait for a slot; overflow is shed with 503 and a
+// Retry-After header, visible as counters in /api/stats. SIGINT/SIGTERM
+// trigger a graceful shutdown: the listener closes, in-flight requests get
+// up to -shutdown-grace to finish, then the process exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"precis"
@@ -31,14 +42,17 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		dbKind    = flag.String("db", "example", "data source: example or synthetic")
-		films     = flag.Int("films", 2000, "synthetic film count")
-		seed      = flag.Int64("seed", 1, "synthetic generator seed")
-		profiles  = flag.String("profiles", "", "directory of stored profile specs (*.json)")
-		cacheSize = flag.Int("cache-size", 256, "answer cache capacity (0 disables the cache)")
-		cacheTTL  = flag.Duration("cache-ttl", 10*time.Minute, "answer cache entry lifetime (0 = no expiry)")
-		timeout   = flag.Duration("query-timeout", web.DefaultQueryTimeout, "per-request query deadline (negative disables)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		dbKind     = flag.String("db", "example", "data source: example or synthetic")
+		films      = flag.Int("films", 2000, "synthetic film count")
+		seed       = flag.Int64("seed", 1, "synthetic generator seed")
+		profiles   = flag.String("profiles", "", "directory of stored profile specs (*.json)")
+		cacheSize  = flag.Int("cache-size", 256, "answer cache capacity (0 disables the cache)")
+		cacheTTL   = flag.Duration("cache-ttl", 10*time.Minute, "answer cache entry lifetime (0 = no expiry)")
+		timeout    = flag.Duration("query-timeout", web.DefaultQueryTimeout, "per-request query deadline (negative disables)")
+		inflight   = flag.Int("max-inflight", web.DefaultMaxInFlight, "max concurrently executing searches (negative disables admission control)")
+		queueDepth = flag.Int("queue-depth", web.DefaultQueueDepth, "max searches waiting for a slot before overflow is shed with 503")
+		grace      = flag.Duration("shutdown-grace", 10*time.Second, "how long in-flight requests may finish after SIGTERM")
 	)
 	flag.Parse()
 
@@ -67,13 +81,41 @@ func main() {
 		log.Printf("loaded %d stored profiles from %s", len(loaded), *profiles)
 	}
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           web.NewServerWithConfig(eng, web.Config{QueryTimeout: *timeout}).Handler(),
+		Addr: *addr,
+		Handler: web.NewServerWithConfig(eng, web.Config{
+			QueryTimeout: *timeout,
+			MaxInFlight:  *inflight,
+			QueueDepth:   *queueDepth,
+		}).Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("précis server on %s (%s data, %d tuples, cache=%d, timeout=%v)",
-		*addr, *dbKind, eng.Database().TotalTuples(), *cacheSize, *timeout)
-	log.Fatal(srv.ListenAndServe())
+	log.Printf("précis server on %s (%s data, %d tuples, cache=%d, timeout=%v, inflight=%d, queue=%d)",
+		*addr, *dbKind, eng.Database().TotalTuples(), *cacheSize, *timeout, *inflight, *queueDepth)
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections and
+	// let in-flight queries drain for up to -shutdown-grace.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutdown signal received; draining in-flight requests (grace %v)", *grace)
+		sctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("graceful shutdown incomplete: %v", err)
+			_ = srv.Close()
+			os.Exit(1)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("server: %v", err)
+		}
+		log.Printf("server stopped cleanly")
+	}
 }
 
 // buildEngine mirrors cmd/precis's dataset wiring.

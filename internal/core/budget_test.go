@@ -1,0 +1,269 @@
+package core
+
+// Tests for the resource budget: tracker unit semantics, budget-truncated
+// generation (prefix exactness, determinism across pool sizes, dangling-FK
+// trimming), deadline truncation under a fake clock, and the cooperative
+// context checks inside the per-join tuple loops.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"precis/internal/dataset"
+	"precis/internal/sqlx"
+	"precis/internal/storage"
+)
+
+func TestBudgetIsZero(t *testing.T) {
+	if !(Budget{}).IsZero() {
+		t.Fatal("zero Budget must report IsZero")
+	}
+	for _, b := range []Budget{
+		{Deadline: time.Now()},
+		{MaxTuples: 1},
+		{MaxJoinSteps: 1},
+		{MaxResultBytes: 1},
+	} {
+		if b.IsZero() {
+			t.Fatalf("budget %+v must not report IsZero", b)
+		}
+	}
+	if newBudgetTracker(Budget{}) != nil {
+		t.Fatal("zero budget must produce a nil tracker")
+	}
+}
+
+func TestBudgetTrackerNilReceiver(t *testing.T) {
+	var bt *budgetTracker
+	if bt.Reason() != TruncateNone || bt.exhausted() || bt.checkDeadline() {
+		t.Fatal("nil tracker must be a permissive no-op")
+	}
+	if !bt.admitStep() || !bt.admitTuple(nil, false) {
+		t.Fatal("nil tracker must admit everything")
+	}
+}
+
+func TestBudgetTrackerTupleAndByteAccounting(t *testing.T) {
+	row := []storage.Value{storage.Int(1), storage.String("abc")}
+	bt := newBudgetTracker(Budget{MaxTuples: 2})
+	if !bt.admitTuple(row, false) || !bt.admitTuple(row, false) {
+		t.Fatal("first two tuples must be admitted")
+	}
+	if bt.admitTuple(row, false) {
+		t.Fatal("third tuple must be refused")
+	}
+	if got := bt.Reason(); got != TruncateTupleBudget {
+		t.Fatalf("reason = %q, want %q", got, TruncateTupleBudget)
+	}
+	// Seed rows are always admitted, even after exhaustion, but charged.
+	if !bt.admitTuple(row, true) {
+		t.Fatal("seed tuple must always be admitted")
+	}
+
+	bt = newBudgetTracker(Budget{MaxResultBytes: 1})
+	if !bt.admitTuple(row, false) {
+		t.Fatal("the first tuple is admitted before the byte check can trip")
+	}
+	if bt.admitTuple(row, false) {
+		t.Fatal("byte budget exceeded, second tuple must be refused")
+	}
+	if got := bt.Reason(); got != TruncateByteBudget {
+		t.Fatalf("reason = %q, want %q", got, TruncateByteBudget)
+	}
+}
+
+func TestBudgetTrackerStepAccounting(t *testing.T) {
+	bt := newBudgetTracker(Budget{MaxJoinSteps: 2})
+	if !bt.admitStep() || !bt.admitStep() {
+		t.Fatal("first two steps must be admitted")
+	}
+	if bt.admitStep() {
+		t.Fatal("third step must be refused")
+	}
+	if got := bt.Reason(); got != TruncateStepBudget {
+		t.Fatalf("reason = %q, want %q", got, TruncateStepBudget)
+	}
+}
+
+func TestBudgetTrackerDeadlineFakeClock(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	bt := newBudgetTracker(Budget{
+		Deadline: time.Unix(1005, 0),
+		Now:      func() time.Time { return clock },
+	})
+	if bt.checkDeadline() {
+		t.Fatal("deadline not reached yet")
+	}
+	clock = time.Unix(1006, 0)
+	if !bt.checkDeadline() {
+		t.Fatal("deadline passed, check must trip")
+	}
+	if got := bt.Reason(); got != TruncateDeadline {
+		t.Fatalf("reason = %q, want %q", got, TruncateDeadline)
+	}
+	// First trip wins: a later tuple refusal must not overwrite the reason.
+	if bt.admitTuple(nil, false) {
+		t.Fatal("exhausted tracker must refuse tuples")
+	}
+	if got := bt.Reason(); got != TruncateDeadline {
+		t.Fatalf("reason overwritten: %q", got)
+	}
+}
+
+// TestBudgetTruncatedGeneration runs the §5.2 example under a tuple budget
+// and asserts the run is marked partial, stays within budget, keeps the
+// seeds, and is byte-identical across pool sizes.
+func TestBudgetTruncatedGeneration(t *testing.T) {
+	for _, strat := range []Strategy{StrategyNaive, StrategyRoundRobin} {
+		eng, rs, seeds := exampleSetup(t, 0.1)
+		full, err := GenerateDatabaseOpts(eng, rs, seeds, Unlimited(), strat, DBGenOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seedCount := 0
+		for _, ids := range seeds {
+			seedCount += len(ids)
+		}
+		budget := seedCount + 2
+		if full.DB.TotalTuples() <= budget {
+			t.Fatalf("example answer too small (%d tuples) to exercise MaxTuples=%d",
+				full.DB.TotalTuples(), budget)
+		}
+		ref, err := GenerateDatabaseOpts(eng, rs, seeds, Unlimited(), strat,
+			DBGenOptions{Budget: Budget{MaxTuples: budget}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Truncation != TruncateTupleBudget || !ref.Partial() {
+			t.Fatalf("%v: truncation = %q partial=%v, want tuple-budget",
+				strat, ref.Truncation, ref.Partial())
+		}
+		if got := ref.DB.TotalTuples(); got != budget {
+			t.Fatalf("%v: partial answer has %d tuples, budget is %d", strat, got, budget)
+		}
+		for _, workers := range []int{2, 8} {
+			rd, err := GenerateDatabaseOpts(eng, rs, seeds, Unlimited(), strat,
+				DBGenOptions{Workers: workers, Budget: Budget{MaxTuples: budget}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rd.Truncation != ref.Truncation {
+				t.Fatalf("%v workers=%d: truncation %q, serial %q",
+					strat, workers, rd.Truncation, ref.Truncation)
+			}
+			if rd.DB.TotalTuples() != ref.DB.TotalTuples() {
+				t.Fatalf("%v workers=%d: %d tuples, serial %d",
+					strat, workers, rd.DB.TotalTuples(), ref.DB.TotalTuples())
+			}
+			for _, rel := range ref.DB.RelationNames() {
+				if rd.DB.Relation(rel).Len() != ref.DB.Relation(rel).Len() {
+					t.Fatalf("%v workers=%d: relation %s differs", strat, workers, rel)
+				}
+			}
+		}
+	}
+}
+
+// TestBudgetPartialTrimsDanglingForeignKeys asserts a truncated result
+// database passes its own integrity check: FK edges whose referenced tuples
+// were cut are dropped rather than left dangling.
+func TestBudgetPartialTrimsDanglingForeignKeys(t *testing.T) {
+	db, g, err := dataset.Chain(dataset.ChainConfig{Relations: 3, RowsPerRel: 40, Fanout: 3, Seed: 3, UniformRows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds, rels := chainSeeds(t, db, "tokR0")
+	rs, err := GenerateSchema(g, rels, MinPathWeight(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := GenerateDatabaseOpts(sqlx.NewEngine(db), rs, seeds, Unlimited(), StrategyNaive,
+		DBGenOptions{Budget: Budget{MaxTuples: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rd.Partial() {
+		t.Fatal("budget did not truncate the chain answer")
+	}
+	if v := rd.DB.CheckIntegrity(); len(v) != 0 {
+		t.Fatalf("partial answer has %d dangling references: %+v", len(v), v)
+	}
+}
+
+// TestBudgetExpiredDeadlineKeepsSeeds: a deadline that lapsed before
+// generation still yields the full seed set (never an empty answer) marked
+// with the deadline reason.
+func TestBudgetExpiredDeadlineKeepsSeeds(t *testing.T) {
+	eng, rs, seeds := exampleSetup(t, 0.1)
+	rd, err := GenerateDatabaseOpts(eng, rs, seeds, Unlimited(), StrategyAuto,
+		DBGenOptions{Budget: Budget{
+			Deadline: time.Unix(1000, 0),
+			Now:      func() time.Time { return time.Unix(2000, 0) },
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Truncation != TruncateDeadline {
+		t.Fatalf("truncation = %q, want deadline", rd.Truncation)
+	}
+	want := 0
+	for _, ids := range seeds {
+		want += len(ids)
+	}
+	if got := rd.DB.TotalTuples(); got != want {
+		t.Fatalf("expired-deadline answer has %d tuples, want the %d seeds", got, want)
+	}
+}
+
+// TestContextCanceledBeforeGeneration is the regression test for the
+// cooperative cancellation threading: a pre-canceled context must abort
+// generation with a wrapped context.Canceled for every strategy and pool
+// size, observed within one tuple pick (no answer is returned at all).
+func TestContextCanceledBeforeGeneration(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, strat := range []Strategy{StrategyNaive, StrategyRoundRobin} {
+		for _, workers := range []int{0, 4} {
+			eng, rs, seeds := exampleSetup(t, 0.1)
+			rd, err := GenerateDatabaseOpts(eng, rs, seeds, Unlimited(), strat,
+				DBGenOptions{Context: ctx, Workers: workers})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("%v workers=%d: err = %v, want context.Canceled", strat, workers, err)
+			}
+			if rd != nil {
+				t.Fatalf("%v workers=%d: canceled generation returned an answer", strat, workers)
+			}
+		}
+	}
+}
+
+// chainSeeds resolves a token on a chain dataset the way the engine would.
+func chainSeeds(t *testing.T, db *storage.Database, token string) (map[string][]storage.TupleID, []string) {
+	t.Helper()
+	seeds := map[string][]storage.TupleID{}
+	var rels []string
+	for _, rel := range db.RelationNames() {
+		r := db.Relation(rel)
+		var ids []storage.TupleID
+		r.Scan(func(tu storage.Tuple) bool {
+			for _, v := range tu.Values {
+				if strings.Contains(v.String(), token) {
+					ids = append(ids, tu.ID)
+					break
+				}
+			}
+			return true
+		})
+		if len(ids) > 0 {
+			seeds[rel] = ids
+			rels = append(rels, rel)
+		}
+	}
+	if len(seeds) == 0 {
+		t.Fatalf("token %q not found in dataset", token)
+	}
+	return seeds, rels
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"precis/internal/faultinject"
 	"precis/internal/schemagraph"
 	"precis/internal/sqlx"
 	"precis/internal/storage"
@@ -59,7 +60,15 @@ type ResultDatabase struct {
 	DB     *storage.Database
 	Schema *ResultSchema
 	Stats  GenStats
+	// Truncation is non-empty when a resource Budget stopped generation
+	// early; the database then holds the deterministic prefix built before
+	// the budget ran out (see DBGenOptions.Budget).
+	Truncation TruncationReason
 }
+
+// Partial reports whether the result is a budget-truncated prefix rather
+// than the complete constrained answer.
+func (rd *ResultDatabase) Partial() bool { return rd.Truncation != TruncateNone }
 
 // DisplayColumns returns the columns of rel meant for presentation: the
 // projected attributes of the result schema, excluding join plumbing that
@@ -96,9 +105,20 @@ type DBGenOptions struct {
 	// optimistic budget can be discarded when a concurrent frontier edge
 	// consumed the remaining total-tuple budget first).
 	Workers int
-	// Context, when non-nil, cancels generation between scheduling steps;
-	// the error returned wraps ctx.Err() so callers can detect timeouts.
+	// Context, when non-nil, cancels generation cooperatively: the ctx is
+	// observed between scheduling steps and inside the per-join tuple
+	// loops (scan handout, round-robin rounds, and the per-row apply
+	// loop), so a cancellation is seen within one tuple pick rather than
+	// one stage. The error returned wraps ctx.Err() so callers can detect
+	// timeouts. Cancellation discards the answer; to keep the prefix
+	// instead, set a Budget deadline.
 	Context context.Context
+	// Budget bounds the physical resources of this generation. When a
+	// dimension runs out, the run stops at the next deterministic
+	// checkpoint and returns the prefix built so far with the
+	// ResultDatabase's Truncation set — not an error. The zero value
+	// imposes no bounds and costs nothing.
+	Budget Budget
 }
 
 // generator carries the state of one Figure 5 run.
@@ -110,6 +130,7 @@ type generator struct {
 	opts    DBGenOptions
 	workers int
 	ctx     context.Context
+	bt      *budgetTracker // nil when no budget was set
 	out     *storage.Database
 	perRel  map[string]int
 	total   int
@@ -162,6 +183,7 @@ func GenerateDatabaseOpts(eng *sqlx.Engine, rs *ResultSchema, seedTuples map[str
 		opts:    opts,
 		workers: workers,
 		ctx:     ctx,
+		bt:      newBudgetTracker(opts.Budget),
 		out:     storage.NewDatabase("precis"),
 		perRel:  make(map[string]int),
 		cols:    make(map[string][]string),
@@ -177,7 +199,35 @@ func GenerateDatabaseOpts(eng *sqlx.Engine, rs *ResultSchema, seedTuples map[str
 		return nil, err
 	}
 	g.stats.TotalTuples = g.total
-	return &ResultDatabase{DB: g.out, Schema: g.rs, Stats: g.stats}, nil
+	rd := &ResultDatabase{DB: g.out, Schema: g.rs, Stats: g.stats, Truncation: g.bt.Reason()}
+	if rd.Partial() {
+		g.trimDanglingForeignKeys()
+	}
+	return rd, nil
+}
+
+// trimDanglingForeignKeys drops, from a truncated result database, foreign
+// keys whose referencing tuples dangle: a budget cut can stop generation
+// after a child relation was populated but before its parent side filled
+// in, and a partial précis must still be a valid database on its own (the
+// paper's §1 promise). Complete answers never need this — the generator
+// only materializes children of parents already present.
+func (g *generator) trimDanglingForeignKeys() {
+	violations := g.out.CheckIntegrity()
+	if len(violations) == 0 {
+		return
+	}
+	bad := make(map[storage.ForeignKey]bool, len(violations))
+	for _, v := range violations {
+		bad[v.ForeignKey] = true
+	}
+	var keep []storage.ForeignKey
+	for _, fk := range g.out.ForeignKeys() {
+		if !bad[fk] {
+			keep = append(keep, fk)
+		}
+	}
+	g.out.SetForeignKeys(keep)
 }
 
 // ctxErr reports a cancellation of the surrounding context, if any.
@@ -267,9 +317,28 @@ func (g *generator) buildResultSchemas() error {
 	return nil
 }
 
-// budget returns the remaining allowance for rel.
-func (g *generator) budget(rel string) int {
+// cardBudget returns the cardinality constraint's remaining allowance for
+// rel (the paper's c(.) predicate, unaware of resource budgets).
+func (g *generator) cardBudget(rel string) int {
 	return g.card.Budget(rel, g.perRel, g.total)
+}
+
+// budget returns the fetch allowance for rel: the cardinality budget
+// tightened by the resource budget's remaining tuple allowance plus one.
+// The +1 sentinel matters: both fetch paths exclude tuples already in D',
+// so fetching one row past the allowance guarantees the apply loop sees a
+// genuinely new tuple it must refuse — which is what records the
+// truncation. Tightening to the exact remainder would silently drop the
+// tail without ever marking the answer partial. (Both values are read at
+// serialized coordination points, which keeps parallel runs deterministic.)
+func (g *generator) budget(rel string) int {
+	b := g.cardBudget(rel)
+	if g.bt != nil {
+		if r := g.bt.remainingTuples(); r < b-1 {
+			b = r + 1
+		}
+	}
+	return b
 }
 
 // stmtSelect builds the AST of SELECT rowid, <cols> FROM rel WHERE <where>
@@ -314,7 +383,15 @@ func (g *generator) fetchStmt(f *fetched, st *sqlx.SelectStmt) error {
 // skipping duplicates (paper §5.2) and stopping once budget tuples were
 // inserted. It also folds the fetch's physical work into the generation
 // stats and the caller-visible engine totals.
-func (g *generator) apply(rel string, f *fetched, budget int) error {
+//
+// The per-row loop is a cooperative checkpoint: the surrounding context is
+// observed on every row (a cancellation is seen within one tuple pick), and
+// the resource budget admits each insert — once any budget dimension trips,
+// no further tuple is ever inserted, so the produced database is an exact
+// prefix of the canonical insertion sequence. Seed rows (seed=true) are
+// always admitted but still charged, guaranteeing a non-empty answer under
+// any budget.
+func (g *generator) apply(rel string, f *fetched, budget int, seed bool) error {
 	if f == nil {
 		return nil
 	}
@@ -330,9 +407,15 @@ func (g *generator) apply(rel string, f *fetched, budget int) error {
 		if inserted >= budget {
 			break
 		}
+		if err := g.ctxErr(); err != nil {
+			return err
+		}
 		id := storage.TupleID(row[0].AsInt())
 		if _, exists := outRel.Get(id); exists {
 			continue // duplicates are removed (paper §5.2)
+		}
+		if !g.bt.admitTuple(row, seed) {
+			break
 		}
 		if err := g.out.InsertWithID(rel, id, row[1:]...); err != nil {
 			return err
@@ -363,9 +446,13 @@ func (g *generator) placeSeeds(seedTuples map[string][]storage.TupleID) error {
 		return err
 	}
 
+	// Seeds use the raw cardinality budget, not the resource-budget-
+	// tightened one: the tuples containing the query tokens are the
+	// guaranteed core of any answer, so a budgeted query still returns
+	// them (they are charged against the budget afterwards).
 	if g.workers <= 1 || len(rels) < 2 {
 		for _, rel := range rels {
-			b := g.budget(rel)
+			b := g.cardBudget(rel)
 			if b <= 0 {
 				continue
 			}
@@ -373,7 +460,7 @@ func (g *generator) placeSeeds(seedTuples map[string][]storage.TupleID) error {
 			if err != nil {
 				return err
 			}
-			if err := g.apply(rel, f, b); err != nil {
+			if err := g.apply(rel, f, b, true); err != nil {
 				return err
 			}
 		}
@@ -385,7 +472,7 @@ func (g *generator) placeSeeds(seedTuples map[string][]storage.TupleID) error {
 	// fetch over-retrieves and the apply phase truncates).
 	budgets := make([]int, len(rels))
 	for i, rel := range rels {
-		budgets[i] = g.budget(rel)
+		budgets[i] = g.cardBudget(rel)
 	}
 	results := make([]*fetched, len(rels))
 	errs := make([]error, len(rels))
@@ -399,7 +486,7 @@ func (g *generator) placeSeeds(seedTuples map[string][]storage.TupleID) error {
 		if errs[i] != nil {
 			return errs[i]
 		}
-		if err := g.apply(rel, results[i], g.budget(rel)); err != nil {
+		if err := g.apply(rel, results[i], g.cardBudget(rel), true); err != nil {
 			return err
 		}
 	}
@@ -444,7 +531,16 @@ func (g *generator) executeJoins() error {
 		if err := g.ctxErr(); err != nil {
 			return err
 		}
+		if g.bt.exhausted() {
+			// A budget dimension tripped: stop the best-first expansion
+			// here and keep the prefix built so far.
+			return nil
+		}
 		batch := g.nextBatch(&pending, arriving, executed)
+		if len(batch) == 0 {
+			// The step budget refused the next pick.
+			return nil
+		}
 		if err := g.runBatch(batch); err != nil {
 			return err
 		}
@@ -481,6 +577,14 @@ func (g *generator) nextBatch(pending *[]*schemagraph.JoinEdge, arriving, execut
 		}
 		e := (*pending)[pick]
 		if len(batch) > 0 && (written[e.From] || written[e.To]) {
+			break
+		}
+		// Resource-budget admission: each join edge is one step; when the
+		// step budget (or the deadline) refuses it, the edge stays pending
+		// and the walk ends with the prefix built so far. Admission happens
+		// only after the conflict check, so a closed batch never charges a
+		// step it did not execute.
+		if !g.bt.admitStep() {
 			break
 		}
 		*pending = append((*pending)[:pick], (*pending)[pick+1:]...)
@@ -523,7 +627,7 @@ func (g *generator) runBatch(batch []*schemagraph.JoinEdge) error {
 			return errs[i]
 		}
 		if results[i] != nil {
-			if err := g.apply(e.To, results[i], g.budget(e.To)); err != nil {
+			if err := g.apply(e.To, results[i], g.budget(e.To), false); err != nil {
 				return err
 			}
 		}
@@ -542,7 +646,7 @@ func (g *generator) runJoin(e *schemagraph.JoinEdge, workers int) error {
 			return err
 		}
 		if f != nil {
-			if err := g.apply(e.To, f, b); err != nil {
+			if err := g.apply(e.To, f, b, false); err != nil {
 				return err
 			}
 		}
@@ -557,6 +661,12 @@ func (g *generator) runJoin(e *schemagraph.JoinEdge, workers int) error {
 // selection on the join-attribute values present in R'i). It returns nil
 // when the join has nothing to do.
 func (g *generator) fetchJoin(e *schemagraph.JoinEdge, limit, workers int) (*fetched, error) {
+	if err := faultinject.Fire(faultinject.SiteJoin); err != nil {
+		return nil, fmt.Errorf("core: join %s->%s: %w", e.From, e.To, err)
+	}
+	if err := g.ctxErr(); err != nil {
+		return nil, err
+	}
 	from := g.out.Relation(e.From)
 	if from == nil || from.Len() == 0 {
 		return nil, nil
@@ -623,6 +733,9 @@ func (g *generator) naiveWhere(e *schemagraph.JoinEdge, values []storage.Value) 
 // storage order, decide which tuples survive the cardinality constraint.
 func (g *generator) fetchNaiveQWeighted(e *schemagraph.JoinEdge, values []storage.Value, limit int) (*fetched, error) {
 	f := &fetched{}
+	if err := g.ctxErr(); err != nil {
+		return nil, err
+	}
 	res, err := g.execFetch(stmtIDs(e.To, g.naiveWhere(e, values)))
 	if err != nil {
 		return nil, fmt.Errorf("core: weighted id query: %w", err)
@@ -664,6 +777,17 @@ func (g *generator) fetchRoundRobin(e *schemagraph.JoinEdge, values []storage.Va
 	}
 	scans := make([]scanRes, len(values))
 	parallelFor(len(values), workers, func(i int) {
+		// Cooperative checkpoint inside the per-value scan loop: a canceled
+		// context is observed within one scan, and an expired deadline stops
+		// issuing further scans (the apply phase inserts nothing once the
+		// budget tripped, so skipped scans never cause answer holes).
+		if err := g.ctxErr(); err != nil {
+			scans[i].err = err
+			return
+		}
+		if g.bt.checkDeadline() {
+			return
+		}
 		res, err := g.execFetch(stmtIDs(e.To, &sqlx.Compare{
 			Op:    sqlx.OpEq,
 			Left:  &sqlx.ColumnRef{Name: e.ToCol},
@@ -713,6 +837,11 @@ func (g *generator) fetchRoundRobin(e *schemagraph.JoinEdge, values []storage.Va
 		if err := g.ctxErr(); err != nil {
 			return nil, err
 		}
+		if g.bt.checkDeadline() {
+			// Stop the simulation at a round boundary; whatever was chosen
+			// so far stays a prefix of the canonical consumption order.
+			break
+		}
 		next := cursors[:0]
 		for _, cur := range cursors {
 			if len(chosen) >= limit {
@@ -739,6 +868,14 @@ func (g *generator) fetchRoundRobin(e *schemagraph.JoinEdge, values []storage.Va
 	}
 	fetchedRows := make([]rowRes, len(chosen))
 	parallelFor(len(chosen), workers, func(i int) {
+		// Per-tuple checkpoint: cancellation is observed within one row
+		// fetch. (The budget is deliberately not consulted here — the
+		// chosen list must be fetched contiguously so the applied rows
+		// remain an exact prefix; the apply loop enforces the cut.)
+		if err := g.ctxErr(); err != nil {
+			fetchedRows[i].err = err
+			return
+		}
 		res, err := g.execFetch(g.stmtSelect(e.To, &sqlx.Compare{
 			Op:    sqlx.OpEq,
 			Left:  rowidRef(),

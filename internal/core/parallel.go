@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -27,6 +29,22 @@ func NormalizeWorkers(n int) int {
 	return n
 }
 
+// PanicError wraps a panic that escaped a ParallelFor worker, carrying the
+// panicking goroutine's stack. ParallelFor re-raises it on the calling
+// goroutine, and the engine boundary converts it into ErrInternal — so one
+// poisoned tuple can never kill the process.
+type PanicError struct {
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking worker goroutine's stack trace.
+	Stack []byte
+}
+
+// Error renders the panic value and the captured worker stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n\nworker stack:\n%s", e.Value, e.Stack)
+}
+
 // ParallelFor runs fn(i) for every i in [0, n) on at most workers
 // goroutines, returning when all calls finished. With workers <= 1 (or a
 // single item) it degenerates to a plain loop on the calling goroutine, so
@@ -35,6 +53,13 @@ func NormalizeWorkers(n int) int {
 // synchronization per index), which makes the mapping of index to goroutine
 // arbitrary — fn must be safe to call concurrently and should only write
 // state owned by its index (e.g. slot i of a results slice).
+//
+// Panic isolation: a panic inside fn on a worker goroutine does not crash
+// the process. The first panicking worker records its value and stack, the
+// remaining workers stop pulling new chunks and drain, and once the pool has
+// quiesced the panic is re-raised on the calling goroutine as a *PanicError.
+// (On the serial path the panic propagates to the caller unwrapped, exactly
+// as a plain loop would.)
 func ParallelFor(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
@@ -52,12 +77,25 @@ func ParallelFor(n, workers int, fn func(i int)) {
 		chunk = 1
 	}
 	var next atomic.Int64
+	var poisoned atomic.Bool
+	var panicOnce sync.Once
+	var firstPanic *PanicError
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			defer func() {
+				if r := recover(); r != nil {
+					// First panic wins; later ones are dropped (they are
+					// almost always the same fault hit by another chunk).
+					panicOnce.Do(func() {
+						firstPanic = &PanicError{Value: r, Stack: debug.Stack()}
+					})
+					poisoned.Store(true)
+				}
+			}()
+			for !poisoned.Load() {
 				lo := int(next.Add(int64(chunk))) - chunk
 				if lo >= n {
 					return
@@ -73,6 +111,9 @@ func ParallelFor(n, workers int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
 }
 
 // parallelFor is the package-internal alias used by the generator.

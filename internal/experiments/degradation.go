@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"precis"
+)
+
+// DegradationConfig scales the graceful-degradation experiment: the same
+// heavy query under a sweep of wall-clock deadlines, reporting how much of
+// the unbounded answer each deadline buys.
+type DegradationConfig struct {
+	Films     int
+	Deadlines []time.Duration // 0 means unbounded (the reference row)
+	Runs      int             // runs per deadline (medians reported)
+}
+
+// DefaultDegradationConfig sweeps deadlines from the acceptance criteria's
+// 1ms up to effectively-unbounded.
+func DefaultDegradationConfig() DegradationConfig {
+	return DegradationConfig{
+		Films:     2000,
+		Deadlines: []time.Duration{time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond, 10 * time.Millisecond, 25 * time.Millisecond, 0},
+		Runs:      5,
+	}
+}
+
+// DegradationPoint is one deadline's result.
+type DegradationPoint struct {
+	Deadline    time.Duration // 0 = unbounded
+	Median      time.Duration // median wall time per query
+	Tuples      int           // median answer tuples
+	PartialRate float64       // fraction of runs truncated
+	Reason      precis.TruncationReason
+}
+
+// DegradationReport is the output of Degradation.
+type DegradationReport struct {
+	Films  int
+	Query  string
+	Points []DegradationPoint
+}
+
+func (r DegradationReport) String() string {
+	s := fmt.Sprintf("Graceful degradation (%d films, q=%q): answer size vs deadline\n", r.Films, r.Query)
+	for _, p := range r.Points {
+		d := "unbounded"
+		if p.Deadline > 0 {
+			d = p.Deadline.String()
+		}
+		reason := string(p.Reason)
+		if reason == "" {
+			reason = "complete"
+		}
+		s += fmt.Sprintf("  deadline=%-10s median=%-12v tuples=%-6d partial=%3.0f%%  (%s)\n",
+			d, p.Median, p.Tuples, 100*p.PartialRate, reason)
+	}
+	return s
+}
+
+// Degradation measures the paper engine's bounded-resource behavior: under
+// a wall-clock deadline the generator returns the prefix answer built so
+// far instead of an error, so tighter deadlines buy smaller — but never
+// empty — answers. The unbounded row (deadline 0) is the reference size.
+func Degradation(cfg DegradationConfig) (DegradationReport, error) {
+	var report DegradationReport
+	report.Films = cfg.Films
+	eng, q, err := popularQuery(cfg.Films)
+	if err != nil {
+		return report, err
+	}
+	report.Query = q
+	if cfg.Runs < 1 {
+		cfg.Runs = 1
+	}
+	for _, d := range cfg.Deadlines {
+		durs := make([]time.Duration, 0, cfg.Runs)
+		tuples := make([]int, 0, cfg.Runs)
+		partial := 0
+		var reason precis.TruncationReason
+		for r := 0; r < cfg.Runs; r++ {
+			opts := parallelOptions(0)
+			if d > 0 {
+				opts.Budget = precis.Budget{Deadline: time.Now().Add(d)}
+			}
+			start := time.Now()
+			ans, err := eng.QueryString(q, opts)
+			if err != nil {
+				return report, err
+			}
+			durs = append(durs, time.Since(start))
+			n := ans.Database.TotalTuples()
+			if n == 0 {
+				return report, fmt.Errorf("degradation: deadline %v returned an empty answer", d)
+			}
+			tuples = append(tuples, n)
+			if ans.Partial {
+				partial++
+				reason = ans.Truncation
+			}
+		}
+		sort.Ints(tuples)
+		report.Points = append(report.Points, DegradationPoint{
+			Deadline:    d,
+			Median:      median(durs),
+			Tuples:      tuples[len(tuples)/2],
+			PartialRate: float64(partial) / float64(cfg.Runs),
+			Reason:      reason,
+		})
+	}
+	return report, nil
+}

@@ -1,0 +1,123 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFireNoPlanIsNoop(t *testing.T) {
+	Deactivate()
+	if err := Fire("anything"); err != nil {
+		t.Fatalf("Fire with no plan: %v", err)
+	}
+	if Enabled() {
+		t.Fatal("Enabled with no plan")
+	}
+}
+
+func TestErrorRuleScheduling(t *testing.T) {
+	boom := errors.New("boom")
+	p := NewPlan().Set("s", Rule{Err: boom, Every: 3, After: 2, Limit: 2})
+	defer Activate(p)()
+
+	var fired []int
+	for i := 1; i <= 20; i++ {
+		if err := Fire("s"); err != nil {
+			if !errors.Is(err, boom) {
+				t.Fatalf("call %d: got %v", i, err)
+			}
+			fired = append(fired, i)
+		}
+	}
+	// After=2 skips calls 1-2; Every=3 fires on eligible calls 3,6,9,... i.e.
+	// absolute calls 5, 8, 11...; Limit=2 stops after two firings.
+	want := []int{5, 8}
+	if len(fired) != len(want) || fired[0] != want[0] || fired[1] != want[1] {
+		t.Fatalf("fired on calls %v, want %v", fired, want)
+	}
+	if got := p.Calls("s"); got != 20 {
+		t.Fatalf("Calls = %d, want 20", got)
+	}
+	if got := p.Fired("s"); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	p := NewPlan().Set("s", Rule{Panic: "poisoned tuple"})
+	defer Activate(p)()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		if !strings.Contains(r.(string), "poisoned tuple") {
+			t.Fatalf("panic value %v", r)
+		}
+	}()
+	_ = Fire("s")
+}
+
+func TestDelayRule(t *testing.T) {
+	p := NewPlan().Set("s", Rule{Delay: 20 * time.Millisecond})
+	defer Activate(p)()
+	start := time.Now()
+	if err := Fire("s"); err != nil {
+		t.Fatalf("pure latency rule returned error: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("Fire returned after %v, want >= 20ms sleep", d)
+	}
+}
+
+func TestUnknownSiteIsNoop(t *testing.T) {
+	p := NewPlan().Set("s", Rule{Err: errors.New("x")})
+	defer Activate(p)()
+	if err := Fire("other"); err != nil {
+		t.Fatalf("unknown site fired: %v", err)
+	}
+}
+
+func TestDeactivateRestoresNoop(t *testing.T) {
+	deact := Activate(NewPlan().Set("s", Rule{Err: errors.New("x")}))
+	if err := Fire("s"); err == nil {
+		t.Fatal("armed plan did not fire")
+	}
+	deact()
+	if err := Fire("s"); err != nil {
+		t.Fatalf("after deactivate: %v", err)
+	}
+}
+
+func TestConcurrentFireRespectsLimit(t *testing.T) {
+	boom := errors.New("boom")
+	p := NewPlan().Set("s", Rule{Err: boom, Limit: 10})
+	defer Activate(p)()
+	var wg sync.WaitGroup
+	counts := make(chan int, 32)
+	for w := 0; w < 32; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < 100; i++ {
+				if Fire("s") != nil {
+					n++
+				}
+			}
+			counts <- n
+		}()
+	}
+	wg.Wait()
+	close(counts)
+	total := 0
+	for n := range counts {
+		total += n
+	}
+	if total != 10 {
+		t.Fatalf("limit 10 produced %d firings", total)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"unicode"
 
+	"precis/internal/faultinject"
 	"precis/internal/storage"
 )
 
@@ -314,7 +315,12 @@ func (ix *Index) expandTerm(term string) []string {
 // LookupExpanded is Lookup with synonym expansion: occurrences of the term
 // and of its canonical form are merged (deduplicated per relation and
 // attribute, ids re-sorted).
+//
+// The probe has no error return, so only Panic and Delay fault rules apply
+// at its injection site; the engine's worker-pool panic isolation turns an
+// injected panic here into ErrInternal rather than a process crash.
 func (ix *Index) LookupExpanded(term string) []Occurrence {
+	_ = faultinject.Fire(faultinject.SiteIndexProbe)
 	terms := ix.expandTerm(term)
 	if len(terms) == 1 {
 		return ix.Lookup(term)

@@ -60,6 +60,13 @@ func (r *Renderer) DefineMacro(def string) error {
 // Narrative renders the result database for the given token occurrences
 // (as returned by the inverted index). Each occurrence of the token yields
 // one paragraph; paragraphs are separated by blank lines.
+//
+// Partial answers (rd.Partial(), a resource budget truncated generation)
+// render as well-formed narratives: clauses whose joined tuples were cut
+// simply do not appear — the clause walk only follows edges to tuples that
+// actually made it into the result database, so dangling references are
+// trimmed rather than rendered half-empty — and a truncation note naming
+// the exhausted budget dimension is appended as a final paragraph.
 func (r *Renderer) Narrative(rd *core.ResultDatabase, occs []invidx.Occurrence) (string, error) {
 	var paragraphs []string
 	for _, occ := range occs {
@@ -70,7 +77,7 @@ func (r *Renderer) Narrative(rd *core.ResultDatabase, occs []invidx.Occurrence) 
 		for _, id := range occ.TupleIDs {
 			t, ok := rel.Get(id)
 			if !ok {
-				continue // cut by the cardinality constraint
+				continue // cut by the cardinality constraint or budget
 			}
 			p, err := r.paragraph(rd, occ.Relation, t)
 			if err != nil {
@@ -81,7 +88,29 @@ func (r *Renderer) Narrative(rd *core.ResultDatabase, occs []invidx.Occurrence) 
 			}
 		}
 	}
+	if note := truncationNote(rd.Truncation); note != "" {
+		paragraphs = append(paragraphs, note)
+	}
 	return strings.Join(paragraphs, "\n\n"), nil
+}
+
+// truncationNote phrases a budget cut for the reader; empty for complete
+// answers.
+func truncationNote(reason core.TruncationReason) string {
+	switch reason {
+	case core.TruncateNone:
+		return ""
+	case core.TruncateDeadline:
+		return "(This answer was truncated: the time budget ran out; some related information is omitted.)"
+	case core.TruncateTupleBudget:
+		return "(This answer was truncated: the tuple budget ran out; some related information is omitted.)"
+	case core.TruncateStepBudget:
+		return "(This answer was truncated: the join budget ran out; some related information is omitted.)"
+	case core.TruncateByteBudget:
+		return "(This answer was truncated: the size budget ran out; some related information is omitted.)"
+	default:
+		return "(This answer was truncated; some related information is omitted.)"
+	}
 }
 
 // maxClauses resolves the clause cap.

@@ -211,3 +211,84 @@ func TestNarrativeEmptyResult(t *testing.T) {
 	}
 	_ = occs
 }
+
+// woodyPrecisBudget runs the pipeline under a resource budget so the
+// result database arrives truncated.
+func woodyPrecisBudget(t testing.TB, strat core.Strategy, b core.Budget) (*core.ResultDatabase, []invidx.Occurrence) {
+	t.Helper()
+	db, g, err := dataset.ExampleMovies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.AnnotateNarrative(g); err != nil {
+		t.Fatal(err)
+	}
+	ix := invidx.New(db)
+	occs := ix.Lookup("Woody Allen")
+	seeds := map[string][]storage.TupleID{}
+	var seedRels []string
+	for _, o := range occs {
+		seeds[o.Relation] = append(seeds[o.Relation], o.TupleIDs...)
+		seedRels = append(seedRels, o.Relation)
+	}
+	sort.Strings(seedRels)
+	rs, err := core.GenerateSchema(g, seedRels, core.MinPathWeight(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.CopyAnnotations(g)
+	rd, err := core.GenerateDatabaseOpts(sqlx.NewEngine(db), rs, seeds,
+		core.Unlimited(), strat, core.DBGenOptions{Budget: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rd, occs
+}
+
+// TestNarrativePartialGolden pins the exact narrative rendered from a
+// budget-truncated answer for both retrieval strategies: the paragraphs
+// stay well-formed (the generator trimmed dangling FK edges, so no clause
+// references a cut tuple), and the truncation note is the final paragraph.
+func TestNarrativePartialGolden(t *testing.T) {
+	// Both strategies truncate at the same canonical prefix under this
+	// budget — deliberate: for the example database the seed set plus the
+	// first director joins fill the budget before the strategies diverge.
+	const golden = "Woody Allen.\n\n" +
+		"Woody Allen was born on December 1, 1935 in Brooklyn, New York, USA. " +
+		"As a director, Woody Allen's work includes Match Point (2005), Melinda and Melinda (2004).\n\n" +
+		"(This answer was truncated: the tuple budget ran out; some related information is omitted.)"
+	for _, tc := range []struct {
+		strat core.Strategy
+		b     core.Budget
+		want  string
+	}{
+		{
+			strat: core.StrategyNaive,
+			b:     core.Budget{MaxTuples: 7},
+			want:  golden,
+		},
+		{
+			strat: core.StrategyRoundRobin,
+			b:     core.Budget{MaxTuples: 7},
+			want:  golden,
+		},
+	} {
+		t.Run(tc.strat.String(), func(t *testing.T) {
+			rd, occs := woodyPrecisBudget(t, tc.strat, tc.b)
+			if !rd.Partial() {
+				t.Fatalf("budget %+v did not truncate", tc.b)
+			}
+			r := paperRenderer(t)
+			out, err := r.Narrative(rd, occs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out != tc.want {
+				t.Errorf("narrative mismatch\n--- got ---\n%s\n--- want ---\n%s", out, tc.want)
+			}
+			if !strings.HasSuffix(out, "(This answer was truncated: the tuple budget ran out; some related information is omitted.)") {
+				t.Errorf("truncation note not final paragraph:\n%s", out)
+			}
+		})
+	}
+}

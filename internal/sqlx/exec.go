@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"precis/internal/faultinject"
 	"precis/internal/storage"
 )
 
@@ -265,6 +266,9 @@ func (e *Engine) execExplain(st *ExplainStmt) (*Result, error) {
 }
 
 func (e *Engine) execSelect(st *SelectStmt) (*Result, error) {
+	if err := faultinject.Fire(faultinject.SiteSQLSelect); err != nil {
+		return nil, fmt.Errorf("sql: select on %s: %w", st.Table, err)
+	}
 	rel := e.db.Relation(st.Table)
 	if rel == nil {
 		return nil, fmt.Errorf("sql: no relation %s", st.Table)
@@ -310,7 +314,10 @@ func (e *Engine) execSelect(st *SelectStmt) (*Result, error) {
 	res := &Result{Columns: outCols}
 
 	// Plan: try an index-backed access path from the WHERE clause, else scan.
-	candidates, planned := e.planAccess(rel, st.Where, &res.Stats)
+	candidates, planned, err := e.planAccess(rel, st.Where, &res.Stats)
+	if err != nil {
+		return nil, err
+	}
 
 	// ORDER BY served by an ordered index: when no WHERE access path was
 	// chosen and the single sort key has a B-tree index covering every
@@ -438,8 +445,10 @@ func (e *Engine) execSelect(st *SelectStmt) (*Result, error) {
 // planAccess inspects the top-level AND-conjuncts of where for an equality
 // or IN predicate on rowid or on an indexed column and, if found, returns
 // the candidate tuple ids (in deterministic order) for re-checking against
-// the full predicate. The boolean reports whether a plan was found.
-func (e *Engine) planAccess(rel *storage.Relation, where Expr, stats *Stats) ([]storage.TupleID, bool) {
+// the full predicate. The boolean reports whether a plan was found. An index
+// probe failure is propagated, never swallowed: silently treating a failed
+// lookup as "no matches" would corrupt the answer without any signal.
+func (e *Engine) planAccess(rel *storage.Relation, where Expr, stats *Stats) ([]storage.TupleID, bool, error) {
 	conjuncts := collectConjuncts(where)
 	schema := rel.Schema()
 
@@ -452,7 +461,7 @@ func (e *Engine) planAccess(rel *storage.Relation, where Expr, stats *Stats) ([]
 					ids = append(ids, storage.TupleID(v.AsInt()))
 				}
 			}
-			return ids, true
+			return ids, true, nil
 		}
 	}
 	// Otherwise the first indexed equality/IN column wins.
@@ -465,14 +474,15 @@ func (e *Engine) planAccess(rel *storage.Relation, where Expr, stats *Stats) ([]
 		for _, v := range vals {
 			stats.IndexLookups++
 			found, err := rel.Lookup(col, v)
-			if err == nil {
-				ids = append(ids, found...)
+			if err != nil {
+				return nil, false, fmt.Errorf("sql: access path on %s: %w", rel.Schema().Name, err)
 			}
+			ids = append(ids, found...)
 		}
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		// Dedupe (IN lists may repeat values).
 		ids = dedupeIDs(ids)
-		return ids, true
+		return ids, true, nil
 	}
 	// Finally, a range over an ordered (B-tree) index.
 	if col, lo, hi, ok := rangeTarget(rel, conjuncts); ok {
@@ -484,9 +494,9 @@ func (e *Engine) planAccess(rel *storage.Relation, where Expr, stats *Stats) ([]
 			return true
 		})
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		return ids, true
+		return ids, true, nil
 	}
-	return nil, false
+	return nil, false, nil
 }
 
 // rangeTarget folds the top-level range conjuncts (col < v, col >= v, ...)

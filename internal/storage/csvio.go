@@ -3,7 +3,9 @@ package storage
 import (
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -217,6 +219,11 @@ func Import(dir string) (*Database, error) {
 	return db, nil
 }
 
+// importRelation streams one relation's CSV into db. Malformed input is
+// reported with the file, the 1-based line (as the csv parser tracks it, so
+// quoted multi-line cells don't shift the count), and the offending column
+// and cell — a bad fixture should cost seconds to locate, not a binary
+// search over the file.
 func importRelation(db *Database, mr manifestRelation, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -224,20 +231,21 @@ func importRelation(db *Database, mr manifestRelation, path string) error {
 	}
 	defer f.Close()
 	r := csv.NewReader(f)
-	records, err := r.ReadAll()
+	// Rows of the wrong arity are diagnosed below with column context
+	// instead of the csv package's bare count mismatch.
+	r.FieldsPerRecord = -1
+
+	header, err := r.Read()
 	if err != nil {
-		return fmt.Errorf("storage: %s: %w", path, err)
+		return fmt.Errorf("storage: %s: missing header: %w", path, err)
 	}
-	if len(records) == 0 {
-		return fmt.Errorf("storage: %s: missing header", path)
-	}
-	header := records[0]
 	if len(header) != len(mr.Columns)+1 || header[0] != idColumn {
-		return fmt.Errorf("storage: %s: header %v does not match manifest", path, header)
+		return fmt.Errorf("storage: %s:1: header %v does not match manifest (want %q + %d columns)",
+			path, header, idColumn, len(mr.Columns))
 	}
 	for i, mc := range mr.Columns {
 		if header[i+1] != mc.Name {
-			return fmt.Errorf("storage: %s: column %d is %q, manifest says %q",
+			return fmt.Errorf("storage: %s:1: column %d is %q, manifest says %q",
 				path, i, header[i+1], mc.Name)
 		}
 	}
@@ -245,22 +253,43 @@ func importRelation(db *Database, mr manifestRelation, path string) error {
 	for i, mc := range mr.Columns {
 		types[i], _ = typeFromName(mc.Type)
 	}
-	for rowNum, rec := range records[1:] {
+	for {
+		rec, err := r.Read()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("storage: %s: %w", path, err)
+		}
+		line, _ := r.FieldPos(0)
+		if len(rec) != len(types)+1 {
+			return fmt.Errorf("storage: %s:%d: row has %d fields, schema %s wants %d (%s + %s)",
+				path, line, len(rec), mr.Name, len(types)+1, idColumn, columnList(mr.Columns))
+		}
 		id, err := strconv.ParseInt(rec[0], 10, 64)
 		if err != nil {
-			return fmt.Errorf("storage: %s row %d: bad tuple id %q", path, rowNum+1, rec[0])
+			return fmt.Errorf("storage: %s:%d: column %s: bad tuple id %q", path, line, idColumn, rec[0])
 		}
 		vals := make([]Value, len(types))
 		for i, cell := range rec[1:] {
 			v, err := decodeCell(cell, types[i])
 			if err != nil {
-				return fmt.Errorf("storage: %s row %d: %w", path, rowNum+1, err)
+				return fmt.Errorf("storage: %s:%d: column %s (field %d): %w",
+					path, line, mr.Columns[i].Name, i+2, err)
 			}
 			vals[i] = v
 		}
 		if err := db.InsertWithID(mr.Name, TupleID(id), vals...); err != nil {
-			return fmt.Errorf("storage: %s row %d: %w", path, rowNum+1, err)
+			return fmt.Errorf("storage: %s:%d: %w", path, line, err)
 		}
 	}
-	return nil
+}
+
+// columnList renders manifest column names for error messages.
+func columnList(cols []manifestColumn) string {
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.Name
+	}
+	return strings.Join(names, ",")
 }

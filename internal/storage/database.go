@@ -93,6 +93,14 @@ func (db *Database) ForeignKeys() []ForeignKey {
 	return append([]ForeignKey(nil), db.fks...)
 }
 
+// SetForeignKeys replaces the declared foreign keys wholesale. The précis
+// generator uses it to trim constraints a budget-truncated answer can no
+// longer satisfy; endpoints are not re-validated, so callers should pass a
+// subset of keys previously accepted by AddForeignKey.
+func (db *Database) SetForeignKeys(fks []ForeignKey) {
+	db.fks = append([]ForeignKey(nil), fks...)
+}
+
 // Insert adds a tuple to the named relation and returns its id.
 func (db *Database) Insert(relation string, vals ...Value) (TupleID, error) {
 	r := db.rels[relation]

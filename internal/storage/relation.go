@@ -3,6 +3,8 @@ package storage
 import (
 	"fmt"
 	"sort"
+
+	"precis/internal/faultinject"
 )
 
 // TupleID is the engine-assigned identity of a stored tuple, unique within a
@@ -206,6 +208,9 @@ func (r *Relation) IndexedColumns() []string {
 // Lookup returns the ids of tuples whose column equals v, in ascending id
 // order. It uses the column's index when present and falls back to a scan.
 func (r *Relation) Lookup(column string, v Value) ([]TupleID, error) {
+	if err := faultinject.Fire(faultinject.SiteStorageLookup); err != nil {
+		return nil, fmt.Errorf("storage: lookup %s.%s: %w", r.schema.Name, column, err)
+	}
 	if idx, ok := r.indexes[column]; ok {
 		return idx.lookup(v), nil
 	}

@@ -1,0 +1,108 @@
+package web
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// admission is the server's load-shedding gate: a semaphore of max
+// in-flight queries plus a bounded wait queue. A request first tries to
+// take an in-flight slot; failing that it takes a queue slot and blocks
+// until an in-flight slot frees or its context dies; when the queue is full
+// too, the request is shed immediately (503 + Retry-After) — the paper's
+// bounded-answer philosophy applied to the server itself: predictable
+// latency for admitted work beats unbounded acceptance followed by
+// collapse.
+type admission struct {
+	sem   chan struct{} // in-flight slots
+	queue chan struct{} // wait-queue slots
+
+	inFlight atomic.Int64 // currently executing
+	queued   atomic.Int64 // currently waiting
+	served   atomic.Int64 // total admitted and run
+	shed     atomic.Int64 // total rejected with 503
+	partial  atomic.Int64 // total answers returned Partial
+	internal atomic.Int64 // total ErrInternal failures
+	timedOut atomic.Int64 // total per-request deadline expiries
+}
+
+// newAdmission sizes the gate; maxInFlight <= 0 disables admission control
+// entirely (every request is admitted, counters still tick).
+func newAdmission(maxInFlight, queueDepth int) *admission {
+	a := &admission{}
+	if maxInFlight > 0 {
+		a.sem = make(chan struct{}, maxInFlight)
+		if queueDepth < 0 {
+			queueDepth = 0
+		}
+		a.queue = make(chan struct{}, queueDepth)
+	}
+	return a
+}
+
+// acquire admits one request. It returns (release, true) when admitted —
+// the caller must call release exactly once — and (nil, false) when the
+// request must be shed. A request whose context dies while queued is
+// treated as shed (the client stopped waiting).
+func (a *admission) acquire(ctx context.Context) (release func(), ok bool) {
+	if a.sem == nil { // admission control disabled
+		a.inFlight.Add(1)
+		return func() { a.inFlight.Add(-1); a.served.Add(1) }, true
+	}
+	select {
+	case a.sem <- struct{}{}:
+	default:
+		// No free slot: wait in the bounded queue, or shed.
+		select {
+		case a.queue <- struct{}{}:
+		default:
+			a.shed.Add(1)
+			return nil, false
+		}
+		a.queued.Add(1)
+		select {
+		case a.sem <- struct{}{}:
+			a.queued.Add(-1)
+			<-a.queue
+		case <-ctx.Done():
+			a.queued.Add(-1)
+			<-a.queue
+			a.shed.Add(1)
+			return nil, false
+		}
+	}
+	a.inFlight.Add(1)
+	return func() {
+		a.inFlight.Add(-1)
+		a.served.Add(1)
+		<-a.sem
+	}, true
+}
+
+// admissionStats is the JSON shape of the gate's counters in /api/stats.
+type admissionStats struct {
+	MaxInFlight int   `json:"max_inflight"` // 0 = admission control disabled
+	QueueDepth  int   `json:"queue_depth"`
+	InFlight    int64 `json:"in_flight"`
+	Queued      int64 `json:"queued"`
+	Served      int64 `json:"served"`
+	Shed        int64 `json:"shed"`
+	Partial     int64 `json:"partial"`
+	Internal    int64 `json:"internal_errors"`
+	TimedOut    int64 `json:"timed_out"`
+}
+
+// stats snapshots the counters.
+func (a *admission) stats() admissionStats {
+	return admissionStats{
+		MaxInFlight: cap(a.sem),
+		QueueDepth:  cap(a.queue),
+		InFlight:    a.inFlight.Load(),
+		Queued:      a.queued.Load(),
+		Served:      a.served.Load(),
+		Shed:        a.shed.Load(),
+		Partial:     a.partial.Load(),
+		Internal:    a.internal.Load(),
+		TimedOut:    a.timedOut.Load(),
+	}
+}

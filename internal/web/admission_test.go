@@ -1,0 +1,260 @@
+package web
+
+// Admission-control and degradation tests: the semaphore + bounded-queue
+// gate, 503 + Retry-After shedding under overload, the /api/stats counters,
+// budget query parameters producing partial answers, and internal errors
+// staying generic on the wire while counted in the stats.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"precis/internal/faultinject"
+)
+
+func TestAdmissionGate(t *testing.T) {
+	a := newAdmission(2, 1)
+
+	r1, ok := a.acquire(context.Background())
+	if !ok {
+		t.Fatal("first acquire refused")
+	}
+	r2, ok := a.acquire(context.Background())
+	if !ok {
+		t.Fatal("second acquire refused")
+	}
+	if got := a.stats().InFlight; got != 2 {
+		t.Fatalf("in_flight = %d, want 2", got)
+	}
+
+	// Third request: no slot free, takes the single queue seat and blocks.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	queuedOK := make(chan bool, 1)
+	go func() {
+		defer wg.Done()
+		r3, ok := a.acquire(context.Background())
+		queuedOK <- ok
+		if ok {
+			r3()
+		}
+	}()
+	waitFor(t, func() bool { return a.stats().Queued == 1 })
+
+	// Fourth request: queue full too — shed immediately.
+	if _, ok := a.acquire(context.Background()); ok {
+		t.Fatal("fourth acquire admitted past a full queue")
+	}
+	if got := a.stats().Shed; got != 1 {
+		t.Fatalf("shed = %d, want 1", got)
+	}
+
+	// Releasing a slot admits the queued request.
+	r1()
+	if !<-queuedOK {
+		t.Fatal("queued request was not admitted after a release")
+	}
+	wg.Wait()
+	r2()
+
+	st := a.stats()
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Fatalf("gate not drained: %+v", st)
+	}
+	if st.Served != 3 {
+		t.Fatalf("served = %d, want 3", st.Served)
+	}
+}
+
+func TestAdmissionQueuedContextCancel(t *testing.T) {
+	a := newAdmission(1, 1)
+	release, ok := a.acquire(context.Background())
+	if !ok {
+		t.Fatal("first acquire refused")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := a.acquire(ctx)
+		done <- ok
+	}()
+	waitFor(t, func() bool { return a.stats().Queued == 1 })
+	cancel() // the client stops waiting
+	if admitted := <-done; admitted {
+		t.Fatal("canceled request was admitted")
+	}
+	if got := a.stats().Shed; got != 1 {
+		t.Fatalf("shed = %d, want 1", got)
+	}
+	release()
+}
+
+func TestAdmissionDisabled(t *testing.T) {
+	a := newAdmission(-1, 0)
+	for i := 0; i < 100; i++ {
+		release, ok := a.acquire(context.Background())
+		if !ok {
+			t.Fatal("disabled gate refused a request")
+		}
+		release()
+	}
+	st := a.stats()
+	if st.MaxInFlight != 0 || st.Served != 100 || st.Shed != 0 {
+		t.Fatalf("disabled gate stats: %+v", st)
+	}
+}
+
+// TestSearchOverloadSheds503 serves with one in-flight slot and no queue,
+// parks a slow query in the slot (latency injected at the index probe), and
+// asserts the concurrent request is shed with 503 + Retry-After, visible in
+// /api/stats.
+func TestSearchOverloadSheds503(t *testing.T) {
+	eng := testEngine(t)
+	ts := httptest.NewServer(NewServerWithConfig(eng, Config{MaxInFlight: 1, QueueDepth: -1}).Handler())
+	t.Cleanup(ts.Close)
+
+	release := make(chan struct{})
+	slow := faultinject.NewPlan().Set(faultinject.SiteIndexProbe,
+		faultinject.Rule{Delay: 750 * time.Millisecond, Limit: 1})
+	deactivate := faultinject.Activate(slow)
+	defer deactivate()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		get(t, query(ts.URL, "/api/search", "q", "Woody Allen"))
+		close(release)
+	}()
+	// Wait until the slow request occupies the slot.
+	waitFor(t, func() bool {
+		var st apiEngineStats
+		_, body := get(t, query(ts.URL, "/api/stats"))
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			return false
+		}
+		return st.Admission.InFlight >= 1
+	})
+
+	resp, err := http.Get(query(ts.URL, "/api/search", "q", "Woody Allen"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow request: code=%d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("503 without Retry-After header")
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body.Error, "capacity") {
+		t.Fatalf("shed body: %q", body.Error)
+	}
+
+	<-release
+	wg.Wait()
+	var st apiEngineStats
+	_, stats := get(t, query(ts.URL, "/api/stats"))
+	if err := json.Unmarshal([]byte(stats), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Admission.Shed < 1 {
+		t.Fatalf("shed counter = %d, want >= 1\nstats: %s", st.Admission.Shed, stats)
+	}
+	if st.Admission.Served < 1 {
+		t.Fatalf("served counter = %d, want >= 1", st.Admission.Served)
+	}
+	if st.Admission.MaxInFlight != 1 {
+		t.Fatalf("max_inflight = %d, want 1", st.Admission.MaxInFlight)
+	}
+}
+
+// TestSearchBudgetParamsPartialAnswer: the budget query parameters produce
+// a 200 with the partial flag and truncation reason in the JSON, and tick
+// the partial counter in /api/stats.
+func TestSearchBudgetParamsPartialAnswer(t *testing.T) {
+	ts := testServer(t)
+	code, body := get(t, query(ts.URL, "/api/search", "q", "Woody Allen", "maxtuples", "3"))
+	if code != http.StatusOK {
+		t.Fatalf("code=%d body=%s", code, body)
+	}
+	var ans apiAnswer
+	if err := json.Unmarshal([]byte(body), &ans); err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Partial || ans.Truncation != "tuple-budget" {
+		t.Fatalf("partial=%v truncation=%q, want a tuple-budget cut\n%s", ans.Partial, ans.Truncation, body)
+	}
+	_, stats := get(t, query(ts.URL, "/api/stats"))
+	var st apiEngineStats
+	if err := json.Unmarshal([]byte(stats), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Admission.Partial < 1 {
+		t.Fatalf("partial counter = %d, want >= 1", st.Admission.Partial)
+	}
+	// Malformed budget parameters are 400s, not 500s.
+	for _, kv := range [][2]string{{"maxtuples", "x"}, {"maxsteps", "-"}, {"deadline", "soon"}} {
+		if code, _ := get(t, query(ts.URL, "/api/search", "q", "Woody Allen", kv[0], kv[1])); code != http.StatusBadRequest {
+			t.Fatalf("bad %s accepted: code=%d", kv[0], code)
+		}
+	}
+}
+
+// TestSearchInternalErrorGenericOnTheWire: an injected panic surfaces as a
+// plain "internal error" 500 — no panic value, no stack — while the
+// internal_errors counter ticks and the server keeps serving.
+func TestSearchInternalErrorGenericOnTheWire(t *testing.T) {
+	ts := testServer(t)
+	plan := faultinject.NewPlan().Set(faultinject.SiteSQLSelect,
+		faultinject.Rule{Panic: "secret detail", Limit: 1})
+	deactivate := faultinject.Activate(plan)
+	defer deactivate()
+
+	code, body := get(t, query(ts.URL, "/api/search", "q", "Woody Allen"))
+	if code != http.StatusInternalServerError {
+		t.Fatalf("code=%d body=%s, want 500", code, body)
+	}
+	if strings.Contains(body, "secret detail") || strings.Contains(body, "goroutine") {
+		t.Fatalf("500 body leaks internals: %s", body)
+	}
+	deactivate()
+
+	// The server keeps serving.
+	if code, body := get(t, query(ts.URL, "/api/search", "q", "Woody Allen")); code != http.StatusOK {
+		t.Fatalf("post-panic request: code=%d body=%s", code, body)
+	}
+	_, stats := get(t, query(ts.URL, "/api/stats"))
+	var st apiEngineStats
+	if err := json.Unmarshal([]byte(stats), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Admission.Internal < 1 {
+		t.Fatalf("internal_errors = %d, want >= 1", st.Admission.Internal)
+	}
+}
+
+// waitFor polls cond for up to ~2s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within 2s")
+}

@@ -18,6 +18,16 @@
 // Every search runs under a per-request timeout (Config.QueryTimeout);
 // queries that exceed it are canceled mid-generation and answered with
 // 504 Gateway Timeout.
+//
+// The server governs its own load: at most Config.MaxInFlight searches
+// execute concurrently, at most Config.QueueDepth more wait for a slot, and
+// anything beyond that is shed immediately with 503 Service Unavailable and
+// a Retry-After header. A `deadline` query parameter turns the per-request
+// time budget into graceful degradation instead: the engine returns the
+// partial answer built when the deadline passed (marked `partial` in the
+// JSON, with a truncation note in the narrative) rather than failing.
+// /api/stats exposes the admission counters: in-flight, queued, served,
+// shed, partial, internal errors.
 package web
 
 import (
@@ -26,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"html/template"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
@@ -40,12 +51,30 @@ import (
 // seconds); anything slower than this indicates a runaway query.
 const DefaultQueryTimeout = 15 * time.Second
 
+// DefaultMaxInFlight bounds concurrent searches when Config.MaxInFlight is
+// zero. Précis queries are CPU-bound over in-memory data; far more
+// concurrency than cores only grows tail latency.
+const DefaultMaxInFlight = 32
+
+// DefaultQueueDepth bounds the wait queue when Config.QueueDepth is zero.
+const DefaultQueueDepth = 64
+
+// DefaultRetryAfter is the Retry-After hint sent with 503 responses.
+const DefaultRetryAfter = 1 * time.Second
+
 // Config tunes the HTTP layer.
 type Config struct {
 	// QueryTimeout is the per-request deadline for /api/search and the
 	// HTML search page. Zero means DefaultQueryTimeout; negative disables
 	// the timeout entirely.
 	QueryTimeout time.Duration
+	// MaxInFlight bounds concurrently executing searches. Zero means
+	// DefaultMaxInFlight; negative disables admission control.
+	MaxInFlight int
+	// QueueDepth bounds how many searches may wait for an in-flight slot
+	// before overflow is shed with 503. Zero means DefaultQueueDepth;
+	// negative means no queue (shed as soon as MaxInFlight is reached).
+	QueueDepth int
 }
 
 // Server wraps a précis engine with HTTP handlers.
@@ -53,6 +82,7 @@ type Server struct {
 	eng *precis.Engine
 	mux *http.ServeMux
 	cfg Config
+	adm *admission
 }
 
 // NewServer builds the handler set around an engine with default config.
@@ -65,7 +95,14 @@ func NewServerWithConfig(eng *precis.Engine, cfg Config) *Server {
 	if cfg.QueryTimeout == 0 {
 		cfg.QueryTimeout = DefaultQueryTimeout
 	}
-	s := &Server{eng: eng, mux: http.NewServeMux(), cfg: cfg}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	s := &Server{eng: eng, mux: http.NewServeMux(), cfg: cfg,
+		adm: newAdmission(cfg.MaxInFlight, cfg.QueueDepth)}
 	s.mux.HandleFunc("GET /", s.handleHome)
 	s.mux.HandleFunc("GET /api/search", s.handleAPISearch)
 	s.mux.HandleFunc("GET /api/schema", s.handleAPISchema)
@@ -142,6 +179,30 @@ func parseOptions(r *http.Request) (precis.Options, error) {
 		}
 		opts.Parallelism = n
 	}
+	// Resource budget parameters: graceful degradation instead of failure.
+	// `deadline` is a duration from now ("50ms", "2s"); when it passes
+	// mid-generation the answer built so far is returned, marked partial.
+	if v := q.Get("deadline"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return opts, fmt.Errorf("bad deadline %q (want a positive duration like 50ms)", v)
+		}
+		opts.Budget.Deadline = time.Now().Add(d)
+	}
+	if v := q.Get("maxtuples"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return opts, fmt.Errorf("bad maxtuples %q", v)
+		}
+		opts.Budget.MaxTuples = n
+	}
+	if v := q.Get("maxsteps"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return opts, fmt.Errorf("bad maxsteps %q", v)
+		}
+		opts.Budget.MaxJoinSteps = n
+	}
 	return opts, nil
 }
 
@@ -152,6 +213,11 @@ type apiAnswer struct {
 	Narrative string        `json:"narrative"`
 	Relations []apiRelation `json:"relations"`
 	Stats     apiStats      `json:"stats"`
+	// Partial marks a budget-truncated answer; Truncation names the
+	// budget dimension that ran out (deadline, tuple-budget, step-budget,
+	// byte-budget).
+	Partial    bool   `json:"partial,omitempty"`
+	Truncation string `json:"truncation,omitempty"`
 }
 
 type apiRelation struct {
@@ -170,9 +236,11 @@ type apiStats struct {
 // display columns (join plumbing stays hidden, §5.2).
 func buildAPIAnswer(ans *precis.Answer) apiAnswer {
 	out := apiAnswer{
-		Terms:     ans.Terms,
-		Unmatched: ans.Unmatched,
-		Narrative: ans.Narrative,
+		Terms:      ans.Terms,
+		Unmatched:  ans.Unmatched,
+		Narrative:  ans.Narrative,
+		Partial:    ans.Partial,
+		Truncation: string(ans.Truncation),
 		Stats: apiStats{
 			Relations: ans.Database.NumRelations(),
 			Tuples:    ans.Database.TotalTuples(),
@@ -203,8 +271,8 @@ func buildAPIAnswer(ans *precis.Answer) apiAnswer {
 	return out
 }
 
-// search runs a query from request parameters under the per-request
-// timeout.
+// search runs a query from request parameters under the admission gate and
+// the per-request timeout.
 func (s *Server) search(r *http.Request) (*precis.Answer, int, error) {
 	q := strings.TrimSpace(r.URL.Query().Get("q"))
 	if q == "" {
@@ -214,6 +282,13 @@ func (s *Server) search(r *http.Request) (*precis.Answer, int, error) {
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
+	release, ok := s.adm.acquire(r.Context())
+	if !ok {
+		return nil, http.StatusServiceUnavailable,
+			fmt.Errorf("server at capacity (%d in flight, %d queued); retry shortly",
+				s.cfg.MaxInFlight, s.cfg.QueueDepth)
+	}
+	defer release()
 	ctx := r.Context()
 	if s.cfg.QueryTimeout > 0 {
 		var cancel context.CancelFunc
@@ -225,13 +300,23 @@ func (s *Server) search(r *http.Request) (*precis.Answer, int, error) {
 		switch {
 		case errors.Is(err, precis.ErrNoMatches):
 			return ans, http.StatusNotFound, err
+		case errors.Is(err, precis.ErrInternal):
+			s.adm.internal.Add(1)
+			// The panic detail (with stacks) stays in the server log; the
+			// client gets a generic 500.
+			log.Printf("web: internal error serving %q: %v", q, err)
+			return nil, http.StatusInternalServerError, errors.New("internal error")
 		case errors.Is(err, context.DeadlineExceeded):
+			s.adm.timedOut.Add(1)
 			return nil, http.StatusGatewayTimeout,
 				fmt.Errorf("query exceeded the %v time budget", s.cfg.QueryTimeout)
 		case errors.Is(err, context.Canceled):
 			return nil, 499, err // client went away
 		}
 		return nil, http.StatusBadRequest, err
+	}
+	if ans.Partial {
+		s.adm.partial.Add(1)
 	}
 	return ans, http.StatusOK, nil
 }
@@ -240,6 +325,9 @@ func (s *Server) handleAPISearch(w http.ResponseWriter, r *http.Request) {
 	ans, code, err := s.search(r)
 	w.Header().Set("Content-Type", "application/json")
 	if err != nil {
+		if code == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", strconv.Itoa(int(DefaultRetryAfter.Seconds())))
+		}
 		w.WriteHeader(code)
 		_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 		return
@@ -253,6 +341,7 @@ type apiEngineStats struct {
 	Relations int                `json:"relations"`
 	Tuples    int                `json:"tuples"`
 	Cache     *precis.CacheStats `json:"cache,omitempty"` // nil when the cache is disabled
+	Admission admissionStats     `json:"admission"`
 }
 
 func (s *Server) handleAPIStats(w http.ResponseWriter, _ *http.Request) {
@@ -261,6 +350,7 @@ func (s *Server) handleAPIStats(w http.ResponseWriter, _ *http.Request) {
 		Database:  db.Name(),
 		Relations: db.NumRelations(),
 		Tuples:    db.TotalTuples(),
+		Admission: s.adm.stats(),
 	}
 	if s.eng.CacheEnabled() {
 		cs := s.eng.CacheStats()

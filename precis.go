@@ -25,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -45,6 +46,13 @@ import (
 // ErrNoMatches is returned when no query token occurs in the database.
 var ErrNoMatches = errors.New("precis: no token matched the database")
 
+// ErrInternal wraps a panic recovered at the engine boundary: the query
+// failed, but the process — and every other in-flight query — survives. The
+// wrapped message carries the panic value and the stack of the panicking
+// goroutine (including worker goroutines of the parallel fetch pool), so
+// one poisoned tuple can be diagnosed without taking the server down.
+var ErrInternal = errors.New("precis: internal error")
+
 // Re-exported constraint and strategy types. The concrete constructors
 // below build the constraints of the paper's Tables 1 and 2.
 type (
@@ -59,6 +67,24 @@ type (
 	// TupleWeights assigns per-tuple importance (the paper's §7 extension):
 	// when the cardinality budget forces a choice, heavier tuples survive.
 	TupleWeights = core.TupleWeights
+	// Budget bounds the physical resources of one query (wall deadline,
+	// materialized tuples, join steps, approximate result bytes). An
+	// exhausted budget does not fail the query: the answer built so far is
+	// returned with Answer.Partial set and the budget dimension that ran
+	// out in Answer.Truncation.
+	Budget = core.Budget
+	// TruncationReason names the budget dimension that truncated a partial
+	// answer.
+	TruncationReason = core.TruncationReason
+)
+
+// Truncation reasons reported in Answer.Truncation.
+const (
+	TruncateNone        = core.TruncateNone
+	TruncateDeadline    = core.TruncateDeadline
+	TruncateTupleBudget = core.TruncateTupleBudget
+	TruncateStepBudget  = core.TruncateStepBudget
+	TruncateByteBudget  = core.TruncateByteBudget
 )
 
 // Retrieval strategies (paper §5.2).
@@ -351,6 +377,15 @@ type Options struct {
 	TupleWeights TupleWeights
 	// SkipNarrative suppresses narrative rendering (benchmarks).
 	SkipNarrative bool
+	// Budget bounds the physical resources of this query. The zero value
+	// imposes no bounds. When a dimension runs out mid-generation, the
+	// query degrades gracefully: it returns the deterministic prefix
+	// answer built so far (Answer.Partial, Answer.Truncation) instead of
+	// an error. Seed tuples are always materialized, so a budgeted answer
+	// is non-empty whenever the query matched anything. Queries with a
+	// Deadline bypass the answer cache (absolute instants never recur);
+	// partial answers are never cached.
+	Budget Budget
 	// Parallelism bounds the worker pool used for inverted-index probes
 	// and result-database generation: 0 uses one worker per logical CPU
 	// (runtime.GOMAXPROCS), negative values force the serial path, and
@@ -376,6 +411,13 @@ type Answer struct {
 	Narrative string
 	// Stats records the physical work of data generation.
 	Stats core.GenStats
+	// Partial reports that a resource budget truncated generation: the
+	// answer is a deterministic prefix of the unbudgeted answer, not the
+	// complete constrained précis.
+	Partial bool
+	// Truncation names the budget dimension that ran out (empty when the
+	// answer is complete).
+	Truncation TruncationReason
 }
 
 // ParseQuery splits a free-form query string into terms, honouring double
@@ -432,9 +474,15 @@ func (e *Engine) Query(terms []string, opts Options) (*Answer, error) {
 // weights are not part of the key — any change to them purges the whole
 // cache instead. The second return is false when the query is not
 // cacheable (per-call tuple weights carry arbitrary maps that are not
-// worth fingerprinting).
+// worth fingerprinting, and budget deadlines are absolute instants that
+// never recur — a deadline answer cached now would be wrong forever).
+// Deterministic budget dimensions (tuples, steps, bytes) are part of the
+// key, since different budgets legitimately produce different answers.
 func cacheKey(terms []string, opts Options) (string, bool) {
 	if opts.TupleWeights != nil {
+		return "", false
+	}
+	if !opts.Budget.Deadline.IsZero() || opts.Budget.Now != nil {
 		return "", false
 	}
 	var sb strings.Builder
@@ -472,6 +520,10 @@ func cacheKey(terms []string, opts Options) (string, bool) {
 	if opts.SkipNarrative {
 		sb.WriteByte('1')
 	}
+	sb.WriteByte('\x1e')
+	if b := opts.Budget; b.MaxTuples > 0 || b.MaxJoinSteps > 0 || b.MaxResultBytes > 0 {
+		fmt.Fprintf(&sb, "%d,%d,%d", b.MaxTuples, b.MaxJoinSteps, b.MaxResultBytes)
+	}
 	return sb.String(), true
 }
 
@@ -485,16 +537,28 @@ func (a *Answer) shallowCopy() *Answer {
 }
 
 // QueryContext is Query with cancellation: ctx deadlines and cancellations
-// are honoured between pipeline stages and between result-database
-// generation steps, and the returned error wraps ctx.Err(). The web layer
-// uses this for per-request timeouts.
-func (e *Engine) QueryContext(ctx context.Context, terms []string, opts Options) (*Answer, error) {
+// are honoured between pipeline stages and inside the per-join tuple loops
+// of result-database generation, and the returned error wraps ctx.Err().
+// The web layer uses this for per-request timeouts.
+//
+// QueryContext is also the engine's fault boundary: a panic anywhere in the
+// pipeline — including inside parallel fetch workers — is recovered and
+// returned as an error wrapping ErrInternal with the panicking goroutine's
+// stack attached, so a poisoned tuple or an injected fault can never crash
+// the process or leave the engine lock held.
+func (e *Engine) QueryContext(ctx context.Context, terms []string, opts Options) (ans *Answer, err error) {
 	if len(terms) == 0 {
 		return nil, fmt.Errorf("precis: empty query")
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			ans = nil
+			err = wrapPanic(r)
+		}
+	}()
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 
@@ -510,18 +574,33 @@ func (e *Engine) QueryContext(ctx context.Context, terms []string, opts Options)
 		}
 	}
 
-	ans, err := e.queryLocked(ctx, terms, opts)
+	ans, err = e.queryLocked(ctx, terms, opts)
 	if err != nil {
 		// ErrNoMatches answers are cheap to recompute and carry partial
 		// state; don't cache errors.
 		return ans, err
 	}
-	if cacheable && e.cache != nil {
+	if cacheable && e.cache != nil && !ans.Partial {
+		// Partial answers are never cached: they reflect a transient
+		// resource shortage, not the query's true answer, and a later
+		// identical query with a healthier budget must not inherit the
+		// truncation.
 		e.cache.Put(key, ans)
 		// Hand out a copy so the caller's Answer header stays private.
 		ans = ans.shallowCopy()
 	}
 	return ans, nil
+}
+
+// wrapPanic converts a recovered panic value into an ErrInternal error. A
+// *core.PanicError (a panic that escaped a ParallelFor worker) already
+// carries the worker's stack; anything else gets the recovering goroutine's
+// stack attached here.
+func wrapPanic(r any) error {
+	if pe, ok := r.(*core.PanicError); ok {
+		return fmt.Errorf("%w: %s", ErrInternal, pe.Error())
+	}
+	return fmt.Errorf("%w: panic: %v\n%s", ErrInternal, r, debug.Stack())
 }
 
 // queryLocked runs the four-stage pipeline; callers hold e.mu.RLock.
@@ -631,18 +710,22 @@ func (e *Engine) queryLocked(ctx context.Context, terms []string, opts Options) 
 	// statistics accumulation. The generator honours ctx between steps and
 	// fans independent fetches out over the same worker pool.
 	rd, err := core.GenerateDatabaseOpts(sqlx.NewEngine(e.db), rs, seeds, card, strat,
-		core.DBGenOptions{Weights: weights, Workers: workers, Context: ctx})
+		core.DBGenOptions{Weights: weights, Workers: workers, Context: ctx, Budget: opts.Budget})
 	if err != nil {
 		return nil, err
 	}
 	ans.Result = rd
 	ans.Database = rd.DB
 	ans.Stats = rd.Stats
+	ans.Partial = rd.Partial()
+	ans.Truncation = rd.Truncation
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("precis: query canceled: %w", err)
 	}
 
-	// Step 4: translation.
+	// Step 4: translation. Partial answers render too — the translator
+	// trims clauses whose joined tuples were cut and appends a truncation
+	// note, so a degraded answer still reads as a well-formed narrative.
 	if !opts.SkipNarrative {
 		narrative, err := e.renderer.Narrative(rd, allOccs)
 		if err != nil {

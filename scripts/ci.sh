@@ -1,10 +1,18 @@
 #!/usr/bin/env bash
-# CI gate: vet, build, and the full test suite under the race detector.
+# CI gate: vet, build, the full test suite under the race detector, and a
+# doubled run of the chaos suite.
 #
 # The race run is the point of this script — the engine's parallel fetch
 # pool, the answer cache, and the profile registry are all exercised by
 # dedicated concurrency tests (race_test.go, determinism_test.go,
 # internal/anscache) that only bite under -race.
+#
+# The chaos suite (chaos_test.go) arms internal/faultinject and hammers
+# the engine with 32 goroutines while errors, panics, and latency fire at
+# the injection sites; -count=2 reruns it to catch state leaking between
+# runs (a fault plan left armed, a poisoned cache). The full-suite pass
+# above runs it with -short (scaled-down iteration counts) to keep tier-1
+# wall clock flat; the dedicated pass below runs it at full strength.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,7 +22,10 @@ go vet ./...
 echo "== go build"
 go build ./...
 
-echo "== go test -race"
-go test -race -count=1 ./...
+echo "== go test -race (-short chaos)"
+go test -race -count=1 -short ./...
+
+echo "== chaos suite -race -count=2 (full strength)"
+go test -race -count=2 -run 'TestChaos' .
 
 echo "CI OK"
