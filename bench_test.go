@@ -21,6 +21,7 @@ import (
 	"precis/internal/core"
 	"precis/internal/dataset"
 	"precis/internal/invidx"
+	"precis/internal/obs"
 	"precis/internal/schemagraph"
 	"precis/internal/sqlx"
 	"precis/internal/storage"
@@ -391,10 +392,54 @@ func BenchmarkQueryCached(b *testing.B) {
 	if _, err := eng.QueryString(q, opts); err != nil { // warm the entry
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.QueryString(q, opts); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryCachedInstrumented is BenchmarkQueryCached on an engine
+// wired to a metrics registry with tracing off — the production server's
+// steady state. Compare against BenchmarkQueryCached: the acceptance bar
+// for the observability subsystem is identical allocs/op and under 2%
+// latency overhead on this path (two counter increments and a histogram
+// observation per hit).
+func BenchmarkQueryCachedInstrumented(b *testing.B) {
+	eng, q := benchParallelEngine(b)
+	eng.Instrument(obs.NewRegistry())
+	eng.EnableCache(precis.CacheConfig{MaxEntries: 64})
+	opts := benchParallelOptions(0)
+	if _, err := eng.QueryString(q, opts); err != nil { // warm the entry
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.QueryString(q, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryTraced measures the uncached pipeline with per-stage
+// tracing on, quantifying the cost of Options.Trace against the same
+// workload in BenchmarkQueryParallel (a handful of span appends against a
+// multi-millisecond generation).
+func BenchmarkQueryTraced(b *testing.B) {
+	eng, q := benchParallelEngine(b)
+	opts := benchParallelOptions(0)
+	opts.Trace = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ans, err := eng.QueryString(q, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ans.Trace == nil {
+			b.Fatal("no trace")
 		}
 	}
 }

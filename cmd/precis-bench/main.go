@@ -9,11 +9,12 @@
 //	precis-bench -parallel [-quick]   worker-pool speedup sweep
 //	precis-bench -cache [-quick]      answer-cache hit vs cold latency
 //	precis-bench -deadline [-quick]   answer size vs wall-clock deadline
+//	precis-bench -stages [-quick]     per-pipeline-stage latency breakdown
 //
 // -quick shrinks each experiment's run counts for a fast smoke pass; -csv
-// prints machine-readable rows instead of aligned text. -parallel, -cache
-// and -deadline run the engine-level resource experiments (they can be
-// combined with -exp).
+// prints machine-readable rows instead of aligned text. -parallel, -cache,
+// -deadline and -stages run the engine-level resource experiments (they
+// can be combined with -exp).
 package main
 
 import (
@@ -34,6 +35,7 @@ func main() {
 		parallel = flag.Bool("parallel", false, "measure worker-pool speedup on one query")
 		cache    = flag.Bool("cache", false, "measure answer-cache hit vs cold latency")
 		deadline = flag.Bool("deadline", false, "measure answer size vs wall-clock deadline (graceful degradation)")
+		stages   = flag.Bool("stages", false, "measure per-pipeline-stage latency via query traces")
 	)
 	flag.Parse()
 
@@ -41,7 +43,7 @@ func main() {
 	for _, e := range strings.Split(*exp, ",") {
 		run[strings.TrimSpace(e)] = true
 	}
-	if *parallel || *cache || *deadline {
+	if *parallel || *cache || *deadline || *stages {
 		// The resource experiments replace the figure suite unless the
 		// caller asked for both explicitly.
 		if *exp == "all" {
@@ -55,6 +57,9 @@ func main() {
 		}
 		if *deadline {
 			run["dl"] = true
+		}
+		if *stages {
+			run["st"] = true
 		}
 	}
 	all := run["all"]
@@ -109,6 +114,26 @@ func main() {
 			fatal(err)
 		}
 	}
+	if run["st"] {
+		if err := runStages(*quick); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func runStages(quick bool) error {
+	cfg := experiments.DefaultStagesConfig()
+	if quick {
+		cfg.Films = 500
+		cfg.Runs = 3
+	}
+	report, err := experiments.Stages(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.String())
+	fmt.Println()
+	return nil
 }
 
 func runDeadline(quick bool) error {

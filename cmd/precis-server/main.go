@@ -8,10 +8,17 @@
 //	precis-server [-addr :8080] [-db example|synthetic] [-films N] [-seed N]
 //	              [-profiles DIR] [-cache-size N] [-cache-ttl D]
 //	              [-query-timeout D] [-max-inflight N] [-queue-depth N]
+//	              [-metrics] [-pprof] [-slowlog-ms N]
 //
 // The answer cache is on by default (-cache-size 0 disables it); any
 // mutation through the engine invalidates it wholesale. Every search runs
 // under -query-timeout (0 restores the package default, negative disables).
+//
+// Observability: /metrics serves every engine and HTTP counter in
+// Prometheus text format (-metrics=false turns the endpoint off), -pprof
+// mounts net/http/pprof under /debug/pprof/, and -slowlog-ms N logs one
+// structured line (query, per-stage latency, cache state, truncation) for
+// every search slower than N milliseconds (0 disables).
 //
 // Load governance: at most -max-inflight searches run concurrently and at
 // most -queue-depth wait for a slot; overflow is shed with 503 and a
@@ -53,6 +60,9 @@ func main() {
 		inflight   = flag.Int("max-inflight", web.DefaultMaxInFlight, "max concurrently executing searches (negative disables admission control)")
 		queueDepth = flag.Int("queue-depth", web.DefaultQueueDepth, "max searches waiting for a slot before overflow is shed with 503")
 		grace      = flag.Duration("shutdown-grace", 10*time.Second, "how long in-flight requests may finish after SIGTERM")
+		metrics    = flag.Bool("metrics", true, "serve Prometheus metrics at /metrics")
+		pprofFlag  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		slowlogMS  = flag.Int("slowlog-ms", 0, "log searches slower than this many milliseconds with a per-stage breakdown (0 disables)")
 	)
 	flag.Parse()
 
@@ -83,14 +93,17 @@ func main() {
 	srv := &http.Server{
 		Addr: *addr,
 		Handler: web.NewServerWithConfig(eng, web.Config{
-			QueryTimeout: *timeout,
-			MaxInFlight:  *inflight,
-			QueueDepth:   *queueDepth,
+			QueryTimeout:   *timeout,
+			MaxInFlight:    *inflight,
+			QueueDepth:     *queueDepth,
+			DisableMetrics: !*metrics,
+			Pprof:          *pprofFlag,
+			SlowQueryLog:   time.Duration(*slowlogMS) * time.Millisecond,
 		}).Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("précis server on %s (%s data, %d tuples, cache=%d, timeout=%v, inflight=%d, queue=%d)",
-		*addr, *dbKind, eng.Database().TotalTuples(), *cacheSize, *timeout, *inflight, *queueDepth)
+	log.Printf("précis server on %s (%s data, %d tuples, cache=%d, timeout=%v, inflight=%d, queue=%d, metrics=%t, pprof=%t, slowlog=%dms)",
+		*addr, *dbKind, eng.Database().TotalTuples(), *cacheSize, *timeout, *inflight, *queueDepth, *metrics, *pprofFlag, *slowlogMS)
 
 	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections and
 	// let in-flight queries drain for up to -shutdown-grace.

@@ -1,0 +1,211 @@
+package precis
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"precis/internal/anscache"
+	"precis/internal/obs"
+)
+
+// Metric names the engine registers. They are exported as constants so the
+// web layer, tests, and dashboards address the same strings the engine
+// writes — /api/stats and /metrics read the very same atomics.
+const (
+	MetricQueries        = "precis_queries_total"
+	MetricQuerySeconds   = "precis_query_seconds"
+	MetricStageSeconds   = "precis_stage_seconds"
+	MetricQueryErrors    = "precis_query_errors_total"
+	MetricPartialAnswers = "precis_partial_answers_total"
+	MetricTruncations    = "precis_truncations_total"
+	MetricPanics         = "precis_panics_recovered_total"
+	MetricResultTuples   = "precis_result_tuples_total"
+	MetricSQLQueries     = "precis_sql_queries_total"
+	MetricCacheHits      = "precis_cache_hits_total"
+	MetricCacheMisses    = "precis_cache_misses_total"
+	MetricCacheEvict     = "precis_cache_evictions_total"
+	MetricCacheExpire    = "precis_cache_expirations_total"
+	MetricCacheInval     = "precis_cache_invalidations_total"
+	MetricCacheEntries   = "precis_cache_entries"
+	MetricDBTuples       = "precis_db_tuples"
+	MetricDBRelations    = "precis_db_relations"
+	MetricIndexTokens    = "precis_index_tokens"
+)
+
+// engineMetrics holds the engine's pre-resolved instrument pointers: the
+// registry map is consulted once, at Instrument time, and every query
+// afterwards pays only atomic operations. nil engineMetrics (the default)
+// means the engine is un-instrumented and queries skip accounting entirely.
+type engineMetrics struct {
+	queries      *obs.Counter
+	queryDur     *obs.Histogram
+	partial      *obs.Counter
+	panics       *obs.Counter
+	resultTuples *obs.Counter
+	sqlQueries   *obs.Counter
+
+	errNoMatches *obs.Counter
+	errInternal  *obs.Counter
+	errCanceled  *obs.Counter
+	errOther     *obs.Counter
+
+	truncations map[TruncationReason]*obs.Counter
+	stages      map[string]*obs.Histogram
+}
+
+// newEngineMetrics resolves every engine instrument in reg.
+func newEngineMetrics(reg *obs.Registry) *engineMetrics {
+	reg.Help(MetricQueries, "précis queries answered (including errors and cache hits)")
+	reg.Help(MetricQuerySeconds, "end-to-end query latency in seconds")
+	reg.Help(MetricStageSeconds, "per-pipeline-stage latency in seconds (uncached queries)")
+	reg.Help(MetricQueryErrors, "queries that returned an error, by kind")
+	reg.Help(MetricPartialAnswers, "answers truncated by a resource budget")
+	reg.Help(MetricTruncations, "budget truncations by exhausted dimension")
+	reg.Help(MetricPanics, "panics recovered at the engine boundary")
+	reg.Help(MetricResultTuples, "tuples materialized into result databases")
+	reg.Help(MetricSQLQueries, "generated SQL queries issued against the store")
+	m := &engineMetrics{
+		queries:      reg.Counter(MetricQueries),
+		queryDur:     reg.Histogram(MetricQuerySeconds),
+		partial:      reg.Counter(MetricPartialAnswers),
+		panics:       reg.Counter(MetricPanics),
+		resultTuples: reg.Counter(MetricResultTuples),
+		sqlQueries:   reg.Counter(MetricSQLQueries),
+		errNoMatches: reg.Counter(MetricQueryErrors, "kind", "no_matches"),
+		errInternal:  reg.Counter(MetricQueryErrors, "kind", "internal"),
+		errCanceled:  reg.Counter(MetricQueryErrors, "kind", "canceled"),
+		errOther:     reg.Counter(MetricQueryErrors, "kind", "other"),
+		truncations: map[TruncationReason]*obs.Counter{
+			TruncateDeadline:    reg.Counter(MetricTruncations, "reason", string(TruncateDeadline)),
+			TruncateTupleBudget: reg.Counter(MetricTruncations, "reason", string(TruncateTupleBudget)),
+			TruncateStepBudget:  reg.Counter(MetricTruncations, "reason", string(TruncateStepBudget)),
+			TruncateByteBudget:  reg.Counter(MetricTruncations, "reason", string(TruncateByteBudget)),
+		},
+		stages: make(map[string]*obs.Histogram, 6),
+	}
+	for _, stage := range []string{
+		obs.StageTokenize, obs.StageCacheLookup, obs.StageIndexLookup,
+		obs.StageSchemaGen, obs.StageDBGen, obs.StageTranslate,
+	} {
+		m.stages[stage] = reg.Histogram(MetricStageSeconds, "stage", stage)
+	}
+	return m
+}
+
+// record accounts one finished query: total latency, outcome class, and —
+// for fresh (uncached, successful) computations — result sizes and
+// per-stage latencies from the query's trace.
+func (m *engineMetrics) record(start time.Time, ans *Answer, err error, tr *obs.Trace) {
+	m.queries.Inc()
+	m.queryDur.ObserveNanos(time.Since(start).Nanoseconds())
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrNoMatches):
+			m.errNoMatches.Inc()
+		case errors.Is(err, ErrInternal):
+			m.errInternal.Inc()
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			m.errCanceled.Inc()
+		default:
+			m.errOther.Inc()
+		}
+		return
+	}
+	if ans == nil || ans.FromCache {
+		// Cache hits are visible in precis_query_seconds and the cache
+		// counters; the stage histograms describe fresh pipeline runs only.
+		return
+	}
+	if ans.Partial {
+		m.partial.Inc()
+		if c := m.truncations[ans.Truncation]; c != nil {
+			c.Inc()
+		}
+	}
+	m.resultTuples.Add(uint64(ans.Stats.TotalTuples))
+	m.sqlQueries.Add(uint64(ans.Stats.Queries))
+	m.observeStages(tr)
+}
+
+// observeStages feeds the per-stage histograms from a trace's spans.
+func (m *engineMetrics) observeStages(tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	for i := range tr.Spans {
+		if h := m.stages[tr.Spans[i].Name]; h != nil {
+			h.ObserveNanos(tr.Spans[i].Dur.Nanoseconds())
+		}
+	}
+}
+
+// cacheCountersFrom resolves the answer-cache counter set in reg. Because
+// the registry get-or-creates by name, the counters survive cache resizes:
+// EnableCache drops entries but never resets hit/miss totals.
+func cacheCountersFrom(reg *obs.Registry) *anscache.Counters {
+	reg.Help(MetricCacheHits, "answer cache hits")
+	reg.Help(MetricCacheMisses, "answer cache misses")
+	return &anscache.Counters{
+		Hits:          reg.Counter(MetricCacheHits),
+		Misses:        reg.Counter(MetricCacheMisses),
+		Evictions:     reg.Counter(MetricCacheEvict),
+		Expirations:   reg.Counter(MetricCacheExpire),
+		Invalidations: reg.Counter(MetricCacheInval),
+	}
+}
+
+// Instrument wires the engine to a metrics registry: query/error/panic
+// counters, end-to-end and per-stage latency histograms, truncation
+// counters by reason, answer-cache counters, and gauge callbacks for
+// database and index sizes. Pass nil to detach.
+//
+// Call Instrument at setup time, before serving concurrent queries; the
+// resolved instruments are then updated lock-free on the query path. The
+// instruments are get-or-created by name, so instrumenting a rebuilt
+// engine with the same registry continues the same monotonic series.
+func (e *Engine) Instrument(reg *obs.Registry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if reg == nil {
+		e.registry = nil
+		e.metrics = nil
+		return
+	}
+	e.registry = reg
+	e.metrics = newEngineMetrics(reg)
+	if e.cache != nil {
+		e.cache.AdoptCounters(cacheCountersFrom(reg))
+	}
+	reg.GaugeFunc(MetricDBTuples, func() float64 {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		return float64(e.db.TotalTuples())
+	})
+	reg.GaugeFunc(MetricDBRelations, func() float64 {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		return float64(e.db.NumRelations())
+	})
+	reg.GaugeFunc(MetricIndexTokens, func() float64 {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		return float64(e.index.NumTokens())
+	})
+	reg.GaugeFunc(MetricCacheEntries, func() float64 {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		if e.cache == nil {
+			return 0
+		}
+		return float64(e.cache.Len())
+	})
+}
+
+// Registry returns the metrics registry the engine was instrumented with
+// (nil when un-instrumented).
+func (e *Engine) Registry() *obs.Registry {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.registry
+}

@@ -16,6 +16,8 @@ import (
 	"container/list"
 	"sync"
 	"time"
+
+	"precis/internal/obs"
 )
 
 // Stats are the cache's monotonic hit/miss counters plus its current size.
@@ -26,6 +28,31 @@ type Stats struct {
 	Expirations   uint64 `json:"expirations"`   // TTL lazy removals
 	Invalidations uint64 `json:"invalidations"` // entries dropped by Purge
 	Entries       int    `json:"entries"`       // current resident entries
+}
+
+// Counters are the cache's event counters. They are obs atomics so the
+// same instruments can be registered in a metrics registry: Stats (the
+// /api/stats source) and /metrics then read the very same memory and can
+// never disagree. A cache built with plain New owns private counters;
+// pass registry-backed ones through NewWithCounters to make cache totals
+// survive cache resizes (the counters outlive any one Cache).
+type Counters struct {
+	Hits          *obs.Counter
+	Misses        *obs.Counter
+	Evictions     *obs.Counter
+	Expirations   *obs.Counter
+	Invalidations *obs.Counter
+}
+
+// NewCounters builds a private (unregistered) counter set.
+func NewCounters() *Counters {
+	return &Counters{
+		Hits:          &obs.Counter{},
+		Misses:        &obs.Counter{},
+		Evictions:     &obs.Counter{},
+		Expirations:   &obs.Counter{},
+		Invalidations: &obs.Counter{},
+	}
 }
 
 // entry is one cached answer with its admission time for TTL accounting.
@@ -45,14 +72,23 @@ type Cache struct {
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
 
-	hits, misses, evictions, expirations, invalidations uint64
+	ctr *Counters // never nil
 }
 
 // New builds a cache holding at most max entries. max <= 0 defaults to 128.
 // ttl <= 0 disables time-based expiry.
 func New(max int, ttl time.Duration) *Cache {
+	return NewWithCounters(max, ttl, nil)
+}
+
+// NewWithCounters is New with an externally owned counter set (typically
+// registry-backed); nil ctr allocates a private set.
+func NewWithCounters(max int, ttl time.Duration, ctr *Counters) *Cache {
 	if max <= 0 {
 		max = 128
+	}
+	if ctr == nil {
+		ctr = NewCounters()
 	}
 	return &Cache{
 		max:   max,
@@ -60,7 +96,29 @@ func New(max int, ttl time.Duration) *Cache {
 		now:   time.Now,
 		ll:    list.New(),
 		items: make(map[string]*list.Element, max),
+		ctr:   ctr,
 	}
+}
+
+// AdoptCounters rebases the cache onto an externally owned counter set
+// (typically registry-backed), folding the already-accumulated private
+// totals into it so no events are lost. Instrumenting an engine after its
+// cache warmed up therefore continues the same monotonic series.
+func (c *Cache) AdoptCounters(ctr *Counters) {
+	if ctr == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ctr == ctr {
+		return
+	}
+	ctr.Hits.Add(c.ctr.Hits.Load())
+	ctr.Misses.Add(c.ctr.Misses.Load())
+	ctr.Evictions.Add(c.ctr.Evictions.Load())
+	ctr.Expirations.Add(c.ctr.Expirations.Load())
+	ctr.Invalidations.Add(c.ctr.Invalidations.Load())
+	c.ctr = ctr
 }
 
 // SetClock replaces the cache's time source (tests drive TTL expiry with a
@@ -79,18 +137,18 @@ func (c *Cache) Get(key string) (any, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		c.misses++
+		c.ctr.Misses.Inc()
 		return nil, false
 	}
 	en := el.Value.(*entry)
 	if c.ttl > 0 && c.now().Sub(en.added) > c.ttl {
 		c.removeLocked(el)
-		c.expirations++
-		c.misses++
+		c.ctr.Expirations.Inc()
+		c.ctr.Misses.Inc()
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	c.hits++
+	c.ctr.Hits.Inc()
 	return en.value, true
 }
 
@@ -112,7 +170,7 @@ func (c *Cache) Put(key string, value any) {
 		oldest := c.ll.Back()
 		if oldest != nil {
 			c.removeLocked(oldest)
-			c.evictions++
+			c.ctr.Evictions.Inc()
 		}
 	}
 }
@@ -122,7 +180,7 @@ func (c *Cache) Put(key string, value any) {
 func (c *Cache) Purge() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.invalidations += uint64(c.ll.Len())
+	c.ctr.Invalidations.Add(uint64(c.ll.Len()))
 	c.ll.Init()
 	c.items = make(map[string]*list.Element, c.max)
 }
@@ -146,16 +204,17 @@ func (c *Cache) Keys() []string {
 	return out
 }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters. With registry-backed counters the same
+// atomics feed /metrics, so the two views cannot diverge.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:          c.hits,
-		Misses:        c.misses,
-		Evictions:     c.evictions,
-		Expirations:   c.expirations,
-		Invalidations: c.invalidations,
+		Hits:          c.ctr.Hits.Load(),
+		Misses:        c.ctr.Misses.Load(),
+		Evictions:     c.ctr.Evictions.Load(),
+		Expirations:   c.ctr.Expirations.Load(),
+		Invalidations: c.ctr.Invalidations.Load(),
 		Entries:       c.ll.Len(),
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"precis/internal/faultinject"
+	"precis/internal/obs"
 	"precis/internal/schemagraph"
 	"precis/internal/sqlx"
 	"precis/internal/storage"
@@ -119,6 +120,12 @@ type DBGenOptions struct {
 	// ResultDatabase's Truncation set — not an error. The zero value
 	// imposes no bounds and costs nothing.
 	Budget Budget
+	// Trace, when non-nil, records fine-grained generation steps (seed
+	// placement, every join edge) with the tuples they materialized and
+	// the queries they issued. Steps are recorded on the coordination
+	// goroutine only, so recording needs no locks and never perturbs the
+	// parallel fetch pool. nil (the default) is a strict no-op.
+	Trace *obs.Trace
 }
 
 // generator carries the state of one Figure 5 run.
@@ -131,6 +138,7 @@ type generator struct {
 	workers int
 	ctx     context.Context
 	bt      *budgetTracker // nil when no budget was set
+	trace   *obs.Trace     // nil when the query is untraced
 	out     *storage.Database
 	perRel  map[string]int
 	total   int
@@ -184,6 +192,7 @@ func GenerateDatabaseOpts(eng *sqlx.Engine, rs *ResultSchema, seedTuples map[str
 		workers: workers,
 		ctx:     ctx,
 		bt:      newBudgetTracker(opts.Budget),
+		trace:   opts.Trace,
 		out:     storage.NewDatabase("precis"),
 		perRel:  make(map[string]int),
 		cols:    make(map[string][]string),
@@ -435,6 +444,8 @@ func (g *generator) apply(rel string, f *fetched, budget int, seed bool) error {
 // fetched concurrently; inserts are applied serially in sorted relation
 // order, preserving the serial result exactly.
 func (g *generator) placeSeeds(seedTuples map[string][]storage.TupleID) error {
+	st := g.trace.StartStep("seeds")
+	tuples0, queries0 := g.total, g.stats.Queries
 	rels := make([]string, 0, len(seedTuples))
 	for rel := range seedTuples {
 		if len(seedTuples[rel]) > 0 {
@@ -464,6 +475,7 @@ func (g *generator) placeSeeds(seedTuples map[string][]storage.TupleID) error {
 				return err
 			}
 		}
+		st.End(g.total-tuples0, g.stats.Queries-queries0)
 		return nil
 	}
 
@@ -490,6 +502,7 @@ func (g *generator) placeSeeds(seedTuples map[string][]storage.TupleID) error {
 			return err
 		}
 	}
+	st.End(g.total-tuples0, g.stats.Queries-queries0)
 	return nil
 }
 
@@ -626,19 +639,40 @@ func (g *generator) runBatch(batch []*schemagraph.JoinEdge) error {
 		if errs[i] != nil {
 			return errs[i]
 		}
+		// The batch's fetches ran concurrently, so a per-edge step here
+		// times only the serial apply; the tuple and query counts are the
+		// meaningful per-join signal. (The single-edge path below times the
+		// whole fetch+apply.) The name is only rendered when a trace is
+		// live, so untraced queries never pay the string concatenation.
+		var st obs.StepToken
+		if g.trace != nil {
+			st = g.trace.StartStep(joinStepName(e))
+		}
+		tuples0, queries0 := g.total, g.stats.Queries
 		if results[i] != nil {
 			if err := g.apply(e.To, results[i], g.budget(e.To), false); err != nil {
 				return err
 			}
 		}
+		st.End(g.total-tuples0, g.stats.Queries-queries0)
 		g.stats.JoinsExecuted++
 	}
 	return nil
 }
 
+// joinStepName renders the trace step name of one join edge.
+func joinStepName(e *schemagraph.JoinEdge) string {
+	return "join:" + e.From + "->" + e.To
+}
+
 // runJoin executes one join edge end-to-end: fetch under the live budget,
 // then apply.
 func (g *generator) runJoin(e *schemagraph.JoinEdge, workers int) error {
+	var st obs.StepToken
+	if g.trace != nil {
+		st = g.trace.StartStep(joinStepName(e))
+	}
+	tuples0, queries0 := g.total, g.stats.Queries
 	b := g.budget(e.To)
 	if b > 0 {
 		f, err := g.fetchJoin(e, b, workers)
@@ -651,6 +685,7 @@ func (g *generator) runJoin(e *schemagraph.JoinEdge, workers int) error {
 			}
 		}
 	}
+	st.End(g.total-tuples0, g.stats.Queries-queries0)
 	g.stats.JoinsExecuted++
 	return nil
 }

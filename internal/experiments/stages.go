@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"precis"
+	"precis/internal/dataset"
+	"precis/internal/obs"
+)
+
+// StagesConfig sizes the per-stage latency breakdown experiment.
+type StagesConfig struct {
+	Films int // synthetic dataset size
+	Runs  int // timed repetitions per strategy (medians reported)
+}
+
+// DefaultStagesConfig matches the largest dataset of the evaluation.
+func DefaultStagesConfig() StagesConfig {
+	return StagesConfig{Films: 2000, Runs: 7}
+}
+
+// StageRow is one pipeline stage's median latency and share of the total.
+type StageRow struct {
+	Stage  string
+	Median time.Duration
+	Share  float64 // fraction of the median total
+}
+
+// StagesStrategy is the per-stage breakdown of one retrieval strategy.
+type StagesStrategy struct {
+	Strategy string
+	Total    time.Duration // median end-to-end wall time
+	Rows     []StageRow
+}
+
+// StagesReport is the full per-stage latency table.
+type StagesReport struct {
+	Films      int
+	Query      string
+	Tuples     int
+	Strategies []StagesStrategy
+}
+
+func (r StagesReport) String() string {
+	s := fmt.Sprintf("Per-stage latency (%d films, q=%q, %d answer tuples, medians)\n",
+		r.Films, r.Query, r.Tuples)
+	for _, st := range r.Strategies {
+		s += fmt.Sprintf("  %-11s total=%v\n", st.Strategy, st.Total.Round(time.Microsecond))
+		for _, row := range st.Rows {
+			s += fmt.Sprintf("    %-13s %-12v %5.1f%%\n",
+				row.Stage, row.Median.Round(time.Microsecond), 100*row.Share)
+		}
+	}
+	return s
+}
+
+// stageOrder is the rendering order of the pipeline stages.
+var stageOrder = []string{
+	obs.StageTokenize, obs.StageCacheLookup, obs.StageIndexLookup,
+	obs.StageSchemaGen, obs.StageDBGen, obs.StageTranslate,
+}
+
+// Stages measures where a heavy précis query spends its time, per retrieval
+// strategy, using the engine's per-query traces. It runs the most popular
+// director's query over the largest synthetic dataset with both NaïveQ and
+// Round-Robin, and reports per-stage medians — the observability subsystem
+// applied to the paper's own evaluation workload.
+func Stages(cfg StagesConfig) (StagesReport, error) {
+	var report StagesReport
+	report.Films = cfg.Films
+	eng, q, err := popularQuery(cfg.Films)
+	if err != nil {
+		return report, err
+	}
+	report.Query = q
+	// The narrative is part of this experiment (the translate stage), so
+	// the engine needs the standard macros the renderer expands.
+	for _, def := range dataset.StandardMacros() {
+		if err := eng.DefineMacro(def); err != nil {
+			return report, err
+		}
+	}
+	if cfg.Runs < 1 {
+		cfg.Runs = 1
+	}
+	for _, strat := range []struct {
+		name string
+		s    precis.Strategy
+	}{
+		{"naiveq", precis.StrategyNaive},
+		{"roundrobin", precis.StrategyRoundRobin},
+	} {
+		opts := precis.Options{
+			Degree:      precis.MinPathWeight(0.05),
+			Cardinality: precis.MaxTuplesPerRelation(150),
+			Strategy:    strat.s,
+			Trace:       true,
+		}
+		// Warm-up run (not timed) also records the answer shape.
+		ans, err := eng.QueryString(q, opts)
+		if err != nil {
+			return report, err
+		}
+		if report.Tuples == 0 {
+			report.Tuples = ans.Database.TotalTuples()
+		}
+		perStage := make(map[string][]time.Duration, len(stageOrder))
+		totals := make([]time.Duration, 0, cfg.Runs)
+		for r := 0; r < cfg.Runs; r++ {
+			ans, err := eng.QueryString(q, opts)
+			if err != nil {
+				return report, err
+			}
+			if ans.Trace == nil {
+				return report, fmt.Errorf("stages: no trace on answer (Options.Trace was set)")
+			}
+			totals = append(totals, ans.Trace.Total)
+			for _, sp := range ans.Trace.Spans {
+				perStage[sp.Name] = append(perStage[sp.Name], sp.Dur)
+			}
+		}
+		st := StagesStrategy{Strategy: strat.name, Total: median(totals)}
+		for _, name := range stageOrder {
+			durs := perStage[name]
+			if len(durs) == 0 {
+				continue
+			}
+			med := median(durs)
+			share := 0.0
+			if st.Total > 0 {
+				share = float64(med) / float64(st.Total)
+			}
+			st.Rows = append(st.Rows, StageRow{Stage: name, Median: med, Share: share})
+		}
+		report.Strategies = append(report.Strategies, st)
+	}
+	return report, nil
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 
 	"precis/internal/faultinject"
 	"precis/internal/storage"
@@ -40,25 +41,73 @@ type Index struct {
 }
 
 // Tokenize lower-cases s and splits it into maximal runs of letters and
-// digits. It is the single tokenizer used for both indexing and querying.
+// digits. It is the single tokenizer used for both indexing and querying —
+// every string attribute of every tuple passes through it at index build,
+// and every query term at lookup and cache-key time — so it is written to
+// allocate as little as possible: the output slice is sized by a counting
+// pre-pass, tokens that are already lower-case are returned as zero-copy
+// substrings of s, and tokens that need folding share one reusable buffer
+// (stack-backed for typical token lengths).
 func Tokenize(s string) []string {
-	var out []string
-	var b strings.Builder
-	flush := func() {
-		if b.Len() > 0 {
-			out = append(out, b.String())
-			b.Reset()
-		}
-	}
+	// Pass 1: count tokens so the result slice is allocated exactly once.
+	n := 0
+	in := false
 	for _, r := range s {
 		if unicode.IsLetter(r) || unicode.IsDigit(r) {
-			b.WriteRune(unicode.ToLower(r))
+			if !in {
+				n++
+				in = true
+			}
 		} else {
-			flush()
+			in = false
 		}
 	}
-	flush()
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	// Pass 2: slice tokens out of s. lowerBuf only materializes (on the
+	// stack, for tokens up to 48 bytes) when a token needs case folding.
+	var arr [48]byte
+	lowerBuf := arr[:0]
+	start, needLower := -1, false
+	for i, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start, needLower = i, false
+			}
+			if unicode.ToLower(r) != r {
+				needLower = true
+			}
+			continue
+		}
+		if start >= 0 {
+			if needLower {
+				lowerBuf = appendLower(lowerBuf[:0], s[start:i])
+				out = append(out, string(lowerBuf))
+			} else {
+				out = append(out, s[start:i])
+			}
+			start = -1
+		}
+	}
+	if start >= 0 {
+		if needLower {
+			lowerBuf = appendLower(lowerBuf[:0], s[start:])
+			out = append(out, string(lowerBuf))
+		} else {
+			out = append(out, s[start:])
+		}
+	}
 	return out
+}
+
+// appendLower appends the lower-cased runes of tok to dst.
+func appendLower(dst []byte, tok string) []byte {
+	for _, r := range tok {
+		dst = utf8.AppendRune(dst, unicode.ToLower(r))
+	}
+	return dst
 }
 
 // New builds an index over all string attributes of db.

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("precis_test_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Errorf("counter = %d", got)
+	}
+	// Get-or-create returns the same instrument.
+	if r.Counter("precis_test_total") != c {
+		t.Error("Counter did not return the registered instrument")
+	}
+	g := r.Gauge("precis_test_gauge")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Errorf("gauge = %d", got)
+	}
+	// Labeled variants are distinct instruments.
+	a := r.Counter("precis_labeled_total", "reason", "a")
+	b := r.Counter("precis_labeled_total", "reason", "b")
+	if a == b {
+		t.Error("label variants share an instrument")
+	}
+}
+
+func TestNilInstrumentsAreInert(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var tr *Trace
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(0.5)
+	h.ObserveNanos(100)
+	sp := tr.StartSpan("x")
+	sp.End()
+	st := tr.StartStep("y")
+	st.End(1, 1)
+	tr.Finish()
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 {
+		t.Error("nil instruments recorded values")
+	}
+	if tr.SpanSum() != 0 || tr.SpanDur("x") != 0 {
+		t.Error("nil trace recorded spans")
+	}
+	if tr.String() != "<no trace>" {
+		t.Errorf("nil trace String = %q", tr.String())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("precis_test_seconds")
+	h.ObserveNanos(500)                     // ≤ 1µs bucket (idx 0)
+	h.ObserveNanos(1000)                    // exactly 1µs: inclusive bound, idx 0
+	h.ObserveNanos(1001)                    // just past: idx 1 (≤ 2µs)
+	h.ObserveNanos(int64(time.Millisecond)) // 1ms = 1024µs > 2^9·µs, idx 10
+	h.Observe(3600)                         // one hour: past the last finite bound → +Inf
+	if got := h.Count(); got != 5 {
+		t.Errorf("count = %d", got)
+	}
+	wantSum := (500 + 1000 + 1001 + 1e6 + 3600e9) / 1e9
+	if got := h.SumSeconds(); got < wantSum*0.999 || got > wantSum*1.001 {
+		t.Errorf("sum = %v want ≈ %v", got, wantSum)
+	}
+	if h.buckets[0].Load() != 2 {
+		t.Errorf("bucket 0 = %d", h.buckets[0].Load())
+	}
+	if h.buckets[1].Load() != 1 {
+		t.Errorf("bucket 1 = %d", h.buckets[1].Load())
+	}
+	if h.buckets[10].Load() != 1 {
+		t.Errorf("bucket 10 = %d", h.buckets[10].Load())
+	}
+	if h.inf.Load() != 1 {
+		t.Errorf("+Inf = %d", h.inf.Load())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Help("precis_queries_total", "total queries answered")
+	r.Counter("precis_queries_total").Add(3)
+	r.Counter("precis_truncations_total", "reason", "deadline").Add(2)
+	r.Counter("precis_truncations_total", "reason", "tuple-budget").Inc()
+	r.Gauge("precis_inflight").Set(4)
+	r.GaugeFunc("precis_db_tuples", func() float64 { return 42 })
+	h := r.Histogram("precis_query_seconds")
+	h.ObserveNanos(int64(2 * time.Millisecond))
+	h.ObserveNanos(int64(500 * time.Microsecond))
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP precis_queries_total total queries answered",
+		"# TYPE precis_queries_total counter",
+		"precis_queries_total 3",
+		"# TYPE precis_truncations_total counter",
+		`precis_truncations_total{reason="deadline"} 2`,
+		`precis_truncations_total{reason="tuple-budget"} 1`,
+		"# TYPE precis_inflight gauge",
+		"precis_inflight 4",
+		"precis_db_tuples 42",
+		"# TYPE precis_query_seconds histogram",
+		`precis_query_seconds_bucket{le="+Inf"} 2`,
+		"precis_query_seconds_count 2",
+		"precis_query_seconds_sum 0.0025",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// TYPE lines appear once per base name even with label variants.
+	if strings.Count(out, "# TYPE precis_truncations_total counter") != 1 {
+		t.Error("duplicate TYPE line for labeled counter")
+	}
+	// Histogram buckets are cumulative: the 2ms observation lands at a
+	// bucket whose cumulative count includes the 500µs one.
+	if !strings.Contains(out, `le="0.000512"} 1`) {
+		t.Errorf("512µs cumulative bucket missing\n%s", out)
+	}
+	if !strings.Contains(out, `le="0.002048"} 2`) {
+		t.Errorf("2048µs cumulative bucket missing\n%s", out)
+	}
+	// Exposition format sanity: every non-comment line is "name value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("precis_esc_total", "q", `say "hi"\there`).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `q="say \"hi\"\\there"`) {
+		t.Errorf("escaping: %s", sb.String())
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("precis_conc_total").Inc()
+				r.Gauge("precis_conc_gauge").Add(1)
+				r.Histogram("precis_conc_seconds").ObserveNanos(int64(i))
+			}
+		}()
+	}
+	// Concurrent scrapes race only against atomics.
+	for i := 0; i < 4; i++ {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if got := r.Counter("precis_conc_total").Load(); got != 8000 {
+		t.Errorf("counter = %d", got)
+	}
+	if got := r.Histogram("precis_conc_seconds").Count(); got != 8000 {
+		t.Errorf("histogram count = %d", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("precis_kind_total")
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on kind mismatch")
+		}
+	}()
+	r.Gauge("precis_kind_total")
+}
+
+func TestTraceSpansAndSteps(t *testing.T) {
+	tr := NewTrace()
+	sp := tr.StartSpan(StageIndexLookup)
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	sp = tr.StartSpan(StageDBGen)
+	st := tr.StartStep("seeds")
+	time.Sleep(time.Millisecond)
+	st.End(12, 3)
+	sp.End()
+	tr.Finish()
+
+	if len(tr.Spans) != 2 {
+		t.Fatalf("spans = %d", len(tr.Spans))
+	}
+	if tr.SpanDur(StageIndexLookup) < 2*time.Millisecond {
+		t.Errorf("index_lookup span too short: %v", tr.SpanDur(StageIndexLookup))
+	}
+	if tr.SpanSum() > tr.Total {
+		t.Errorf("span sum %v exceeds total %v", tr.SpanSum(), tr.Total)
+	}
+	if len(tr.Steps) != 1 || tr.Steps[0].Tuples != 12 || tr.Steps[0].Queries != 3 {
+		t.Errorf("steps = %+v", tr.Steps)
+	}
+	// Steps nest inside their enclosing span.
+	dbgen := tr.Spans[1]
+	if tr.Steps[0].Start < dbgen.Start || tr.Steps[0].Start+tr.Steps[0].Dur > dbgen.Start+dbgen.Dur {
+		t.Errorf("step %+v escapes span %+v", tr.Steps[0], dbgen)
+	}
+	s := tr.String()
+	if !strings.Contains(s, "index_lookup=") || !strings.Contains(s, "seeds 12t/3q") {
+		t.Errorf("String = %q", s)
+	}
+}

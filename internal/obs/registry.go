@@ -1,0 +1,420 @@
+// Package obs is the engine's observability substrate: a lock-free metrics
+// registry (atomic counters, gauges, and log-scale latency histograms with
+// Prometheus text exposition) plus per-query pipeline traces of typed spans.
+//
+// Design constraints, in order:
+//
+//  1. The hot path must stay hot. Counter/Gauge/Histogram updates are single
+//     atomic operations on pre-resolved pointers — the registry map is only
+//     consulted at wire-up time, never per query. Tracing has a strict no-op
+//     fast path: every method is nil-receiver-safe, so a disabled trace is a
+//     nil pointer and costs a predicted branch, zero allocations.
+//  2. One source of truth. The same atomics back /metrics, /api/stats, the
+//     slow-query log and CacheStats, so two endpoints can never disagree
+//     about a number (they can at most snapshot it at different instants).
+//  3. No dependencies. The package imports only the standard library and is
+//     imported by every layer (core, anscache, web, cmd); it must therefore
+//     never import them back.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (n must be non-negative; counters only go up).
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic value that can go up and down (in-flight requests,
+// queue depth, resident cache entries).
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the value by delta (negative deltas allowed).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of finite histogram buckets: upper bounds grow
+// ×2 from 1µs, so bucket i covers values ≤ 2^i µs. 31 buckets reach ~2147s,
+// far past any query the admission layer would let live; overflow lands in
+// +Inf. Log-scale bounds keep the histogram lock-free and allocation-free —
+// observation is one shift, one bounds clamp, three atomic adds.
+const histBuckets = 31
+
+// Histogram is a lock-free log₂-scale latency histogram. Values are
+// observed in seconds (the Prometheus base unit for time); bucket upper
+// bounds are 1µs·2^i.
+type Histogram struct {
+	count   atomic.Uint64
+	sumNano atomic.Int64
+	buckets [histBuckets]atomic.Uint64
+	inf     atomic.Uint64
+}
+
+// Observe records one value, given in seconds.
+func (h *Histogram) Observe(seconds float64) {
+	if h == nil {
+		return
+	}
+	h.ObserveNanos(int64(seconds * 1e9))
+}
+
+// ObserveNanos records one value, given in nanoseconds (the natural unit of
+// time.Duration — callers pass d.Nanoseconds() and skip float conversion).
+func (h *Histogram) ObserveNanos(ns int64) {
+	if h == nil {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sumNano.Add(ns)
+	// Bucket index: smallest i with ns <= 1000·2^i (bounds are inclusive,
+	// matching Prometheus le semantics).
+	idx, bound := 0, int64(1000)
+	for ns > bound {
+		if idx++; idx >= histBuckets {
+			h.inf.Add(1)
+			return
+		}
+		bound <<= 1
+	}
+	h.buckets[idx].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// SumSeconds returns the sum of all observed values in seconds.
+func (h *Histogram) SumSeconds() float64 {
+	if h == nil {
+		return 0
+	}
+	return float64(h.sumNano.Load()) / 1e9
+}
+
+// bucketBound returns the upper bound of finite bucket i in seconds.
+func bucketBound(i int) float64 { return 1e-6 * math.Pow(2, float64(i)) }
+
+// metricKind tags registry entries for the # TYPE exposition line.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+// metric is one registered instrument.
+type metric struct {
+	name   string // base metric name, no labels
+	labels string // rendered label pairs: `k="v",k2="v2"` or ""
+	kind   metricKind
+	ctr    *Counter
+	gauge  *Gauge
+	gfn    func() float64
+	hist   *Histogram
+	help   string
+}
+
+// fullName renders name{labels}.
+func (m *metric) fullName() string {
+	if m.labels == "" {
+		return m.name
+	}
+	return m.name + "{" + m.labels + "}"
+}
+
+// Registry holds named metrics and renders them in Prometheus text
+// exposition format. Registration takes a mutex; it happens at wire-up
+// time. The returned instrument pointers are then updated lock-free.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric // keyed by fullName
+	help    map[string]string  // base name -> HELP text
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		metrics: make(map[string]*metric),
+		help:    make(map[string]string),
+	}
+}
+
+// renderLabels turns ["k","v","k2","v2"] into `k="v",k2="v2"`. Odd
+// trailing elements are dropped.
+func renderLabels(pairs []string) string {
+	if len(pairs) < 2 {
+		return ""
+	}
+	var sb strings.Builder
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(pairs[i])
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(pairs[i+1]))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Counter returns the counter registered under name and the given label
+// pairs, creating it on first use. Calling again with the same name and
+// labels returns the same counter, so values are monotonic across
+// re-wiring (an engine cache resized, a server rebuilt).
+func (r *Registry) Counter(name string, labelPairs ...string) *Counter {
+	m := r.lookup(name, labelPairs, kindCounter)
+	return m.ctr
+}
+
+// Gauge returns the gauge registered under name + labels, creating it on
+// first use.
+func (r *Registry) Gauge(name string, labelPairs ...string) *Gauge {
+	m := r.lookup(name, labelPairs, kindGauge)
+	return m.gauge
+}
+
+// Histogram returns the histogram registered under name + labels, creating
+// it on first use.
+func (r *Registry) Histogram(name string, labelPairs ...string) *Histogram {
+	m := r.lookup(name, labelPairs, kindHistogram)
+	return m.hist
+}
+
+// GaugeFunc registers a callback-backed gauge: fn is evaluated at scrape
+// time. Use for values another structure already owns (resident cache
+// entries, database tuple counts). Re-registering the same name + labels
+// replaces the callback.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labelPairs ...string) {
+	labels := renderLabels(labelPairs)
+	full := name
+	if labels != "" {
+		full = name + "{" + labels + "}"
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics[full] = &metric{name: name, labels: labels, kind: kindGaugeFunc, gfn: fn}
+}
+
+// Help attaches HELP text to a base metric name, emitted once before the
+// metric's TYPE line.
+func (r *Registry) Help(name, text string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[name] = text
+}
+
+// lookup is the get-or-create core shared by the typed accessors. A kind
+// mismatch on an existing name panics: it is a wiring bug, not a runtime
+// condition.
+func (r *Registry) lookup(name string, labelPairs []string, kind metricKind) *metric {
+	labels := renderLabels(labelPairs)
+	full := name
+	if labels != "" {
+		full = name + "{" + labels + "}"
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[full]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %s re-registered as a different kind", full))
+		}
+		return m
+	}
+	m := &metric{name: name, labels: labels, kind: kind}
+	switch kind {
+	case kindCounter:
+		m.ctr = &Counter{}
+	case kindGauge:
+		m.gauge = &Gauge{}
+	case kindHistogram:
+		m.hist = &Histogram{}
+	}
+	r.metrics[full] = m
+	return m
+}
+
+// snapshot returns the registered metrics sorted by base name then labels,
+// so exposition output is deterministic and label variants of one metric
+// group under a single TYPE line.
+func (r *Registry) snapshot() []*metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].labels < out[j].labels
+	})
+	return out
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE headers once per base name,
+// counter and gauge samples, and for histograms the cumulative _bucket
+// series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	lastName := ""
+	for _, m := range r.snapshot() {
+		if m.name != lastName {
+			if h, ok := help[m.name]; ok {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, h); err != nil {
+					return err
+				}
+			}
+			typ := "counter"
+			switch m.kind {
+			case kindGauge, kindGaugeFunc:
+				typ = "gauge"
+			case kindHistogram:
+				typ = "histogram"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, typ); err != nil {
+				return err
+			}
+			lastName = m.name
+		}
+		if err := writeMetric(w, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeMetric renders one instrument's sample lines.
+func writeMetric(w io.Writer, m *metric) error {
+	switch m.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s %d\n", m.fullName(), m.ctr.Load())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s %d\n", m.fullName(), m.gauge.Load())
+		return err
+	case kindGaugeFunc:
+		_, err := fmt.Fprintf(w, "%s %s\n", m.fullName(), formatFloat(m.gfn()))
+		return err
+	case kindHistogram:
+		return writeHistogram(w, m)
+	}
+	return nil
+}
+
+// writeHistogram renders the cumulative bucket series.
+func writeHistogram(w io.Writer, m *metric) error {
+	h := m.hist
+	sep := ""
+	if m.labels != "" {
+		sep = ","
+	}
+	suffix := "" // label block for _sum/_count: omitted when unlabeled
+	if m.labels != "" {
+		suffix = "{" + m.labels + "}"
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		cum += n
+		if n == 0 && i != histBuckets-1 {
+			// Empty interior buckets are elided to keep the exposition
+			// small; cumulative semantics make this lossless as long as
+			// every non-empty bucket (and the final finite bound) appears.
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"%s\"} %d\n",
+			m.name, m.labels, sep, formatFloat(bucketBound(i)), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.inf.Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", m.name, m.labels, sep, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.name, suffix, formatFloat(h.SumSeconds())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, suffix, h.count.Load())
+	return err
+}
+
+// formatFloat renders a float without exponent noise for round values.
+func formatFloat(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}

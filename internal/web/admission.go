@@ -2,7 +2,22 @@ package web
 
 import (
 	"context"
-	"sync/atomic"
+
+	"precis/internal/obs"
+)
+
+// Metric names of the HTTP admission gate. Exported so dashboards and
+// tests address the same strings the server writes; the very same atomics
+// back /api/stats, so the two views cannot disagree.
+const (
+	MetricHTTPInFlight = "precis_http_inflight"
+	MetricHTTPQueued   = "precis_http_queued"
+	MetricHTTPServed   = "precis_http_requests_served_total"
+	MetricHTTPShed     = "precis_http_requests_shed_total"
+	MetricHTTPPartial  = "precis_http_partial_answers_total"
+	MetricHTTPInternal = "precis_http_internal_errors_total"
+	MetricHTTPTimeout  = "precis_http_timeouts_total"
+	MetricHTTPSlow     = "precis_http_slow_queries_total"
 )
 
 // admission is the server's load-shedding gate: a semaphore of max
@@ -13,22 +28,28 @@ import (
 // bounded-answer philosophy applied to the server itself: predictable
 // latency for admitted work beats unbounded acceptance followed by
 // collapse.
+//
+// The gate's counters are obs instruments. Built with a registry they are
+// the same atomics /metrics scrapes; built without one they are private.
 type admission struct {
 	sem   chan struct{} // in-flight slots
 	queue chan struct{} // wait-queue slots
 
-	inFlight atomic.Int64 // currently executing
-	queued   atomic.Int64 // currently waiting
-	served   atomic.Int64 // total admitted and run
-	shed     atomic.Int64 // total rejected with 503
-	partial  atomic.Int64 // total answers returned Partial
-	internal atomic.Int64 // total ErrInternal failures
-	timedOut atomic.Int64 // total per-request deadline expiries
+	inFlight *obs.Gauge   // currently executing
+	queued   *obs.Gauge   // currently waiting
+	served   *obs.Counter // total admitted and run
+	shed     *obs.Counter // total rejected with 503
+	partial  *obs.Counter // total answers returned Partial
+	internal *obs.Counter // total ErrInternal failures
+	timedOut *obs.Counter // total per-request deadline expiries
+	slow     *obs.Counter // total queries over the slow-query threshold
 }
 
 // newAdmission sizes the gate; maxInFlight <= 0 disables admission control
-// entirely (every request is admitted, counters still tick).
-func newAdmission(maxInFlight, queueDepth int) *admission {
+// entirely (every request is admitted, counters still tick). A non-nil reg
+// backs the counters with registry instruments under the precis_http_*
+// names.
+func newAdmission(maxInFlight, queueDepth int, reg *obs.Registry) *admission {
 	a := &admission{}
 	if maxInFlight > 0 {
 		a.sem = make(chan struct{}, maxInFlight)
@@ -36,6 +57,33 @@ func newAdmission(maxInFlight, queueDepth int) *admission {
 			queueDepth = 0
 		}
 		a.queue = make(chan struct{}, queueDepth)
+	}
+	if reg != nil {
+		reg.Help(MetricHTTPInFlight, "searches currently executing")
+		reg.Help(MetricHTTPQueued, "searches waiting for an in-flight slot")
+		reg.Help(MetricHTTPServed, "searches admitted and run")
+		reg.Help(MetricHTTPShed, "searches rejected with 503 (queue full or client gone)")
+		reg.Help(MetricHTTPPartial, "answers returned partial over HTTP")
+		reg.Help(MetricHTTPInternal, "searches failed with an internal error")
+		reg.Help(MetricHTTPTimeout, "searches canceled by the per-request timeout")
+		reg.Help(MetricHTTPSlow, "searches slower than the slow-query threshold")
+		a.inFlight = reg.Gauge(MetricHTTPInFlight)
+		a.queued = reg.Gauge(MetricHTTPQueued)
+		a.served = reg.Counter(MetricHTTPServed)
+		a.shed = reg.Counter(MetricHTTPShed)
+		a.partial = reg.Counter(MetricHTTPPartial)
+		a.internal = reg.Counter(MetricHTTPInternal)
+		a.timedOut = reg.Counter(MetricHTTPTimeout)
+		a.slow = reg.Counter(MetricHTTPSlow)
+	} else {
+		a.inFlight = &obs.Gauge{}
+		a.queued = &obs.Gauge{}
+		a.served = &obs.Counter{}
+		a.shed = &obs.Counter{}
+		a.partial = &obs.Counter{}
+		a.internal = &obs.Counter{}
+		a.timedOut = &obs.Counter{}
+		a.slow = &obs.Counter{}
 	}
 	return a
 }
@@ -47,7 +95,7 @@ func newAdmission(maxInFlight, queueDepth int) *admission {
 func (a *admission) acquire(ctx context.Context) (release func(), ok bool) {
 	if a.sem == nil { // admission control disabled
 		a.inFlight.Add(1)
-		return func() { a.inFlight.Add(-1); a.served.Add(1) }, true
+		return func() { a.inFlight.Add(-1); a.served.Inc() }, true
 	}
 	select {
 	case a.sem <- struct{}{}:
@@ -56,7 +104,7 @@ func (a *admission) acquire(ctx context.Context) (release func(), ok bool) {
 		select {
 		case a.queue <- struct{}{}:
 		default:
-			a.shed.Add(1)
+			a.shed.Inc()
 			return nil, false
 		}
 		a.queued.Add(1)
@@ -67,14 +115,14 @@ func (a *admission) acquire(ctx context.Context) (release func(), ok bool) {
 		case <-ctx.Done():
 			a.queued.Add(-1)
 			<-a.queue
-			a.shed.Add(1)
+			a.shed.Inc()
 			return nil, false
 		}
 	}
 	a.inFlight.Add(1)
 	return func() {
 		a.inFlight.Add(-1)
-		a.served.Add(1)
+		a.served.Inc()
 		<-a.sem
 	}, true
 }
@@ -90,19 +138,21 @@ type admissionStats struct {
 	Partial     int64 `json:"partial"`
 	Internal    int64 `json:"internal_errors"`
 	TimedOut    int64 `json:"timed_out"`
+	Slow        int64 `json:"slow"`
 }
 
-// stats snapshots the counters.
+// stats snapshots the counters — the same atomics /metrics scrapes.
 func (a *admission) stats() admissionStats {
 	return admissionStats{
 		MaxInFlight: cap(a.sem),
 		QueueDepth:  cap(a.queue),
 		InFlight:    a.inFlight.Load(),
 		Queued:      a.queued.Load(),
-		Served:      a.served.Load(),
-		Shed:        a.shed.Load(),
-		Partial:     a.partial.Load(),
-		Internal:    a.internal.Load(),
-		TimedOut:    a.timedOut.Load(),
+		Served:      int64(a.served.Load()),
+		Shed:        int64(a.shed.Load()),
+		Partial:     int64(a.partial.Load()),
+		Internal:    int64(a.internal.Load()),
+		TimedOut:    int64(a.timedOut.Load()),
+		Slow:        int64(a.slow.Load()),
 	}
 }

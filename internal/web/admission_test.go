@@ -19,7 +19,7 @@ import (
 )
 
 func TestAdmissionGate(t *testing.T) {
-	a := newAdmission(2, 1)
+	a := newAdmission(2, 1, nil)
 
 	r1, ok := a.acquire(context.Background())
 	if !ok {
@@ -73,7 +73,7 @@ func TestAdmissionGate(t *testing.T) {
 }
 
 func TestAdmissionQueuedContextCancel(t *testing.T) {
-	a := newAdmission(1, 1)
+	a := newAdmission(1, 1, nil)
 	release, ok := a.acquire(context.Background())
 	if !ok {
 		t.Fatal("first acquire refused")
@@ -96,7 +96,7 @@ func TestAdmissionQueuedContextCancel(t *testing.T) {
 }
 
 func TestAdmissionDisabled(t *testing.T) {
-	a := newAdmission(-1, 0)
+	a := newAdmission(-1, 0, nil)
 	for i := 0; i < 100; i++ {
 		release, ok := a.acquire(context.Background())
 		if !ok {

@@ -7,13 +7,16 @@
 //	GET /api/search?q=    JSON answer: narrative, result database, stats
 //	GET /api/schema       JSON description of the schema graph
 //	GET /api/stats        engine statistics: answer cache counters, sizes
+//	GET /metrics          Prometheus text exposition of every counter
 //	GET /graph.dot        the schema graph in Graphviz dot syntax
 //	GET /healthz          liveness probe
+//	GET /debug/pprof/     runtime profiles (only when Config.Pprof is set)
 //
 // Query parameters for both search endpoints: q (required; quotes group
 // phrases), w (min path weight), card (max tuples/relation), total (max
 // total tuples), strategy (auto|naiveq|roundrobin), profile (stored
-// profile name), workers (query worker pool size; 0 = one per CPU).
+// profile name), workers (query worker pool size; 0 = one per CPU),
+// trace (1 = include the per-stage timing trace in the JSON answer).
 //
 // Every search runs under a per-request timeout (Config.QueryTimeout);
 // queries that exceed it are canceled mid-generation and answered with
@@ -42,7 +45,10 @@ import (
 	"strings"
 	"time"
 
+	"net/http/pprof"
+
 	"precis"
+	"precis/internal/obs"
 	"precis/internal/storage"
 )
 
@@ -75,6 +81,26 @@ type Config struct {
 	// before overflow is shed with 503. Zero means DefaultQueueDepth;
 	// negative means no queue (shed as soon as MaxInFlight is reached).
 	QueueDepth int
+	// Registry backs /metrics and the admission counters. Nil uses the
+	// engine's registry when the engine is already instrumented, otherwise
+	// the server creates a registry and instruments the engine with it —
+	// NewServer serves full observability out of the box.
+	Registry *obs.Registry
+	// DisableMetrics turns off the /metrics endpoint. The counters still
+	// tick (they back /api/stats too); only the exposition disappears.
+	DisableMetrics bool
+	// Pprof mounts net/http/pprof under /debug/pprof/. Off by default:
+	// profiling endpoints expose implementation detail and cost CPU, so
+	// they are opt-in per deployment.
+	Pprof bool
+	// SlowQueryLog emits one structured log line for every search slower
+	// than this threshold: query, total and per-stage latency, cache
+	// state, partial/truncation flags. Zero disables. A non-zero
+	// threshold forces tracing on every search so the per-stage breakdown
+	// is available when a query turns out slow.
+	SlowQueryLog time.Duration
+	// SlowLogger receives slow-query lines; nil uses log.Default().
+	SlowLogger *log.Logger
 }
 
 // Server wraps a précis engine with HTTP handlers.
@@ -101,8 +127,16 @@ func NewServerWithConfig(eng *precis.Engine, cfg Config) *Server {
 	if cfg.QueueDepth == 0 {
 		cfg.QueueDepth = DefaultQueueDepth
 	}
+	if cfg.Registry == nil {
+		if r := eng.Registry(); r != nil {
+			cfg.Registry = r
+		} else {
+			cfg.Registry = obs.NewRegistry()
+			eng.Instrument(cfg.Registry)
+		}
+	}
 	s := &Server{eng: eng, mux: http.NewServeMux(), cfg: cfg,
-		adm: newAdmission(cfg.MaxInFlight, cfg.QueueDepth)}
+		adm: newAdmission(cfg.MaxInFlight, cfg.QueueDepth, cfg.Registry)}
 	s.mux.HandleFunc("GET /", s.handleHome)
 	s.mux.HandleFunc("GET /api/search", s.handleAPISearch)
 	s.mux.HandleFunc("GET /api/schema", s.handleAPISchema)
@@ -111,7 +145,23 @@ func NewServerWithConfig(eng *precis.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if !cfg.DisableMetrics {
+		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
+	if cfg.Pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.cfg.Registry.WritePrometheus(w)
 }
 
 // Handler returns the root handler.
@@ -172,6 +222,9 @@ func parseOptions(r *http.Request) (precis.Options, error) {
 		return opts, fmt.Errorf("bad strategy %q", q.Get("strategy"))
 	}
 	opts.Profile = q.Get("profile")
+	if v := q.Get("trace"); v == "1" || v == "true" {
+		opts.Trace = true
+	}
 	if v := q.Get("workers"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil {
@@ -218,6 +271,11 @@ type apiAnswer struct {
 	// byte-budget).
 	Partial    bool   `json:"partial,omitempty"`
 	Truncation string `json:"truncation,omitempty"`
+	// FromCache marks an answer served from the engine's answer cache.
+	FromCache bool `json:"from_cache,omitempty"`
+	// Trace is the per-stage timing breakdown, present when the request
+	// carried trace=1.
+	Trace *obs.Trace `json:"trace,omitempty"`
 }
 
 type apiRelation struct {
@@ -241,6 +299,8 @@ func buildAPIAnswer(ans *precis.Answer) apiAnswer {
 		Narrative:  ans.Narrative,
 		Partial:    ans.Partial,
 		Truncation: string(ans.Truncation),
+		FromCache:  ans.FromCache,
+		Trace:      ans.Trace,
 		Stats: apiStats{
 			Relations: ans.Database.NumRelations(),
 			Tuples:    ans.Database.TotalTuples(),
@@ -282,6 +342,13 @@ func (s *Server) search(r *http.Request) (*precis.Answer, int, error) {
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
+	clientTrace := opts.Trace
+	if s.cfg.SlowQueryLog > 0 {
+		// Force tracing so the per-stage breakdown is on hand if this
+		// query turns out slow; the trace is stripped from the response
+		// below unless the client asked for it.
+		opts.Trace = true
+	}
 	release, ok := s.adm.acquire(r.Context())
 	if !ok {
 		return nil, http.StatusServiceUnavailable,
@@ -295,7 +362,12 @@ func (s *Server) search(r *http.Request) (*precis.Answer, int, error) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
 		defer cancel()
 	}
+	start := time.Now()
 	ans, err := s.eng.QueryStringContext(ctx, q, opts)
+	s.logSlow(q, time.Since(start), ans, err)
+	if ans != nil && !clientTrace {
+		ans.Trace = nil
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, precis.ErrNoMatches):
@@ -316,9 +388,30 @@ func (s *Server) search(r *http.Request) (*precis.Answer, int, error) {
 		return nil, http.StatusBadRequest, err
 	}
 	if ans.Partial {
-		s.adm.partial.Add(1)
+		s.adm.partial.Inc()
 	}
 	return ans, http.StatusOK, nil
+}
+
+// logSlow emits one structured line when a query exceeded the slow-query
+// threshold: the query, total and per-stage latency, cache state, and how
+// it ended (error, truncation, or clean). The precis_http_slow_queries_total
+// counter ticks alongside, so dashboards can alert before anyone greps logs.
+func (s *Server) logSlow(q string, elapsed time.Duration, ans *precis.Answer, err error) {
+	if s.cfg.SlowQueryLog <= 0 || elapsed < s.cfg.SlowQueryLog {
+		return
+	}
+	s.adm.slow.Inc()
+	lg := s.cfg.SlowLogger
+	if lg == nil {
+		lg = log.Default()
+	}
+	if err != nil {
+		lg.Printf("slow query: q=%q elapsed=%v error=%q", q, elapsed.Round(time.Microsecond), err)
+		return
+	}
+	lg.Printf("slow query: q=%q elapsed=%v cached=%t partial=%t truncation=%q stages=%q",
+		q, elapsed.Round(time.Microsecond), ans.FromCache, ans.Partial, ans.Truncation, ans.Trace.String())
 }
 
 func (s *Server) handleAPISearch(w http.ResponseWriter, r *http.Request) {

@@ -37,6 +37,7 @@ import (
 	"precis/internal/costmodel"
 	"precis/internal/invidx"
 	"precis/internal/nlg"
+	"precis/internal/obs"
 	"precis/internal/profile"
 	"precis/internal/schemagraph"
 	"precis/internal/sqlx"
@@ -149,6 +150,10 @@ type Engine struct {
 	weights TupleWeights
 	// cache holds computed answers; nil until EnableCache.
 	cache *anscache.Cache
+	// registry and metrics are set by Instrument; nil means the engine is
+	// un-instrumented and the query path skips all accounting.
+	registry *obs.Registry
+	metrics  *engineMetrics
 }
 
 // CacheConfig sizes the engine's answer cache.
@@ -170,7 +175,14 @@ type CacheStats = anscache.Stats
 func (e *Engine) EnableCache(cfg CacheConfig) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.cache = anscache.New(cfg.MaxEntries, cfg.TTL)
+	// On an instrumented engine the cache counters are registry-backed:
+	// the registry get-or-creates by name, so hit/miss totals continue
+	// monotonically across resizes and /metrics equals /api/stats.
+	var ctr *anscache.Counters
+	if e.registry != nil {
+		ctr = cacheCountersFrom(e.registry)
+	}
+	e.cache = anscache.NewWithCounters(cfg.MaxEntries, cfg.TTL, ctr)
 }
 
 // DisableCache removes the answer cache.
@@ -392,6 +404,13 @@ type Options struct {
 	// everything is capped at 64. The answer is byte-identical for every
 	// setting — parallelism only changes latency.
 	Parallelism int
+	// Trace records per-stage timing for this query and attaches it to
+	// Answer.Trace: one span per pipeline stage (tokenize, cache_lookup,
+	// index_lookup, schema_gen, db_gen, translate) plus fine-grained
+	// db_gen steps (seed placement and every join edge) with tuple and
+	// query counts. When false — the default — the query path performs no
+	// trace allocations and pays one nil check per stage.
+	Trace bool
 }
 
 // Answer is the result of a précis query.
@@ -418,6 +437,14 @@ type Answer struct {
 	// Truncation names the budget dimension that ran out (empty when the
 	// answer is complete).
 	Truncation TruncationReason
+	// FromCache reports that this answer was served from the answer cache
+	// rather than computed by the pipeline.
+	FromCache bool
+	// Trace is the per-stage timing of this query, present only when
+	// Options.Trace was set. For cache hits it covers the tokenize and
+	// cache_lookup stages only (the pipeline never ran); cached answers
+	// themselves are stored without traces.
+	Trace *obs.Trace
 }
 
 // ParseQuery splits a free-form query string into terms, honouring double
@@ -553,41 +580,84 @@ func (e *Engine) QueryContext(ctx context.Context, terms []string, opts Options)
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	start := time.Now()
+	// tr is the query's trace. Caller-requested traces exist from the
+	// start (they cover tokenize and cache_lookup too); when only metrics
+	// want stage timings, a private trace is allocated later, on the
+	// uncached path — cache hits must stay allocation-free.
+	var tr *obs.Trace
+	if opts.Trace {
+		tr = obs.NewTrace()
+	}
+	e.mu.RLock()
+	m := e.metrics
 	defer func() {
+		e.mu.RUnlock()
 		if r := recover(); r != nil {
 			ans = nil
 			err = wrapPanic(r)
+			if m != nil {
+				m.panics.Inc()
+			}
+		}
+		if m != nil {
+			m.record(start, ans, err, tr)
 		}
 	}()
-	e.mu.RLock()
-	defer e.mu.RUnlock()
 
 	// Answer cache: the lookup happens under the engine read lock, so a
 	// mutation that completed before this query began has already purged
 	// the cache — a hit can never serve a stale answer.
 	key, cacheable := "", false
 	if e.cache != nil {
-		if key, cacheable = cacheKey(terms, opts); cacheable {
-			if v, ok := e.cache.Get(key); ok {
-				return v.(*Answer).shallowCopy(), nil
+		sp := tr.StartSpan(obs.StageTokenize)
+		key, cacheable = cacheKey(terms, opts)
+		sp.End()
+		if cacheable {
+			sp = tr.StartSpan(obs.StageCacheLookup)
+			v, ok := e.cache.Get(key)
+			sp.End()
+			if ok {
+				cp := v.(*Answer).shallowCopy()
+				cp.FromCache = true
+				tr.Finish()
+				cp.Trace = tr // nil unless opts.Trace
+				return cp, nil
 			}
 		}
 	}
 
-	ans, err = e.queryLocked(ctx, terms, opts)
+	// Fresh pipeline run: when the engine is instrumented but the caller
+	// did not ask for a trace, allocate a private one so the per-stage
+	// histograms still observe this query. The cost lands only on the
+	// expensive path; the cached fast path above never reaches here.
+	if tr == nil && m != nil {
+		tr = obs.NewTrace()
+	}
+
+	ans, err = e.queryLocked(ctx, terms, opts, tr)
 	if err != nil {
 		// ErrNoMatches answers are cheap to recompute and carry partial
 		// state; don't cache errors.
+		tr.Finish()
+		if ans != nil && opts.Trace {
+			ans.Trace = tr
+		}
 		return ans, err
 	}
 	if cacheable && e.cache != nil && !ans.Partial {
 		// Partial answers are never cached: they reflect a transient
 		// resource shortage, not the query's true answer, and a later
 		// identical query with a healthier budget must not inherit the
-		// truncation.
+		// truncation. Cached answers are stored without traces — the
+		// trace describes this execution, not the answer.
 		e.cache.Put(key, ans)
 		// Hand out a copy so the caller's Answer header stays private.
 		ans = ans.shallowCopy()
+	}
+	tr.Finish()
+	if opts.Trace {
+		ans.Trace = tr
 	}
 	return ans, nil
 }
@@ -603,8 +673,9 @@ func wrapPanic(r any) error {
 	return fmt.Errorf("%w: panic: %v\n%s", ErrInternal, r, debug.Stack())
 }
 
-// queryLocked runs the four-stage pipeline; callers hold e.mu.RLock.
-func (e *Engine) queryLocked(ctx context.Context, terms []string, opts Options) (*Answer, error) {
+// queryLocked runs the four-stage pipeline; callers hold e.mu.RLock. tr
+// (nil allowed) receives one span per stage plus fine-grained db_gen steps.
+func (e *Engine) queryLocked(ctx context.Context, terms []string, opts Options, tr *obs.Trace) (*Answer, error) {
 	// Resolve the effective configuration: options > profile > defaults.
 	g := e.graph
 	degree := opts.Degree
@@ -662,6 +733,7 @@ func (e *Engine) queryLocked(ctx context.Context, terms []string, opts Options) 
 	// reads, so they fan out across the worker pool; results land in a
 	// position-indexed slice and are folded back in term order, keeping the
 	// answer byte-identical to the serial walk.
+	sp := tr.StartSpan(obs.StageIndexLookup)
 	perTerm := make([][]invidx.Occurrence, len(terms))
 	core.ParallelFor(len(terms), workers, func(i int) {
 		perTerm[i] = e.index.LookupExpanded(terms[i])
@@ -690,17 +762,21 @@ func (e *Engine) queryLocked(ctx context.Context, terms []string, opts Options) 
 		}
 	}
 	if len(seedRels) == 0 {
+		sp.End()
 		return ans, ErrNoMatches
 	}
 	sort.Strings(seedRels)
+	sp.End()
 
 	// Step 2: result schema generation.
+	sp = tr.StartSpan(obs.StageSchemaGen)
 	rs, err := core.GenerateSchema(g, seedRels, degree)
 	if err != nil {
 		return nil, err
 	}
 	rs.CopyAnnotations(g)
 	ans.Schema = rs
+	sp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("precis: query canceled: %w", err)
 	}
@@ -709,8 +785,9 @@ func (e *Engine) queryLocked(ctx context.Context, terms []string, opts Options) 
 	// engine over the shared database, so concurrent queries do not race on
 	// statistics accumulation. The generator honours ctx between steps and
 	// fans independent fetches out over the same worker pool.
+	sp = tr.StartSpan(obs.StageDBGen)
 	rd, err := core.GenerateDatabaseOpts(sqlx.NewEngine(e.db), rs, seeds, card, strat,
-		core.DBGenOptions{Weights: weights, Workers: workers, Context: ctx, Budget: opts.Budget})
+		core.DBGenOptions{Weights: weights, Workers: workers, Context: ctx, Budget: opts.Budget, Trace: tr})
 	if err != nil {
 		return nil, err
 	}
@@ -719,6 +796,7 @@ func (e *Engine) queryLocked(ctx context.Context, terms []string, opts Options) 
 	ans.Stats = rd.Stats
 	ans.Partial = rd.Partial()
 	ans.Truncation = rd.Truncation
+	sp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("precis: query canceled: %w", err)
 	}
@@ -727,11 +805,13 @@ func (e *Engine) queryLocked(ctx context.Context, terms []string, opts Options) 
 	// trims clauses whose joined tuples were cut and appends a truncation
 	// note, so a degraded answer still reads as a well-formed narrative.
 	if !opts.SkipNarrative {
+		sp = tr.StartSpan(obs.StageTranslate)
 		narrative, err := e.renderer.Narrative(rd, allOccs)
 		if err != nil {
 			return nil, err
 		}
 		ans.Narrative = narrative
+		sp.End()
 	}
 	return ans, nil
 }

@@ -13,6 +13,12 @@
 # runs (a fault plan left armed, a poisoned cache). The full-suite pass
 # above runs it with -short (scaled-down iteration counts) to keep tier-1
 # wall clock flat; the dedicated pass below runs it at full strength.
+#
+# The bench smoke step compiles and runs every benchmark exactly once
+# (-benchtime=1x) with no tests (-run=NONE). It does not measure anything;
+# it keeps the benchmark code itself from rotting — a benchmark that no
+# longer compiles or fatals on its first iteration fails CI here instead
+# of on the next perf investigation.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,5 +33,8 @@ go test -race -count=1 -short ./...
 
 echo "== chaos suite -race -count=2 (full strength)"
 go test -race -count=2 -run 'TestChaos' .
+
+echo "== bench smoke (compile + one iteration)"
+go test -run=NONE -bench=. -benchtime=1x ./...
 
 echo "CI OK"

@@ -1,0 +1,232 @@
+package precis
+
+// Observability integration tests: Answer.Trace span structure, the
+// engine's metric accounting, and the zero-allocation guarantee of the
+// disabled-trace fast path.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"precis/internal/obs"
+)
+
+// TestAnswerTrace checks the trace a traced query returns: every pipeline
+// stage appears as a span, spans are contiguous (their sum approximates
+// the total wall time from below), and db_gen's fine-grained steps nest
+// inside the db_gen span.
+func TestAnswerTrace(t *testing.T) {
+	eng := newEngine(t)
+	ans, err := eng.Query([]string{"Woody Allen"}, Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ans.Trace
+	if tr == nil {
+		t.Fatal("no trace on traced query")
+	}
+	if tr.Total <= 0 {
+		t.Fatalf("trace total = %v", tr.Total)
+	}
+	for _, stage := range []string{
+		obs.StageIndexLookup, obs.StageSchemaGen, obs.StageDBGen, obs.StageTranslate,
+	} {
+		if tr.SpanDur(stage) <= 0 {
+			t.Errorf("stage %s missing from trace: %v", stage, tr)
+		}
+	}
+	// Spans sum to ≈ total: never above it, and covering most of it (the
+	// gap is inter-stage glue — option resolution, cache bookkeeping).
+	if sum := tr.SpanSum(); sum > tr.Total {
+		t.Errorf("span sum %v exceeds total %v", sum, tr.Total)
+	} else if sum < tr.Total/2 {
+		t.Errorf("span sum %v covers under half of total %v", sum, tr.Total)
+	}
+	// db_gen steps: the seed placement and at least one join edge, each
+	// nested inside the db_gen span.
+	if len(tr.Steps) == 0 {
+		t.Fatal("no db_gen steps recorded")
+	}
+	var dbgen obs.Span
+	for _, sp := range tr.Spans {
+		if sp.Name == obs.StageDBGen {
+			dbgen = sp
+		}
+	}
+	sawSeeds, sawJoin := false, false
+	for _, st := range tr.Steps {
+		switch {
+		case st.Name == "seeds":
+			sawSeeds = true
+			if st.Tuples <= 0 {
+				t.Errorf("seed step materialized %d tuples", st.Tuples)
+			}
+		case strings.HasPrefix(st.Name, "join:"):
+			sawJoin = true
+		}
+		if st.Start < dbgen.Start || st.Start+st.Dur > dbgen.Start+dbgen.Dur+time.Millisecond {
+			t.Errorf("step %s [%v,%v] escapes db_gen span [%v,%v]",
+				st.Name, st.Start, st.Start+st.Dur, dbgen.Start, dbgen.Start+dbgen.Dur)
+		}
+	}
+	if !sawSeeds || !sawJoin {
+		t.Errorf("steps lack seeds/join: %+v", tr.Steps)
+	}
+
+	// Untraced queries carry no trace.
+	ans, err = eng.Query([]string{"Woody Allen"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Trace != nil {
+		t.Error("untraced query returned a trace")
+	}
+}
+
+// TestTraceCacheHit checks the cache-hit trace shape: the hit is marked
+// FromCache, its trace records tokenize + cache_lookup only, and the
+// cached entry itself never stores a trace.
+func TestTraceCacheHit(t *testing.T) {
+	eng := newEngine(t)
+	eng.EnableCache(CacheConfig{MaxEntries: 8})
+	first, err := eng.Query([]string{"Woody Allen"}, Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.FromCache {
+		t.Fatal("first query marked FromCache")
+	}
+	if first.Trace == nil || first.Trace.SpanDur(obs.StageDBGen) <= 0 {
+		t.Fatal("first query trace incomplete")
+	}
+	hit, err := eng.Query([]string{"Woody Allen"}, Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.FromCache {
+		t.Fatal("second query not served from cache")
+	}
+	if hit.Trace == nil {
+		t.Fatal("cache hit with Trace option returned no trace")
+	}
+	if hit.Trace.SpanDur(obs.StageCacheLookup) <= 0 {
+		t.Errorf("hit trace lacks cache_lookup span: %v", hit.Trace)
+	}
+	if hit.Trace.SpanDur(obs.StageDBGen) != 0 {
+		t.Errorf("hit trace claims a db_gen run: %v", hit.Trace)
+	}
+	// The two answers share the result database but not trace headers.
+	if hit.Database != first.Database {
+		t.Error("cache hit rebuilt the result database")
+	}
+	if hit.Trace == first.Trace {
+		t.Error("cache hit shares the miss's trace")
+	}
+	// A hit without the Trace option carries none.
+	plain, err := eng.Query([]string{"Woody Allen"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Error("untraced hit returned a trace")
+	}
+}
+
+// TestInstrumentMetrics checks the engine's registry accounting across
+// outcome classes: fresh runs, cache hits, no-match errors, and partial
+// (budget-truncated) answers.
+func TestInstrumentMetrics(t *testing.T) {
+	eng := newEngine(t)
+	reg := obs.NewRegistry()
+	eng.Instrument(reg)
+	eng.EnableCache(CacheConfig{MaxEntries: 8})
+
+	if _, err := eng.Query([]string{"Woody Allen"}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Query([]string{"Woody Allen"}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Query([]string{"zzz-no-such-token"}, Options{}); err == nil {
+		t.Fatal("expected ErrNoMatches")
+	}
+	// A one-tuple budget forces truncation.
+	ans, err := eng.Query([]string{"Woody Allen"}, Options{Budget: Budget{MaxTuples: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Partial {
+		t.Fatal("budgeted answer not partial")
+	}
+
+	if got := reg.Counter(MetricQueries).Load(); got != 4 {
+		t.Errorf("queries_total = %d, want 4", got)
+	}
+	if got := reg.Counter(MetricQueryErrors, "kind", "no_matches").Load(); got != 1 {
+		t.Errorf("no_matches errors = %d, want 1", got)
+	}
+	if got := reg.Counter(MetricCacheHits).Load(); got != 1 {
+		t.Errorf("cache hits = %d, want 1", got)
+	}
+	if got := reg.Counter(MetricPartialAnswers).Load(); got != 1 {
+		t.Errorf("partial answers = %d, want 1", got)
+	}
+	if got := reg.Counter(MetricTruncations, "reason", string(TruncateTupleBudget)).Load(); got != 1 {
+		t.Errorf("tuple-budget truncations = %d, want 1", got)
+	}
+	if got := reg.Histogram(MetricQuerySeconds).Count(); got != 4 {
+		t.Errorf("query_seconds count = %d, want 4", got)
+	}
+	// Stage histograms observe fresh pipeline runs only (2 of the 4).
+	if got := reg.Histogram(MetricStageSeconds, "stage", obs.StageDBGen).Count(); got != 2 {
+		t.Errorf("db_gen stage observations = %d, want 2", got)
+	}
+	if got := reg.Counter(MetricResultTuples).Load(); got == 0 {
+		t.Error("result tuples counter did not move")
+	}
+	// The exposition includes the engine gauges.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{MetricDBTuples, MetricIndexTokens, MetricCacheEntries} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+}
+
+// TestDisabledTraceZeroAlloc is the acceptance check for the no-op fast
+// path: with metrics wired and tracing off, a cached query allocates not a
+// single byte more than on a bare, un-instrumented engine.
+func TestDisabledTraceZeroAlloc(t *testing.T) {
+	terms := []string{"Woody Allen"}
+	opts := Options{}
+
+	bare := newEngine(t)
+	bare.EnableCache(CacheConfig{MaxEntries: 8})
+	instrumented := newEngine(t)
+	instrumented.Instrument(obs.NewRegistry())
+	instrumented.EnableCache(CacheConfig{MaxEntries: 8})
+	for _, eng := range []*Engine{bare, instrumented} {
+		if _, err := eng.Query(terms, opts); err != nil { // warm the cache
+			t.Fatal(err)
+		}
+	}
+
+	measure := func(eng *Engine) float64 {
+		return testing.AllocsPerRun(200, func() {
+			ans, err := eng.Query(terms, opts)
+			if err != nil || !ans.FromCache {
+				t.Fatal("expected a cache hit")
+			}
+		})
+	}
+	baseAllocs := measure(bare)
+	instAllocs := measure(instrumented)
+	if instAllocs > baseAllocs {
+		t.Errorf("instrumented cached query allocates %.1f/op, bare %.1f/op — metrics must add zero",
+			instAllocs, baseAllocs)
+	}
+}
