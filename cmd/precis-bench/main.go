@@ -10,11 +10,12 @@
 //	precis-bench -cache [-quick]      answer-cache hit vs cold latency
 //	precis-bench -deadline [-quick]   answer size vs wall-clock deadline
 //	precis-bench -stages [-quick]     per-pipeline-stage latency breakdown
+//	precis-bench -persist [-quick]    WAL fsync throughput + recovery time
 //
 // -quick shrinks each experiment's run counts for a fast smoke pass; -csv
 // prints machine-readable rows instead of aligned text. -parallel, -cache,
-// -deadline and -stages run the engine-level resource experiments (they
-// can be combined with -exp).
+// -deadline, -stages and -persist run the engine-level resource
+// experiments (they can be combined with -exp).
 package main
 
 import (
@@ -36,6 +37,7 @@ func main() {
 		cache    = flag.Bool("cache", false, "measure answer-cache hit vs cold latency")
 		deadline = flag.Bool("deadline", false, "measure answer size vs wall-clock deadline (graceful degradation)")
 		stages   = flag.Bool("stages", false, "measure per-pipeline-stage latency via query traces")
+		persist  = flag.Bool("persist", false, "measure WAL append throughput per fsync policy and recovery time vs dataset size")
 	)
 	flag.Parse()
 
@@ -43,7 +45,7 @@ func main() {
 	for _, e := range strings.Split(*exp, ",") {
 		run[strings.TrimSpace(e)] = true
 	}
-	if *parallel || *cache || *deadline || *stages {
+	if *parallel || *cache || *deadline || *stages || *persist {
 		// The resource experiments replace the figure suite unless the
 		// caller asked for both explicitly.
 		if *exp == "all" {
@@ -60,6 +62,9 @@ func main() {
 		}
 		if *stages {
 			run["st"] = true
+		}
+		if *persist {
+			run["ps"] = true
 		}
 	}
 	all := run["all"]
@@ -119,6 +124,28 @@ func main() {
 			fatal(err)
 		}
 	}
+	if run["ps"] {
+		if err := runPersist(*quick); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func runPersist(quick bool) error {
+	cfg := experiments.DefaultPersistBenchConfig()
+	if quick {
+		cfg.Appends = 100
+		cfg.Films = []int{200, 500}
+		cfg.WALRecords = 100
+		cfg.Runs = 2
+	}
+	report, err := experiments.PersistBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.String())
+	fmt.Println()
+	return nil
 }
 
 func runStages(quick bool) error {

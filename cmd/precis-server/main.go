@@ -9,10 +9,21 @@
 //	              [-profiles DIR] [-cache-size N] [-cache-ttl D]
 //	              [-query-timeout D] [-max-inflight N] [-queue-depth N]
 //	              [-metrics] [-pprof] [-slowlog-ms N]
+//	              [-data-dir DIR] [-fsync always|interval|never]
+//	              [-fsync-interval D] [-checkpoint-bytes N] [-checkpoint-interval D]
 //
 // The answer cache is on by default (-cache-size 0 disables it); any
 // mutation through the engine invalidates it wholesale. Every search runs
 // under -query-timeout (0 restores the package default, negative disables).
+//
+// Durability: -data-dir mounts a persistent data directory (checksummed
+// snapshot + write-ahead log). On boot the server recovers whatever a
+// previous process left — replaying the log, truncating a torn tail,
+// refusing corrupted files — and the -db flag then only seeds a brand-new
+// directory. -fsync picks the WAL durability policy; checkpoints run when
+// the WAL passes -checkpoint-bytes or every -checkpoint-interval, and a
+// final checkpoint runs during graceful shutdown inside -shutdown-grace.
+// /api/persist reports recovery and checkpoint counters.
 //
 // Observability: /metrics serves every engine and HTTP counter in
 // Prometheus text format (-metrics=false turns the endpoint off), -pprof
@@ -63,10 +74,26 @@ func main() {
 		metrics    = flag.Bool("metrics", true, "serve Prometheus metrics at /metrics")
 		pprofFlag  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		slowlogMS  = flag.Int("slowlog-ms", 0, "log searches slower than this many milliseconds with a per-stage breakdown (0 disables)")
+
+		dataDir    = flag.String("data-dir", "", "persistent data directory (empty = in-memory only)")
+		fsync      = flag.String("fsync", "always", "WAL fsync policy: always, interval or never")
+		fsyncEvery = flag.Duration("fsync-interval", 0, "flush interval for -fsync interval (0 = package default)")
+		ckptBytes  = flag.Int64("checkpoint-bytes", precis.DefaultCheckpointBytes, "checkpoint when the WAL reaches this size (negative disables)")
+		ckptEvery  = flag.Duration("checkpoint-interval", 0, "checkpoint on this timer (0 disables the time trigger)")
 	)
 	flag.Parse()
 
-	eng, err := buildEngine(*dbKind, *films, *seed)
+	fsyncPolicy, err := precis.ParseFsyncPolicy(*fsync)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := buildEngine(*dbKind, *films, *seed, precis.PersistConfig{
+		Dir:             *dataDir,
+		Fsync:           fsyncPolicy,
+		FsyncInterval:   *fsyncEvery,
+		CheckpointBytes: *ckptBytes,
+		CheckpointEvery: *ckptEvery,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -104,6 +131,12 @@ func main() {
 	}
 	log.Printf("précis server on %s (%s data, %d tuples, cache=%d, timeout=%v, inflight=%d, queue=%d, metrics=%t, pprof=%t, slowlog=%dms)",
 		*addr, *dbKind, eng.Database().TotalTuples(), *cacheSize, *timeout, *inflight, *queueDepth, *metrics, *pprofFlag, *slowlogMS)
+	if *dataDir != "" {
+		st := eng.PersistStats()
+		log.Printf("persistence: dir=%s fsync=%s generation=%d (recovered: snapshot=%t, %d WAL records replayed, %d torn bytes truncated in %.1fms)",
+			*dataDir, st.Fsync, st.Generation, st.Recovery.SnapshotLoaded,
+			st.Recovery.WALRecordsReplayed, st.Recovery.TornBytesTruncated, st.Recovery.DurationMS)
+	}
 
 	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections and
 	// let in-flight queries drain for up to -shutdown-grace.
@@ -119,8 +152,16 @@ func main() {
 		log.Printf("shutdown signal received; draining in-flight requests (grace %v)", *grace)
 		sctx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
-		if err := srv.Shutdown(sctx); err != nil {
-			log.Printf("graceful shutdown incomplete: %v", err)
+		shutdownErr := srv.Shutdown(sctx)
+		// The final checkpoint runs inside the same grace window, after the
+		// listener stopped taking requests: no mutation can race it, and a
+		// clean shutdown leaves a snapshot the next boot loads without any
+		// WAL replay.
+		if err := shutdownPersistence(eng, log.Default()); err != nil {
+			log.Printf("final checkpoint failed: %v", err)
+		}
+		if shutdownErr != nil {
+			log.Printf("graceful shutdown incomplete: %v", shutdownErr)
 			_ = srv.Close()
 			os.Exit(1)
 		}
@@ -131,8 +172,27 @@ func main() {
 	}
 }
 
-// buildEngine mirrors cmd/precis's dataset wiring.
-func buildEngine(kind string, films int, seed int64) (*precis.Engine, error) {
+// shutdownPersistence checkpoints and closes a persistent engine, logging
+// completion; on an in-memory engine it is a silent no-op. Split out of
+// main so the regression test can drive the exact shutdown path.
+func shutdownPersistence(eng *precis.Engine, lg *log.Logger) error {
+	if !eng.PersistStats().Enabled {
+		return nil
+	}
+	start := time.Now()
+	if err := eng.Close(); err != nil {
+		return err
+	}
+	st := eng.PersistStats()
+	lg.Printf("final checkpoint complete: generation %d written in %v; data directory is clean",
+		st.Generation, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// buildEngine mirrors cmd/precis's dataset wiring, plus durability: with a
+// data directory configured the engine recovers (or seeds) persistent
+// state; without one it is purely in-memory.
+func buildEngine(kind string, films int, seed int64, pcfg precis.PersistConfig) (*precis.Engine, error) {
 	var (
 		db  *storage.Database
 		g   *schemagraph.Graph
@@ -162,7 +222,7 @@ func buildEngine(kind string, films int, seed int64) (*precis.Engine, error) {
 	if err := dataset.AnnotateNarrative(g); err != nil {
 		return nil, err
 	}
-	eng, err := precis.New(db, g)
+	eng, err := precis.Open(db, g, pcfg)
 	if err != nil {
 		return nil, err
 	}

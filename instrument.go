@@ -200,6 +200,9 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 		}
 		return float64(e.cache.Len())
 	})
+	if e.persist != nil {
+		e.persist.instrument(reg)
+	}
 }
 
 // Registry returns the metrics registry the engine was instrumented with

@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"precis"
+	"precis/internal/dataset"
+	"precis/internal/schemagraph"
+	"precis/internal/storage"
+)
+
+// PersistBenchConfig scales the durability experiments: WAL append
+// throughput under each fsync policy, and cold-start recovery time as the
+// dataset grows.
+type PersistBenchConfig struct {
+	Appends    int   // mutations per fsync policy
+	Films      []int // synthetic dataset sizes for the recovery sweep
+	WALRecords int   // un-checkpointed mutations each recovery must replay
+	Runs       int   // recovery timings per size (median reported)
+}
+
+// DefaultPersistBenchConfig keeps the always-fsync leg small enough to
+// finish on a laptop disk while still amortising per-call overhead.
+func DefaultPersistBenchConfig() PersistBenchConfig {
+	return PersistBenchConfig{
+		Appends:    500,
+		Films:      []int{500, 2000, 8000},
+		WALRecords: 500,
+		Runs:       3,
+	}
+}
+
+// FsyncPoint is one fsync policy's append-throughput result.
+type FsyncPoint struct {
+	Policy    string
+	Appends   int
+	Elapsed   time.Duration
+	PerSecond float64 // records durably appended per second
+	WALBytes  int64
+}
+
+// RecoveryPoint is one dataset size's cold-start result.
+type RecoveryPoint struct {
+	Films        int
+	Tuples       int // total tuples recovered
+	WALReplayed  int
+	MedianReopen time.Duration // full Open(): snapshot load + WAL replay + index rebuild
+}
+
+// PersistReport is the output of PersistBench.
+type PersistReport struct {
+	Fsync    []FsyncPoint
+	Recovery []RecoveryPoint
+}
+
+func (r PersistReport) String() string {
+	s := "WAL append throughput by fsync policy (1 insert per record, Sync at end)\n"
+	for _, p := range r.Fsync {
+		s += fmt.Sprintf("  fsync=%-9s appends=%-6d elapsed=%-12v %10.0f rec/s  wal=%dB\n",
+			p.Policy, p.Appends, p.Elapsed.Round(time.Microsecond), p.PerSecond, p.WALBytes)
+	}
+	s += "Cold-start recovery time vs dataset size (crash-style reopen)\n"
+	for _, p := range r.Recovery {
+		s += fmt.Sprintf("  films=%-6d tuples=%-7d wal_replayed=%-5d median_open=%v\n",
+			p.Films, p.Tuples, p.WALReplayed, p.MedianReopen.Round(time.Microsecond))
+	}
+	return s
+}
+
+// benchPersistConfig silences the recovery/checkpoint logging that would
+// otherwise interleave with the report.
+func benchPersistConfig(dir string, policy precis.FsyncPolicy) precis.PersistConfig {
+	return precis.PersistConfig{
+		Dir:             dir,
+		Fsync:           policy,
+		CheckpointBytes: -1, // never checkpoint mid-benchmark
+		Logger:          log.New(io.Discard, "", 0),
+	}
+}
+
+// syntheticParts builds the seed database + annotated graph for one size.
+func syntheticParts(films int) (*storage.Database, *schemagraph.Graph, error) {
+	cfg := dataset.DefaultSyntheticConfig()
+	cfg.Films = films
+	db, err := dataset.SyntheticMovies(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := dataset.PaperGraph(db)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := dataset.AnnotateNarrative(g); err != nil {
+		return nil, nil, err
+	}
+	return db, g, nil
+}
+
+// benchMutation appends one representative WAL record: a GENRE insert
+// against an existing film (the smallest logged mutation that touches a
+// relation, the inverted index and a foreign key).
+func benchMutation(eng *precis.Engine, mid storage.Value, i int) error {
+	_, err := eng.Insert("GENRE", mid, storage.String(fmt.Sprintf("bench-%d", i)))
+	return err
+}
+
+// firstMovieID returns one existing MOVIE.mid to hang bench inserts off.
+func firstMovieID(db *storage.Database) (storage.Value, error) {
+	movies := db.Relation("MOVIE")
+	if movies == nil {
+		return storage.Null, fmt.Errorf("persist bench: no MOVIE relation")
+	}
+	var mid storage.Value
+	found := false
+	movies.Scan(func(t storage.Tuple) bool {
+		mid, found = t.Values[0], true
+		return false
+	})
+	if !found {
+		return storage.Null, fmt.Errorf("persist bench: MOVIE relation is empty")
+	}
+	return mid, nil
+}
+
+// PersistBench measures (a) durable append throughput per fsync policy and
+// (b) cold-start recovery latency as the snapshot grows, on temporary
+// directories that are removed before returning.
+func PersistBench(cfg PersistBenchConfig) (PersistReport, error) {
+	var report PersistReport
+	for _, policy := range []precis.FsyncPolicy{precis.FsyncAlways, precis.FsyncInterval, precis.FsyncNever} {
+		point, err := fsyncPoint(cfg, policy)
+		if err != nil {
+			return report, err
+		}
+		report.Fsync = append(report.Fsync, point)
+	}
+	for _, films := range cfg.Films {
+		point, err := recoveryPoint(cfg, films)
+		if err != nil {
+			return report, err
+		}
+		report.Recovery = append(report.Recovery, point)
+	}
+	return report, nil
+}
+
+// fsyncPoint times cfg.Appends logged inserts under one fsync policy,
+// ending with an explicit Sync so the three policies are compared on
+// durable records, not buffered ones.
+func fsyncPoint(cfg PersistBenchConfig, policy precis.FsyncPolicy) (FsyncPoint, error) {
+	dir, err := os.MkdirTemp("", "precis-persist-bench-")
+	if err != nil {
+		return FsyncPoint{}, err
+	}
+	defer os.RemoveAll(dir)
+	db, g, err := syntheticParts(500)
+	if err != nil {
+		return FsyncPoint{}, err
+	}
+	eng, err := precis.Open(db, g, benchPersistConfig(dir, policy))
+	if err != nil {
+		return FsyncPoint{}, err
+	}
+	defer eng.Close()
+	mid, err := firstMovieID(eng.Database())
+	if err != nil {
+		return FsyncPoint{}, err
+	}
+	start := time.Now()
+	for i := 0; i < cfg.Appends; i++ {
+		if err := benchMutation(eng, mid, i); err != nil {
+			return FsyncPoint{}, err
+		}
+	}
+	if err := eng.Sync(); err != nil {
+		return FsyncPoint{}, err
+	}
+	elapsed := time.Since(start)
+	st := eng.PersistStats()
+	return FsyncPoint{
+		Policy:    st.Fsync,
+		Appends:   cfg.Appends,
+		Elapsed:   elapsed,
+		PerSecond: float64(cfg.Appends) / elapsed.Seconds(),
+		WALBytes:  st.WALBytes,
+	}, nil
+}
+
+// recoveryPoint seeds one persistent directory of the given size, appends
+// cfg.WALRecords un-checkpointed mutations, then "crashes" (no Close) and
+// times cfg.Runs reopens. Each run recovers a fresh copy of the crashed
+// files, because a reopened engine's Close checkpoints and would otherwise
+// leave later runs nothing to replay.
+func recoveryPoint(cfg PersistBenchConfig, films int) (RecoveryPoint, error) {
+	crashDir, err := os.MkdirTemp("", "precis-persist-bench-")
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	defer os.RemoveAll(crashDir)
+
+	db, g, err := syntheticParts(films)
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	eng, err := precis.Open(db, g, benchPersistConfig(crashDir, precis.FsyncNever))
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	mid, err := firstMovieID(eng.Database())
+	if err == nil {
+		for i := 0; i < cfg.WALRecords && err == nil; i++ {
+			err = benchMutation(eng, mid, i)
+		}
+	}
+	if err == nil {
+		err = eng.Sync() // flush buffered frames; Close would checkpoint instead
+	}
+	if err != nil {
+		eng.Close()
+		return RecoveryPoint{}, err
+	}
+	// The "crash": keep the engine open (so no final checkpoint runs) and
+	// work from copies of the on-disk files.
+	defer eng.Close()
+
+	runs := cfg.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	var point RecoveryPoint
+	times := make([]time.Duration, 0, runs)
+	for r := 0; r < runs; r++ {
+		runDir, err := os.MkdirTemp("", "precis-persist-run-")
+		if err != nil {
+			return RecoveryPoint{}, err
+		}
+		if err := copyDir(crashDir, runDir); err != nil {
+			os.RemoveAll(runDir)
+			return RecoveryPoint{}, err
+		}
+		seedDB, seedG, err := syntheticParts(films)
+		if err != nil {
+			os.RemoveAll(runDir)
+			return RecoveryPoint{}, err
+		}
+		start := time.Now()
+		re, err := precis.Open(seedDB, seedG, benchPersistConfig(runDir, precis.FsyncNever))
+		if err != nil {
+			os.RemoveAll(runDir)
+			return RecoveryPoint{}, err
+		}
+		times = append(times, time.Since(start))
+		st := re.PersistStats()
+		point = RecoveryPoint{
+			Films:       films,
+			Tuples:      re.Database().TotalTuples(),
+			WALReplayed: st.Recovery.WALRecordsReplayed,
+		}
+		cerr := re.Close()
+		os.RemoveAll(runDir)
+		if cerr != nil {
+			return RecoveryPoint{}, cerr
+		}
+	}
+	point.MedianReopen = median(times)
+	return point, nil
+}
+
+// copyDir copies every regular file in src into dst (flat: the data
+// directory has no subdirectories).
+func copyDir(src, dst string) error {
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), raw, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

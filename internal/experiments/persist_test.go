@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPersistBenchReport runs the durability experiment at toy scale and
+// pins its invariants: every fsync policy appears with positive
+// throughput and identical WAL bytes (the policies may only differ in
+// flush timing), and each recovery point actually replayed the
+// un-checkpointed records.
+func TestPersistBenchReport(t *testing.T) {
+	cfg := PersistBenchConfig{
+		Appends:    40,
+		Films:      []int{200},
+		WALRecords: 25,
+		Runs:       2,
+	}
+	report, err := PersistBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Fsync) != 3 {
+		t.Fatalf("fsync points = %d, want 3", len(report.Fsync))
+	}
+	for i, p := range report.Fsync {
+		if p.PerSecond <= 0 || p.Appends != cfg.Appends {
+			t.Errorf("fsync point %d malformed: %+v", i, p)
+		}
+		if p.WALBytes != report.Fsync[0].WALBytes {
+			t.Errorf("fsync=%s wrote %d WAL bytes, fsync=%s wrote %d — policies must write identical logs",
+				p.Policy, p.WALBytes, report.Fsync[0].Policy, report.Fsync[0].WALBytes)
+		}
+	}
+	if len(report.Recovery) != 1 {
+		t.Fatalf("recovery points = %d, want 1", len(report.Recovery))
+	}
+	rec := report.Recovery[0]
+	if rec.WALReplayed != cfg.WALRecords {
+		t.Errorf("replayed %d WAL records, want %d", rec.WALReplayed, cfg.WALRecords)
+	}
+	if rec.Tuples == 0 || rec.MedianReopen <= 0 {
+		t.Errorf("recovery point malformed: %+v", rec)
+	}
+	s := report.String()
+	for _, want := range []string{"fsync=always", "fsync=interval", "fsync=never", "films=200"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report rendering missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -39,6 +39,15 @@ const (
 	// SiteJoin fires at the head of core.(*generator).fetchJoin — once per
 	// executed join edge.
 	SiteJoin = "core.join"
+	// SiteWALAppend fires at the head of wal.(*Writer).Append — every
+	// mutation record the persistence layer logs.
+	SiteWALAppend = "wal.append"
+	// SiteWALFsync fires before every WAL fsync (group commits, interval
+	// flushes, and explicit Syncs alike).
+	SiteWALFsync = "wal.fsync"
+	// SiteSnapshotWrite fires at the head of wal.WriteSnapshot — initial
+	// seeding and every checkpoint.
+	SiteSnapshotWrite = "snapshot.write"
 )
 
 // Rule describes what happens when a site fires. Exactly one of Err and

@@ -346,6 +346,22 @@ func (ix *Index) AddSynonym(alias, canonical string) {
 	ix.synonyms[key] = canonical
 }
 
+// Synonyms returns the registered (alias, canonical) pairs sorted by
+// alias. Aliases come back in their tokenized key form, which AddSynonym
+// maps to itself — so persisting the pairs and replaying them through
+// AddSynonym reconstructs an identical synonym table.
+func (ix *Index) Synonyms() [][2]string {
+	if len(ix.synonyms) == 0 {
+		return nil
+	}
+	out := make([][2]string, 0, len(ix.synonyms))
+	for alias, canonical := range ix.synonyms {
+		out = append(out, [2]string{alias, canonical})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
 // synonymKey canonicalizes an alias for lookup.
 func synonymKey(term string) string {
 	return strings.Join(Tokenize(term), " ")

@@ -138,6 +138,21 @@ func (db *Database) InsertWithID(relation string, id TupleID, vals ...Value) err
 	return nil
 }
 
+// NextTupleID returns the id the next Insert would assign. The persistence
+// layer snapshots it so a recovered database keeps allocating fresh ids
+// even when the highest-id tuple has been deleted.
+func (db *Database) NextTupleID() TupleID { return db.nextID }
+
+// SetNextTupleID raises the next-id watermark (it never lowers it: tuple
+// ids must stay unique for the lifetime of a database, across restarts).
+// The snapshot decoder calls it with the persisted watermark before
+// replaying tuples.
+func (db *Database) SetNextTupleID(id TupleID) {
+	if id > db.nextID {
+		db.nextID = id
+	}
+}
+
 // Delete removes a tuple from the named relation.
 func (db *Database) Delete(relation string, id TupleID) (bool, error) {
 	r := db.rels[relation]

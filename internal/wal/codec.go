@@ -1,0 +1,214 @@
+// Package wal is the engine's durability subsystem: a versioned, CRC32C-
+// framed binary snapshot codec for the full storage.Database (plus engine
+// extras: synonyms and narrative macro definitions), an append-only
+// write-ahead log of every mutation with group-commit batching and a
+// configurable fsync policy, and crash recovery that loads the newest valid
+// snapshot, replays the log, silently truncates a torn tail, and hard-fails
+// with a precise diagnostic (file, offset, record index) on mid-log
+// corruption.
+//
+// On-disk layout of a data directory:
+//
+//	snap-<gen>.snap   full snapshot at generation <gen> (16 hex digits)
+//	wal-<gen>.log     mutations appended after snapshot <gen>
+//
+// Both file kinds are built from the same frame: a 12-byte header —
+// payload length (uint32 LE), CRC32C of the length field, CRC32C of the
+// payload — followed by the payload. Checksumming the length field
+// separately makes torn-tail classification exact under a truncate-at-any-
+// byte crash model: a header that fails its own checksum can only be a
+// flipped bit (hard failure), while a frame that runs past end-of-file with
+// a valid header is a torn write (truncated with a warning).
+//
+// Snapshots are written to a temp file, fsynced, atomically renamed into
+// place, and the directory fsynced — a crash mid-snapshot never damages the
+// previous generation. Checkpointing writes a new snapshot, rotates the
+// WAL, and garbage-collects older generations.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"precis/internal/storage"
+)
+
+// maxFramePayload caps a single frame. Frames near this size only arise
+// from absurd inputs; the cap keeps adversarial length fields from driving
+// allocations (decoders additionally never allocate more than the bytes
+// actually present).
+const maxFramePayload = 1 << 30
+
+// enc is an append-only binary encoder. The zero value is ready to use.
+type enc struct{ b []byte }
+
+func (e *enc) bytes() []byte { return e.b }
+
+func (e *enc) u8(v uint8) { e.b = append(e.b, v) }
+
+func (e *enc) uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+
+func (e *enc) varint(v int64) { e.b = binary.AppendVarint(e.b, v) }
+
+func (e *enc) f64(v float64) {
+	e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v))
+}
+
+func (e *enc) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// value encodes one storage.Value as kind byte + payload.
+func (e *enc) value(v storage.Value) {
+	e.u8(uint8(v.Kind()))
+	switch v.Kind() {
+	case storage.KindNull:
+	case storage.KindInt:
+		e.varint(v.AsInt())
+	case storage.KindFloat:
+		e.f64(v.AsFloat())
+	case storage.KindString:
+		e.str(v.AsString())
+	case storage.KindBool:
+		if v.AsBool() {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+	}
+}
+
+// dec is a bounds-checked binary decoder over one frame payload. Every
+// accessor validates against the remaining bytes before reading or
+// allocating, so adversarial inputs (fuzzed length fields, truncated
+// payloads) produce errors, never panics or oversized allocations.
+type dec struct {
+	b   []byte
+	off int
+}
+
+func (d *dec) remaining() int { return len(d.b) - d.off }
+
+func (d *dec) done() bool { return d.off >= len(d.b) }
+
+func (d *dec) u8() (uint8, error) {
+	if d.off >= len(d.b) {
+		return 0, fmt.Errorf("byte at %d past end (%d bytes)", d.off, len(d.b))
+	}
+	v := d.b[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *dec) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("bad uvarint at %d", d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *dec) varint() (int64, error) {
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("bad varint at %d", d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *dec) f64() (float64, error) {
+	if d.remaining() < 8 {
+		return 0, fmt.Errorf("float at %d past end", d.off)
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v, nil
+}
+
+func (d *dec) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(d.remaining()) {
+		return "", fmt.Errorf("string of %d bytes at %d exceeds remaining %d", n, d.off, d.remaining())
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+// count reads a uvarint element count and validates it against the smallest
+// possible per-element encoding, so a fuzzed count can never drive an
+// allocation larger than the input itself.
+func (d *dec) count(minBytesPerElem int) (int, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if minBytesPerElem < 1 {
+		minBytesPerElem = 1
+	}
+	if n > uint64(d.remaining()/minBytesPerElem) {
+		return 0, fmt.Errorf("count %d at %d exceeds remaining input", n, d.off)
+	}
+	return int(n), nil
+}
+
+func (d *dec) value() (storage.Value, error) {
+	k, err := d.u8()
+	if err != nil {
+		return storage.Null, err
+	}
+	switch storage.Kind(k) {
+	case storage.KindNull:
+		return storage.Null, nil
+	case storage.KindInt:
+		v, err := d.varint()
+		if err != nil {
+			return storage.Null, err
+		}
+		return storage.Int(v), nil
+	case storage.KindFloat:
+		v, err := d.f64()
+		if err != nil {
+			return storage.Null, err
+		}
+		return storage.Float(v), nil
+	case storage.KindString:
+		s, err := d.str()
+		if err != nil {
+			return storage.Null, err
+		}
+		return storage.String(s), nil
+	case storage.KindBool:
+		b, err := d.u8()
+		if err != nil {
+			return storage.Null, err
+		}
+		return storage.Bool(b != 0), nil
+	default:
+		return storage.Null, fmt.Errorf("unknown value kind %d", k)
+	}
+}
+
+// values decodes a length-prefixed value list.
+func (d *dec) values() ([]storage.Value, error) {
+	n, err := d.count(1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]storage.Value, 0, n)
+	for i := 0; i < n; i++ {
+		v, err := d.value()
+		if err != nil {
+			return nil, fmt.Errorf("value %d: %w", i, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

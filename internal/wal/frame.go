@@ -1,0 +1,120 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// frameHeaderSize is the fixed per-frame overhead: payload length (4 bytes,
+// little endian), CRC32C of those 4 length bytes, CRC32C of the payload.
+const frameHeaderSize = 12
+
+// castagnoli is the CRC32C table (the polynomial storage engines use for
+// on-disk checksums; hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame frames payload into dst: header then payload.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(hdr[0:4], castagnoli))
+	binary.LittleEndian.PutUint32(hdr[8:12], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// CorruptionError reports a checksum failure that cannot be a torn write:
+// the affected bytes are followed by more data (or fail their own header
+// checksum), so a crash mid-append cannot explain them. Recovery hard-fails
+// on it — silently dropping committed records would be data loss.
+type CorruptionError struct {
+	// File is the offending file path ("" when decoding from memory).
+	File string
+	// Offset is the byte offset of the corrupt frame.
+	Offset int64
+	// Record is the zero-based index of the corrupt frame in the file.
+	Record int
+	// Detail says which check failed.
+	Detail string
+}
+
+func (e *CorruptionError) Error() string {
+	file := e.File
+	if file == "" {
+		file = "<memory>"
+	}
+	return fmt.Sprintf("wal: corruption in %s: record %d at offset %d: %s", file, e.Record, e.Offset, e.Detail)
+}
+
+// errIncomplete marks a snapshot that ends cleanly but before its trailer —
+// an interrupted write, not a flipped bit. Recovery may fall back to an
+// older generation on it.
+var errIncomplete = errors.New("wal: incomplete file")
+
+// IsIncomplete reports whether err marks a truncated-but-uncorrupted file.
+func IsIncomplete(err error) bool { return errors.Is(err, errIncomplete) }
+
+// tornTail describes a final partial frame left by a crash mid-append.
+type tornTail struct {
+	// Offset is where the torn frame starts; bytes from here on are garbage.
+	Offset int64
+	// Detail says what was missing.
+	Detail string
+}
+
+// scanFrames walks the frames in data, calling fn with each payload (valid
+// only during the call). It stops at a torn tail — a final frame whose
+// header is cut short or whose authenticated length runs past the end of
+// data — and returns its description. A frame that fails either checksum
+// while followed by complete data is corruption, returned as a
+// *CorruptionError with file/offset/record filled in. fn errors abort the
+// scan and are returned wrapped in a *CorruptionError too: a record that
+// cannot be applied is as unrecoverable as one that cannot be read.
+func scanFrames(file string, data []byte, fn func(i int, off int64, payload []byte) error) (*tornTail, error) {
+	off := int64(0)
+	size := int64(len(data))
+	for i := 0; ; i++ {
+		if off == size {
+			return nil, nil // clean end
+		}
+		if size-off < frameHeaderSize {
+			return &tornTail{Offset: off, Detail: fmt.Sprintf("partial header (%d of %d bytes)", size-off, frameHeaderSize)}, nil
+		}
+		hdr := data[off : off+frameHeaderSize]
+		plen := binary.LittleEndian.Uint32(hdr[0:4])
+		lenCRC := binary.LittleEndian.Uint32(hdr[4:8])
+		payCRC := binary.LittleEndian.Uint32(hdr[8:12])
+		if got := crc32.Checksum(hdr[0:4], castagnoli); got != lenCRC {
+			// The length field fails its own checksum: a torn write can only
+			// truncate the header (caught above), never scramble it, so this
+			// is a flipped bit — even in the final frame.
+			return nil, &CorruptionError{File: file, Offset: off, Record: i,
+				Detail: fmt.Sprintf("length checksum mismatch (stored %08x, computed %08x)", lenCRC, got)}
+		}
+		if plen > maxFramePayload {
+			return nil, &CorruptionError{File: file, Offset: off, Record: i,
+				Detail: fmt.Sprintf("frame payload %d exceeds limit %d", plen, maxFramePayload)}
+		}
+		end := off + frameHeaderSize + int64(plen)
+		if end > size {
+			// Authenticated length runs past end-of-file: the payload write
+			// was cut short. This is the torn-tail case.
+			return &tornTail{Offset: off, Detail: fmt.Sprintf("partial payload (%d of %d bytes)", size-off-frameHeaderSize, plen)}, nil
+		}
+		payload := data[off+frameHeaderSize : end]
+		if got := crc32.Checksum(payload, castagnoli); got != payCRC {
+			// Full-length payload with a bad checksum cannot be a torn
+			// write: flipped bit, hard failure.
+			return nil, &CorruptionError{File: file, Offset: off, Record: i,
+				Detail: fmt.Sprintf("payload checksum mismatch (stored %08x, computed %08x)", payCRC, got)}
+		}
+		if fn != nil {
+			if err := fn(i, off, payload); err != nil {
+				return nil, &CorruptionError{File: file, Offset: off, Record: i, Detail: err.Error()}
+			}
+		}
+		off = end
+	}
+}

@@ -1,0 +1,398 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"precis/internal/faultinject"
+	"precis/internal/storage"
+)
+
+// Snapshot file format: the 8-byte magic, then one frame per section —
+// header, one section per relation (schema + tuples), foreign keys, engine
+// extras (synonyms + macro definitions), and a trailer that authenticates
+// the total tuple count. A snapshot without its trailer is incomplete (an
+// interrupted write), which recovery treats differently from corruption.
+const (
+	snapMagic   = "PRCSNAP1"
+	snapVersion = 1
+	// snapTrailer is the trailer section's first field, guarding against a
+	// stray frame sequence that happens to end cleanly.
+	snapTrailer = "precis-snapshot-end"
+)
+
+// SnapshotData is everything a snapshot captures: the full database plus
+// the engine extras that live outside storage — synonym pairs (tokenized
+// alias, canonical term) and narrative macro definitions, both in a
+// deterministic order.
+type SnapshotData struct {
+	DB       *storage.Database
+	Synonyms [][2]string
+	Macros   []string
+
+	synIdx   map[string]int
+	macroSet map[string]bool
+}
+
+// setSynonym records or updates a synonym pair, keeping Synonyms sorted-
+// insertion stable (an alias redefined in place keeps its slot).
+func (s *SnapshotData) setSynonym(alias, canonical string) {
+	if s.synIdx == nil {
+		s.synIdx = make(map[string]int, len(s.Synonyms)+1)
+		for i, p := range s.Synonyms {
+			s.synIdx[p[0]] = i
+		}
+	}
+	if i, ok := s.synIdx[alias]; ok {
+		s.Synonyms[i][1] = canonical
+		return
+	}
+	s.synIdx[alias] = len(s.Synonyms)
+	s.Synonyms = append(s.Synonyms, [2]string{alias, canonical})
+}
+
+// addMacro records a macro definition, deduplicating exact repeats so
+// checkpoint snapshots do not grow with every redefinition.
+func (s *SnapshotData) addMacro(def string) {
+	if s.macroSet == nil {
+		s.macroSet = make(map[string]bool, len(s.Macros)+1)
+		for _, m := range s.Macros {
+			s.macroSet[m] = true
+		}
+	}
+	if s.macroSet[def] {
+		return
+	}
+	s.macroSet[def] = true
+	s.Macros = append(s.Macros, def)
+}
+
+// EncodeSnapshot renders data as snapshot bytes. Relations are encoded in
+// creation order and tuples in scan (insertion) order — storage guarantees
+// both are stable — so identical states produce identical bytes.
+func EncodeSnapshot(data *SnapshotData) []byte {
+	out := []byte(snapMagic)
+	db := data.DB
+	names := db.RelationNames()
+	fks := db.ForeignKeys()
+
+	// Header section.
+	var h enc
+	h.uvarint(snapVersion)
+	h.str(db.Name())
+	h.uvarint(uint64(db.NextTupleID()))
+	h.uvarint(uint64(len(names)))
+	out = appendFrame(out, h.bytes())
+
+	// One section per relation: schema then tuples.
+	total := 0
+	for _, name := range names {
+		rel := db.Relation(name)
+		sc := rel.Schema()
+		var e enc
+		e.str(sc.Name)
+		e.str(sc.Key)
+		e.uvarint(uint64(len(sc.Columns)))
+		for _, c := range sc.Columns {
+			e.str(c.Name)
+			e.u8(uint8(c.Type))
+		}
+		e.uvarint(uint64(rel.Len()))
+		rel.Scan(func(t storage.Tuple) bool {
+			total++
+			e.uvarint(uint64(t.ID))
+			e.uvarint(uint64(len(t.Values)))
+			for _, v := range t.Values {
+				e.value(v)
+			}
+			return true
+		})
+		out = appendFrame(out, e.bytes())
+	}
+
+	// Foreign keys.
+	var fe enc
+	fe.uvarint(uint64(len(fks)))
+	for _, fk := range fks {
+		fe.str(fk.FromRelation)
+		fe.str(fk.FromColumn)
+		fe.str(fk.ToRelation)
+		fe.str(fk.ToColumn)
+	}
+	out = appendFrame(out, fe.bytes())
+
+	// Engine extras: synonyms (sorted by alias for deterministic bytes) and
+	// macro definitions (definition order).
+	syn := append([][2]string(nil), data.Synonyms...)
+	sort.Slice(syn, func(i, j int) bool { return syn[i][0] < syn[j][0] })
+	var xe enc
+	xe.uvarint(uint64(len(syn)))
+	for _, p := range syn {
+		xe.str(p[0])
+		xe.str(p[1])
+	}
+	xe.uvarint(uint64(len(data.Macros)))
+	for _, m := range data.Macros {
+		xe.str(m)
+	}
+	out = appendFrame(out, xe.bytes())
+
+	// Trailer: authenticates that every section arrived.
+	var te enc
+	te.str(snapTrailer)
+	te.uvarint(uint64(total))
+	out = appendFrame(out, te.bytes())
+	return out
+}
+
+// DecodeSnapshot parses snapshot bytes back into a SnapshotData. file names
+// the source in diagnostics ("" for in-memory input). Corruption (checksum
+// mismatch anywhere) returns a *CorruptionError; a byte stream that simply
+// stops before the trailer returns an error satisfying IsIncomplete. The
+// decoder never panics and never allocates more than the input justifies,
+// whatever the bytes claim.
+func DecodeSnapshot(file string, raw []byte) (*SnapshotData, error) {
+	if len(raw) < len(snapMagic) || string(raw[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("wal: %s: not a snapshot (bad magic): %w", fileLabel(file), errIncomplete)
+	}
+	var (
+		data      = &SnapshotData{}
+		nRels     int
+		relsSeen  int
+		fksDone   bool
+		extrasOK  bool
+		trailerOK bool
+		total     uint64
+	)
+	torn, err := scanFrames(file, raw[len(snapMagic):], func(i int, off int64, payload []byte) error {
+		d := &dec{b: payload}
+		switch {
+		case i == 0: // header
+			ver, err := d.uvarint()
+			if err != nil {
+				return fmt.Errorf("header: %w", err)
+			}
+			if ver != snapVersion {
+				return fmt.Errorf("unsupported snapshot version %d", ver)
+			}
+			name, err := d.str()
+			if err != nil {
+				return fmt.Errorf("header: %w", err)
+			}
+			next, err := d.uvarint()
+			if err != nil {
+				return fmt.Errorf("header: %w", err)
+			}
+			n, err := d.uvarint()
+			if err != nil {
+				return fmt.Errorf("header: %w", err)
+			}
+			if n > uint64(len(raw)) { // each relation section costs ≥ 1 byte
+				return fmt.Errorf("header: relation count %d exceeds input", n)
+			}
+			nRels = int(n)
+			data.DB = storage.NewDatabase(name)
+			data.DB.SetNextTupleID(storage.TupleID(next))
+			return nil
+		case relsSeen < nRels: // relation section
+			if err := decodeRelation(d, data.DB); err != nil {
+				return fmt.Errorf("relation section %d: %w", relsSeen, err)
+			}
+			relsSeen++
+			return nil
+		case !fksDone: // foreign keys
+			n, err := d.count(4)
+			if err != nil {
+				return fmt.Errorf("foreign keys: %w", err)
+			}
+			for j := 0; j < n; j++ {
+				var fk storage.ForeignKey
+				if fk.FromRelation, err = d.str(); err == nil {
+					if fk.FromColumn, err = d.str(); err == nil {
+						if fk.ToRelation, err = d.str(); err == nil {
+							fk.ToColumn, err = d.str()
+						}
+					}
+				}
+				if err != nil {
+					return fmt.Errorf("foreign key %d: %w", j, err)
+				}
+				if err := data.DB.AddForeignKey(fk); err != nil {
+					return err
+				}
+			}
+			fksDone = true
+			return nil
+		case !extrasOK: // synonyms + macros
+			n, err := d.count(2)
+			if err != nil {
+				return fmt.Errorf("synonyms: %w", err)
+			}
+			for j := 0; j < n; j++ {
+				alias, err := d.str()
+				if err != nil {
+					return fmt.Errorf("synonym %d: %w", j, err)
+				}
+				canonical, err := d.str()
+				if err != nil {
+					return fmt.Errorf("synonym %d: %w", j, err)
+				}
+				data.setSynonym(alias, canonical)
+			}
+			n, err = d.count(1)
+			if err != nil {
+				return fmt.Errorf("macros: %w", err)
+			}
+			for j := 0; j < n; j++ {
+				def, err := d.str()
+				if err != nil {
+					return fmt.Errorf("macro %d: %w", j, err)
+				}
+				data.addMacro(def)
+			}
+			extrasOK = true
+			return nil
+		case !trailerOK: // trailer
+			tag, err := d.str()
+			if err != nil || tag != snapTrailer {
+				return fmt.Errorf("bad trailer")
+			}
+			if total, err = d.uvarint(); err != nil {
+				return fmt.Errorf("trailer: %w", err)
+			}
+			trailerOK = true
+			return nil
+		default:
+			return fmt.Errorf("unexpected section after trailer")
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if torn != nil || !trailerOK {
+		detail := "missing trailer"
+		if torn != nil {
+			detail = torn.Detail
+		}
+		return nil, fmt.Errorf("wal: %s: snapshot incomplete (%s): %w", fileLabel(file), detail, errIncomplete)
+	}
+	if got := data.DB.TotalTuples(); uint64(got) != total {
+		return nil, &CorruptionError{File: file, Offset: 0, Record: 0,
+			Detail: fmt.Sprintf("trailer declares %d tuples, decoded %d", total, got)}
+	}
+	return data, nil
+}
+
+// decodeRelation parses one relation section into db.
+func decodeRelation(d *dec, db *storage.Database) error {
+	name, err := d.str()
+	if err != nil {
+		return err
+	}
+	key, err := d.str()
+	if err != nil {
+		return err
+	}
+	ncols, err := d.count(2)
+	if err != nil {
+		return err
+	}
+	cols := make([]storage.Column, 0, ncols)
+	for i := 0; i < ncols; i++ {
+		cname, err := d.str()
+		if err != nil {
+			return fmt.Errorf("column %d: %w", i, err)
+		}
+		ct, err := d.u8()
+		if err != nil {
+			return fmt.Errorf("column %d: %w", i, err)
+		}
+		cols = append(cols, storage.Column{Name: cname, Type: storage.ColType(ct)})
+	}
+	schema, err := storage.NewSchema(name, key, cols...)
+	if err != nil {
+		return err
+	}
+	if _, err := db.CreateRelation(schema); err != nil {
+		return err
+	}
+	ntuples, err := d.count(2)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < ntuples; i++ {
+		id, err := d.uvarint()
+		if err != nil {
+			return fmt.Errorf("tuple %d: %w", i, err)
+		}
+		vals, err := d.values()
+		if err != nil {
+			return fmt.Errorf("tuple %d: %w", i, err)
+		}
+		if err := db.InsertWithID(name, storage.TupleID(id), vals...); err != nil {
+			return fmt.Errorf("tuple %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func fileLabel(file string) string {
+	if file == "" {
+		return "<memory>"
+	}
+	return file
+}
+
+// WriteSnapshot durably writes data as generation gen in dir: encode to a
+// temp file, fsync it, rename into place, fsync the directory. A crash at
+// any point leaves either no new snapshot or a complete one — never a
+// half-visible generation.
+func WriteSnapshot(dir string, gen uint64, data *SnapshotData) (string, error) {
+	if err := faultinject.Fire(faultinject.SiteSnapshotWrite); err != nil {
+		return "", fmt.Errorf("wal: snapshot write: %w", err)
+	}
+	raw := EncodeSnapshot(data)
+	final := filepath.Join(dir, snapshotName(gen))
+	tmp, err := os.CreateTemp(dir, ".tmp-snap-*")
+	if err != nil {
+		return "", err
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { _ = tmp.Close(); _ = os.Remove(tmpName) }
+	if _, err := tmp.Write(raw); err != nil {
+		cleanup()
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return "", err
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		_ = os.Remove(tmpName)
+		return "", err
+	}
+	if err := syncDir(dir); err != nil {
+		return "", err
+	}
+	return final, nil
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+func snapshotName(gen uint64) string { return fmt.Sprintf("snap-%016x.snap", gen) }
+
+func walName(gen uint64) string { return fmt.Sprintf("wal-%016x.log", gen) }

@@ -1,0 +1,402 @@
+package wal
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config tunes a Store.
+type Config struct {
+	// Fsync is the WAL durability policy.
+	Fsync FsyncPolicy
+	// FsyncInterval paces FsyncInterval flushing (0: DefaultFsyncInterval).
+	FsyncInterval time.Duration
+	// Logger receives recovery warnings and checkpoint notes; nil uses
+	// log.Default().
+	Logger *log.Logger
+}
+
+// Recovered reports what Open reconstructed from disk.
+type Recovered struct {
+	// Data is the recovered state, nil when the directory held no snapshot
+	// (a fresh database — the caller seeds it via Initialize).
+	Data *SnapshotData
+	// Gen is the active generation.
+	Gen uint64
+	// SnapshotPath is the snapshot file loaded ("" when fresh).
+	SnapshotPath string
+	// WALRecords is how many log records were replayed on top of the
+	// snapshot.
+	WALRecords int
+	// TornBytes is how many bytes of torn WAL tail were truncated.
+	TornBytes int64
+	// Duration is the wall-clock recovery time.
+	Duration time.Duration
+}
+
+// Store manages one data directory: the current snapshot generation and its
+// write-ahead log. Callers serialize Append against Checkpoint (the engine
+// holds its mutation lock for both); Stats/LogSize are safe from any
+// goroutine.
+type Store struct {
+	dir string
+	cfg Config
+	log *log.Logger
+
+	mu          sync.Mutex
+	gen         uint64
+	w           *Writer
+	metrics     *Metrics
+	checkpoints uint64
+	lastCkpt    time.Time
+	closed      bool
+}
+
+// Open mounts dir, recovering whatever a previous process left: it loads
+// the newest valid snapshot, replays its WAL (truncating a torn tail with a
+// warning), and opens the log for appending. Corruption — a checksum
+// mismatch in the snapshot or in the middle of the WAL — is returned as a
+// *CorruptionError with file, offset, and record index; it is never
+// silently skipped. An empty directory yields Recovered.Data == nil; call
+// Initialize with the seed state before appending.
+func Open(dir string, cfg Config) (*Store, *Recovered, error) {
+	if dir == "" {
+		return nil, nil, fmt.Errorf("wal: empty data directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	lg := cfg.Logger
+	if lg == nil {
+		lg = log.Default()
+	}
+	s := &Store{dir: dir, cfg: cfg, log: lg}
+
+	start := time.Now()
+	rec := &Recovered{}
+	gens, err := s.listGenerations()
+	if err != nil {
+		return nil, nil, err
+	}
+	// Remove abandoned temp files from an interrupted snapshot write.
+	tmps, _ := filepath.Glob(filepath.Join(dir, ".tmp-snap-*"))
+	for _, t := range tmps {
+		lg.Printf("wal: removing abandoned snapshot temp file %s", t)
+		_ = os.Remove(t)
+	}
+
+	// Walk snapshot generations newest-first. An incomplete snapshot (an
+	// interrupted write that still became visible — possible on filesystems
+	// without atomic-rename durability) falls back to the previous
+	// generation with a warning; a corrupt one (flipped bits) hard-fails.
+	for i := len(gens) - 1; i >= 0; i-- {
+		g := gens[i]
+		path := filepath.Join(dir, snapshotName(g))
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		data, err := DecodeSnapshot(path, raw)
+		if err != nil {
+			if IsIncomplete(err) && !exists(filepath.Join(dir, walName(g))) {
+				// No WAL was ever opened for this generation, so nothing
+				// after the previous snapshot is lost by ignoring it.
+				lg.Printf("wal: ignoring incomplete snapshot %s (%v)", path, err)
+				_ = os.Remove(path)
+				continue
+			}
+			return nil, nil, err
+		}
+		rec.Data = data
+		rec.Gen = g
+		rec.SnapshotPath = path
+		break
+	}
+
+	if rec.Data == nil {
+		if len(gens) > 0 {
+			return nil, nil, fmt.Errorf("wal: %s holds %d snapshot file(s) but none is loadable", dir, len(gens))
+		}
+		if leftover := s.walFiles(); len(leftover) > 0 {
+			return nil, nil, fmt.Errorf("wal: %s holds WAL files %v but no snapshot; refusing to guess at a base state", dir, leftover)
+		}
+		rec.Gen = 0 // Initialize will move to generation 1
+		rec.Duration = time.Since(start)
+		return s, rec, nil
+	}
+
+	// Replay the active generation's log on top of the snapshot.
+	walPath := filepath.Join(dir, walName(rec.Gen))
+	info, err := ReplayFile(walPath, func(r Record) error { return r.apply(rec.Data) })
+	if err != nil {
+		return nil, nil, err
+	}
+	rec.WALRecords = info.Records
+	rec.TornBytes = info.TornBytes
+	if info.TornBytes > 0 {
+		lg.Printf("wal: truncated torn tail of %s: %d byte(s) dropped (%s) — last write did not survive the crash",
+			walPath, info.TornBytes, info.TornDetail)
+	}
+
+	w, err := openWriter(walPath, cfg.Fsync, cfg.FsyncInterval)
+	if err != nil {
+		return nil, nil, err
+	}
+	w.records.Store(int64(info.Records))
+	s.gen = rec.Gen
+	s.w = w
+	s.gcLocked(rec.Gen)
+	rec.Duration = time.Since(start)
+	return s, rec, nil
+}
+
+// Initialize seeds an empty directory: it writes the generation-1 snapshot
+// of data and opens its WAL. Only valid after an Open that returned
+// Recovered.Data == nil.
+func (s *Store) Initialize(data *SnapshotData) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w != nil || s.gen != 0 {
+		return fmt.Errorf("wal: store already initialized (generation %d)", s.gen)
+	}
+	if _, err := WriteSnapshot(s.dir, 1, data); err != nil {
+		return err
+	}
+	w, err := openWriter(filepath.Join(s.dir, walName(1)), s.cfg.Fsync, s.cfg.FsyncInterval)
+	if err != nil {
+		return err
+	}
+	w.SetMetrics(s.metrics)
+	s.gen = 1
+	s.w = w
+	s.lastCkpt = time.Now()
+	return nil
+}
+
+// Append logs one mutation record.
+func (s *Store) Append(r Record) error {
+	s.mu.Lock()
+	w := s.w
+	closed := s.closed
+	s.mu.Unlock()
+	if closed || w == nil {
+		return fmt.Errorf("wal: store is closed")
+	}
+	return w.Append(r.encode(make([]byte, 0, 64)))
+}
+
+// Checkpoint writes data as the next snapshot generation, rotates the WAL,
+// and garbage-collects every older generation. The caller must guarantee no
+// Append runs concurrently (the engine holds its mutation lock). On
+// failure the previous generation stays fully intact.
+func (s *Store) Checkpoint(data *SnapshotData) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.w == nil {
+		return fmt.Errorf("wal: store is closed")
+	}
+	start := time.Now()
+	next := s.gen + 1
+	if _, err := WriteSnapshot(s.dir, next, data); err != nil {
+		return err
+	}
+	// The snapshot is durable: everything in the old log is now redundant.
+	// Open the new generation's log before retiring the old one so there is
+	// no window with no writable log.
+	nw, err := openWriter(filepath.Join(s.dir, walName(next)), s.cfg.Fsync, s.cfg.FsyncInterval)
+	if err != nil {
+		// Roll back to the old generation: remove the orphan snapshot.
+		_ = os.Remove(filepath.Join(s.dir, snapshotName(next)))
+		return err
+	}
+	nw.SetMetrics(s.metrics)
+	old := s.w
+	s.w = nw
+	s.gen = next
+	s.checkpoints++
+	s.lastCkpt = time.Now()
+	_ = old.Close()
+	s.gcLocked(next)
+	if s.metrics != nil {
+		s.metrics.Checkpoints.Inc()
+		s.metrics.CheckpointSecs.ObserveNanos(time.Since(start).Nanoseconds())
+	}
+	return nil
+}
+
+// gcLocked removes snapshots and logs of generations older than keep.
+func (s *Store) gcLocked(keep uint64) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		var g uint64
+		switch {
+		case parseGen(name, "snap-", ".snap", &g), parseGen(name, "wal-", ".log", &g):
+			if g < keep {
+				if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
+					s.log.Printf("wal: gc: cannot remove %s: %v", name, err)
+				}
+			}
+		}
+	}
+}
+
+// Sync forces the active log to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	w := s.w
+	s.mu.Unlock()
+	if w == nil {
+		return nil
+	}
+	return w.Sync()
+}
+
+// Close flushes and closes the active log. The store refuses further
+// appends and checkpoints afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.w == nil {
+		return nil
+	}
+	err := s.w.Close()
+	s.w = nil
+	return err
+}
+
+// SetMetrics wires instruments into the store and its active writer.
+func (s *Store) SetMetrics(m *Metrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = m
+	if s.w != nil {
+		s.w.SetMetrics(m)
+	}
+}
+
+// Stats snapshots the store's counters.
+type Stats struct {
+	Dir         string    `json:"dir"`
+	Fsync       string    `json:"fsync"`
+	Generation  uint64    `json:"generation"`
+	WALBytes    int64     `json:"wal_bytes"`
+	WALRecords  int64     `json:"wal_records"`
+	Checkpoints uint64    `json:"checkpoints"`
+	LastCkpt    time.Time `json:"last_checkpoint"`
+}
+
+// Stats returns the store's current counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Dir:         s.dir,
+		Fsync:       s.cfg.Fsync.String(),
+		Generation:  s.gen,
+		Checkpoints: s.checkpoints,
+		LastCkpt:    s.lastCkpt,
+	}
+	if s.w != nil {
+		st.WALBytes = s.w.Size()
+		st.WALRecords = s.w.Records()
+	}
+	return st
+}
+
+// LogSize returns the active WAL's size in bytes (0 when closed).
+func (s *Store) LogSize() int64 {
+	s.mu.Lock()
+	w := s.w
+	s.mu.Unlock()
+	if w == nil {
+		return 0
+	}
+	return w.Size()
+}
+
+// Generation returns the active snapshot generation.
+func (s *Store) Generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+// listGenerations returns the snapshot generations present, ascending.
+func (s *Store) listGenerations() ([]uint64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var gens []uint64
+	for _, e := range entries {
+		var g uint64
+		if parseGen(e.Name(), "snap-", ".snap", &g) {
+			gens = append(gens, g)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// walFiles lists the WAL file names present, sorted.
+func (s *Store) walFiles() []string {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		var g uint64
+		if parseGen(e.Name(), "wal-", ".log", &g) {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// parseGen extracts the 16-hex-digit generation from prefix<gen>suffix.
+func parseGen(name, prefix, suffix string, out *uint64) bool {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return false
+	}
+	hex := name[len(prefix) : len(name)-len(suffix)]
+	if len(hex) != 16 {
+		return false
+	}
+	var g uint64
+	for i := 0; i < 16; i++ {
+		c := hex[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		default:
+			return false
+		}
+		g = g<<4 | d
+	}
+	*out = g
+	return true
+}
+
+func exists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}

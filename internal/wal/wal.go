@@ -1,0 +1,338 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"precis/internal/faultinject"
+	"precis/internal/obs"
+)
+
+// FsyncPolicy says when appended WAL records are forced to stable storage.
+type FsyncPolicy uint8
+
+const (
+	// FsyncAlways fsyncs before Append returns: a returned mutation is
+	// durable. Concurrent appenders share one fsync (group commit).
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval fsyncs on a background timer: a crash loses at most the
+	// last interval's worth of mutations, all of them a clean log suffix.
+	FsyncInterval
+	// FsyncNever leaves flushing to the OS page cache: fastest, loses the
+	// most on power failure, still torn-write safe (the frame checksums
+	// bound the damage to a truncated tail).
+	FsyncNever
+)
+
+// String renders the policy as its flag spelling.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// ParseFsyncPolicy parses the -fsync flag values.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+	}
+}
+
+// DefaultFsyncInterval paces FsyncInterval when no interval is configured.
+const DefaultFsyncInterval = 50 * time.Millisecond
+
+// Metrics are the optional instruments a Writer ticks. Every field is
+// nil-safe (obs instruments are nil-receiver no-ops), so an un-instrumented
+// writer pays only nil checks.
+type Metrics struct {
+	AppendedBytes   *obs.Counter
+	AppendedRecords *obs.Counter
+	Fsyncs          *obs.Counter
+	FsyncSeconds    *obs.Histogram
+	Checkpoints     *obs.Counter
+	CheckpointSecs  *obs.Histogram
+}
+
+// Writer is an append-only, checksummed log file. Appends are framed and
+// written under one mutex; durability follows the fsync policy. With
+// FsyncAlways, concurrent appenders batch into group commits: every waiter
+// that arrives while an fsync is in flight is covered by the next one, so
+// n concurrent appends cost far fewer than n fsyncs.
+type Writer struct {
+	path     string
+	policy   FsyncPolicy
+	interval time.Duration
+
+	mu       sync.Mutex // serializes file writes
+	f        *os.File
+	writeSeq atomic.Int64 // frames appended
+	size     atomic.Int64 // file size in bytes
+	records  atomic.Int64 // records appended this generation
+
+	syncMu    sync.Mutex   // serializes fsyncs (the group-commit gate)
+	syncedSeq atomic.Int64 // highest writeSeq known durable
+
+	syncErr atomic.Pointer[error] // sticky background-flush error
+
+	metrics atomic.Pointer[Metrics]
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// openWriter opens (or creates) path for appending under the given policy.
+func openWriter(path string, policy FsyncPolicy, interval time.Duration) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	if interval <= 0 {
+		interval = DefaultFsyncInterval
+	}
+	w := &Writer{path: path, policy: policy, interval: interval, f: f}
+	w.size.Store(st.Size())
+	if policy == FsyncInterval {
+		w.stop = make(chan struct{})
+		w.done = make(chan struct{})
+		go w.flushLoop()
+	}
+	return w, nil
+}
+
+// flushLoop is the FsyncInterval background flusher.
+func (w *Writer) flushLoop() {
+	defer close(w.done)
+	t := time.NewTicker(w.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			if err := w.Sync(); err != nil {
+				w.syncErr.Store(&err)
+			}
+		}
+	}
+}
+
+// SetMetrics swaps the writer's instruments (nil allowed).
+func (w *Writer) SetMetrics(m *Metrics) { w.metrics.Store(m) }
+
+// Size returns the current file size in bytes.
+func (w *Writer) Size() int64 { return w.size.Load() }
+
+// Records returns how many records this writer has appended.
+func (w *Writer) Records() int64 { return w.records.Load() }
+
+// Append frames payload, writes it, and — under FsyncAlways — blocks until
+// it is durable. The error, if any, means the record may not survive a
+// crash; the file itself is never left in a state recovery cannot parse
+// (at worst a torn tail, which recovery truncates).
+func (w *Writer) Append(payload []byte) error {
+	if err := faultinject.Fire(faultinject.SiteWALAppend); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if ep := w.syncErr.Load(); ep != nil {
+		return fmt.Errorf("wal: background fsync failed: %w", *ep)
+	}
+	frame := appendFrame(make([]byte, 0, frameHeaderSize+len(payload)), payload)
+
+	w.mu.Lock()
+	if w.f == nil {
+		w.mu.Unlock()
+		return fmt.Errorf("wal: append to closed writer %s", w.path)
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		w.mu.Unlock()
+		return fmt.Errorf("wal: append to %s: %w", w.path, err)
+	}
+	w.size.Add(int64(len(frame)))
+	w.records.Add(1)
+	seq := w.writeSeq.Add(1)
+	w.mu.Unlock()
+
+	m := w.metrics.Load()
+	if m != nil {
+		m.AppendedBytes.Add(uint64(len(frame)))
+		m.AppendedRecords.Inc()
+	}
+	if w.policy == FsyncAlways {
+		return w.syncTo(seq)
+	}
+	return nil
+}
+
+// syncTo makes every frame up to seq durable, sharing fsyncs between
+// concurrent callers: whoever wins the gate fsyncs on behalf of everyone
+// whose frame was already written.
+func (w *Writer) syncTo(seq int64) error {
+	if w.syncedSeq.Load() >= seq {
+		return nil
+	}
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	if w.syncedSeq.Load() >= seq {
+		return nil // a concurrent group commit covered us
+	}
+	return w.syncLocked()
+}
+
+// syncLocked fsyncs; callers hold syncMu.
+func (w *Writer) syncLocked() error {
+	// Snapshot the write frontier before fsync: everything written before
+	// the call is durable afterwards; frames that race in during the fsync
+	// are not, and stay below the recorded frontier.
+	cur := w.writeSeq.Load()
+	if err := faultinject.Fire(faultinject.SiteWALFsync); err != nil {
+		return fmt.Errorf("wal: fsync %s: %w", w.path, err)
+	}
+	w.mu.Lock()
+	f := w.f
+	w.mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	start := time.Now()
+	err := f.Sync()
+	if m := w.metrics.Load(); m != nil {
+		m.Fsyncs.Inc()
+		m.FsyncSeconds.ObserveNanos(time.Since(start).Nanoseconds())
+	}
+	if err != nil {
+		return fmt.Errorf("wal: fsync %s: %w", w.path, err)
+	}
+	if w.syncedSeq.Load() < cur {
+		w.syncedSeq.Store(cur)
+	}
+	return nil
+}
+
+// Sync forces everything appended so far to stable storage.
+func (w *Writer) Sync() error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	return w.syncLocked()
+}
+
+// Close flushes, stops the background flusher, and closes the file.
+func (w *Writer) Close() error {
+	if w.stop != nil {
+		close(w.stop)
+		<-w.done
+		w.stop = nil
+	}
+	syncErr := w.Sync()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return syncErr
+	}
+	closeErr := w.f.Close()
+	w.f = nil
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// ReplayInfo summarizes one log replay.
+type ReplayInfo struct {
+	// Records is how many complete records were replayed.
+	Records int
+	// TornBytes is how many trailing bytes were cut (0 when the log ended
+	// cleanly).
+	TornBytes int64
+	// TornDetail says what was missing from the torn frame.
+	TornDetail string
+}
+
+// ReplayFile reads every record of the WAL at path, calling fn in order. A
+// torn tail (partial final frame) is truncated off the file and reported in
+// the returned info; corruption anywhere earlier — or a record that fails
+// to decode or apply — aborts with a *CorruptionError naming file, offset,
+// and record index. Missing files replay zero records (a crash can land
+// between snapshot write and first append).
+func ReplayFile(path string, fn func(Record) error) (ReplayInfo, error) {
+	var info ReplayInfo
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return info, nil
+		}
+		return info, err
+	}
+	torn, err := scanFrames(path, raw, func(i int, off int64, payload []byte) error {
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return err
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return fmt.Errorf("apply %s: %w", rec.Op, err)
+			}
+		}
+		info.Records++
+		return nil
+	})
+	if err != nil {
+		return info, err
+	}
+	if torn != nil {
+		info.TornBytes = int64(len(raw)) - torn.Offset
+		info.TornDetail = torn.Detail
+		if err := os.Truncate(path, torn.Offset); err != nil {
+			return info, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+		}
+	}
+	return info, nil
+}
+
+// ReplayBytes is ReplayFile over in-memory bytes (no truncation side
+// effect); the fuzz targets drive the decoder through it.
+func ReplayBytes(raw []byte, fn func(Record) error) (ReplayInfo, error) {
+	var info ReplayInfo
+	torn, err := scanFrames("", raw, func(i int, off int64, payload []byte) error {
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return err
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+		info.Records++
+		return nil
+	})
+	if err != nil {
+		return info, err
+	}
+	if torn != nil {
+		info.TornBytes = int64(len(raw)) - torn.Offset
+		info.TornDetail = torn.Detail
+	}
+	return info, nil
+}

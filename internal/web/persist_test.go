@@ -1,0 +1,102 @@
+package web
+
+import (
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"precis"
+	"precis/internal/dataset"
+	"precis/internal/schemagraph"
+	"precis/internal/storage"
+)
+
+// exampleEngineParts builds the example database and annotated graph
+// without wrapping them in an engine, for tests that open durable engines.
+func exampleEngineParts(t *testing.T) (*storage.Database, *schemagraph.Graph) {
+	t.Helper()
+	db, g, err := dataset.ExampleMovies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.AnnotateNarrative(g); err != nil {
+		t.Fatal(err)
+	}
+	return db, g
+}
+
+// quietPersist is a fast, silent persistence config for tests.
+func quietPersist(dir string) precis.PersistConfig {
+	return precis.PersistConfig{
+		Dir:             dir,
+		Fsync:           precis.FsyncNever,
+		CheckpointBytes: -1,
+		Logger:          log.New(io.Discard, "", 0),
+	}
+}
+
+// TestAPIPersistInMemory: on an engine without a data directory the
+// endpoint reports enabled=false and zeroed counters — the probe is safe
+// to scrape unconditionally.
+func TestAPIPersistInMemory(t *testing.T) {
+	ts := testServer(t)
+	code, body := get(t, ts.URL+"/api/persist")
+	if code != http.StatusOK {
+		t.Fatalf("persist code=%d body=%s", code, body)
+	}
+	var out struct {
+		Enabled    bool   `json:"enabled"`
+		Dir        string `json:"dir"`
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("persist JSON: %v\n%s", err, body)
+	}
+	if out.Enabled || out.Dir != "" || out.Generation != 0 {
+		t.Errorf("in-memory engine reported persistence: %s", body)
+	}
+}
+
+// TestAPIPersistDurable: with a data directory mounted the endpoint
+// reports the live generation and WAL counters, and a mutation through the
+// HTTP-facing engine moves them.
+func TestAPIPersistDurable(t *testing.T) {
+	db, g := exampleEngineParts(t)
+	eng, err := precis.Open(db, g, quietPersist(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+	ts := httptest.NewServer(NewServer(eng).Handler())
+	t.Cleanup(ts.Close)
+
+	read := func() (st struct {
+		Enabled    bool   `json:"enabled"`
+		Fsync      string `json:"fsync"`
+		Generation uint64 `json:"generation"`
+		WALRecords int64  `json:"wal_records"`
+	}) {
+		t.Helper()
+		code, body := get(t, ts.URL+"/api/persist")
+		if code != http.StatusOK {
+			t.Fatalf("persist code=%d body=%s", code, body)
+		}
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Fatalf("persist JSON: %v\n%s", err, body)
+		}
+		return st
+	}
+
+	before := read()
+	if !before.Enabled || before.Generation == 0 {
+		t.Fatalf("durable engine not reported as enabled: %+v", before)
+	}
+	eng.AddSynonym("wooody", "Woody Allen")
+	after := read()
+	if after.WALRecords != before.WALRecords+1 {
+		t.Errorf("wal_records %d -> %d, want +1", before.WALRecords, after.WALRecords)
+	}
+}

@@ -7,6 +7,7 @@
 //	GET /api/search?q=    JSON answer: narrative, result database, stats
 //	GET /api/schema       JSON description of the schema graph
 //	GET /api/stats        engine statistics: answer cache counters, sizes
+//	GET /api/persist      persistence stats: recovery, WAL size, checkpoints
 //	GET /metrics          Prometheus text exposition of every counter
 //	GET /graph.dot        the schema graph in Graphviz dot syntax
 //	GET /healthz          liveness probe
@@ -141,6 +142,7 @@ func NewServerWithConfig(eng *precis.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("GET /api/search", s.handleAPISearch)
 	s.mux.HandleFunc("GET /api/schema", s.handleAPISchema)
 	s.mux.HandleFunc("GET /api/stats", s.handleAPIStats)
+	s.mux.HandleFunc("GET /api/persist", s.handleAPIPersist)
 	s.mux.HandleFunc("GET /graph.dot", s.handleDOT)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -451,6 +453,14 @@ func (s *Server) handleAPIStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(out)
+}
+
+// handleAPIPersist serves the persistence layer's counters: recovery
+// stats, WAL size and record count, checkpoint history. On an in-memory
+// engine everything is zero and enabled is false.
+func (s *Server) handleAPIPersist(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.eng.PersistStats())
 }
 
 // apiSchemaRelation describes one relation node of the schema graph.

@@ -1,0 +1,416 @@
+package precis
+
+// Durable persistence: Open mounts a data directory holding a checksummed
+// binary snapshot plus an append-only WAL (internal/wal), recovers whatever
+// a previous process left — replaying the log, truncating a torn tail,
+// hard-failing on real corruption — and from then on logs every engine
+// mutation write-ahead-style. Checkpoint (manual, size-triggered, or
+// time-triggered) rewrites the snapshot, rotates the log, and garbage-
+// collects old generations. Engines built with New stay purely in-memory:
+// the query hot path never touches any of this (the only cost is a nil
+// check on the mutation paths), so cached-query allocation counts are
+// unchanged.
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"precis/internal/obs"
+	"precis/internal/schemagraph"
+	"precis/internal/storage"
+	"precis/internal/wal"
+)
+
+// ErrNotPersistent is returned by Checkpoint on an engine built without a
+// data directory.
+var ErrNotPersistent = errors.New("precis: engine has no persistence layer")
+
+// FsyncPolicy re-exports the WAL durability policies.
+type FsyncPolicy = wal.FsyncPolicy
+
+// The WAL fsync policies: FsyncAlways makes every returned mutation
+// durable (group-committed), FsyncInterval flushes on a timer, FsyncNever
+// leaves flushing to the OS.
+const (
+	FsyncAlways   = wal.FsyncAlways
+	FsyncInterval = wal.FsyncInterval
+	FsyncNever    = wal.FsyncNever
+)
+
+// ParseFsyncPolicy parses "always", "interval" or "never".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return wal.ParseFsyncPolicy(s) }
+
+// DefaultCheckpointBytes triggers a checkpoint when the WAL reaches this
+// size and PersistConfig.CheckpointBytes is zero.
+const DefaultCheckpointBytes = 4 << 20
+
+// PersistConfig tunes the persistence layer.
+type PersistConfig struct {
+	// Dir is the data directory. Empty disables persistence entirely (Open
+	// degenerates to New).
+	Dir string
+	// Fsync is the WAL durability policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// FsyncInterval paces FsyncInterval flushing (0: wal.DefaultFsyncInterval).
+	FsyncInterval time.Duration
+	// CheckpointBytes checkpoints when the WAL reaches this size. Zero
+	// means DefaultCheckpointBytes; negative disables the size trigger.
+	CheckpointBytes int64
+	// CheckpointEvery checkpoints on a timer; 0 disables the time trigger.
+	CheckpointEvery time.Duration
+	// Logger receives recovery and checkpoint notes; nil uses log.Default().
+	Logger *log.Logger
+}
+
+// persistState is the engine's persistence plumbing; nil on in-memory
+// engines.
+type persistState struct {
+	store     *wal.Store
+	cfg       PersistConfig
+	logger    *log.Logger
+	recovered wal.Recovered
+
+	// closed is guarded by the engine mutex.
+	closed bool
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// RecoveryStats reports what Open reconstructed from disk.
+type RecoveryStats struct {
+	// SnapshotLoaded is false on a fresh directory.
+	SnapshotLoaded bool `json:"snapshot_loaded"`
+	// SnapshotPath is the snapshot file recovery started from.
+	SnapshotPath string `json:"snapshot_path,omitempty"`
+	// WALRecordsReplayed counts log records applied on top of the snapshot.
+	WALRecordsReplayed int `json:"wal_records_replayed"`
+	// TornBytesTruncated counts torn-tail bytes cut from the log (work the
+	// crash lost mid-write; never a committed record).
+	TornBytesTruncated int64 `json:"torn_bytes_truncated"`
+	// DurationMS is the wall-clock recovery time in milliseconds.
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// PersistStats reports the persistence layer's live counters.
+type PersistStats struct {
+	Enabled        bool          `json:"enabled"`
+	Dir            string        `json:"dir,omitempty"`
+	Fsync          string        `json:"fsync,omitempty"`
+	Generation     uint64        `json:"generation,omitempty"`
+	WALBytes       int64         `json:"wal_bytes,omitempty"`
+	WALRecords     int64         `json:"wal_records,omitempty"`
+	Checkpoints    uint64        `json:"checkpoints,omitempty"`
+	LastCheckpoint time.Time     `json:"last_checkpoint,omitempty"`
+	Recovery       RecoveryStats `json:"recovery"`
+}
+
+// Open is New plus durability. With an empty cfg.Dir it is exactly New.
+// Otherwise it mounts the data directory:
+//
+//   - an empty directory is seeded with a generation-1 snapshot of db (plus
+//     the graph-independent engine extras), and db becomes the live state;
+//   - a populated directory is recovered instead: the newest valid snapshot
+//     is loaded, its WAL replayed on top (a torn final record is truncated
+//     with a logged warning; a checksum failure anywhere else aborts with a
+//     file/offset/record diagnostic), join indexes and the inverted index
+//     are rebuilt, and referential integrity is re-verified. The caller's
+//     db is then only a seed and is discarded.
+//
+// Every subsequent mutation (Insert, Update, Delete, AddSynonym,
+// DefineMacro) is logged to the WAL under cfg.Fsync before the mutation is
+// considered complete; if the log write fails the in-memory change is
+// rolled back and the error returned, so memory and disk cannot diverge.
+// Callers own the returned engine's lifecycle: Close checkpoints and
+// releases the directory.
+func Open(db *storage.Database, g *schemagraph.Graph, cfg PersistConfig) (*Engine, error) {
+	if cfg.Dir == "" {
+		return New(db, g)
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.Default()
+	}
+	store, rec, err := wal.Open(cfg.Dir, wal.Config{
+		Fsync:         cfg.Fsync,
+		FsyncInterval: cfg.FsyncInterval,
+		Logger:        logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*Engine, error) {
+		_ = store.Close()
+		return nil, err
+	}
+	fresh := rec.Data == nil
+	if !fresh {
+		db = rec.Data.DB
+		if err := db.CreateJoinIndexes(); err != nil {
+			return fail(fmt.Errorf("precis: rebuilding join indexes after recovery: %w", err))
+		}
+		if violations := db.CheckIntegrity(); len(violations) > 0 {
+			return fail(fmt.Errorf("precis: recovered database violates referential integrity (%d violation(s), first: %s)",
+				len(violations), violations[0]))
+		}
+	}
+	eng, err := New(db, g)
+	if err != nil {
+		return fail(err)
+	}
+	if fresh {
+		if err := store.Initialize(&wal.SnapshotData{DB: db}); err != nil {
+			return fail(err)
+		}
+		logger.Printf("precis: persistence initialized in %s (generation 1, %d tuples, fsync=%s)",
+			cfg.Dir, db.TotalTuples(), cfg.Fsync)
+	} else {
+		for _, p := range rec.Data.Synonyms {
+			eng.index.AddSynonym(p[0], p[1])
+		}
+		for _, def := range rec.Data.Macros {
+			if err := eng.renderer.DefineMacro(def); err != nil {
+				return fail(fmt.Errorf("precis: replaying persisted macro: %w", err))
+			}
+			eng.trackMacroLocked(def)
+		}
+		logger.Printf("precis: recovered %s: generation %d, %d tuples, %d relations, %d WAL record(s) replayed, %d torn byte(s) truncated in %v",
+			cfg.Dir, rec.Gen, db.TotalTuples(), db.NumRelations(), rec.WALRecords, rec.TornBytes, rec.Duration.Round(time.Microsecond))
+	}
+	p := &persistState{store: store, cfg: cfg, logger: logger, recovered: *rec}
+	eng.persist = p
+	p.startCheckpointer(eng)
+	return eng, nil
+}
+
+// snapshotDataLocked assembles the snapshot payload; callers hold e.mu.
+func (e *Engine) snapshotDataLocked() *wal.SnapshotData {
+	return &wal.SnapshotData{
+		DB:       e.db,
+		Synonyms: e.index.Synonyms(),
+		Macros:   append([]string(nil), e.macroDefs...),
+	}
+}
+
+// trackMacroLocked remembers a macro definition for future snapshots,
+// deduplicating exact repeats; callers hold e.mu (or own the engine
+// exclusively, as Open does).
+func (e *Engine) trackMacroLocked(def string) {
+	if e.macroSeen == nil {
+		e.macroSeen = make(map[string]bool)
+	}
+	if e.macroSeen[def] {
+		return
+	}
+	e.macroSeen[def] = true
+	e.macroDefs = append(e.macroDefs, def)
+}
+
+// appendWALLocked logs one mutation record; callers hold e.mu. A nil
+// persist layer appends nowhere and succeeds — the in-memory engine's
+// mutations stay infallible beyond their own validation.
+func (e *Engine) appendWALLocked(rec wal.Record) error {
+	if e.persist == nil {
+		return nil
+	}
+	if e.persist.closed {
+		return fmt.Errorf("precis: engine is closed")
+	}
+	if err := e.persist.store.Append(rec); err != nil {
+		return fmt.Errorf("precis: persist %s: %w", rec.Op, err)
+	}
+	return nil
+}
+
+// Sync forces every appended WAL record to disk regardless of the fsync
+// policy — the benchmark and pre-crash hooks use it to draw a durable
+// line. On an in-memory engine it is a no-op.
+func (e *Engine) Sync() error {
+	if e.persist == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.persist.closed {
+		return nil
+	}
+	return e.persist.store.Sync()
+}
+
+// Checkpoint snapshots the full engine state, rotates the WAL, and
+// garbage-collects older generations. Mutations and queries are excluded
+// for the duration (it holds the engine mutation lock). Returns
+// ErrNotPersistent on an in-memory engine.
+func (e *Engine) Checkpoint() error {
+	if e.persist == nil {
+		return ErrNotPersistent
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.persist.closed {
+		return fmt.Errorf("precis: engine is closed")
+	}
+	return e.persist.store.Checkpoint(e.snapshotDataLocked())
+}
+
+// Close shuts the persistence layer down: it stops the background
+// checkpointer, runs a final checkpoint, and closes the WAL. On an
+// in-memory engine it is a no-op. The engine refuses further mutations and
+// checkpoints afterwards; queries keep working (the in-memory state stays
+// valid).
+func (e *Engine) Close() error {
+	p := e.persist
+	if p == nil {
+		return nil
+	}
+	p.stopCheckpointer()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	var firstErr error
+	if err := p.store.Checkpoint(e.snapshotDataLocked()); err != nil {
+		firstErr = fmt.Errorf("precis: final checkpoint: %w", err)
+		// The checkpoint failed but the WAL still holds every mutation:
+		// force it to disk so nothing is lost even on this path.
+		if err := p.store.Sync(); err != nil {
+			p.logger.Printf("precis: close: WAL sync also failed: %v", err)
+		}
+	}
+	if err := p.store.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// PersistStats snapshots the persistence counters. Enabled is false (and
+// everything else zero) on an in-memory engine.
+func (e *Engine) PersistStats() PersistStats {
+	p := e.persist
+	if p == nil {
+		return PersistStats{}
+	}
+	st := p.store.Stats()
+	return PersistStats{
+		Enabled:        true,
+		Dir:            st.Dir,
+		Fsync:          st.Fsync,
+		Generation:     st.Generation,
+		WALBytes:       st.WALBytes,
+		WALRecords:     st.WALRecords,
+		Checkpoints:    st.Checkpoints,
+		LastCheckpoint: st.LastCkpt,
+		Recovery: RecoveryStats{
+			SnapshotLoaded:     p.recovered.Data != nil,
+			SnapshotPath:       p.recovered.SnapshotPath,
+			WALRecordsReplayed: p.recovered.WALRecords,
+			TornBytesTruncated: p.recovered.TornBytes,
+			DurationMS:         float64(p.recovered.Duration.Nanoseconds()) / 1e6,
+		},
+	}
+}
+
+// startCheckpointer launches the background size/time checkpoint triggers.
+func (p *persistState) startCheckpointer(e *Engine) {
+	sizeTrigger := p.cfg.CheckpointBytes
+	if sizeTrigger == 0 {
+		sizeTrigger = DefaultCheckpointBytes
+	}
+	if sizeTrigger < 0 && p.cfg.CheckpointEvery <= 0 {
+		return // checkpoints are manual only
+	}
+	poll := time.Second
+	if p.cfg.CheckpointEvery > 0 && p.cfg.CheckpointEvery/4 < poll {
+		poll = p.cfg.CheckpointEvery / 4
+	}
+	if poll < 10*time.Millisecond {
+		poll = 10 * time.Millisecond
+	}
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	go func() {
+		defer close(p.done)
+		t := time.NewTicker(poll)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				due := sizeTrigger > 0 && p.store.LogSize() >= sizeTrigger
+				if !due && p.cfg.CheckpointEvery > 0 {
+					due = time.Since(p.store.Stats().LastCkpt) >= p.cfg.CheckpointEvery
+				}
+				if !due {
+					continue
+				}
+				if err := e.Checkpoint(); err != nil {
+					if errors.Is(err, ErrNotPersistent) {
+						return
+					}
+					p.logger.Printf("precis: background checkpoint failed: %v", err)
+				}
+			}
+		}
+	}()
+}
+
+// stopCheckpointer halts the background trigger goroutine, if any.
+func (p *persistState) stopCheckpointer() {
+	p.stopOnce.Do(func() {
+		if p.stop != nil {
+			close(p.stop)
+			<-p.done
+		}
+	})
+}
+
+// Persistence metric names.
+const (
+	MetricWALBytes          = "precis_wal_appended_bytes_total"
+	MetricWALRecords        = "precis_wal_appended_records_total"
+	MetricWALFsyncs         = "precis_wal_fsyncs_total"
+	MetricWALFsyncSeconds   = "precis_wal_fsync_seconds"
+	MetricWALSizeBytes      = "precis_wal_size_bytes"
+	MetricCheckpoints       = "precis_checkpoints_total"
+	MetricCheckpointSeconds = "precis_checkpoint_seconds"
+	MetricPersistGeneration = "precis_persist_generation"
+	MetricRecoveryReplayed  = "precis_recovery_wal_records_replayed"
+	MetricRecoveryTorn      = "precis_recovery_torn_bytes_truncated"
+	MetricRecoverySeconds   = "precis_recovery_seconds"
+)
+
+// instrumentPersist registers the persistence instruments; called from
+// Engine.Instrument when a persistence layer is mounted.
+func (p *persistState) instrument(reg *obs.Registry) {
+	reg.Help(MetricWALBytes, "bytes appended to the write-ahead log (including frame headers)")
+	reg.Help(MetricWALRecords, "mutation records appended to the write-ahead log")
+	reg.Help(MetricWALFsyncs, "WAL fsync calls (group commits share one)")
+	reg.Help(MetricWALFsyncSeconds, "WAL fsync latency in seconds")
+	reg.Help(MetricWALSizeBytes, "current size of the active WAL generation")
+	reg.Help(MetricCheckpoints, "completed checkpoints (snapshot + WAL rotation + GC)")
+	reg.Help(MetricCheckpointSeconds, "checkpoint latency in seconds")
+	reg.Help(MetricPersistGeneration, "active snapshot generation")
+	reg.Help(MetricRecoveryReplayed, "WAL records replayed by the last recovery")
+	reg.Help(MetricRecoveryTorn, "torn-tail bytes truncated by the last recovery")
+	reg.Help(MetricRecoverySeconds, "wall-clock duration of the last recovery")
+	p.store.SetMetrics(&wal.Metrics{
+		AppendedBytes:   reg.Counter(MetricWALBytes),
+		AppendedRecords: reg.Counter(MetricWALRecords),
+		Fsyncs:          reg.Counter(MetricWALFsyncs),
+		FsyncSeconds:    reg.Histogram(MetricWALFsyncSeconds),
+		Checkpoints:     reg.Counter(MetricCheckpoints),
+		CheckpointSecs:  reg.Histogram(MetricCheckpointSeconds),
+	})
+	reg.GaugeFunc(MetricWALSizeBytes, func() float64 { return float64(p.store.LogSize()) })
+	reg.GaugeFunc(MetricPersistGeneration, func() float64 { return float64(p.store.Generation()) })
+	reg.GaugeFunc(MetricRecoveryReplayed, func() float64 { return float64(p.recovered.WALRecords) })
+	reg.GaugeFunc(MetricRecoveryTorn, func() float64 { return float64(p.recovered.TornBytes) })
+	reg.GaugeFunc(MetricRecoverySeconds, func() float64 { return p.recovered.Duration.Seconds() })
+}

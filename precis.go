@@ -42,6 +42,7 @@ import (
 	"precis/internal/schemagraph"
 	"precis/internal/sqlx"
 	"precis/internal/storage"
+	"precis/internal/wal"
 )
 
 // ErrNoMatches is returned when no query token occurs in the database.
@@ -154,6 +155,13 @@ type Engine struct {
 	// un-instrumented and the query path skips all accounting.
 	registry *obs.Registry
 	metrics  *engineMetrics
+	// persist is the durability layer mounted by Open; nil on in-memory
+	// engines, in which case the mutation paths pay exactly one nil check.
+	persist *persistState
+	// macroDefs / macroSeen remember narrative macro definitions so
+	// checkpoints can persist them (the renderer has no introspection API).
+	macroDefs []string
+	macroSeen map[string]bool
 }
 
 // CacheConfig sizes the engine's answer cache.
@@ -284,9 +292,17 @@ func (e *Engine) Index() *invidx.Index { return e.index }
 // AddSynonym declares that queries for alias also match canonical — the
 // §5.1 synonym case ("W. Allen" for "Woody Allen"); deployments plug a
 // reference-reconciliation tool's output in through this.
+//
+// On a persistent engine the synonym is logged to the WAL first; if the log
+// write fails the synonym is dropped (with a logged warning) rather than
+// applied, so the in-memory index never holds state a recovery would lose.
 func (e *Engine) AddSynonym(alias, canonical string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.appendWALLocked(wal.Record{Op: wal.OpSynonym, Alias: alias, Canonical: canonical}); err != nil {
+		e.persist.logger.Printf("precis: AddSynonym(%q, %q) dropped: %v", alias, canonical, err)
+		return
+	}
 	e.index.AddSynonym(alias, canonical)
 	e.purgeCacheLocked()
 }
@@ -296,7 +312,19 @@ func (e *Engine) DefineMacro(def string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.purgeCacheLocked()
-	return e.renderer.DefineMacro(def)
+	// Validate-then-log: a definition the renderer rejects must never reach
+	// the WAL (it would poison every future recovery), so the parse runs
+	// first. If the log write then fails, the error is returned and the
+	// definition is not tracked for snapshots — the caller retries, and
+	// macro redefinition is idempotent.
+	if err := e.renderer.DefineMacro(def); err != nil {
+		return err
+	}
+	if err := e.appendWALLocked(wal.Record{Op: wal.OpMacro, Def: def}); err != nil {
+		return err
+	}
+	e.trackMacroLocked(def)
+	return nil
 }
 
 // AddProfile stores a personalization profile.
@@ -317,7 +345,10 @@ func (e *Engine) Profiles() []string {
 	return e.profiles.Names()
 }
 
-// Insert adds a tuple and keeps the inverted index current.
+// Insert adds a tuple and keeps the inverted index current. On a
+// persistent engine the insert is also logged to the WAL (with its concrete
+// tuple ID, so replay reconstructs identical IDs); a failed log write rolls
+// the in-memory insert back and returns the error.
 func (e *Engine) Insert(relation string, vals ...storage.Value) (storage.TupleID, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -326,8 +357,16 @@ func (e *Engine) Insert(relation string, vals ...storage.Value) (storage.TupleID
 	if err != nil {
 		return 0, err
 	}
-	if t, ok := e.db.Relation(relation).Get(id); ok {
+	t, ok := e.db.Relation(relation).Get(id)
+	if ok {
 		e.index.AddTuple(relation, t)
+	}
+	if err := e.appendWALLocked(wal.Record{Op: wal.OpInsert, Rel: relation, ID: id, Values: vals}); err != nil {
+		if ok {
+			e.index.RemoveTuple(relation, t)
+		}
+		_, _ = e.db.Delete(relation, id)
+		return 0, err
 	}
 	return id, nil
 }
@@ -349,8 +388,23 @@ func (e *Engine) Update(relation string, id storage.TupleID, vals []storage.Valu
 		return err
 	}
 	e.index.RemoveTuple(relation, old)
+	var updated storage.Tuple
+	var haveUpdated bool
 	if t, ok := rel.Get(id); ok {
+		updated, haveUpdated = t, true
 		e.index.AddTuple(relation, t)
+	}
+	if err := e.appendWALLocked(wal.Record{Op: wal.OpUpdate, Rel: relation, ID: id, Values: vals}); err != nil {
+		// Roll the in-memory update back so memory and disk agree.
+		if haveUpdated {
+			e.index.RemoveTuple(relation, updated)
+		}
+		if rbErr := e.db.Update(relation, id, old.Values); rbErr == nil {
+			if t, ok := rel.Get(id); ok {
+				e.index.AddTuple(relation, t)
+			}
+		}
+		return err
 	}
 	return nil
 }
@@ -369,7 +423,21 @@ func (e *Engine) Delete(relation string, id storage.TupleID) (bool, error) {
 		return false, nil
 	}
 	e.index.RemoveTuple(relation, t)
-	return e.db.Delete(relation, id)
+	deleted, err := e.db.Delete(relation, id)
+	if err != nil || !deleted {
+		if _, still := rel.Get(id); still {
+			e.index.AddTuple(relation, t)
+		}
+		return deleted, err
+	}
+	if err := e.appendWALLocked(wal.Record{Op: wal.OpDelete, Rel: relation, ID: id}); err != nil {
+		// Resurrect the tuple (same ID) so memory and disk agree.
+		if rbErr := e.db.InsertWithID(relation, id, t.Values...); rbErr == nil {
+			e.index.AddTuple(relation, t)
+		}
+		return false, err
+	}
+	return true, nil
 }
 
 // Options tune one query. Zero-value fields fall back to the selected

@@ -14,6 +14,14 @@
 # above runs it with -short (scaled-down iteration counts) to keep tier-1
 # wall clock flat; the dedicated pass below runs it at full strength.
 #
+# The crash-torture pass (persist_crash_test.go) kills the WAL at every
+# byte offset and bit-flips both durability files; the -short run above
+# strides through offsets, this dedicated pass covers every single one
+# under -race. The fuzz smoke then runs both internal/wal fuzz targets
+# (snapshot decoder, WAL replayer) for 10s each on top of the checked-in
+# corpus — long enough to catch a regression in the decoders' bounds
+# checks, short enough for CI.
+#
 # The bench smoke step compiles and runs every benchmark exactly once
 # (-benchtime=1x) with no tests (-run=NONE). It does not measure anything;
 # it keeps the benchmark code itself from rotting — a benchmark that no
@@ -33,6 +41,13 @@ go test -race -count=1 -short ./...
 
 echo "== chaos suite -race -count=2 (full strength)"
 go test -race -count=2 -run 'TestChaos' .
+
+echo "== crash torture -race (full strength: every WAL byte offset)"
+go test -race -count=1 -run 'TestCrashTorture' .
+
+echo "== fuzz smoke (10s per durability target)"
+go test -run=NONE -fuzz='FuzzSnapshotDecode' -fuzztime=10s ./internal/wal
+go test -run=NONE -fuzz='FuzzWALReplay' -fuzztime=10s ./internal/wal
 
 echo "== bench smoke (compile + one iteration)"
 go test -run=NONE -bench=. -benchtime=1x ./...
