@@ -15,14 +15,26 @@ const frameHeaderSize = 12
 // on-disk checksums; hardware-accelerated on amd64/arm64).
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// appendFrame frames payload into dst: header then payload.
-func appendFrame(dst, payload []byte) []byte {
+// errFrameTooLarge rejects a write-path payload the read path would refuse
+// to parse. Enforcing the cap here — before any bytes reach disk — keeps an
+// oversized section from producing a file that encodes "successfully" but
+// can never be decoded again (and keeps uint32(len) from silently wrapping
+// past 4 GiB into an undetectably corrupt length field).
+var errFrameTooLarge = errors.New("wal: frame payload exceeds limit")
+
+// appendFrame frames payload into dst: header then payload. Payloads over
+// maxFramePayload are refused with errFrameTooLarge; they could be written
+// but never read back.
+func appendFrame(dst, payload []byte) ([]byte, error) {
+	if len(payload) > maxFramePayload {
+		return nil, fmt.Errorf("%w (%d > %d bytes)", errFrameTooLarge, len(payload), maxFramePayload)
+	}
 	var hdr [frameHeaderSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(hdr[0:4], castagnoli))
 	binary.LittleEndian.PutUint32(hdr[8:12], crc32.Checksum(payload, castagnoli))
 	dst = append(dst, hdr[:]...)
-	return append(dst, payload...)
+	return append(dst, payload...), nil
 }
 
 // CorruptionError reports a checksum failure that cannot be a torn write:

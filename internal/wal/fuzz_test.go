@@ -22,7 +22,7 @@ func fuzzSeedSnapshot() []byte {
 	_, _ = db.Insert("R", storage.Int(2), storage.Null, storage.Null, storage.Bool(false))
 	_, _ = db.Insert("S", storage.Int(1), storage.String(""))
 	_ = db.AddForeignKey(storage.ForeignKey{FromRelation: "S", FromColumn: "rid", ToRelation: "R", ToColumn: "id"})
-	return EncodeSnapshot(&SnapshotData{
+	return mustEncode(&SnapshotData{
 		DB:       db,
 		Synonyms: [][2]string{{"alias", "canonical term"}},
 		Macros:   []string{`DEFINE M as "x."`},
@@ -42,7 +42,7 @@ func fuzzSeedWAL() []byte {
 		{Op: OpAddFK, FK: storage.ForeignKey{FromRelation: "a", FromColumn: "b", ToRelation: "c", ToColumn: "d"}},
 	}
 	for _, r := range recs {
-		raw = appendFrame(raw, r.encode(nil))
+		raw = mustFrame(raw, r.encode(nil))
 	}
 	return append(raw, 0x42, 0x42, 0x42) // torn tail
 }
@@ -58,7 +58,7 @@ func FuzzSnapshotDecode(f *testing.F) {
 	f.Add(seed[:len(seed)/2])       // truncation
 	f.Add([]byte(snapMagic))        // magic only
 	f.Add([]byte("PRCSNAP2junk"))   // wrong magic version
-	f.Add(appendFrame([]byte(snapMagic), []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x01})) // absurd uvarint header
+	f.Add(mustFrame([]byte(snapMagic), []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x01})) // absurd uvarint header
 	mut := append([]byte(nil), seed...)
 	mut[len(mut)/3] ^= 0x40
 	f.Add(mut) // flipped bit
@@ -70,8 +70,13 @@ func FuzzSnapshotDecode(f *testing.F) {
 		if err != nil {
 			return
 		}
-		// A successfully decoded snapshot must survive a round trip.
-		re := EncodeSnapshot(data)
+		// A successfully decoded snapshot must survive a round trip. The
+		// input cap keeps decoded states far under the frame limit, so the
+		// re-encode can never hit it.
+		re, err := EncodeSnapshot(data)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded snapshot failed: %v", err)
+		}
 		if _, err := DecodeSnapshot("", re); err != nil {
 			t.Fatalf("re-encoded snapshot does not decode: %v", err)
 		}

@@ -71,8 +71,13 @@ func (s *SnapshotData) addMacro(def string) {
 
 // EncodeSnapshot renders data as snapshot bytes. Relations are encoded in
 // creation order and tuples in scan (insertion) order — storage guarantees
-// both are stable — so identical states produce identical bytes.
-func EncodeSnapshot(data *SnapshotData) []byte {
+// both are stable — so identical states produce identical bytes. A section
+// whose encoding exceeds the frame payload limit (a single relation over
+// 1 GiB) is refused with an error naming it: the same limit the decoder
+// hard-fails on must be enforced here, before any bytes can reach disk,
+// or a checkpoint would "succeed", garbage-collect the older generations,
+// and leave behind a snapshot that can never be opened again.
+func EncodeSnapshot(data *SnapshotData) ([]byte, error) {
 	out := []byte(snapMagic)
 	db := data.DB
 	names := db.RelationNames()
@@ -84,7 +89,10 @@ func EncodeSnapshot(data *SnapshotData) []byte {
 	h.str(db.Name())
 	h.uvarint(uint64(db.NextTupleID()))
 	h.uvarint(uint64(len(names)))
-	out = appendFrame(out, h.bytes())
+	out, err := appendFrame(out, h.bytes())
+	if err != nil {
+		return nil, fmt.Errorf("wal: snapshot header: %w", err)
+	}
 
 	// One section per relation: schema then tuples.
 	total := 0
@@ -109,7 +117,9 @@ func EncodeSnapshot(data *SnapshotData) []byte {
 			}
 			return true
 		})
-		out = appendFrame(out, e.bytes())
+		if out, err = appendFrame(out, e.bytes()); err != nil {
+			return nil, fmt.Errorf("wal: snapshot relation %s: %w", name, err)
+		}
 	}
 
 	// Foreign keys.
@@ -121,7 +131,9 @@ func EncodeSnapshot(data *SnapshotData) []byte {
 		fe.str(fk.ToRelation)
 		fe.str(fk.ToColumn)
 	}
-	out = appendFrame(out, fe.bytes())
+	if out, err = appendFrame(out, fe.bytes()); err != nil {
+		return nil, fmt.Errorf("wal: snapshot foreign keys: %w", err)
+	}
 
 	// Engine extras: synonyms (sorted by alias for deterministic bytes) and
 	// macro definitions (definition order).
@@ -137,14 +149,18 @@ func EncodeSnapshot(data *SnapshotData) []byte {
 	for _, m := range data.Macros {
 		xe.str(m)
 	}
-	out = appendFrame(out, xe.bytes())
+	if out, err = appendFrame(out, xe.bytes()); err != nil {
+		return nil, fmt.Errorf("wal: snapshot extras: %w", err)
+	}
 
 	// Trailer: authenticates that every section arrived.
 	var te enc
 	te.str(snapTrailer)
 	te.uvarint(uint64(total))
-	out = appendFrame(out, te.bytes())
-	return out
+	if out, err = appendFrame(out, te.bytes()); err != nil {
+		return nil, fmt.Errorf("wal: snapshot trailer: %w", err)
+	}
+	return out, nil
 }
 
 // DecodeSnapshot parses snapshot bytes back into a SnapshotData. file names
@@ -348,12 +364,16 @@ func fileLabel(file string) string {
 // WriteSnapshot durably writes data as generation gen in dir: encode to a
 // temp file, fsync it, rename into place, fsync the directory. A crash at
 // any point leaves either no new snapshot or a complete one — never a
-// half-visible generation.
+// half-visible generation, and an encode failure (oversized section)
+// aborts before any file exists, leaving older generations untouched.
 func WriteSnapshot(dir string, gen uint64, data *SnapshotData) (string, error) {
 	if err := faultinject.Fire(faultinject.SiteSnapshotWrite); err != nil {
 		return "", fmt.Errorf("wal: snapshot write: %w", err)
 	}
-	raw := EncodeSnapshot(data)
+	raw, err := EncodeSnapshot(data)
+	if err != nil {
+		return "", err
+	}
 	final := filepath.Join(dir, snapshotName(gen))
 	tmp, err := os.CreateTemp(dir, ".tmp-snap-*")
 	if err != nil {

@@ -151,6 +151,14 @@ func Open(dir string, cfg Config) (*Store, *Recovered, error) {
 	w.records.Store(int64(info.Records))
 	s.gen = rec.Gen
 	s.w = w
+	// The recovered snapshot is the last checkpoint: date LastCkpt from its
+	// mtime (falling back to now) so a configured CheckpointEvery does not
+	// see a zero time and fire an immediate checkpoint on every boot, and
+	// Stats reports a truthful last_checkpoint after restart.
+	s.lastCkpt = time.Now()
+	if st, err := os.Stat(rec.SnapshotPath); err == nil {
+		s.lastCkpt = st.ModTime()
+	}
 	s.gcLocked(rec.Gen)
 	rec.Duration = time.Since(start)
 	return s, rec, nil

@@ -75,6 +75,14 @@ type Metrics struct {
 // FsyncAlways, concurrent appenders batch into group commits: every waiter
 // that arrives while an fsync is in flight is covered by the next one, so
 // n concurrent appends cost far fewer than n fsyncs.
+//
+// A failed fsync poisons the writer: the un-durable tail (every frame
+// written since the last successful fsync) is truncated off the file and
+// all further appends are refused with a sticky error. This is what makes
+// the engine's rollback-on-append-error protocol sound — a record whose
+// Append reported failure can never be made durable by a later group
+// commit or OS writeback, so crash recovery can never replay a mutation
+// the engine rolled back (no phantom records).
 type Writer struct {
 	path     string
 	policy   FsyncPolicy
@@ -88,8 +96,16 @@ type Writer struct {
 
 	syncMu    sync.Mutex   // serializes fsyncs (the group-commit gate)
 	syncedSeq atomic.Int64 // highest writeSeq known durable
+	// syncedSize / syncedRecords mirror size / records at the last
+	// successful fsync — the durable frontier a poisoning truncates back
+	// to. Guarded by syncMu.
+	syncedSize    int64
+	syncedRecords int64
 
-	syncErr atomic.Pointer[error] // sticky background-flush error
+	// failed is the sticky poison error: once set (by a failed fsync) the
+	// writer refuses every further append and sync. Checked under mu on the
+	// append path so a poisoning's truncation cannot race a frame write.
+	failed atomic.Pointer[error]
 
 	metrics atomic.Pointer[Metrics]
 
@@ -113,6 +129,9 @@ func openWriter(path string, policy FsyncPolicy, interval time.Duration) (*Write
 	}
 	w := &Writer{path: path, policy: policy, interval: interval, f: f}
 	w.size.Store(st.Size())
+	// Whatever the file already holds survived a previous process (or was
+	// just replayed by recovery): it is the initial durable frontier.
+	w.syncedSize = st.Size()
 	if policy == FsyncInterval {
 		w.stop = make(chan struct{})
 		w.done = make(chan struct{})
@@ -131,9 +150,9 @@ func (w *Writer) flushLoop() {
 		case <-w.stop:
 			return
 		case <-t.C:
-			if err := w.Sync(); err != nil {
-				w.syncErr.Store(&err)
-			}
+			// A failed sync poisons the writer (sticky error, un-durable
+			// tail truncated); the next Append surfaces it to the caller.
+			_ = w.Sync()
 		}
 	}
 }
@@ -148,24 +167,44 @@ func (w *Writer) Size() int64 { return w.size.Load() }
 func (w *Writer) Records() int64 { return w.records.Load() }
 
 // Append frames payload, writes it, and — under FsyncAlways — blocks until
-// it is durable. The error, if any, means the record may not survive a
-// crash; the file itself is never left in a state recovery cannot parse
-// (at worst a torn tail, which recovery truncates).
+// it is durable. The error, if any, means the record did not and will not
+// become durable: a write error leaves nothing behind, and an fsync error
+// poisons the writer, truncating the un-durable tail (see Writer). The
+// file is never left in a state recovery cannot parse (at worst a torn
+// tail, which recovery truncates).
 func (w *Writer) Append(payload []byte) error {
 	if err := faultinject.Fire(faultinject.SiteWALAppend); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
-	if ep := w.syncErr.Load(); ep != nil {
-		return fmt.Errorf("wal: background fsync failed: %w", *ep)
+	frame, err := appendFrame(make([]byte, 0, frameHeaderSize+len(payload)), payload)
+	if err != nil {
+		return fmt.Errorf("wal: append to %s: %w", w.path, err)
 	}
-	frame := appendFrame(make([]byte, 0, frameHeaderSize+len(payload)), payload)
 
 	w.mu.Lock()
 	if w.f == nil {
 		w.mu.Unlock()
 		return fmt.Errorf("wal: append to closed writer %s", w.path)
 	}
+	// The poison check must happen under mu: poisoning truncates the file
+	// under mu after setting the error, so any appender that gets past this
+	// check either wrote before the truncation (its frame is cut, its
+	// syncTo fails) or sees the error here and never writes.
+	if ep := w.failed.Load(); ep != nil {
+		w.mu.Unlock()
+		return fmt.Errorf("wal: writer %s poisoned by earlier fsync failure: %w", w.path, *ep)
+	}
 	if _, err := w.f.Write(frame); err != nil {
+		// A short write may have left a partial frame behind. Cut it off so
+		// a later successful append cannot land after garbage (which would
+		// turn a transient write error into mid-log corruption); if even
+		// the truncate fails, poison the writer so nothing further is
+		// written after the damaged tail.
+		pre := w.size.Load()
+		if terr := w.f.Truncate(pre); terr != nil {
+			perr := fmt.Errorf("wal: append to %s failed (%v) and truncating the partial frame failed: %w", w.path, err, terr)
+			w.failed.CompareAndSwap(nil, &perr)
+		}
 		w.mu.Unlock()
 		return fmt.Errorf("wal: append to %s: %w", w.path, err)
 	}
@@ -200,20 +239,27 @@ func (w *Writer) syncTo(seq int64) error {
 	return w.syncLocked()
 }
 
-// syncLocked fsyncs; callers hold syncMu.
+// syncLocked fsyncs; callers hold syncMu. A failed fsync (injected or
+// real) poisons the writer via poisonLocked, so the un-durable tail can
+// never become durable behind the caller's back.
 func (w *Writer) syncLocked() error {
+	if ep := w.failed.Load(); ep != nil {
+		return fmt.Errorf("wal: writer %s poisoned by earlier fsync failure: %w", w.path, *ep)
+	}
 	// Snapshot the write frontier before fsync: everything written before
 	// the call is durable afterwards; frames that race in during the fsync
 	// are not, and stay below the recorded frontier.
-	cur := w.writeSeq.Load()
-	if err := faultinject.Fire(faultinject.SiteWALFsync); err != nil {
-		return fmt.Errorf("wal: fsync %s: %w", w.path, err)
-	}
 	w.mu.Lock()
+	cur := w.writeSeq.Load()
+	curSize := w.size.Load()
+	curRecords := w.records.Load()
 	f := w.f
 	w.mu.Unlock()
 	if f == nil {
 		return nil
+	}
+	if err := faultinject.Fire(faultinject.SiteWALFsync); err != nil {
+		return w.poisonLocked(fmt.Errorf("wal: fsync %s: %w", w.path, err))
 	}
 	start := time.Now()
 	err := f.Sync()
@@ -222,12 +268,45 @@ func (w *Writer) syncLocked() error {
 		m.FsyncSeconds.ObserveNanos(time.Since(start).Nanoseconds())
 	}
 	if err != nil {
-		return fmt.Errorf("wal: fsync %s: %w", w.path, err)
+		return w.poisonLocked(fmt.Errorf("wal: fsync %s: %w", w.path, err))
 	}
 	if w.syncedSeq.Load() < cur {
 		w.syncedSeq.Store(cur)
+		w.syncedSize = curSize
+		w.syncedRecords = curRecords
 	}
 	return nil
+}
+
+// poisonLocked marks the writer permanently failed and truncates the file
+// back to the durable frontier (the size at the last successful fsync), so
+// no frame appended since can become durable through a later group commit
+// or OS writeback. Frames in the cut tail belong either to FsyncAlways
+// appenders — which are still blocked in syncTo, will observe the sticky
+// error, and roll back — or to interval/never appenders, whose policy
+// already tolerates losing a clean log suffix. Callers hold syncMu; the
+// writer refuses every further append and sync until reopened (a failed
+// fsync means the device may have dropped dirty pages, so retrying cannot
+// be trusted — checkpointing into a fresh generation is the recovery
+// path).
+func (w *Writer) poisonLocked(cause error) error {
+	if w.failed.CompareAndSwap(nil, &cause) {
+		w.mu.Lock()
+		if w.f != nil {
+			if terr := w.f.Truncate(w.syncedSize); terr == nil {
+				w.size.Store(w.syncedSize)
+				w.records.Store(w.syncedRecords)
+			}
+			// If the truncate itself fails the tail may survive on disk;
+			// the sticky error still stops every future append, and the
+			// caller's rollback path surfaces the failure, but recovery
+			// after a crash may then replay rolled-back records — nothing
+			// more can be done against a device that refuses both fsync
+			// and truncate.
+		}
+		w.mu.Unlock()
+	}
+	return cause
 }
 
 // Sync forces everything appended so far to stable storage.

@@ -13,9 +13,30 @@ import (
 	"sync"
 	"testing"
 
+	"precis/internal/faultinject"
 	"precis/internal/obs"
 	"precis/internal/storage"
 )
+
+// mustFrame frames a payload known to be under the frame limit (every
+// test input is); it panics instead of returning the impossible error.
+func mustFrame(dst, payload []byte) []byte {
+	out, err := appendFrame(dst, payload)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// mustEncode encodes a snapshot known to fit in its frames (every test
+// state does); it panics instead of returning the impossible error.
+func mustEncode(data *SnapshotData) []byte {
+	raw, err := EncodeSnapshot(data)
+	if err != nil {
+		panic(err)
+	}
+	return raw
+}
 
 // testDB builds a small two-relation database with a foreign key and a few
 // tuples, exercising every value kind the codec handles.
@@ -97,8 +118,8 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		Synonyms: [][2]string{{"leguin", "Ursula K. Le Guin"}, {"calvino", "Italo Calvino"}},
 		Macros:   []string{"DEFINE FAVS AS The Dispossessed"},
 	}
-	raw := EncodeSnapshot(data)
-	if !bytes.Equal(raw, EncodeSnapshot(data)) {
+	raw := mustEncode(data)
+	if !bytes.Equal(raw, mustEncode(data)) {
 		t.Fatal("EncodeSnapshot is not deterministic")
 	}
 	got, err := DecodeSnapshot("rt", raw)
@@ -123,7 +144,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 // detects all single-bit errors, so no flip may be silently accepted.
 func TestSnapshotBitFlips(t *testing.T) {
 	data := &SnapshotData{DB: testDB(t), Synonyms: [][2]string{{"a", "b"}}, Macros: []string{"DEFINE M AS x"}}
-	raw := EncodeSnapshot(data)
+	raw := mustEncode(data)
 	for i := range raw {
 		for bit := 0; bit < 8; bit++ {
 			mut := append([]byte(nil), raw...)
@@ -140,7 +161,7 @@ func TestSnapshotBitFlips(t *testing.T) {
 // interrupted write must stay distinguishable from a flipped bit.
 func TestSnapshotTruncationIsIncomplete(t *testing.T) {
 	data := &SnapshotData{DB: testDB(t)}
-	raw := EncodeSnapshot(data)
+	raw := mustEncode(data)
 	for cut := 0; cut < len(raw); cut++ {
 		_, err := DecodeSnapshot("cut", raw[:cut])
 		if err == nil {
@@ -190,7 +211,7 @@ func walRecords(n int) (raw []byte, ends []int64) {
 	for i := 0; i < n; i++ {
 		r := Record{Op: OpInsert, Rel: "AUTHOR", ID: storage.TupleID(100 + i),
 			Values: []storage.Value{storage.Int(int64(i)), storage.String(fmt.Sprintf("name-%d", i)), storage.Float(0.5), storage.Bool(i%2 == 0)}}
-		raw = appendFrame(raw, r.encode(nil))
+		raw = mustFrame(raw, r.encode(nil))
 		ends = append(ends, int64(len(raw)))
 	}
 	return raw, ends
@@ -407,7 +428,7 @@ func TestStoreIncompleteSnapshotFallback(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Write a truncated generation-2 snapshot without a WAL.
-	raw := EncodeSnapshot(&SnapshotData{DB: db})
+	raw := mustEncode(&SnapshotData{DB: db})
 	if err := os.WriteFile(filepath.Join(dir, snapshotName(2)), raw[:len(raw)/2], 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -563,6 +584,113 @@ func TestFsyncPolicies(t *testing.T) {
 	}
 }
 
+// TestFsyncFailurePoisonsWriter proves the no-phantom-record guarantee:
+// when an fsync fails after the frame bytes were already written, the
+// writer must truncate the un-durable tail off the file and refuse every
+// further append. Without that, the rolled-back record's bytes would still
+// sit in the log, a later group commit (or plain OS writeback) would make
+// them durable, and crash recovery would replay a mutation the engine
+// reported failed.
+func TestFsyncFailurePoisonsWriter(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, walName(1))
+	w, err := openWriter(path, FsyncAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Op: OpMacro, Def: "DEFINE A AS x"}.encode(nil)); err != nil {
+		t.Fatal(err)
+	}
+	durable := w.Size()
+
+	errBoom := errors.New("injected fsync failure")
+	deactivate := faultinject.Activate(faultinject.NewPlan().
+		Set(faultinject.SiteWALFsync, faultinject.Rule{Err: errBoom}))
+	if err := w.Append(Record{Op: OpMacro, Def: "DEFINE B AS y"}.encode(nil)); !errors.Is(err, errBoom) {
+		t.Fatalf("Append under fsync failure = %v, want injected error", err)
+	}
+	deactivate()
+
+	// The failed frame's bytes must be gone: the file holds exactly the
+	// durable prefix, so nothing a caller rolled back can ever replay.
+	if got := w.Size(); got != durable {
+		t.Fatalf("size after poisoned append = %d, want %d (un-durable tail not truncated)", got, durable)
+	}
+	var defs []string
+	info, err := ReplayFile(path, func(r Record) error {
+		defs = append(defs, r.Def)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay after poisoning: %v", err)
+	}
+	if info.Records != 1 || len(defs) != 1 || defs[0] != "DEFINE A AS x" {
+		t.Fatalf("replayed %d records %v, want only the durable one", info.Records, defs)
+	}
+
+	// The poison is sticky: with the fault gone, appends and syncs still
+	// refuse — a device that failed one fsync cannot be trusted with the
+	// next, and the store heals by checkpointing into a fresh generation.
+	if err := w.Append(Record{Op: OpMacro, Def: "DEFINE C AS z"}.encode(nil)); err == nil {
+		t.Fatal("append to poisoned writer succeeded")
+	}
+	if err := w.Sync(); err == nil {
+		t.Fatal("sync on poisoned writer succeeded")
+	}
+	_ = w.Close() // surfaces the sticky error; the file itself is closed
+}
+
+// TestStoreCheckpointHealsPoisonedWriter: after an fsync failure poisons
+// the active WAL, a checkpoint writes a fresh snapshot of the (consistent,
+// rolled-back) in-memory state and rotates to a new generation with a
+// healthy writer — the documented recovery path without a restart.
+func TestStoreCheckpointHealsPoisonedWriter(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, storeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := testDB(t)
+	if err := s.Initialize(&SnapshotData{DB: db}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(Record{Op: OpMacro, Def: "DEFINE A AS x"}); err != nil {
+		t.Fatal(err)
+	}
+	errBoom := errors.New("injected fsync failure")
+	deactivate := faultinject.Activate(faultinject.NewPlan().
+		Set(faultinject.SiteWALFsync, faultinject.Rule{Err: errBoom}))
+	if err := s.Sync(); !errors.Is(err, errBoom) {
+		t.Fatalf("Sync under fsync failure = %v, want injected error", err)
+	}
+	deactivate()
+	if err := s.Append(Record{Op: OpMacro, Def: "DEFINE B AS y"}); err == nil {
+		t.Fatal("append to poisoned store succeeded")
+	}
+	if err := s.Checkpoint(&SnapshotData{DB: db, Macros: []string{"DEFINE A AS x"}}); err != nil {
+		t.Fatalf("healing checkpoint: %v", err)
+	}
+	if err := s.Append(Record{Op: OpMacro, Def: "DEFINE C AS z"}); err != nil {
+		t.Fatalf("append after healing checkpoint: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, rec, err := Open(dir, storeConfig())
+	if err != nil {
+		t.Fatalf("reopen after heal: %v", err)
+	}
+	if len(rec.Data.Macros) != 2 {
+		t.Fatalf("recovered macros %v, want the checkpointed A and the post-heal C", rec.Data.Macros)
+	}
+	// Recovery dates LastCkpt from the loaded snapshot, so time-triggered
+	// checkpointing does not fire spuriously on every boot and stats stay
+	// truthful after a restart.
+	if s2.Stats().LastCkpt.IsZero() {
+		t.Fatal("LastCkpt is zero after recovery")
+	}
+}
+
 func TestParseFsyncPolicy(t *testing.T) {
 	for _, p := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNever} {
 		got, err := ParseFsyncPolicy(p.String())
@@ -594,7 +722,7 @@ func TestDecoderAdversarialCounts(t *testing.T) {
 	h.str("db")
 	h.uvarint(1)
 	h.uvarint(1 << 40)
-	raw := appendFrame([]byte(snapMagic), h.bytes())
+	raw := mustFrame([]byte(snapMagic), h.bytes())
 	if _, err := DecodeSnapshot("", raw); err == nil {
 		t.Fatal("absurd relation count accepted")
 	}

@@ -222,7 +222,11 @@ func TestWALAppendFailureRollsBack(t *testing.T) {
 	if ok, err := eng.Delete("DIRECTOR", did); ok || !errors.Is(err, errBoom) {
 		t.Fatalf("Delete under WAL failure = %v, %v, want false + injected error", ok, err)
 	}
-	eng.AddSynonym("cleo", "Agnes Varda") // must be dropped, not half-applied
+	// The synonym must be dropped, not half-applied, and the lost write
+	// must be observable by the caller.
+	if err := eng.AddSynonym("cleo", "Agnes Varda"); !errors.Is(err, errBoom) {
+		t.Fatalf("AddSynonym under WAL failure = %v, want injected error", err)
+	}
 	if err := eng.DefineMacro(`DEFINE AV as "Agnes Varda."`); !errors.Is(err, errBoom) {
 		t.Fatalf("DefineMacro under WAL failure = %v, want injected error", err)
 	}
@@ -251,6 +255,91 @@ func TestWALAppendFailureRollsBack(t *testing.T) {
 	defer eng2.Close()
 	if got, want := dumpDatabase(eng2.Database()), dumpDatabase(eng.Database()); got != want {
 		t.Fatalf("post-failure state did not persist:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+// TestWALFsyncFailureNoPhantomRecord injects an fsync error under
+// FsyncAlways — the case where the frame bytes hit the file before the
+// failure. The engine rolls the mutation back; the WAL layer must
+// guarantee the written-but-unsynced record can never become durable
+// (truncated tail + poisoned writer), so a reopen of the directory yields
+// exactly the pre-failure state instead of replaying a ghost tuple. A
+// checkpoint then heals the store into a fresh generation without a
+// restart.
+func TestWALFsyncFailureNoPhantomRecord(t *testing.T) {
+	dir := t.TempDir()
+	cfg := quietPersistConfig(dir)
+	cfg.Fsync = FsyncAlways
+	db, g, err := dataset.ExampleMovies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := Open(db, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Insert("DIRECTOR", storage.Int(902), storage.String("Agnes Varda"), storage.String("Ixelles"), storage.String("1928")); err != nil {
+		t.Fatal(err)
+	}
+	before := dumpDatabase(eng.Database())
+
+	errBoom := errors.New("injected fsync failure")
+	defer faultinject.Activate(faultinject.NewPlan().
+		Set(faultinject.SiteWALFsync, faultinject.Rule{Err: errBoom}))()
+	if _, err := eng.Insert("DIRECTOR", storage.Int(903), storage.String("Phantom"), storage.String("Nowhere"), storage.String("1900")); !errors.Is(err, errBoom) {
+		t.Fatalf("Insert under fsync failure = %v, want injected error", err)
+	}
+	faultinject.Deactivate()
+
+	// Memory rolled back ...
+	if got := dumpDatabase(eng.Database()); got != before {
+		t.Fatalf("failed mutation left memory state behind:\nwant:\n%s\ngot:\n%s", before, got)
+	}
+	// ... and the WAL is poisoned, not silently diverging: further appends
+	// are refused (and rolled back) until a checkpoint heals the store.
+	if _, err := eng.Insert("DIRECTOR", storage.Int(904), storage.String("After"), storage.String("X"), storage.String("1950")); err == nil {
+		t.Fatal("insert succeeded on a poisoned WAL")
+	}
+
+	// Reopen-and-compare: the phantom record's bytes must not be on disk,
+	// so recovery reproduces the pre-failure state exactly.
+	crashed := copyDataDir(t, dir)
+	db2, g2, err := dataset.ExampleMovies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := Open(db2, g2, quietPersistConfig(crashed))
+	if err != nil {
+		t.Fatalf("reopen after fsync failure: %v", err)
+	}
+	if got := dumpDatabase(eng2.Database()); got != before {
+		t.Fatalf("phantom record replayed after fsync failure:\nwant:\n%s\ngot:\n%s", before, got)
+	}
+	if err := eng2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Checkpoint heals: a fresh generation gets a healthy writer, durable
+	// mutations flow again, and they survive a reopen.
+	if err := eng.Checkpoint(); err != nil {
+		t.Fatalf("healing checkpoint: %v", err)
+	}
+	if _, err := eng.Insert("DIRECTOR", storage.Int(905), storage.String("Celine Sciamma"), storage.String("Pontoise"), storage.String("1978")); err != nil {
+		t.Fatalf("insert after healing checkpoint: %v", err)
+	}
+	crashed2 := copyDataDir(t, dir)
+	db3, g3, err := dataset.ExampleMovies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng3, err := Open(db3, g3, quietPersistConfig(crashed2))
+	if err != nil {
+		t.Fatalf("reopen after heal: %v", err)
+	}
+	defer eng3.Close()
+	if got, want := dumpDatabase(eng3.Database()), dumpDatabase(eng.Database()); got != want {
+		t.Fatalf("post-heal state did not persist:\nwant:\n%s\ngot:\n%s", want, got)
 	}
 }
 

@@ -294,17 +294,19 @@ func (e *Engine) Index() *invidx.Index { return e.index }
 // reference-reconciliation tool's output in through this.
 //
 // On a persistent engine the synonym is logged to the WAL first; if the log
-// write fails the synonym is dropped (with a logged warning) rather than
-// applied, so the in-memory index never holds state a recovery would lose.
-func (e *Engine) AddSynonym(alias, canonical string) {
+// write fails the synonym is dropped and the error returned, so the
+// in-memory index never holds state a recovery would lose and the caller
+// can observe the lost write and retry. On an in-memory engine the error
+// is always nil.
+func (e *Engine) AddSynonym(alias, canonical string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if err := e.appendWALLocked(wal.Record{Op: wal.OpSynonym, Alias: alias, Canonical: canonical}); err != nil {
-		e.persist.logger.Printf("precis: AddSynonym(%q, %q) dropped: %v", alias, canonical, err)
-		return
+		return err
 	}
 	e.index.AddSynonym(alias, canonical)
 	e.purgeCacheLocked()
+	return nil
 }
 
 // DefineMacro registers a narrative macro ("DEFINE NAME as ...").
