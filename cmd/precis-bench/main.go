@@ -11,11 +11,12 @@
 //	precis-bench -deadline [-quick]   answer size vs wall-clock deadline
 //	precis-bench -stages [-quick]     per-pipeline-stage latency breakdown
 //	precis-bench -persist [-quick]    WAL fsync throughput + recovery time
+//	precis-bench -replicate [-quick]  follower catch-up time + steady-state lag
 //
 // -quick shrinks each experiment's run counts for a fast smoke pass; -csv
 // prints machine-readable rows instead of aligned text. -parallel, -cache,
-// -deadline, -stages and -persist run the engine-level resource
-// experiments (they can be combined with -exp).
+// -deadline, -stages, -persist and -replicate run the engine-level
+// resource experiments (they can be combined with -exp).
 package main
 
 import (
@@ -30,14 +31,15 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: f7, f8, f9, cm, qe, bl, ab or all")
-		quick    = flag.Bool("quick", false, "shrink run counts for a fast pass")
-		csv      = flag.Bool("csv", false, "CSV output")
-		parallel = flag.Bool("parallel", false, "measure worker-pool speedup on one query")
-		cache    = flag.Bool("cache", false, "measure answer-cache hit vs cold latency")
-		deadline = flag.Bool("deadline", false, "measure answer size vs wall-clock deadline (graceful degradation)")
-		stages   = flag.Bool("stages", false, "measure per-pipeline-stage latency via query traces")
-		persist  = flag.Bool("persist", false, "measure WAL append throughput per fsync policy and recovery time vs dataset size")
+		exp       = flag.String("exp", "all", "experiment: f7, f8, f9, cm, qe, bl, ab or all")
+		quick     = flag.Bool("quick", false, "shrink run counts for a fast pass")
+		csv       = flag.Bool("csv", false, "CSV output")
+		parallel  = flag.Bool("parallel", false, "measure worker-pool speedup on one query")
+		cache     = flag.Bool("cache", false, "measure answer-cache hit vs cold latency")
+		deadline  = flag.Bool("deadline", false, "measure answer size vs wall-clock deadline (graceful degradation)")
+		stages    = flag.Bool("stages", false, "measure per-pipeline-stage latency via query traces")
+		persist   = flag.Bool("persist", false, "measure WAL append throughput per fsync policy and recovery time vs dataset size")
+		replicate = flag.Bool("replicate", false, "measure follower catch-up time and steady-state replication lag vs mutation rate")
 	)
 	flag.Parse()
 
@@ -45,7 +47,7 @@ func main() {
 	for _, e := range strings.Split(*exp, ",") {
 		run[strings.TrimSpace(e)] = true
 	}
-	if *parallel || *cache || *deadline || *stages || *persist {
+	if *parallel || *cache || *deadline || *stages || *persist || *replicate {
 		// The resource experiments replace the figure suite unless the
 		// caller asked for both explicitly.
 		if *exp == "all" {
@@ -65,6 +67,9 @@ func main() {
 		}
 		if *persist {
 			run["ps"] = true
+		}
+		if *replicate {
+			run["rp"] = true
 		}
 	}
 	all := run["all"]
@@ -129,6 +134,28 @@ func main() {
 			fatal(err)
 		}
 	}
+	if run["rp"] {
+		if err := runReplicate(*quick); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func runReplicate(quick bool) error {
+	cfg := experiments.DefaultReplBenchConfig()
+	if quick {
+		cfg.Films = 200
+		cfg.CatchupRecords = []int{0, 200}
+		cfg.Rates = []int{200, 1000}
+		cfg.RateDuration = 500 * time.Millisecond
+	}
+	report, err := experiments.ReplBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.String())
+	fmt.Println()
+	return nil
 }
 
 func runPersist(quick bool) error {

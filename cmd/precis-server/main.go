@@ -11,6 +11,7 @@
 //	              [-metrics] [-pprof] [-slowlog-ms N]
 //	              [-data-dir DIR] [-fsync always|interval|never]
 //	              [-fsync-interval D] [-checkpoint-bytes N] [-checkpoint-interval D]
+//	              [-listen-repl ADDR] [-replicate-from ADDR]
 //
 // The answer cache is on by default (-cache-size 0 disables it); any
 // mutation through the engine invalidates it wholesale. Every search runs
@@ -31,6 +32,15 @@
 // structured line (query, per-stage latency, cache state, truncation) for
 // every search slower than N milliseconds (0 disables).
 //
+// Replication: -listen-repl ADDR makes a persistent server a streaming
+// primary — it accepts follower links on ADDR and streams committed WAL
+// frames (snapshot bootstrap included) to them. -replicate-from ADDR makes
+// the server a read-only follower of the primary at ADDR: it bootstraps
+// over the wire (the -db flag then only selects the schema graph), serves
+// queries from the replicated state, and answers every mutation with
+// "read-only". /api/repl reports the role, follower lag in frames and
+// bytes, and the last applied LSN.
+//
 // Load governance: at most -max-inflight searches run concurrently and at
 // most -queue-depth wait for a slot; overflow is shed with 503 and a
 // Retry-After header, visible as counters in /api/stats. SIGINT/SIGTERM
@@ -44,6 +54,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -53,6 +64,7 @@ import (
 	"precis"
 	"precis/internal/dataset"
 	"precis/internal/profile"
+	"precis/internal/repl"
 	"precis/internal/schemagraph"
 	"precis/internal/storage"
 	"precis/internal/web"
@@ -80,6 +92,9 @@ func main() {
 		fsyncEvery = flag.Duration("fsync-interval", 0, "flush interval for -fsync interval (0 = package default)")
 		ckptBytes  = flag.Int64("checkpoint-bytes", precis.DefaultCheckpointBytes, "checkpoint when the WAL reaches this size (negative disables)")
 		ckptEvery  = flag.Duration("checkpoint-interval", 0, "checkpoint on this timer (0 disables the time trigger)")
+
+		listenRepl    = flag.String("listen-repl", "", "stream the WAL to followers on this address (requires -data-dir)")
+		replicateFrom = flag.String("replicate-from", "", "run as a read-only follower of the primary at this address")
 	)
 	flag.Parse()
 
@@ -87,15 +102,36 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng, err := buildEngine(*dbKind, *films, *seed, precis.PersistConfig{
-		Dir:             *dataDir,
-		Fsync:           fsyncPolicy,
-		FsyncInterval:   *fsyncEvery,
-		CheckpointBytes: *ckptBytes,
-		CheckpointEvery: *ckptEvery,
-	})
+	if *replicateFrom != "" && (*dataDir != "" || *listenRepl != "") {
+		log.Fatal("-replicate-from is exclusive with -data-dir and -listen-repl: a follower's state is the primary's stream")
+	}
+	var eng *precis.Engine
+	if *replicateFrom != "" {
+		eng, err = buildFollower(*dbKind, *films, *seed, *replicateFrom)
+	} else {
+		eng, err = buildEngine(*dbKind, *films, *seed, precis.PersistConfig{
+			Dir:             *dataDir,
+			Fsync:           fsyncPolicy,
+			FsyncInterval:   *fsyncEvery,
+			CheckpointBytes: *ckptBytes,
+			CheckpointEvery: *ckptEvery,
+		})
+	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *listenRepl != "" {
+		if *dataDir == "" {
+			log.Fatal("-listen-repl requires -data-dir: replication streams the write-ahead log")
+		}
+		ln, err := net.Listen("tcp", *listenRepl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := eng.StartReplication(ln, repl.PrimaryConfig{}); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("replication: streaming WAL to followers on %s", ln.Addr())
 	}
 	if *cacheSize > 0 {
 		eng.EnableCache(precis.CacheConfig{MaxEntries: *cacheSize, TTL: *cacheTTL})
@@ -137,6 +173,11 @@ func main() {
 			*dataDir, st.Fsync, st.Generation, st.Recovery.SnapshotLoaded,
 			st.Recovery.WALRecordsReplayed, st.Recovery.TornBytesTruncated, st.Recovery.DurationMS)
 	}
+	if *replicateFrom != "" {
+		rs := eng.ReplStats()
+		log.Printf("replication: read-only follower of %s (generation %d, %d records applied)",
+			*replicateFrom, rs.Follower.AppliedGen, rs.Follower.AppliedRecords)
+	}
 
 	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections and
 	// let in-flight queries drain for up to -shutdown-grace.
@@ -172,21 +213,60 @@ func main() {
 	}
 }
 
-// shutdownPersistence checkpoints and closes a persistent engine, logging
-// completion; on an in-memory engine it is a silent no-op. Split out of
-// main so the regression test can drive the exact shutdown path.
+// shutdownPersistence closes the engine — stopping replication in either
+// role, then (on a persistent engine) running the final checkpoint — and
+// logs completion; on a plain in-memory engine it is a silent no-op. Split
+// out of main so the regression test can drive the exact shutdown path.
 func shutdownPersistence(eng *precis.Engine, lg *log.Logger) error {
-	if !eng.PersistStats().Enabled {
-		return nil
-	}
+	persistent := eng.PersistStats().Enabled
 	start := time.Now()
 	if err := eng.Close(); err != nil {
 		return err
 	}
-	st := eng.PersistStats()
-	lg.Printf("final checkpoint complete: generation %d written in %v; data directory is clean",
-		st.Generation, time.Since(start).Round(time.Millisecond))
+	if persistent {
+		st := eng.PersistStats()
+		lg.Printf("final checkpoint complete: generation %d written in %v; data directory is clean",
+			st.Generation, time.Since(start).Round(time.Millisecond))
+	}
 	return nil
+}
+
+// buildFollower builds a read-only follower engine: the -db flag selects
+// only the schema graph (the data arrives over the wire from the primary's
+// snapshot), and the standard macros are not defined locally — macro
+// definitions replicate through the WAL stream like every other mutation.
+func buildFollower(kind string, films int, seed int64, addr string) (*precis.Engine, error) {
+	var (
+		db  *storage.Database
+		g   *schemagraph.Graph
+		err error
+	)
+	switch kind {
+	case "example":
+		db, g, err = dataset.ExampleMovies()
+		if err != nil {
+			return nil, err
+		}
+	case "synthetic":
+		cfg := dataset.DefaultSyntheticConfig()
+		cfg.Films = films
+		cfg.Seed = seed
+		db, err = dataset.SyntheticMovies(cfg)
+		if err != nil {
+			return nil, err
+		}
+		g, err = dataset.PaperGraph(db)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("unknown -db %q (want example or synthetic)", kind)
+	}
+	_ = db // only the graph shapes a follower; its data comes from the primary
+	if err := dataset.AnnotateNarrative(g); err != nil {
+		return nil, err
+	}
+	return precis.OpenFollower(g, precis.ReplicaConfig{Addr: addr})
 }
 
 // buildEngine mirrors cmd/precis's dataset wiring, plus durability: with a

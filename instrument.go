@@ -7,7 +7,68 @@ import (
 
 	"precis/internal/anscache"
 	"precis/internal/obs"
+	"precis/internal/repl"
 )
+
+// Replication metric names: the streaming side's counters on a primary,
+// position/lag gauges on a follower.
+const (
+	MetricReplFollowers     = "precis_repl_followers"
+	MetricReplHandshakes    = "precis_repl_handshakes_total"
+	MetricReplSentRecords   = "precis_repl_sent_records_total"
+	MetricReplSentBytes     = "precis_repl_sent_bytes_total"
+	MetricReplSnapshotsSent = "precis_repl_snapshots_sent_total"
+	MetricReplLinkErrors    = "precis_repl_link_errors_total"
+
+	MetricReplConnected      = "precis_repl_connected"
+	MetricReplAppliedGen     = "precis_repl_applied_generation"
+	MetricReplAppliedRecords = "precis_repl_applied_records"
+	MetricReplLagRecords     = "precis_repl_lag_records"
+	MetricReplLagBytes       = "precis_repl_lag_bytes"
+	MetricReplSnapshots      = "precis_repl_snapshots_applied"
+	MetricReplDials          = "precis_repl_dials"
+)
+
+// instrumentReplPrimary wires a streaming primary's counters into reg.
+func instrumentReplPrimary(reg *obs.Registry, p *repl.Primary) {
+	reg.Help(MetricReplFollowers, "follower links currently attached")
+	reg.Help(MetricReplHandshakes, "follower handshakes accepted")
+	reg.Help(MetricReplSentRecords, "WAL records streamed to followers")
+	reg.Help(MetricReplSentBytes, "replication bytes written to follower links")
+	reg.Help(MetricReplSnapshotsSent, "snapshot bootstraps streamed to followers")
+	reg.Help(MetricReplLinkErrors, "follower links dropped on error")
+	p.SetMetrics(&repl.Metrics{
+		SentRecords:   reg.Counter(MetricReplSentRecords),
+		SentBytes:     reg.Counter(MetricReplSentBytes),
+		SnapshotsSent: reg.Counter(MetricReplSnapshotsSent),
+		Handshakes:    reg.Counter(MetricReplHandshakes),
+		LinkErrors:    reg.Counter(MetricReplLinkErrors),
+	})
+	reg.GaugeFunc(MetricReplFollowers, func() float64 { return float64(p.Stats().Followers) })
+}
+
+// instrumentReplFollower registers a follower's position and lag gauges.
+func instrumentReplFollower(reg *obs.Registry, r *replicaState) {
+	reg.Help(MetricReplConnected, "1 while the follower link is up")
+	reg.Help(MetricReplAppliedGen, "WAL generation the follower has applied into")
+	reg.Help(MetricReplAppliedRecords, "records applied within the current generation")
+	reg.Help(MetricReplLagRecords, "records behind the primary's durable frontier (-1 unknown)")
+	reg.Help(MetricReplLagBytes, "bytes behind the primary's durable frontier (-1 unknown)")
+	reg.Help(MetricReplSnapshots, "snapshot bootstraps applied")
+	reg.Help(MetricReplDials, "connection attempts to the primary")
+	reg.GaugeFunc(MetricReplConnected, func() float64 {
+		if r.client.Stats().Connected {
+			return 1
+		}
+		return 0
+	})
+	reg.GaugeFunc(MetricReplAppliedGen, func() float64 { return float64(r.followerStats().AppliedGen) })
+	reg.GaugeFunc(MetricReplAppliedRecords, func() float64 { return float64(r.followerStats().AppliedRecords) })
+	reg.GaugeFunc(MetricReplLagRecords, func() float64 { return float64(r.followerStats().LagRecords) })
+	reg.GaugeFunc(MetricReplLagBytes, func() float64 { return float64(r.followerStats().LagBytes) })
+	reg.GaugeFunc(MetricReplSnapshots, func() float64 { return float64(r.followerStats().Snapshots) })
+	reg.GaugeFunc(MetricReplDials, func() float64 { return float64(r.client.Stats().Dials) })
+}
 
 // Metric names the engine registers. They are exported as constants so the
 // web layer, tests, and dashboards address the same strings the engine
@@ -202,6 +263,12 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 	})
 	if e.persist != nil {
 		e.persist.instrument(reg)
+	}
+	if e.replPrimary != nil {
+		instrumentReplPrimary(reg, e.replPrimary)
+	}
+	if e.replica != nil {
+		instrumentReplFollower(reg, e.replica)
 	}
 }
 

@@ -48,6 +48,17 @@ const (
 	// SiteSnapshotWrite fires at the head of wal.WriteSnapshot — initial
 	// seeding and every checkpoint.
 	SiteSnapshotWrite = "snapshot.write"
+	// SiteReplSend fires before every replication message the primary
+	// writes to a follower link (records, snapshots, heartbeats). An error
+	// rule severs the link; repl.ErrInjectCorrupt instead corrupts the
+	// frame bytes on the wire.
+	SiteReplSend = "repl.send"
+	// SiteReplRecv fires before every replication message the follower
+	// reads; an error rule severs the link mid-stream.
+	SiteReplRecv = "repl.recv"
+	// SiteReplHandshake fires during connection setup on both ends of a
+	// replication link.
+	SiteReplHandshake = "repl.handshake"
 )
 
 // Rule describes what happens when a site fires. Exactly one of Err and

@@ -1,0 +1,494 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"precis/internal/faultinject"
+	"precis/internal/obs"
+	"precis/internal/wal"
+)
+
+// PrimaryConfig tunes the streaming side.
+type PrimaryConfig struct {
+	// HeartbeatEvery paces frontier heartbeats on idle links (0: 500ms).
+	HeartbeatEvery time.Duration
+	// WriteTimeout bounds each message write; a follower that stops
+	// draining is disconnected rather than wedging the streamer (0: 10s).
+	WriteTimeout time.Duration
+	// HandshakeTimeout bounds the wait for the follower's Hello (0: 10s).
+	HandshakeTimeout time.Duration
+	// Logger receives per-link notes; nil uses log.Default().
+	Logger *log.Logger
+}
+
+// Metrics are the optional instruments a Primary ticks (obs instruments
+// are nil-receiver no-ops).
+type Metrics struct {
+	SentRecords   *obs.Counter
+	SentBytes     *obs.Counter
+	SnapshotsSent *obs.Counter
+	Handshakes    *obs.Counter
+	LinkErrors    *obs.Counter
+}
+
+// PrimaryStats snapshots the streaming side's counters.
+type PrimaryStats struct {
+	Followers     int    `json:"followers"`
+	Handshakes    uint64 `json:"handshakes"`
+	SentRecords   uint64 `json:"sent_records"`
+	SentBytes     uint64 `json:"sent_bytes"`
+	SnapshotsSent uint64 `json:"snapshots_sent"`
+	LinkErrors    uint64 `json:"link_errors"`
+}
+
+// Primary streams a Store's committed WAL frames to followers. Each
+// accepted link gets its own goroutine that tails the durable frontier:
+// snapshot bootstrap for a fresh (or fallen-behind) follower, then
+// records, crossing generation rotations in-stream. The primary never
+// blocks mutations: it reads the log files the store already wrote.
+type Primary struct {
+	store *wal.Store
+	cfg   PrimaryConfig
+	log   *log.Logger
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	metrics atomic.Pointer[Metrics]
+
+	handshakes  atomic.Uint64
+	sentRecords atomic.Uint64
+	sentBytes   atomic.Uint64
+	snapshots   atomic.Uint64
+	linkErrors  atomic.Uint64
+}
+
+// NewPrimary wraps store for streaming; call Serve to start accepting.
+func NewPrimary(store *wal.Store, cfg PrimaryConfig) *Primary {
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 10 * time.Second
+	}
+	lg := cfg.Logger
+	if lg == nil {
+		lg = log.Default()
+	}
+	return &Primary{
+		store: store,
+		cfg:   cfg,
+		log:   lg,
+		conns: make(map[net.Conn]struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// SetMetrics wires instruments in (nil allowed).
+func (p *Primary) SetMetrics(m *Metrics) { p.metrics.Store(m) }
+
+// Serve accepts follower links on ln until Close. It blocks; run it in a
+// goroutine. Close makes it return nil.
+func (p *Primary) Serve(ln net.Listener) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		_ = ln.Close()
+		return fmt.Errorf("repl: primary is closed")
+	}
+	p.ln = ln
+	p.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			p.mu.Lock()
+			closed := p.closed
+			p.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			_ = conn.Close()
+			return nil
+		}
+		p.conns[conn] = struct{}{}
+		p.wg.Add(1)
+		p.mu.Unlock()
+		go p.serveConn(conn)
+	}
+}
+
+// Addr returns the accept address (nil before Serve).
+func (p *Primary) Addr() net.Addr {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ln == nil {
+		return nil
+	}
+	return p.ln.Addr()
+}
+
+// Close stops accepting, severs every follower link, and waits for the
+// per-link goroutines.
+func (p *Primary) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	close(p.done)
+	ln := p.ln
+	for c := range p.conns {
+		_ = c.Close()
+	}
+	p.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+// Stats snapshots the counters.
+func (p *Primary) Stats() PrimaryStats {
+	p.mu.Lock()
+	followers := len(p.conns)
+	p.mu.Unlock()
+	return PrimaryStats{
+		Followers:     followers,
+		Handshakes:    p.handshakes.Load(),
+		SentRecords:   p.sentRecords.Load(),
+		SentBytes:     p.sentBytes.Load(),
+		SnapshotsSent: p.snapshots.Load(),
+		LinkErrors:    p.linkErrors.Load(),
+	}
+}
+
+// position is a follower's streaming cursor.
+type position struct {
+	gen uint64
+	seq uint64 // next record index to send within gen
+}
+
+// errSnapshotNeeded makes the stream loop fall back to a snapshot
+// bootstrap (the follower's position cannot be served from log files).
+var errSnapshotNeeded = errors.New("repl: snapshot needed")
+
+// serveConn runs one follower link to completion.
+func (p *Primary) serveConn(conn net.Conn) {
+	defer p.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		p.mu.Lock()
+		delete(p.conns, conn)
+		p.mu.Unlock()
+	}()
+	if err := p.streamTo(conn); err != nil {
+		p.linkErrors.Add(1)
+		if m := p.metrics.Load(); m != nil {
+			m.LinkErrors.Inc()
+		}
+		p.log.Printf("repl: follower %s: %v", conn.RemoteAddr(), err)
+	}
+}
+
+// streamTo handshakes and then streams until the link drops or the
+// primary closes.
+func (p *Primary) streamTo(conn net.Conn) error {
+	_ = conn.SetReadDeadline(time.Now().Add(p.cfg.HandshakeTimeout))
+	typ, body, err := readMsg(conn)
+	if err != nil {
+		return fmt.Errorf("handshake read: %w", err)
+	}
+	if typ != MsgHello {
+		return p.reject(conn, fmt.Sprintf("expected hello, got %s", typ))
+	}
+	hello, err := decodeHello(body)
+	if err != nil {
+		return p.reject(conn, err.Error())
+	}
+	if hello.Version != ProtoVersion {
+		return p.reject(conn, fmt.Sprintf("protocol version %d not supported (want %d)", hello.Version, ProtoVersion))
+	}
+	if err := faultinject.Fire(faultinject.SiteReplHandshake); err != nil {
+		return fmt.Errorf("handshake: %w", err)
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	p.handshakes.Add(1)
+	if m := p.metrics.Load(); m != nil {
+		m.Handshakes.Inc()
+	}
+
+	// The follower sends nothing after Hello; a reader goroutine exists
+	// only to notice the peer closing and unblock our writes promptly.
+	go func() {
+		var buf [1]byte
+		_, _ = conn.Read(buf[:])
+		_ = conn.Close()
+	}()
+
+	sub, cancel := p.store.Subscribe()
+	defer cancel()
+
+	// Resume is only possible within the current generation: checkpoints
+	// garbage-collect older logs immediately. Gen 0 means "never
+	// bootstrapped".
+	fr := p.store.Frontier()
+	pos := position{gen: hello.Gen, seq: hello.Records}
+	canResume := hello.Gen != 0 && hello.Gen == fr.Gen && int64(hello.Records) <= fr.Records
+	if canResume {
+		if err := p.send(conn, MsgWelcome, encodeWelcome(Welcome{Version: ProtoVersion, Gen: pos.gen, Records: pos.seq})); err != nil {
+			return err
+		}
+	} else {
+		gen, raw, err := p.loadSnapshot()
+		if err != nil {
+			return err
+		}
+		if err := p.send(conn, MsgWelcome, encodeWelcome(Welcome{Version: ProtoVersion, Snapshot: true, Gen: gen})); err != nil {
+			return err
+		}
+		if err := p.sendSnapshot(conn, gen, raw); err != nil {
+			return err
+		}
+		pos = position{gen: gen}
+	}
+
+	hb := time.NewTicker(p.cfg.HeartbeatEvery)
+	defer hb.Stop()
+	var f *os.File
+	defer func() {
+		if f != nil {
+			_ = f.Close()
+		}
+	}()
+	var frames *wal.FrameReader
+	for {
+		var err error
+		fr := p.store.Frontier()
+		// How far does pos.gen go? Up to the live frontier while it is the
+		// current generation; to its recorded end once rotated away.
+		limit := int64(-1)
+		rotated := false
+		if fr.Gen == pos.gen {
+			limit = fr.Records
+		} else if fr.Gen > pos.gen {
+			if end, ok := p.store.GenEnd(pos.gen); ok {
+				limit, rotated = end, true
+			}
+		}
+		if limit < 0 || int64(pos.seq) > limit {
+			// The follower's generation is gone (or ahead of us — a stale
+			// primary restart); re-bootstrap from the current snapshot.
+			err = errSnapshotNeeded
+		} else if int64(pos.seq) < limit {
+			if f == nil {
+				path := p.store.WALPath(pos.gen)
+				f, err = os.Open(path)
+				if err != nil {
+					f = nil
+					err = errSnapshotNeeded
+				} else {
+					frames = wal.NewFrameReader(f, path)
+					err = skipFrames(frames, pos.seq)
+				}
+			}
+			if err == nil {
+				err = p.sendRecords(conn, frames, &pos, limit, fr)
+			}
+		}
+		if err == nil && rotated && int64(pos.seq) == limit {
+			// End of a rotated generation: cross into the next one. Its
+			// snapshot equals "previous snapshot + every record just sent",
+			// so a caught-up follower needs no re-bootstrap.
+			pos.gen++
+			pos.seq = 0
+			if f != nil {
+				_ = f.Close()
+				f, frames = nil, nil
+			}
+			continue
+		}
+		if errors.Is(err, errSnapshotNeeded) {
+			if f != nil {
+				_ = f.Close()
+				f, frames = nil, nil
+			}
+			gen, raw, lerr := p.loadSnapshot()
+			if lerr != nil {
+				return lerr
+			}
+			if err := p.sendSnapshot(conn, gen, raw); err != nil {
+				return err
+			}
+			pos = position{gen: gen}
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		// Caught up: wait for the frontier to move, heartbeating so the
+		// follower's lag view stays fresh on an idle link.
+		select {
+		case <-sub:
+		case <-hb.C:
+			fr := p.store.Frontier()
+			if err := p.send(conn, MsgHeartbeat, encodeHeartbeat(Heartbeat{
+				FrontierGen:     fr.Gen,
+				FrontierRecords: uint64(fr.Records),
+				FrontierBytes:   uint64(fr.Bytes),
+			})); err != nil {
+				return err
+			}
+		case <-p.done:
+			return nil
+		}
+	}
+}
+
+// sendRecords streams frames [pos.seq, limit) of pos.gen.
+func (p *Primary) sendRecords(conn net.Conn, frames *wal.FrameReader, pos *position, limit int64, fr wal.Frontier) error {
+	for int64(pos.seq) < limit {
+		payload, err := frames.Next()
+		if err != nil {
+			if err == io.EOF {
+				// The file ends before the durable frontier: a poisoned
+				// writer truncated its tail. Drop the link; the follower
+				// reconnects and (after the healing checkpoint) re-bootstraps.
+				return fmt.Errorf("wal %s ends at record %d, frontier claims %d", p.store.WALPath(pos.gen), pos.seq, limit)
+			}
+			return err
+		}
+		msg := RecordMsg{
+			Gen:             pos.gen,
+			Seq:             pos.seq,
+			FrontierGen:     fr.Gen,
+			FrontierRecords: uint64(fr.Records),
+			FrontierBytes:   uint64(fr.Bytes),
+			Payload:         payload,
+		}
+		if err := p.send(conn, MsgRecord, encodeRecord(msg)); err != nil {
+			return err
+		}
+		pos.seq++
+		p.sentRecords.Add(1)
+		if m := p.metrics.Load(); m != nil {
+			m.SentRecords.Inc()
+		}
+	}
+	return nil
+}
+
+// loadSnapshot reads the current snapshot file, retrying across the tiny
+// window where a checkpoint rotation has advanced the generation but GC
+// already removed the file we were told about.
+func (p *Primary) loadSnapshot() (uint64, []byte, error) {
+	for attempt := 0; ; attempt++ {
+		gen, path := p.store.SnapshotPath()
+		raw, err := os.ReadFile(path)
+		if err == nil {
+			return gen, raw, nil
+		}
+		if !os.IsNotExist(err) || attempt >= 5 {
+			return 0, nil, fmt.Errorf("load snapshot: %w", err)
+		}
+	}
+}
+
+// sendSnapshot chunks the snapshot over the link.
+func (p *Primary) sendSnapshot(conn net.Conn, gen uint64, raw []byte) error {
+	if err := p.send(conn, MsgSnapBegin, encodeSnapBegin(SnapBegin{Gen: gen, Size: uint64(len(raw))})); err != nil {
+		return err
+	}
+	for off := 0; off < len(raw); off += snapChunkSize {
+		end := min(off+snapChunkSize, len(raw))
+		if err := p.send(conn, MsgSnapChunk, raw[off:end]); err != nil {
+			return err
+		}
+	}
+	if err := p.send(conn, MsgSnapEnd, nil); err != nil {
+		return err
+	}
+	p.snapshots.Add(1)
+	if m := p.metrics.Load(); m != nil {
+		m.SnapshotsSent.Inc()
+	}
+	return nil
+}
+
+// send writes one framed message, firing the repl.send fault site. An
+// injected ErrInjectCorrupt flips a payload byte instead of failing — the
+// frame goes out genuinely corrupted for the follower's checksums to
+// catch.
+func (p *Primary) send(conn net.Conn, typ MsgType, body []byte) error {
+	corrupt := false
+	if err := faultinject.Fire(faultinject.SiteReplSend); err != nil {
+		if errors.Is(err, ErrInjectCorrupt) {
+			corrupt = true
+		} else {
+			return fmt.Errorf("send %s: %w", typ, err)
+		}
+	}
+	payload := make([]byte, 0, 1+len(body))
+	payload = append(payload, byte(typ))
+	payload = append(payload, body...)
+	if len(payload) > maxMsgPayload {
+		return &ProtocolError{Msg: typ, Detail: fmt.Sprintf("payload %d exceeds limit %d", len(payload), maxMsgPayload)}
+	}
+	frame := frameMsg(payload)
+	if corrupt {
+		frame[len(frame)-1] ^= 0x40
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
+	n, err := conn.Write(frame)
+	p.sentBytes.Add(uint64(n))
+	if m := p.metrics.Load(); m != nil {
+		m.SentBytes.Add(uint64(n))
+	}
+	if err != nil {
+		return fmt.Errorf("send %s: %w", typ, err)
+	}
+	return nil
+}
+
+// reject best-effort reports a handshake failure to the peer and returns
+// it as the link error.
+func (p *Primary) reject(conn net.Conn, detail string) error {
+	_ = conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
+	_ = writeMsg(conn, MsgError, []byte(detail))
+	return fmt.Errorf("handshake: %s", detail)
+}
+
+// skipFrames advances past the n frames the follower already has.
+func skipFrames(frames *wal.FrameReader, n uint64) error {
+	for i := uint64(0); i < n; i++ {
+		if _, err := frames.Next(); err != nil {
+			if err == io.EOF {
+				return errSnapshotNeeded
+			}
+			return err
+		}
+	}
+	return nil
+}

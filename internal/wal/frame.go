@@ -5,11 +5,16 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 )
 
 // frameHeaderSize is the fixed per-frame overhead: payload length (4 bytes,
 // little endian), CRC32C of those 4 length bytes, CRC32C of the payload.
 const frameHeaderSize = 12
+
+// FrameOverhead is the per-frame on-disk overhead in bytes, exported so
+// the replication layer can account follower lag in file-offset terms.
+const FrameOverhead = frameHeaderSize
 
 // castagnoli is the CRC32C table (the polynomial storage engines use for
 // on-disk checksums; hardware-accelerated on amd64/arm64).
@@ -74,6 +79,69 @@ type tornTail struct {
 	Offset int64
 	// Detail says what was missing.
 	Detail string
+}
+
+// FrameReader incrementally decodes frames from a file — the streaming
+// counterpart of scanFrames, used by the replication primary to tail a
+// live WAL. It reads at explicit offsets (ReadAt), so a frame that is not
+// complete yet consumes nothing: Next can simply be retried once the file
+// has grown.
+type FrameReader struct {
+	r    io.ReaderAt
+	file string // for error attribution ("" allowed)
+	off  int64
+	idx  int
+	buf  []byte
+}
+
+// NewFrameReader tails frames from r, attributing corruption to file.
+func NewFrameReader(r io.ReaderAt, file string) *FrameReader {
+	return &FrameReader{r: r, file: file}
+}
+
+// Offset returns the byte offset the next frame starts at.
+func (fr *FrameReader) Offset() int64 { return fr.off }
+
+// Next returns the next complete frame's payload, valid until the
+// following call. io.EOF means no complete frame is available at the
+// current offset — retryable while the file is still being appended to
+// (nothing was consumed). A checksum failure is a *CorruptionError.
+func (fr *FrameReader) Next() ([]byte, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := fr.r.ReadAt(hdr[:], fr.off); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	plen := binary.LittleEndian.Uint32(hdr[0:4])
+	lenCRC := binary.LittleEndian.Uint32(hdr[4:8])
+	payCRC := binary.LittleEndian.Uint32(hdr[8:12])
+	if got := crc32.Checksum(hdr[0:4], castagnoli); got != lenCRC {
+		return nil, &CorruptionError{File: fr.file, Offset: fr.off, Record: fr.idx,
+			Detail: fmt.Sprintf("length checksum mismatch (stored %08x, computed %08x)", lenCRC, got)}
+	}
+	if plen > maxFramePayload {
+		return nil, &CorruptionError{File: fr.file, Offset: fr.off, Record: fr.idx,
+			Detail: fmt.Sprintf("frame payload %d exceeds limit %d", plen, maxFramePayload)}
+	}
+	if int(plen) > cap(fr.buf) {
+		fr.buf = make([]byte, plen)
+	}
+	buf := fr.buf[:plen]
+	if _, err := fr.r.ReadAt(buf, fr.off+frameHeaderSize); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	if got := crc32.Checksum(buf, castagnoli); got != payCRC {
+		return nil, &CorruptionError{File: fr.file, Offset: fr.off, Record: fr.idx,
+			Detail: fmt.Sprintf("payload checksum mismatch (stored %08x, computed %08x)", payCRC, got)}
+	}
+	fr.off += frameHeaderSize + int64(plen)
+	fr.idx++
+	return buf, nil
 }
 
 // scanFrames walks the frames in data, calling fn with each payload (valid

@@ -142,6 +142,14 @@ func decodeRecord(payload []byte) (Record, error) {
 	return r, nil
 }
 
+// DecodeRecord parses one WAL frame payload — the exported form the
+// replication follower applies to streamed frames.
+func DecodeRecord(payload []byte) (Record, error) { return decodeRecord(payload) }
+
+// Apply replays the record onto data through the same ID-stable path crash
+// recovery uses, exported for follower bootstrap.
+func (r Record) Apply(data *SnapshotData) error { return r.apply(data) }
+
 // apply replays one record onto the recovered state. Inserts use the logged
 // tuple id, so a replayed database is id-identical to the pre-crash one.
 func (r Record) apply(s *SnapshotData) error {

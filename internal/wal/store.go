@@ -56,6 +56,25 @@ type Store struct {
 	checkpoints uint64
 	lastCkpt    time.Time
 	closed      bool
+
+	// genEnds records the final durable frontier of rotated (and closed)
+	// generations, so a replication streamer crossing a rotation knows
+	// where the old log ends. Pruned to the most recent few rotations.
+	genEnds map[uint64]genEnd
+
+	// Replication subscribers, woken (coalesced) whenever the durable
+	// frontier advances or the generation rotates. Guarded by subMu, not
+	// mu: the writer's advance hook fires from append/fsync paths that
+	// must not take the store lock.
+	subMu sync.Mutex
+	subs  map[int]chan struct{}
+	subID int
+}
+
+// genEnd is the durable frontier a generation's log ended at.
+type genEnd struct {
+	records int64
+	bytes   int64
 }
 
 // Open mounts dir, recovering whatever a previous process left: it loads
@@ -148,7 +167,8 @@ func Open(dir string, cfg Config) (*Store, *Recovered, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	w.records.Store(int64(info.Records))
+	w.setReplayed(int64(info.Records))
+	w.OnAdvance(s.notifySubs)
 	s.gen = rec.Gen
 	s.w = w
 	// The recovered snapshot is the last checkpoint: date LastCkpt from its
@@ -181,6 +201,7 @@ func (s *Store) Initialize(data *SnapshotData) error {
 		return err
 	}
 	w.SetMetrics(s.metrics)
+	w.OnAdvance(s.notifySubs)
 	s.gen = 1
 	s.w = w
 	s.lastCkpt = time.Now()
@@ -224,17 +245,35 @@ func (s *Store) Checkpoint(data *SnapshotData) error {
 		return err
 	}
 	nw.SetMetrics(s.metrics)
+	nw.OnAdvance(s.notifySubs)
 	old := s.w
+	oldGen := s.gen
 	s.w = nw
 	s.gen = next
 	s.checkpoints++
 	s.lastCkpt = time.Now()
 	_ = old.Close()
+	// Close synced, so the old writer's frontier is final: record where the
+	// retired generation ends for streamers still crossing it. (If the old
+	// writer was poisoned, the published frontier may exceed the truncated
+	// file; a streamer then hits EOF mid-generation, drops its link, and the
+	// follower re-bootstraps from the snapshot just written — self-healing.)
+	r, b := old.DurableFrontier()
+	if s.genEnds == nil {
+		s.genEnds = make(map[uint64]genEnd)
+	}
+	s.genEnds[oldGen] = genEnd{records: r, bytes: b}
+	for g := range s.genEnds {
+		if g+16 <= next {
+			delete(s.genEnds, g)
+		}
+	}
 	s.gcLocked(next)
 	if s.metrics != nil {
 		s.metrics.Checkpoints.Inc()
 		s.metrics.CheckpointSecs.ObserveNanos(time.Since(start).Nanoseconds())
 	}
+	s.notifySubs()
 	return nil
 }
 
@@ -282,7 +321,13 @@ func (s *Store) Close() error {
 		return nil
 	}
 	err := s.w.Close()
+	r, b := s.w.DurableFrontier()
+	if s.genEnds == nil {
+		s.genEnds = make(map[uint64]genEnd)
+	}
+	s.genEnds[s.gen] = genEnd{records: r, bytes: b}
 	s.w = nil
+	s.notifySubs()
 	return err
 }
 
@@ -341,6 +386,91 @@ func (s *Store) Generation() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.gen
+}
+
+// Frontier is the durable replication frontier: every record of generation
+// Gen below Records (occupying Bytes bytes of its log) is safe to stream
+// to a follower.
+type Frontier struct {
+	Gen     uint64
+	Records int64
+	Bytes   int64
+}
+
+// Frontier returns the current durable frontier. After Close it reports
+// the final frontier of the last generation.
+func (s *Store) Frontier() Frontier {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		if end, ok := s.genEnds[s.gen]; ok {
+			return Frontier{Gen: s.gen, Records: end.records, Bytes: end.bytes}
+		}
+		return Frontier{Gen: s.gen}
+	}
+	r, b := s.w.DurableFrontier()
+	return Frontier{Gen: s.gen, Records: r, Bytes: b}
+}
+
+// GenEnd returns the final durable record count of a rotated generation,
+// or ok=false when gen is still active or rotated out of memory.
+func (s *Store) GenEnd(gen uint64) (records int64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if gen == s.gen && s.w != nil {
+		return 0, false
+	}
+	end, ok := s.genEnds[gen]
+	return end.records, ok
+}
+
+// Subscribe registers for durable-frontier advances: the returned channel
+// receives a coalesced signal whenever the frontier moves or the
+// generation rotates. The caller re-reads Frontier after each signal and
+// must call cancel when done.
+func (s *Store) Subscribe() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	s.subMu.Lock()
+	if s.subs == nil {
+		s.subs = make(map[int]chan struct{})
+	}
+	id := s.subID
+	s.subID++
+	s.subs[id] = ch
+	s.subMu.Unlock()
+	cancel := func() {
+		s.subMu.Lock()
+		delete(s.subs, id)
+		s.subMu.Unlock()
+	}
+	return ch, cancel
+}
+
+// notifySubs wakes every subscriber (non-blocking: a pending signal
+// coalesces). Fired from writer advance hooks, rotation, and close.
+func (s *Store) notifySubs() {
+	s.subMu.Lock()
+	for _, ch := range s.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	s.subMu.Unlock()
+}
+
+// SnapshotPath returns the current generation and its snapshot file path
+// (the newest durable snapshot — what a follower bootstraps from).
+func (s *Store) SnapshotPath() (uint64, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen, filepath.Join(s.dir, snapshotName(s.gen))
+}
+
+// WALPath returns the log file path of generation gen. The file may have
+// been garbage-collected; callers handle open failure.
+func (s *Store) WALPath(gen uint64) string {
+	return filepath.Join(s.dir, walName(gen))
 }
 
 // listGenerations returns the snapshot generations present, ascending.

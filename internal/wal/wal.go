@@ -107,6 +107,18 @@ type Writer struct {
 	// append path so a poisoning's truncation cannot race a frame write.
 	failed atomic.Pointer[error]
 
+	// durableRecords / durableBytes publish the replication frontier: the
+	// prefix of the file that is safe to stream to a follower. Under
+	// FsyncNever they advance on append (durability is delegated to the OS,
+	// so "written" is as committed as this policy gets); under the other
+	// policies they advance on successful fsync. Both are monotonic; a
+	// poisoning never rolls them back (the truncated tail was never
+	// published, because publication happens only after the bytes are in
+	// the file). onAdvance, when set, fires after every advance.
+	durableRecords atomic.Int64
+	durableBytes   atomic.Int64
+	onAdvance      atomic.Pointer[func()]
+
 	metrics atomic.Pointer[Metrics]
 
 	stop chan struct{}
@@ -132,6 +144,7 @@ func openWriter(path string, policy FsyncPolicy, interval time.Duration) (*Write
 	// Whatever the file already holds survived a previous process (or was
 	// just replayed by recovery): it is the initial durable frontier.
 	w.syncedSize = st.Size()
+	w.durableBytes.Store(st.Size())
 	if policy == FsyncInterval {
 		w.stop = make(chan struct{})
 		w.done = make(chan struct{})
@@ -159,6 +172,56 @@ func (w *Writer) flushLoop() {
 
 // SetMetrics swaps the writer's instruments (nil allowed).
 func (w *Writer) SetMetrics(m *Metrics) { w.metrics.Store(m) }
+
+// setReplayed records how many records the freshly opened file already
+// held when recovery replayed it; they are durable by definition.
+func (w *Writer) setReplayed(records int64) {
+	w.records.Store(records)
+	w.durableRecords.Store(records)
+}
+
+// DurableFrontier returns the durable record count and byte size: the
+// prefix of the file safe to stream to a follower.
+func (w *Writer) DurableFrontier() (records, bytes int64) {
+	return w.durableRecords.Load(), w.durableBytes.Load()
+}
+
+// OnAdvance registers fn to run whenever the durable frontier advances.
+// fn must be non-blocking; it may fire from any appender or the flush
+// loop.
+func (w *Writer) OnAdvance(fn func()) { w.onAdvance.Store(&fn) }
+
+// advanceDurable raises the published frontier to at least
+// (records, bytes) — monotonic, safe from any goroutine — and fires the
+// advance hook when it moved.
+func (w *Writer) advanceDurable(records, bytes int64) {
+	advanced := false
+	for {
+		cur := w.durableRecords.Load()
+		if cur >= records {
+			break
+		}
+		if w.durableRecords.CompareAndSwap(cur, records) {
+			advanced = true
+			break
+		}
+	}
+	for {
+		cur := w.durableBytes.Load()
+		if cur >= bytes {
+			break
+		}
+		if w.durableBytes.CompareAndSwap(cur, bytes) {
+			advanced = true
+			break
+		}
+	}
+	if advanced {
+		if fn := w.onAdvance.Load(); fn != nil {
+			(*fn)()
+		}
+	}
+}
 
 // Size returns the current file size in bytes.
 func (w *Writer) Size() int64 { return w.size.Load() }
@@ -208,8 +271,8 @@ func (w *Writer) Append(payload []byte) error {
 		w.mu.Unlock()
 		return fmt.Errorf("wal: append to %s: %w", w.path, err)
 	}
-	w.size.Add(int64(len(frame)))
-	w.records.Add(1)
+	newSize := w.size.Add(int64(len(frame)))
+	newRecords := w.records.Add(1)
 	seq := w.writeSeq.Add(1)
 	w.mu.Unlock()
 
@@ -220,6 +283,14 @@ func (w *Writer) Append(payload []byte) error {
 	}
 	if w.policy == FsyncAlways {
 		return w.syncTo(seq)
+	}
+	if w.policy == FsyncNever {
+		// Never delegates durability to the OS, so the record is as
+		// committed as it will ever be: publish it to replication now.
+		// The frame is fully in the file (written under mu before the
+		// counters we captured), so a streamer that sees this frontier can
+		// read it back.
+		w.advanceDurable(newRecords, newSize)
 	}
 	return nil
 }
@@ -275,6 +346,7 @@ func (w *Writer) syncLocked() error {
 		w.syncedSize = curSize
 		w.syncedRecords = curRecords
 	}
+	w.advanceDurable(curRecords, curSize)
 	return nil
 }
 

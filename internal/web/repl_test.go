@@ -1,0 +1,101 @@
+package web
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"precis"
+	"precis/internal/repl"
+)
+
+type replStatsJSON struct {
+	Role    string `json:"role"`
+	Primary *struct {
+		Followers int `json:"followers"`
+	} `json:"primary,omitempty"`
+	Follower *struct {
+		Addr           string `json:"addr"`
+		Connected      bool   `json:"connected"`
+		AppliedGen     uint64 `json:"applied_gen"`
+		AppliedRecords uint64 `json:"applied_records"`
+		LagRecords     int64  `json:"lag_records"`
+	} `json:"follower,omitempty"`
+}
+
+func getRepl(t *testing.T, url string) replStatsJSON {
+	t.Helper()
+	code, body := get(t, url+"/api/repl")
+	if code != http.StatusOK {
+		t.Fatalf("repl code=%d body=%s", code, body)
+	}
+	var out replStatsJSON
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("repl JSON: %v\n%s", err, body)
+	}
+	return out
+}
+
+// TestAPIReplNone: a plain engine reports role "none" with neither side
+// populated — the probe is safe to scrape on any deployment.
+func TestAPIReplNone(t *testing.T) {
+	ts := testServer(t)
+	out := getRepl(t, ts.URL)
+	if out.Role != "none" || out.Primary != nil || out.Follower != nil {
+		t.Errorf("plain engine reports replication: %+v", out)
+	}
+}
+
+// TestAPIReplRoles: a streaming primary and a connected follower each
+// report their role, the primary counts its follower, and the follower
+// exposes its applied position.
+func TestAPIReplRoles(t *testing.T) {
+	db, g := exampleEngineParts(t)
+	primary, err := precis.Open(db, g, quietPersist(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = primary.Close() })
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := primary.StartReplication(ln, repl.PrimaryConfig{Logger: quietPersist("").Logger}); err != nil {
+		t.Fatal(err)
+	}
+
+	_, fg := exampleEngineParts(t)
+	follower, err := precis.OpenFollower(fg, precis.ReplicaConfig{
+		Addr:   ln.Addr().String(),
+		Logger: quietPersist("").Logger,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = follower.Close() })
+
+	pts := httptest.NewServer(NewServer(primary).Handler())
+	t.Cleanup(pts.Close)
+	fts := httptest.NewServer(NewServer(follower).Handler())
+	t.Cleanup(fts.Close)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		p, f := getRepl(t, pts.URL), getRepl(t, fts.URL)
+		if p.Role == "primary" && p.Primary != nil && p.Primary.Followers == 1 &&
+			f.Role == "follower" && f.Follower != nil && f.Follower.Connected &&
+			f.Follower.AppliedGen > 0 && f.Follower.LagRecords == 0 {
+			if f.Follower.Addr != ln.Addr().String() {
+				t.Fatalf("follower reports wrong primary addr %q", f.Follower.Addr)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("roles never settled: primary=%+v follower=%+v", p, f)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

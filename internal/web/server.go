@@ -8,6 +8,7 @@
 //	GET /api/schema       JSON description of the schema graph
 //	GET /api/stats        engine statistics: answer cache counters, sizes
 //	GET /api/persist      persistence stats: recovery, WAL size, checkpoints
+//	GET /api/repl         replication role and counters: follower lag, primary links
 //	GET /metrics          Prometheus text exposition of every counter
 //	GET /graph.dot        the schema graph in Graphviz dot syntax
 //	GET /healthz          liveness probe
@@ -143,6 +144,7 @@ func NewServerWithConfig(eng *precis.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("GET /api/schema", s.handleAPISchema)
 	s.mux.HandleFunc("GET /api/stats", s.handleAPIStats)
 	s.mux.HandleFunc("GET /api/persist", s.handleAPIPersist)
+	s.mux.HandleFunc("GET /api/repl", s.handleAPIRepl)
 	s.mux.HandleFunc("GET /graph.dot", s.handleDOT)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -461,6 +463,15 @@ func (s *Server) handleAPIStats(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleAPIPersist(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(s.eng.PersistStats())
+}
+
+// handleAPIRepl serves the replication role and counters: "none" on an
+// unreplicated engine, streaming counters on a primary, applied position
+// and lag (frames and bytes behind the primary's durable frontier) on a
+// follower.
+func (s *Server) handleAPIRepl(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.eng.ReplStats())
 }
 
 // apiSchemaRelation describes one relation node of the schema graph.

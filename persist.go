@@ -262,7 +262,22 @@ func (e *Engine) Checkpoint() error {
 // in-memory engine it is a no-op. The engine refuses further mutations and
 // checkpoints afterwards; queries keep working (the in-memory state stays
 // valid).
+//
+// On a replicated engine, replication stops first: a primary severs its
+// follower links before the final checkpoint rotates the WAL away; a
+// follower stops its transport and keeps serving its last applied state.
 func (e *Engine) Close() error {
+	e.mu.Lock()
+	rp := e.replPrimary
+	e.replPrimary = nil
+	r := e.replica
+	e.mu.Unlock()
+	if rp != nil {
+		_ = rp.Close()
+	}
+	if r != nil {
+		r.stop()
+	}
 	p := e.persist
 	if p == nil {
 		return nil

@@ -1,0 +1,169 @@
+package precis
+
+// Lifecycle edge tests for the persistence layer: closing over a poisoned
+// WAL writer, double Close, and Checkpoint racing Close. These paths run
+// rarely in production — exactly why they get dedicated coverage.
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"precis/internal/faultinject"
+	"precis/internal/storage"
+)
+
+// TestCloseAfterPoisonedWALWriter poisons the WAL writer with an injected
+// fsync failure, verifies the engine refuses further logged mutations,
+// then requires Close to land a final checkpoint that makes the full
+// in-memory state durable anyway — the snapshot path does not depend on
+// the poisoned writer.
+func TestCloseAfterPoisonedWALWriter(t *testing.T) {
+	dir := t.TempDir()
+	eng := openPersistent(t, dir)
+	for i := 0; i < 4; i++ {
+		if err := crashMutation(eng, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	errFsync := errors.New("lifecycle: injected fsync failure")
+	deactivate := faultinject.Activate(faultinject.NewPlan().
+		Set(faultinject.SiteWALFsync, faultinject.Rule{Err: errFsync, Limit: 1}))
+	err := eng.Sync()
+	deactivate()
+	if !errors.Is(err, errFsync) {
+		t.Fatalf("Sync over injected fsync failure: got %v, want the injected error", err)
+	}
+
+	// The writer is now sticky-poisoned: logged mutations must fail loudly
+	// and roll back rather than silently diverge from the log.
+	preDump := dumpDatabase(eng.Database())
+	if _, err := eng.Insert("GENRE", storage.Int(1), storage.String("poisoned")); err == nil {
+		t.Fatal("Insert succeeded on a poisoned WAL writer")
+	} else if !strings.Contains(err.Error(), "poisoned") {
+		t.Fatalf("Insert error does not name the poison: %v", err)
+	}
+	if got := dumpDatabase(eng.Database()); got != preDump {
+		t.Fatal("rejected mutation left a trace in the database")
+	}
+
+	// Close must still succeed: the final checkpoint writes a fresh
+	// snapshot and rotates to a new writer, bypassing the poisoned one.
+	if err := eng.Close(); err != nil {
+		t.Fatalf("Close after poisoned writer: %v", err)
+	}
+	reopened := openPersistent(t, dir)
+	defer reopened.Close()
+	if got := dumpDatabase(reopened.Database()); got != preDump {
+		t.Fatalf("state lost across a poisoned-writer close:\nwant:\n%s\ngot:\n%s", preDump, got)
+	}
+	if st := reopened.PersistStats(); st.Recovery.WALRecordsReplayed != 0 {
+		t.Errorf("close checkpoint did not land: %d WAL records replayed on reopen", st.Recovery.WALRecordsReplayed)
+	}
+}
+
+// TestDoubleClose closes an engine twice in every role; the second call
+// must be a quiet nil, never a panic or a second checkpoint attempt.
+func TestDoubleClose(t *testing.T) {
+	t.Run("persistent", func(t *testing.T) {
+		eng := openPersistent(t, t.TempDir())
+		if err := eng.Close(); err != nil {
+			t.Fatalf("first Close: %v", err)
+		}
+		if err := eng.Close(); err != nil {
+			t.Fatalf("second Close: %v", err)
+		}
+	})
+	t.Run("in-memory", func(t *testing.T) {
+		eng := newEngine(t)
+		if err := eng.Close(); err != nil {
+			t.Fatalf("first Close: %v", err)
+		}
+		if err := eng.Close(); err != nil {
+			t.Fatalf("second Close: %v", err)
+		}
+	})
+	t.Run("replicated", func(t *testing.T) {
+		primary, addr := startReplPrimary(t)
+		follower := startReplFollower(t, addr)
+		for _, step := range []struct {
+			name string
+			eng  *Engine
+		}{{"follower", follower}, {"primary", primary}} {
+			if err := step.eng.Close(); err != nil {
+				t.Fatalf("first %s Close: %v", step.name, err)
+			}
+			if err := step.eng.Close(); err != nil {
+				t.Fatalf("second %s Close: %v", step.name, err)
+			}
+		}
+	})
+}
+
+// TestCheckpointRacingClose races Checkpoint (and Sync) calls against
+// Close from many goroutines. Every call must return — no deadlock, no
+// panic — and the only sanctioned failure is the engine-is-closed error;
+// afterwards the directory must reopen to the exact live state.
+func TestCheckpointRacingClose(t *testing.T) {
+	dir := t.TempDir()
+	eng := openPersistent(t, dir)
+	for i := 0; i < numCrashMutations; i++ {
+		if err := crashMutation(eng, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	liveDump := dumpDatabase(eng.Database())
+
+	const racers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, racers+1)
+	fail := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+	start := make(chan struct{})
+	for w := 0; w < racers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 20; i++ {
+				var err error
+				if w%2 == 0 {
+					err = eng.Checkpoint()
+				} else {
+					err = eng.Sync()
+				}
+				if err != nil && !strings.Contains(err.Error(), "engine is closed") {
+					fail(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		if err := eng.Close(); err != nil {
+			fail(err)
+		}
+	}()
+	close(start)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatalf("checkpoint/close race: %v", err)
+	default:
+	}
+
+	reopened := openPersistent(t, dir)
+	defer reopened.Close()
+	if got := dumpDatabase(reopened.Database()); got != liveDump {
+		t.Fatalf("checkpoint/close race corrupted durable state:\nwant:\n%s\ngot:\n%s", liveDump, got)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"precis/internal/nlg"
 	"precis/internal/obs"
 	"precis/internal/profile"
+	"precis/internal/repl"
 	"precis/internal/schemagraph"
 	"precis/internal/sqlx"
 	"precis/internal/storage"
@@ -158,6 +159,11 @@ type Engine struct {
 	// persist is the durability layer mounted by Open; nil on in-memory
 	// engines, in which case the mutation paths pay exactly one nil check.
 	persist *persistState
+	// replica is the follower-side replication state mounted by
+	// OpenFollower; non-nil makes every mutation return ErrReadOnly.
+	replica *replicaState
+	// replPrimary streams the WAL to followers once StartReplication runs.
+	replPrimary *repl.Primary
 	// macroDefs / macroSeen remember narrative macro definitions so
 	// checkpoints can persist them (the renderer has no introspection API).
 	macroDefs []string
@@ -280,14 +286,28 @@ func New(db *storage.Database, g *schemagraph.Graph) (*Engine, error) {
 	}, nil
 }
 
-// Database returns the underlying database.
-func (e *Engine) Database() *storage.Database { return e.db }
+// Database returns the underlying database. It holds the engine read
+// lock: a follower re-bootstrap swaps the database wholesale, so an
+// unlocked read would race the swap.
+func (e *Engine) Database() *storage.Database {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.db
+}
 
 // Graph returns the annotated schema graph.
-func (e *Engine) Graph() *schemagraph.Graph { return e.graph }
+func (e *Engine) Graph() *schemagraph.Graph {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.graph
+}
 
-// Index returns the inverted index.
-func (e *Engine) Index() *invidx.Index { return e.index }
+// Index returns the inverted index (see Database about the lock).
+func (e *Engine) Index() *invidx.Index {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.index
+}
 
 // AddSynonym declares that queries for alias also match canonical — the
 // §5.1 synonym case ("W. Allen" for "Woody Allen"); deployments plug a
@@ -301,6 +321,9 @@ func (e *Engine) Index() *invidx.Index { return e.index }
 func (e *Engine) AddSynonym(alias, canonical string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.replica != nil {
+		return ErrReadOnly
+	}
 	if err := e.appendWALLocked(wal.Record{Op: wal.OpSynonym, Alias: alias, Canonical: canonical}); err != nil {
 		return err
 	}
@@ -313,6 +336,9 @@ func (e *Engine) AddSynonym(alias, canonical string) error {
 func (e *Engine) DefineMacro(def string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.replica != nil {
+		return ErrReadOnly
+	}
 	e.purgeCacheLocked()
 	// Validate-then-log: a definition the renderer rejects must never reach
 	// the WAL (it would poison every future recovery), so the parse runs
@@ -354,6 +380,9 @@ func (e *Engine) Profiles() []string {
 func (e *Engine) Insert(relation string, vals ...storage.Value) (storage.TupleID, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.replica != nil {
+		return 0, ErrReadOnly
+	}
 	e.purgeCacheLocked()
 	id, err := e.db.Insert(relation, vals...)
 	if err != nil {
@@ -377,6 +406,9 @@ func (e *Engine) Insert(relation string, vals ...storage.Value) (storage.TupleID
 func (e *Engine) Update(relation string, id storage.TupleID, vals []storage.Value) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.replica != nil {
+		return ErrReadOnly
+	}
 	e.purgeCacheLocked()
 	rel := e.db.Relation(relation)
 	if rel == nil {
@@ -415,6 +447,9 @@ func (e *Engine) Update(relation string, id storage.TupleID, vals []storage.Valu
 func (e *Engine) Delete(relation string, id storage.TupleID) (bool, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.replica != nil {
+		return false, ErrReadOnly
+	}
 	e.purgeCacheLocked()
 	rel := e.db.Relation(relation)
 	if rel == nil {

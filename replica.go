@@ -1,0 +1,462 @@
+package precis
+
+// WAL-streaming replication, engine layer. A primary engine (built with
+// Open) can stream its committed WAL frames to followers with
+// StartReplication; a follower engine (built with OpenFollower) bootstraps
+// from the primary's newest snapshot, applies the live record stream
+// through the same ID-stable path crash recovery uses, and serves
+// read-only queries while refusing every mutation with ErrReadOnly. The
+// transport (framing, handshake, reconnect, fault sites) lives in
+// internal/repl; this file owns state application and the role plumbing.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"precis/internal/invidx"
+	"precis/internal/nlg"
+	"precis/internal/repl"
+	"precis/internal/schemagraph"
+	"precis/internal/wal"
+)
+
+// ErrReadOnly is returned by every mutation on a follower engine. Follower
+// state is exactly the primary's WAL stream; a local write would fork it.
+var ErrReadOnly = errors.New("precis: follower engine is read-only")
+
+// ReplicaConfig tunes a follower engine.
+type ReplicaConfig struct {
+	// Addr is the primary's replication address (host:port). Required.
+	Addr string
+	// BootstrapTimeout bounds OpenFollower's wait for the first snapshot
+	// to arrive and apply (0: 30s). Reconnects after bootstrap are
+	// unbounded — the follower keeps retrying until Close.
+	BootstrapTimeout time.Duration
+	// DialTimeout, HandshakeTimeout, BackoffMin, BackoffMax tune the
+	// transport; zero values use the internal/repl defaults.
+	DialTimeout      time.Duration
+	HandshakeTimeout time.Duration
+	BackoffMin       time.Duration
+	BackoffMax       time.Duration
+	// Logger receives link and bootstrap notes; nil uses log.Default().
+	Logger *log.Logger
+}
+
+// FollowerStats reports a follower's replication position and lag.
+type FollowerStats struct {
+	Addr      string `json:"addr"`
+	Connected bool   `json:"connected"`
+	// AppliedGen / AppliedRecords are the follower's last applied LSN:
+	// AppliedRecords frames of generation AppliedGen are in the engine.
+	AppliedGen     uint64 `json:"applied_gen"`
+	AppliedRecords uint64 `json:"applied_records"`
+	// AppliedBytes mirrors the primary's WAL file offset for the applied
+	// prefix of the current generation (frame headers included).
+	AppliedBytes int64 `json:"applied_bytes"`
+	// Frontier* echo the primary's durable frontier as last reported.
+	FrontierGen     uint64 `json:"frontier_gen"`
+	FrontierRecords uint64 `json:"frontier_records"`
+	FrontierBytes   uint64 `json:"frontier_bytes"`
+	// LagRecords / LagBytes are the distance to the primary's durable
+	// frontier; -1 when unknown (mid-rotation, or before the first
+	// frontier report).
+	LagRecords int64 `json:"lag_records"`
+	LagBytes   int64 `json:"lag_bytes"`
+	// Snapshots counts full snapshot bootstraps (1 after a clean start;
+	// more mean the follower fell behind a checkpoint and re-bootstrapped).
+	Snapshots       uint64 `json:"snapshots_applied"`
+	Dials           uint64 `json:"dials"`
+	RecordsReceived uint64 `json:"records_received"`
+	BytesReceived   uint64 `json:"bytes_received"`
+	LastError       string `json:"last_error,omitempty"`
+}
+
+// ReplStats reports an engine's replication role and counters.
+type ReplStats struct {
+	// Role is "none", "primary", or "follower".
+	Role     string             `json:"role"`
+	Primary  *repl.PrimaryStats `json:"primary,omitempty"`
+	Follower *FollowerStats     `json:"follower,omitempty"`
+}
+
+// replicaState is the follower side's plumbing, held by Engine.replica.
+type replicaState struct {
+	addr   string
+	graph  *schemagraph.Graph
+	client *repl.Client
+	log    *log.Logger
+
+	cancel   context.CancelFunc
+	done     chan struct{}
+	ready    chan struct{} // closed once the first snapshot built the engine
+	stopOnce sync.Once
+
+	mu sync.Mutex
+	// eng is set once, when the first snapshot arrives.
+	eng *Engine
+	// gen/records/appliedBytes are the applied position: records frames of
+	// gen are in the engine, occupying appliedBytes of its WAL file.
+	// Updated only AFTER the corresponding apply completes, so any
+	// observer that reads a position is guaranteed the state includes it.
+	gen, records uint64
+	appliedBytes int64
+	// frontier* are the primary's durable frontier as last reported; zero
+	// until the first record or heartbeat.
+	frontierGen, frontierRecords, frontierBytes uint64
+	snapshots                                   uint64
+}
+
+// OpenFollower builds a read-only follower engine replicating from the
+// primary at cfg.Addr. It dials, receives a full snapshot bootstrap,
+// verifies it (join indexes, referential integrity, graph validation), and
+// returns an engine already applying the live stream. The engine answers
+// queries like any other but returns ErrReadOnly from every mutation; its
+// state converges to the primary's durable frontier and survives link
+// faults by reconnecting and resuming from the last applied position.
+// Close stops replication (the in-memory state remains queryable).
+func OpenFollower(g *schemagraph.Graph, cfg ReplicaConfig) (*Engine, error) {
+	if g == nil {
+		return nil, fmt.Errorf("precis: follower needs a schema graph")
+	}
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("precis: follower needs a primary address")
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.Default()
+	}
+	bootstrap := cfg.BootstrapTimeout
+	if bootstrap <= 0 {
+		bootstrap = 30 * time.Second
+	}
+	r := &replicaState{
+		addr:  cfg.Addr,
+		graph: g,
+		log:   logger,
+		done:  make(chan struct{}),
+		ready: make(chan struct{}),
+	}
+	r.client = repl.New(repl.Config{
+		Addr:             cfg.Addr,
+		DialTimeout:      cfg.DialTimeout,
+		HandshakeTimeout: cfg.HandshakeTimeout,
+		BackoffMin:       cfg.BackoffMin,
+		BackoffMax:       cfg.BackoffMax,
+		Logger:           logger,
+	}, repl.Callbacks{
+		Position: r.position,
+		Snapshot: r.onSnapshot,
+		Record:   r.onRecord,
+		Frontier: r.onFrontier,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	r.cancel = cancel
+	go func() {
+		defer close(r.done)
+		r.client.Run(ctx)
+	}()
+	select {
+	case <-r.ready:
+	case <-time.After(bootstrap):
+		r.stop()
+		st := r.client.Stats()
+		if st.LastError != "" {
+			return nil, fmt.Errorf("precis: follower bootstrap from %s timed out after %s (last error: %s)",
+				cfg.Addr, bootstrap, st.LastError)
+		}
+		return nil, fmt.Errorf("precis: follower bootstrap from %s timed out after %s", cfg.Addr, bootstrap)
+	}
+	r.mu.Lock()
+	eng := r.eng
+	r.mu.Unlock()
+	return eng, nil
+}
+
+// stop cancels the transport and waits for its goroutine; idempotent.
+func (r *replicaState) stop() {
+	r.stopOnce.Do(func() {
+		r.cancel()
+		<-r.done
+	})
+}
+
+// position reports the applied LSN for the Hello of each (re)connect.
+func (r *replicaState) position() (gen, records uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gen, r.records
+}
+
+// onFrontier records the primary's durable frontier.
+func (r *replicaState) onFrontier(gen, records, bytes uint64) {
+	r.mu.Lock()
+	r.frontierGen, r.frontierRecords, r.frontierBytes = gen, records, bytes
+	r.mu.Unlock()
+}
+
+// onSnapshot applies one full snapshot transfer: decode, verify, and
+// either build the engine (first bootstrap) or swap the engine's state
+// wholesale (a follower that fell behind a checkpoint rotation). Any
+// error severs the link and the transport retries.
+func (r *replicaState) onSnapshot(gen uint64, raw []byte) error {
+	data, err := wal.DecodeSnapshot("repl-stream", raw)
+	if err != nil {
+		return fmt.Errorf("decode streamed snapshot: %w", err)
+	}
+	db := data.DB
+	if err := db.CreateJoinIndexes(); err != nil {
+		return fmt.Errorf("rebuilding join indexes from streamed snapshot: %w", err)
+	}
+	if violations := db.CheckIntegrity(); len(violations) > 0 {
+		return fmt.Errorf("streamed snapshot violates referential integrity (%d violation(s), first: %s)",
+			len(violations), violations[0])
+	}
+
+	r.mu.Lock()
+	eng := r.eng
+	r.mu.Unlock()
+
+	if eng == nil {
+		// First bootstrap: build the engine around the snapshot exactly the
+		// way Open's recovery path does.
+		eng, err = New(db, r.graph)
+		if err != nil {
+			return err
+		}
+		for _, p := range data.Synonyms {
+			eng.index.AddSynonym(p[0], p[1])
+		}
+		for _, def := range data.Macros {
+			if err := eng.renderer.DefineMacro(def); err != nil {
+				return fmt.Errorf("replaying streamed macro: %w", err)
+			}
+			eng.trackMacroLocked(def)
+		}
+		eng.replica = r
+		r.mu.Lock()
+		r.eng = eng
+		r.gen, r.records, r.appliedBytes = gen, 0, 0
+		r.snapshots++
+		r.mu.Unlock()
+		r.log.Printf("repl: follower bootstrapped from %s: generation %d, %d tuples, %d relations",
+			r.addr, gen, db.TotalTuples(), db.NumRelations())
+		close(r.ready)
+		return nil
+	}
+
+	// Re-bootstrap: the engine already serves queries; rebuild the derived
+	// structures off-lock, then swap everything under the engine mutex so
+	// no query ever sees a half-replaced state. Profiles, weights, cache
+	// configuration, and instrumentation are local follower settings and
+	// survive the swap.
+	if err := r.graph.Validate(db); err != nil {
+		return fmt.Errorf("streamed snapshot does not match the follower's schema graph: %w", err)
+	}
+	index := invidx.New(db)
+	for _, p := range data.Synonyms {
+		index.AddSynonym(p[0], p[1])
+	}
+	renderer := nlg.NewRenderer()
+	for _, def := range data.Macros {
+		if err := renderer.DefineMacro(def); err != nil {
+			return fmt.Errorf("replaying streamed macro: %w", err)
+		}
+	}
+	eng.mu.Lock()
+	eng.db = db
+	eng.index = index
+	eng.renderer = renderer
+	eng.macroDefs = nil
+	eng.macroSeen = nil
+	for _, def := range data.Macros {
+		eng.trackMacroLocked(def)
+	}
+	eng.purgeCacheLocked()
+	eng.mu.Unlock()
+	r.mu.Lock()
+	r.gen, r.records, r.appliedBytes = gen, 0, 0
+	r.snapshots++
+	r.mu.Unlock()
+	r.log.Printf("repl: follower re-bootstrapped from %s at generation %d (fell behind a checkpoint)", r.addr, gen)
+	return nil
+}
+
+// onRecord applies one streamed WAL frame, then advances the position.
+// The order matters: position moves only after the apply, so a reader
+// that observes position (g, n) is guaranteed the engine state contains
+// exactly the first n records of generation g.
+func (r *replicaState) onRecord(gen, seq uint64, payload []byte) error {
+	rec, err := wal.DecodeRecord(payload)
+	if err != nil {
+		return fmt.Errorf("decode streamed record (%d,%d): %w", gen, seq, err)
+	}
+	r.mu.Lock()
+	eng := r.eng
+	r.mu.Unlock()
+	if eng == nil {
+		return fmt.Errorf("record (%d,%d) before first snapshot", gen, seq)
+	}
+	if err := eng.applyReplicated(rec); err != nil {
+		return fmt.Errorf("apply streamed %s record (%d,%d): %w", rec.Op, gen, seq, err)
+	}
+	r.mu.Lock()
+	if gen != r.gen {
+		// Generation rotation: the stream crossed into a fresh WAL file.
+		r.gen, r.records, r.appliedBytes = gen, 0, 0
+	}
+	r.records++
+	r.appliedBytes += int64(len(payload)) + wal.FrameOverhead
+	r.mu.Unlock()
+	return nil
+}
+
+// applyReplicated applies one replicated mutation record under the engine
+// lock, maintaining the inverted index and purging the answer cache — the
+// follower-side twin of the primary's Insert/Update/Delete/AddSynonym/
+// DefineMacro paths, minus the WAL append (the record IS the WAL).
+// Inserts use the logged tuple ID, so follower and primary databases are
+// tuple-ID-identical.
+func (e *Engine) applyReplicated(rec wal.Record) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.purgeCacheLocked()
+	switch rec.Op {
+	case wal.OpInsert:
+		if err := e.db.InsertWithID(rec.Rel, rec.ID, rec.Values...); err != nil {
+			return err
+		}
+		if t, ok := e.db.Relation(rec.Rel).Get(rec.ID); ok {
+			e.index.AddTuple(rec.Rel, t)
+		}
+	case wal.OpUpdate:
+		rel := e.db.Relation(rec.Rel)
+		if rel == nil {
+			return fmt.Errorf("no relation %s", rec.Rel)
+		}
+		old, ok := rel.Get(rec.ID)
+		if !ok {
+			return fmt.Errorf("relation %s has no tuple %d", rec.Rel, rec.ID)
+		}
+		if err := e.db.Update(rec.Rel, rec.ID, rec.Values); err != nil {
+			return err
+		}
+		e.index.RemoveTuple(rec.Rel, old)
+		if t, ok := rel.Get(rec.ID); ok {
+			e.index.AddTuple(rec.Rel, t)
+		}
+	case wal.OpDelete:
+		rel := e.db.Relation(rec.Rel)
+		if rel == nil {
+			return fmt.Errorf("no relation %s", rec.Rel)
+		}
+		t, ok := rel.Get(rec.ID)
+		if !ok {
+			// The primary logs deletes only after they succeed; an absent
+			// tuple here means real divergence, which must not pass silently.
+			return fmt.Errorf("relation %s has no tuple %d to delete", rec.Rel, rec.ID)
+		}
+		e.index.RemoveTuple(rec.Rel, t)
+		if _, err := e.db.Delete(rec.Rel, rec.ID); err != nil {
+			e.index.AddTuple(rec.Rel, t)
+			return err
+		}
+	case wal.OpSynonym:
+		e.index.AddSynonym(rec.Alias, rec.Canonical)
+	case wal.OpMacro:
+		if err := e.renderer.DefineMacro(rec.Def); err != nil {
+			return err
+		}
+		e.trackMacroLocked(rec.Def)
+	case wal.OpAddFK:
+		return e.db.AddForeignKey(rec.FK)
+	default:
+		return fmt.Errorf("unknown op %d", uint8(rec.Op))
+	}
+	return nil
+}
+
+// StartReplication turns a persistent engine into a replication primary:
+// it begins accepting follower links on ln and streaming the WAL to them.
+// The returned Primary is also reachable via ReplStats; Engine.Close
+// closes it. Returns ErrNotPersistent on an in-memory engine (there is no
+// WAL to stream) and an error if replication is already started.
+func (e *Engine) StartReplication(ln net.Listener, cfg repl.PrimaryConfig) (*repl.Primary, error) {
+	if e.persist == nil {
+		return nil, ErrNotPersistent
+	}
+	p := repl.NewPrimary(e.persist.store, cfg)
+	e.mu.Lock()
+	if e.replPrimary != nil {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("precis: replication already started")
+	}
+	e.replPrimary = p
+	reg := e.registry
+	e.mu.Unlock()
+	if reg != nil {
+		instrumentReplPrimary(reg, p)
+	}
+	go func() {
+		if err := p.Serve(ln); err != nil {
+			cfgLog := cfg.Logger
+			if cfgLog == nil {
+				cfgLog = log.Default()
+			}
+			cfgLog.Printf("repl: primary accept loop: %v", err)
+		}
+	}()
+	return p, nil
+}
+
+// ReplStats reports the engine's replication role and counters: zero-value
+// ("none") on an unreplicated engine, the streaming counters on a primary,
+// and position/lag on a follower.
+func (e *Engine) ReplStats() ReplStats {
+	e.mu.RLock()
+	r, p := e.replica, e.replPrimary
+	e.mu.RUnlock()
+	switch {
+	case r != nil:
+		fs := r.followerStats()
+		return ReplStats{Role: "follower", Follower: &fs}
+	case p != nil:
+		ps := p.Stats()
+		return ReplStats{Role: "primary", Primary: &ps}
+	default:
+		return ReplStats{Role: "none"}
+	}
+}
+
+// followerStats assembles the position/lag view.
+func (r *replicaState) followerStats() FollowerStats {
+	cs := r.client.Stats()
+	r.mu.Lock()
+	fs := FollowerStats{
+		Addr:            r.addr,
+		Connected:       cs.Connected,
+		AppliedGen:      r.gen,
+		AppliedRecords:  r.records,
+		AppliedBytes:    r.appliedBytes,
+		FrontierGen:     r.frontierGen,
+		FrontierRecords: r.frontierRecords,
+		FrontierBytes:   r.frontierBytes,
+		LagRecords:      -1,
+		LagBytes:        -1,
+		Snapshots:       r.snapshots,
+		Dials:           cs.Dials,
+		RecordsReceived: cs.Records,
+		BytesReceived:   cs.BytesReceived,
+		LastError:       cs.LastError,
+	}
+	if r.frontierGen == r.gen && r.frontierGen != 0 {
+		fs.LagRecords = max(0, int64(r.frontierRecords)-int64(r.records))
+		fs.LagBytes = max(0, int64(r.frontierBytes)-r.appliedBytes)
+	}
+	r.mu.Unlock()
+	return fs
+}

@@ -22,11 +22,22 @@
 # corpus — long enough to catch a regression in the decoders' bounds
 # checks, short enough for CI.
 #
+# The replication convergence suite (replication_test.go, internal/repl)
+# severs the primary→follower stream at swept byte offsets, injects
+# send/recv/corruption faults around every live mutation, and storms a
+# replicated pair — all under -race, because the follower applies the
+# stream on one goroutine while queries read on others. The repl fuzz
+# smoke feeds the follower's frame decoder raw adversarial bytes for 10s.
+#
 # The bench smoke step compiles and runs every benchmark exactly once
 # (-benchtime=1x) with no tests (-run=NONE). It does not measure anything;
 # it keeps the benchmark code itself from rotting — a benchmark that no
 # longer compiles or fatals on its first iteration fails CI here instead
 # of on the next perf investigation.
+#
+# Every go test step carries an explicit -timeout so a deadlocked suite
+# (the usual failure mode of replication and chaos bugs) kills the step
+# instead of hanging the CI job until the outer scheduler reaps it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,19 +48,24 @@ echo "== go build"
 go build ./...
 
 echo "== go test -race (-short chaos)"
-go test -race -count=1 -short ./...
+go test -race -count=1 -short -timeout=10m ./...
 
 echo "== chaos suite -race -count=2 (full strength)"
-go test -race -count=2 -run 'TestChaos' .
+go test -race -count=2 -timeout=10m -run 'TestChaos' .
 
 echo "== crash torture -race (full strength: every WAL byte offset)"
-go test -race -count=1 -run 'TestCrashTorture' .
+go test -race -count=1 -timeout=10m -run 'TestCrashTorture' .
+
+echo "== replication convergence -race (full strength: swept link cuts)"
+go test -race -count=1 -timeout=10m -run 'TestRepl|TestChaosReplicatedStorm' .
+go test -race -count=1 -timeout=10m ./internal/repl
 
 echo "== fuzz smoke (10s per durability target)"
-go test -run=NONE -fuzz='FuzzSnapshotDecode' -fuzztime=10s ./internal/wal
-go test -run=NONE -fuzz='FuzzWALReplay' -fuzztime=10s ./internal/wal
+go test -timeout=5m -run=NONE -fuzz='FuzzSnapshotDecode' -fuzztime=10s ./internal/wal
+go test -timeout=5m -run=NONE -fuzz='FuzzWALReplay' -fuzztime=10s ./internal/wal
+go test -timeout=5m -run=NONE -fuzz='FuzzReplFrameDecode' -fuzztime=10s ./internal/repl
 
 echo "== bench smoke (compile + one iteration)"
-go test -run=NONE -bench=. -benchtime=1x ./...
+go test -timeout=10m -run=NONE -bench=. -benchtime=1x ./...
 
 echo "CI OK"
