@@ -12,11 +12,12 @@
 //	precis-bench -stages [-quick]     per-pipeline-stage latency breakdown
 //	precis-bench -persist [-quick]    WAL fsync throughput + recovery time
 //	precis-bench -replicate [-quick]  follower catch-up time + steady-state lag
+//	precis-bench -quorum [-quick]     commit latency vs sync-replica quorum size
 //
 // -quick shrinks each experiment's run counts for a fast smoke pass; -csv
 // prints machine-readable rows instead of aligned text. -parallel, -cache,
-// -deadline, -stages, -persist and -replicate run the engine-level
-// resource experiments (they can be combined with -exp).
+// -deadline, -stages, -persist, -replicate and -quorum run the
+// engine-level resource experiments (they can be combined with -exp).
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"precis"
 	"precis/internal/experiments"
 )
 
@@ -40,6 +42,7 @@ func main() {
 		stages    = flag.Bool("stages", false, "measure per-pipeline-stage latency via query traces")
 		persist   = flag.Bool("persist", false, "measure WAL append throughput per fsync policy and recovery time vs dataset size")
 		replicate = flag.Bool("replicate", false, "measure follower catch-up time and steady-state replication lag vs mutation rate")
+		quorum    = flag.Bool("quorum", false, "measure commit latency vs sync-replica quorum size per fsync policy")
 	)
 	flag.Parse()
 
@@ -47,7 +50,7 @@ func main() {
 	for _, e := range strings.Split(*exp, ",") {
 		run[strings.TrimSpace(e)] = true
 	}
-	if *parallel || *cache || *deadline || *stages || *persist || *replicate {
+	if *parallel || *cache || *deadline || *stages || *persist || *replicate || *quorum {
 		// The resource experiments replace the figure suite unless the
 		// caller asked for both explicitly.
 		if *exp == "all" {
@@ -70,6 +73,9 @@ func main() {
 		}
 		if *replicate {
 			run["rp"] = true
+		}
+		if *quorum {
+			run["qm"] = true
 		}
 	}
 	all := run["all"]
@@ -139,6 +145,28 @@ func main() {
 			fatal(err)
 		}
 	}
+	if run["qm"] {
+		if err := runQuorum(*quick); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func runQuorum(quick bool) error {
+	cfg := experiments.DefaultQuorumBenchConfig()
+	if quick {
+		cfg.Films = 200
+		cfg.Appends = 50
+		cfg.SyncReplicas = []int{0, 1}
+		cfg.Fsyncs = []precis.FsyncPolicy{precis.FsyncAlways}
+	}
+	report, err := experiments.QuorumBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.String())
+	fmt.Println()
+	return nil
 }
 
 func runReplicate(quick bool) error {

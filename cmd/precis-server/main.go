@@ -38,8 +38,14 @@
 // the server a read-only follower of the primary at ADDR: it bootstraps
 // over the wire (the -db flag then only selects the schema graph), serves
 // queries from the replicated state, and answers every mutation with
-// "read-only". /api/repl reports the role, follower lag in frames and
-// bytes, and the last applied LSN.
+// "read-only". Adding -data-dir to a follower makes it durable: replicated
+// frames are written through a local WAL before they are acked, and a
+// restart resumes from disk instead of re-bootstrapping. On the primary,
+// -sync-replicas N holds each commit until N durable follower acks arrive
+// (bounded by -ack-timeout); -degrade-to-async trades that guarantee for
+// availability when the quorum is lost. /api/repl reports the role,
+// follower lag in frames and bytes, per-follower ack lag, the degraded
+// flag, and the last applied LSN.
 //
 // Load governance: at most -max-inflight searches run concurrently and at
 // most -queue-depth wait for a slot; overflow is shed with 503 and a
@@ -93,8 +99,11 @@ func main() {
 		ckptBytes  = flag.Int64("checkpoint-bytes", precis.DefaultCheckpointBytes, "checkpoint when the WAL reaches this size (negative disables)")
 		ckptEvery  = flag.Duration("checkpoint-interval", 0, "checkpoint on this timer (0 disables the time trigger)")
 
-		listenRepl    = flag.String("listen-repl", "", "stream the WAL to followers on this address (requires -data-dir)")
-		replicateFrom = flag.String("replicate-from", "", "run as a read-only follower of the primary at this address")
+		listenRepl     = flag.String("listen-repl", "", "stream the WAL to followers on this address (requires -data-dir)")
+		replicateFrom  = flag.String("replicate-from", "", "run as a read-only follower of the primary at this address (-data-dir makes the follower durable)")
+		syncReplicas   = flag.Int("sync-replicas", 0, "group commits wait for this many durable follower acks (0 = async replication)")
+		ackTimeout     = flag.Duration("ack-timeout", 0, "per-commit quorum wait bound (0 = 2s); on expiry the write fails with quorum-lost or degrades")
+		degradeToAsync = flag.Bool("degrade-to-async", false, "on quorum loss commit locally and run degraded (sticky flag in /api/repl) instead of failing writes")
 	)
 	flag.Parse()
 
@@ -102,12 +111,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *replicateFrom != "" && (*dataDir != "" || *listenRepl != "") {
-		log.Fatal("-replicate-from is exclusive with -data-dir and -listen-repl: a follower's state is the primary's stream")
+	if *replicateFrom != "" && *listenRepl != "" {
+		log.Fatal("-replicate-from is exclusive with -listen-repl: a follower's state is the primary's stream")
+	}
+	if *syncReplicas > 0 && *listenRepl == "" {
+		log.Fatal("-sync-replicas requires -listen-repl: quorum acks come from followers")
 	}
 	var eng *precis.Engine
 	if *replicateFrom != "" {
-		eng, err = buildFollower(*dbKind, *films, *seed, *replicateFrom)
+		eng, err = buildFollower(*dbKind, *films, *seed, *replicateFrom, *dataDir, fsyncPolicy, *fsyncEvery)
 	} else {
 		eng, err = buildEngine(*dbKind, *films, *seed, precis.PersistConfig{
 			Dir:             *dataDir,
@@ -128,10 +140,19 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if _, err := eng.StartReplication(ln, repl.PrimaryConfig{}); err != nil {
+		if _, err := eng.StartReplication(ln, repl.PrimaryConfig{
+			SyncReplicas:   *syncReplicas,
+			AckTimeout:     *ackTimeout,
+			DegradeToAsync: *degradeToAsync,
+		}); err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("replication: streaming WAL to followers on %s", ln.Addr())
+		if *syncReplicas > 0 {
+			log.Printf("replication: streaming WAL to followers on %s (synchronous: %d ack(s) per commit, timeout %v, degrade-to-async=%t)",
+				ln.Addr(), *syncReplicas, *ackTimeout, *degradeToAsync)
+		} else {
+			log.Printf("replication: streaming WAL to followers on %s", ln.Addr())
+		}
 	}
 	if *cacheSize > 0 {
 		eng.EnableCache(precis.CacheConfig{MaxEntries: *cacheSize, TTL: *cacheTTL})
@@ -167,7 +188,7 @@ func main() {
 	}
 	log.Printf("précis server on %s (%s data, %d tuples, cache=%d, timeout=%v, inflight=%d, queue=%d, metrics=%t, pprof=%t, slowlog=%dms)",
 		*addr, *dbKind, eng.Database().TotalTuples(), *cacheSize, *timeout, *inflight, *queueDepth, *metrics, *pprofFlag, *slowlogMS)
-	if *dataDir != "" {
+	if *dataDir != "" && *replicateFrom == "" {
 		st := eng.PersistStats()
 		log.Printf("persistence: dir=%s fsync=%s generation=%d (recovered: snapshot=%t, %d WAL records replayed, %d torn bytes truncated in %.1fms)",
 			*dataDir, st.Fsync, st.Generation, st.Recovery.SnapshotLoaded,
@@ -175,8 +196,8 @@ func main() {
 	}
 	if *replicateFrom != "" {
 		rs := eng.ReplStats()
-		log.Printf("replication: read-only follower of %s (generation %d, %d records applied)",
-			*replicateFrom, rs.Follower.AppliedGen, rs.Follower.AppliedRecords)
+		log.Printf("replication: read-only follower of %s (generation %d, %d records applied, durable=%t)",
+			*replicateFrom, rs.Follower.AppliedGen, rs.Follower.AppliedRecords, rs.Follower.Durable)
 	}
 
 	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections and
@@ -235,7 +256,9 @@ func shutdownPersistence(eng *precis.Engine, lg *log.Logger) error {
 // only the schema graph (the data arrives over the wire from the primary's
 // snapshot), and the standard macros are not defined locally — macro
 // definitions replicate through the WAL stream like every other mutation.
-func buildFollower(kind string, films int, seed int64, addr string) (*precis.Engine, error) {
+// A non-empty dir makes the follower durable: replicated state is written
+// through a local WAL before it is acked, and a restart resumes from disk.
+func buildFollower(kind string, films int, seed int64, addr, dir string, fsync precis.FsyncPolicy, fsyncEvery time.Duration) (*precis.Engine, error) {
 	var (
 		db  *storage.Database
 		g   *schemagraph.Graph
@@ -266,7 +289,12 @@ func buildFollower(kind string, films int, seed int64, addr string) (*precis.Eng
 	if err := dataset.AnnotateNarrative(g); err != nil {
 		return nil, err
 	}
-	return precis.OpenFollower(g, precis.ReplicaConfig{Addr: addr})
+	return precis.OpenFollower(g, precis.ReplicaConfig{
+		Addr:          addr,
+		Dir:           dir,
+		Fsync:         fsync,
+		FsyncInterval: fsyncEvery,
+	})
 }
 
 // buildEngine mirrors cmd/precis's dataset wiring, plus durability: with a

@@ -20,6 +20,10 @@ const (
 	MetricReplSnapshotsSent = "precis_repl_snapshots_sent_total"
 	MetricReplLinkErrors    = "precis_repl_link_errors_total"
 
+	MetricReplDegraded       = "precis_repl_degraded"
+	MetricReplQuorumTimeouts = "precis_repl_quorum_timeouts_total"
+	MetricReplAckLagRecords  = "precis_repl_ack_lag_records"
+
 	MetricReplConnected      = "precis_repl_connected"
 	MetricReplAppliedGen     = "precis_repl_applied_generation"
 	MetricReplAppliedRecords = "precis_repl_applied_records"
@@ -37,14 +41,33 @@ func instrumentReplPrimary(reg *obs.Registry, p *repl.Primary) {
 	reg.Help(MetricReplSentBytes, "replication bytes written to follower links")
 	reg.Help(MetricReplSnapshotsSent, "snapshot bootstraps streamed to followers")
 	reg.Help(MetricReplLinkErrors, "follower links dropped on error")
+	reg.Help(MetricReplDegraded, "1 while synchronous replication runs degraded (quorum lost, committing async)")
+	reg.Help(MetricReplQuorumTimeouts, "group commits whose ack quorum timed out")
+	reg.Help(MetricReplAckLagRecords, "worst per-follower records-behind-frontier by last durable ack")
 	p.SetMetrics(&repl.Metrics{
-		SentRecords:   reg.Counter(MetricReplSentRecords),
-		SentBytes:     reg.Counter(MetricReplSentBytes),
-		SnapshotsSent: reg.Counter(MetricReplSnapshotsSent),
-		Handshakes:    reg.Counter(MetricReplHandshakes),
-		LinkErrors:    reg.Counter(MetricReplLinkErrors),
+		SentRecords:    reg.Counter(MetricReplSentRecords),
+		SentBytes:      reg.Counter(MetricReplSentBytes),
+		SnapshotsSent:  reg.Counter(MetricReplSnapshotsSent),
+		Handshakes:     reg.Counter(MetricReplHandshakes),
+		LinkErrors:     reg.Counter(MetricReplLinkErrors),
+		QuorumTimeouts: reg.Counter(MetricReplQuorumTimeouts),
 	})
 	reg.GaugeFunc(MetricReplFollowers, func() float64 { return float64(p.Stats().Followers) })
+	reg.GaugeFunc(MetricReplDegraded, func() float64 {
+		if p.Degraded() {
+			return 1
+		}
+		return 0
+	})
+	reg.GaugeFunc(MetricReplAckLagRecords, func() float64 {
+		worst := int64(0)
+		for _, l := range p.Stats().Links {
+			if l.SyncEligible && l.AckLagRecords > worst {
+				worst = l.AckLagRecords
+			}
+		}
+		return float64(worst)
+	})
 }
 
 // instrumentReplFollower registers a follower's position and lag gauges.

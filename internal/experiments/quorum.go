@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"time"
+
+	"precis"
+	"precis/internal/repl"
+)
+
+// QuorumBenchConfig sweeps synchronous-replication commit latency: how
+// much does each mutation pay when it must wait for 0, 1, or 2 durable
+// follower acks, under each WAL fsync policy? The follower topology is
+// held constant (Followers attached in every leg) so the sweep isolates
+// the quorum requirement from the streaming load.
+type QuorumBenchConfig struct {
+	Films          int                   // synthetic dataset size behind the primary
+	Appends        int                   // timed mutations per leg
+	SyncReplicas   []int                 // quorum sizes to sweep (0 = async)
+	Fsyncs         []precis.FsyncPolicy  // fsync policies to sweep (primary AND followers)
+	FsyncInterval  time.Duration         // interval for FsyncInterval legs
+	Followers      int                   // durable followers attached in every leg
+	HeartbeatEvery time.Duration         // primary heartbeat pacing (carries interval-fsync acks)
+}
+
+// DefaultQuorumBenchConfig keeps each leg short while letting the quorum
+// cost separate cleanly from the local fsync cost.
+func DefaultQuorumBenchConfig() QuorumBenchConfig {
+	return QuorumBenchConfig{
+		Films:          500,
+		Appends:        300,
+		SyncReplicas:   []int{0, 1, 2},
+		Fsyncs:         []precis.FsyncPolicy{precis.FsyncAlways, precis.FsyncInterval},
+		FsyncInterval:  5 * time.Millisecond,
+		Followers:      2,
+		HeartbeatEvery: 5 * time.Millisecond,
+	}
+}
+
+// QuorumPoint is one (quorum size, fsync policy) commit-latency sample.
+type QuorumPoint struct {
+	SyncReplicas int
+	Fsync        string
+	Appends      int
+	Mean         time.Duration
+	P99          time.Duration
+	Max          time.Duration
+}
+
+// QuorumReport is the output of QuorumBench.
+type QuorumReport struct {
+	Followers int
+	Points    []QuorumPoint
+}
+
+func (r QuorumReport) String() string {
+	s := fmt.Sprintf("Commit latency vs sync quorum size (%d durable follower(s) attached, loopback TCP)\n", r.Followers)
+	for _, p := range r.Points {
+		s += fmt.Sprintf("  sync_replicas=%d fsync=%-8s appends=%-5d mean=%-10v p99=%-10v max=%v\n",
+			p.SyncReplicas, p.Fsync, p.Appends,
+			p.Mean.Round(time.Microsecond), p.P99.Round(time.Microsecond), p.Max.Round(time.Microsecond))
+	}
+	return s
+}
+
+// QuorumBench measures per-mutation commit latency for every configured
+// (SyncReplicas, fsync) pair, with Followers durable followers attached
+// and converged before the timed phase begins.
+func QuorumBench(cfg QuorumBenchConfig) (QuorumReport, error) {
+	report := QuorumReport{Followers: cfg.Followers}
+	for _, policy := range cfg.Fsyncs {
+		for _, quorum := range cfg.SyncReplicas {
+			point, err := quorumPoint(cfg, quorum, policy)
+			if err != nil {
+				return report, err
+			}
+			report.Points = append(report.Points, point)
+		}
+	}
+	return report, nil
+}
+
+// quorumPoint runs one leg: a primary under policy with the sync quorum
+// set to quorum, Followers durable followers under the same policy, and
+// cfg.Appends timed mutations.
+func quorumPoint(cfg QuorumBenchConfig, quorum int, policy precis.FsyncPolicy) (QuorumPoint, error) {
+	point := QuorumPoint{SyncReplicas: quorum, Fsync: policy.String(), Appends: cfg.Appends}
+
+	dir, err := os.MkdirTemp("", "precis-quorum-bench-")
+	if err != nil {
+		return point, err
+	}
+	defer os.RemoveAll(dir)
+	db, g, err := syntheticParts(cfg.Films)
+	if err != nil {
+		return point, err
+	}
+	pcfg := benchPersistConfig(dir, policy)
+	pcfg.FsyncInterval = cfg.FsyncInterval
+	primary, err := precis.Open(db, g, pcfg)
+	if err != nil {
+		return point, err
+	}
+	defer primary.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return point, err
+	}
+	if _, err := primary.StartReplication(ln, repl.PrimaryConfig{
+		HeartbeatEvery: cfg.HeartbeatEvery,
+		SyncReplicas:   quorum,
+		AckTimeout:     30 * time.Second, // the bench measures waits, not timeouts
+		Logger:         pcfg.Logger,
+	}); err != nil {
+		return point, err
+	}
+
+	for i := 0; i < cfg.Followers; i++ {
+		fdir, err := os.MkdirTemp("", "precis-quorum-follower-")
+		if err != nil {
+			return point, err
+		}
+		defer os.RemoveAll(fdir)
+		_, fg, err := syntheticParts(cfg.Films)
+		if err != nil {
+			return point, err
+		}
+		follower, err := precis.OpenFollower(fg, precis.ReplicaConfig{
+			Addr:          ln.Addr().String(),
+			Dir:           fdir,
+			Fsync:         policy,
+			FsyncInterval: cfg.FsyncInterval,
+			BackoffMin:    time.Millisecond,
+			Logger:        pcfg.Logger,
+		})
+		if err != nil {
+			return point, err
+		}
+		defer follower.Close()
+		if _, err := waitConverged(primary, follower, 30*time.Second); err != nil {
+			return point, err
+		}
+	}
+
+	mid, err := firstMovieID(primary.Database())
+	if err != nil {
+		return point, err
+	}
+	lat := make([]time.Duration, 0, cfg.Appends)
+	for i := 0; i < cfg.Appends; i++ {
+		start := time.Now()
+		if err := benchMutation(primary, mid, 2_000_000+i); err != nil {
+			return point, err
+		}
+		lat = append(lat, time.Since(start))
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	point.Mean = sum / time.Duration(len(lat))
+	point.P99 = lat[len(lat)*99/100]
+	point.Max = lat[len(lat)-1]
+	return point, nil
+}

@@ -59,6 +59,17 @@ const (
 	// SiteReplHandshake fires during connection setup on both ends of a
 	// replication link.
 	SiteReplHandshake = "repl.handshake"
+	// SiteReplAckSend fires before a follower writes an Ack frame to the
+	// primary; an error rule severs the link, repl.ErrInjectCorrupt corrupts
+	// the frame bytes on the wire.
+	SiteReplAckSend = "repl.ack.send"
+	// SiteReplAckRecv fires before the primary's per-link reader reads a
+	// frame from a follower; an error rule severs the link.
+	SiteReplAckRecv = "repl.ack.recv"
+	// SiteReplFollowerFsync fires before a durable follower appends a
+	// replicated frame to its local WAL (so the append — and the ack that
+	// depends on it — never happens when the rule errors).
+	SiteReplFollowerFsync = "repl.follower.fsync"
 )
 
 // Rule describes what happens when a site fires. Exactly one of Err and

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -34,6 +35,11 @@ type Callbacks struct {
 	// Frontier reports the primary's durable frontier, refreshed by every
 	// record and heartbeat. Optional.
 	Frontier func(gen, records, bytes uint64)
+	// Ack returns the follower's durably-applied position, sent back to a
+	// v2+ primary after every applied message so it can release quorum
+	// waits. Gen 0 suppresses the ack. Optional; nil followers never ack
+	// and thus never count toward a sync quorum.
+	Ack func() (gen, records, bytes uint64)
 }
 
 // Config tunes the follower transport.
@@ -46,9 +52,22 @@ type Config struct {
 	HandshakeTimeout time.Duration
 	// BackoffMin / BackoffMax bound the reconnect backoff (0: 20ms / 2s).
 	// Backoff doubles per fruitless attempt and resets after any session
-	// that delivered at least one message.
+	// that delivered at least one message. Each sleep is jittered ±20% so
+	// a follower fleet doesn't thundering-herd a restarted primary.
 	BackoffMin time.Duration
 	BackoffMax time.Duration
+	// StallTimeout is the rolling read deadline on an established stream:
+	// a link that goes silent this long (no records, no heartbeats) is
+	// torn down and redialed rather than hanging until TCP keepalive.
+	// 0 derives it from the primary's advertised heartbeat interval
+	// (3× HeartbeatMS, floored at 1s).
+	StallTimeout time.Duration
+	// Version pins the protocol version offered in Hello (0: ProtoVersion).
+	// Tests pin 1 to exercise the ack-less downgrade path.
+	Version uint64
+	// Jitter returns a value in [0,1) used to spread reconnect sleeps;
+	// nil uses math/rand. Injectable for deterministic backoff tests.
+	Jitter func() float64
 	// Logger receives reconnect notes; nil uses log.Default().
 	Logger *log.Logger
 }
@@ -60,6 +79,7 @@ type ClientStats struct {
 	Snapshots     uint64 `json:"snapshots_received"`
 	Records       uint64 `json:"records_received"`
 	BytesReceived uint64 `json:"bytes_received"`
+	AcksSent      uint64 `json:"acks_sent"`
 	LastError     string `json:"last_error,omitempty"`
 }
 
@@ -78,6 +98,7 @@ type Client struct {
 	snapshots atomic.Uint64
 	records   atomic.Uint64
 	bytes     atomic.Uint64
+	acks      atomic.Uint64
 
 	errMu   sync.Mutex
 	lastErr string
@@ -97,6 +118,12 @@ func New(cfg Config, cb Callbacks) *Client {
 	if cfg.BackoffMax <= 0 {
 		cfg.BackoffMax = 2 * time.Second
 	}
+	if cfg.Version == 0 {
+		cfg.Version = ProtoVersion
+	}
+	if cfg.Jitter == nil {
+		cfg.Jitter = rand.Float64
+	}
 	lg := cfg.Logger
 	if lg == nil {
 		lg = log.Default()
@@ -115,6 +142,7 @@ func (c *Client) Stats() ClientStats {
 		Snapshots:     c.snapshots.Load(),
 		Records:       c.records.Load(),
 		BytesReceived: c.bytes.Load(),
+		AcksSent:      c.acks.Load(),
 		LastError:     lastErr,
 	}
 }
@@ -133,10 +161,13 @@ func (c *Client) Run(ctx context.Context) {
 			c.errMu.Unlock()
 			c.log.Printf("repl: follower link to %s: %v (reconnecting in %s)", c.cfg.Addr, err, backoff)
 		}
+		// ±20% jitter so a fleet of followers redialing a restarted
+		// primary spreads out instead of arriving in lockstep.
+		sleep := time.Duration(float64(backoff) * (0.8 + 0.4*c.cfg.Jitter()))
 		select {
 		case <-ctx.Done():
 			return
-		case <-time.After(backoff):
+		case <-time.After(sleep):
 		}
 		if progress {
 			backoff = c.cfg.BackoffMin
@@ -164,7 +195,7 @@ func (c *Client) session(ctx context.Context) (progress bool, err error) {
 	}
 	gen, records := c.cb.Position()
 	_ = conn.SetWriteDeadline(time.Now().Add(c.cfg.HandshakeTimeout))
-	if err := writeMsg(conn, MsgHello, encodeHello(Hello{Version: ProtoVersion, Gen: gen, Records: records})); err != nil {
+	if err := writeMsg(conn, MsgHello, encodeHello(Hello{Version: c.cfg.Version, Gen: gen, Records: records})); err != nil {
 		return false, fmt.Errorf("send hello: %w", err)
 	}
 	_ = conn.SetReadDeadline(time.Now().Add(c.cfg.HandshakeTimeout))
@@ -182,13 +213,34 @@ func (c *Client) session(ctx context.Context) (progress bool, err error) {
 	if err != nil {
 		return false, err
 	}
-	if welcome.Version != ProtoVersion {
-		return false, fmt.Errorf("primary speaks protocol version %d (want %d)", welcome.Version, ProtoVersion)
+	if welcome.Version < MinProtoVersion || welcome.Version > c.cfg.Version {
+		return false, fmt.Errorf("primary speaks protocol version %d (want %d..%d)", welcome.Version, MinProtoVersion, c.cfg.Version)
 	}
-	_ = conn.SetReadDeadline(time.Time{})
+	version := welcome.Version
+	// Rolling stall deadline: a silently dead primary must look like a
+	// link error, not a forever-blocked read. The primary heartbeats idle
+	// links, so any healthy stream refreshes the deadline continuously.
+	stall := c.cfg.StallTimeout
+	if stall <= 0 {
+		hbMS := welcome.HeartbeatMS
+		if hbMS == 0 { // v1 primary: no advertised interval, assume 500ms
+			hbMS = 500
+		}
+		stall = 3 * time.Duration(hbMS) * time.Millisecond
+		if stall < time.Second {
+			stall = time.Second
+		}
+	}
 	_ = conn.SetWriteDeadline(time.Time{})
 	c.connected.Store(true)
 	defer c.connected.Store(false)
+
+	// Opening ack: tell the primary where our durable state already stands
+	// so a caught-up reconnect releases quorum waits immediately.
+	lastAck := position{}
+	if err := c.maybeAck(conn, version, &lastAck); err != nil {
+		return false, err
+	}
 
 	// Stream state: the next record position we will accept, plus the
 	// in-flight snapshot transfer, if any. A Snapshot=false welcome
@@ -201,6 +253,7 @@ func (c *Client) session(ctx context.Context) (progress bool, err error) {
 	inSnap := false
 
 	for {
+		_ = conn.SetReadDeadline(time.Now().Add(stall))
 		typ, body, err := c.read(conn)
 		if err != nil {
 			return progress, err
@@ -241,6 +294,9 @@ func (c *Client) session(ctx context.Context) (progress bool, err error) {
 			inSnap, awaitSnap = false, false
 			expect = position{gen: snapGen}
 			progress = true
+			if err := c.maybeAck(conn, version, &lastAck); err != nil {
+				return progress, err
+			}
 		case MsgRecord:
 			if inSnap || awaitSnap {
 				return progress, &ProtocolError{Msg: typ, Detail: "record during snapshot transfer"}
@@ -269,6 +325,9 @@ func (c *Client) session(ctx context.Context) (progress bool, err error) {
 				c.cb.Frontier(rm.FrontierGen, rm.FrontierRecords, rm.FrontierBytes)
 			}
 			progress = true
+			if err := c.maybeAck(conn, version, &lastAck); err != nil {
+				return progress, err
+			}
 		case MsgHeartbeat:
 			hb, err := decodeHeartbeat(body)
 			if err != nil {
@@ -277,12 +336,54 @@ func (c *Client) session(ctx context.Context) (progress bool, err error) {
 			if c.cb.Frontier != nil {
 				c.cb.Frontier(hb.FrontierGen, hb.FrontierRecords, hb.FrontierBytes)
 			}
+			// An interval-fsync follower's durable frontier advances between
+			// records; heartbeats give those advances a ride back.
+			if err := c.maybeAck(conn, version, &lastAck); err != nil {
+				return progress, err
+			}
 		case MsgError:
 			return progress, fmt.Errorf("primary error: %s", body)
 		default:
 			return progress, &ProtocolError{Msg: typ, Detail: "unexpected message"}
 		}
 	}
+}
+
+// maybeAck reports the follower's durable position to a v2+ primary,
+// skipping no-ops (nil callback, unbootstrapped follower, position
+// unchanged since the last ack). Fires the repl.ack.send fault site; an
+// injected ErrInjectCorrupt sends the frame genuinely corrupted for the
+// primary's checksums to catch.
+func (c *Client) maybeAck(conn net.Conn, version uint64, last *position) error {
+	if version < 2 || c.cb.Ack == nil {
+		return nil
+	}
+	gen, records, bytes := c.cb.Ack()
+	if gen == 0 || (last.gen == gen && last.seq == records) {
+		return nil
+	}
+	corrupt := false
+	if err := faultinject.Fire(faultinject.SiteReplAckSend); err != nil {
+		if errors.Is(err, ErrInjectCorrupt) {
+			corrupt = true
+		} else {
+			return fmt.Errorf("send ack: %w", err)
+		}
+	}
+	payload := make([]byte, 0, 32)
+	payload = append(payload, byte(MsgAck))
+	payload = append(payload, encodeAck(Ack{Gen: gen, Records: records, Bytes: bytes})...)
+	frame := frameMsg(payload)
+	if corrupt {
+		frame[len(frame)-1] ^= 0x40
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(c.cfg.HandshakeTimeout))
+	if _, err := conn.Write(frame); err != nil {
+		return fmt.Errorf("send ack: %w", err)
+	}
+	*last = position{gen: gen, seq: records}
+	c.acks.Add(1)
+	return nil
 }
 
 // read fires the repl.recv fault site, then reads one verified message,

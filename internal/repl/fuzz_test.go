@@ -33,6 +33,13 @@ func FuzzReplFrameDecode(f *testing.F) {
 	f.Add(seed(MsgRecord, encodeRecord(RecordMsg{Gen: 4, Seq: 9, FrontierGen: 4, FrontierRecords: 10, FrontierBytes: 512, Payload: []byte("record")})))
 	f.Add(seed(MsgHeartbeat, encodeHeartbeat(Heartbeat{FrontierGen: 4, FrontierRecords: 10, FrontierBytes: 512})))
 	f.Add(seed(MsgError, []byte("injected")))
+	f.Add(seed(MsgAck, encodeAck(Ack{Gen: 4, Records: 10, Bytes: 512})))
+	f.Add(seed(MsgAck, encodeAck(Ack{})))
+	// v1 hello (old follower) and v2 welcome riding the heartbeat field.
+	f.Add(seed(MsgHello, encodeHello(Hello{Version: 1, Gen: 2, Records: 5})))
+	f.Add(seed(MsgWelcome, encodeWelcome(Welcome{Version: ProtoVersion, Gen: 4, Records: 9, HeartbeatMS: 500})))
+	// Ack interleaved with a heartbeat: exact boundary consumption both ways.
+	f.Add(append(seed(MsgAck, encodeAck(Ack{Gen: 1, Records: 1, Bytes: 64})), seed(MsgHeartbeat, encodeHeartbeat(Heartbeat{FrontierGen: 1, FrontierRecords: 2}))...))
 	// Two frames back to back: the reader must consume exact boundaries.
 	f.Add(append(seed(MsgSnapEnd, nil), seed(MsgHeartbeat, encodeHeartbeat(Heartbeat{}))...))
 	// Corrupt variants: flipped payload byte, flipped length, truncation.
@@ -76,6 +83,8 @@ func FuzzReplFrameDecode(f *testing.F) {
 				_, derr = decodeRecord(body)
 			case MsgHeartbeat:
 				_, derr = decodeHeartbeat(body)
+			case MsgAck:
+				_, derr = decodeAck(body)
 			case MsgSnapChunk, MsgSnapEnd, MsgError:
 				// raw bodies, nothing to decode
 			default:

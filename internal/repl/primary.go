@@ -25,28 +25,73 @@ type PrimaryConfig struct {
 	WriteTimeout time.Duration
 	// HandshakeTimeout bounds the wait for the follower's Hello (0: 10s).
 	HandshakeTimeout time.Duration
+	// SyncReplicas is the number of durably-acking (protocol v2+)
+	// followers whose acks each group commit must collect before
+	// WaitCommitted releases it. 0 keeps replication fully asynchronous.
+	SyncReplicas int
+	// AckTimeout bounds each quorum wait (0: 2s). On expiry the commit
+	// either fails with ErrQuorumLost or, with DegradeToAsync, succeeds
+	// locally while the primary enters sticky degraded mode.
+	AckTimeout time.Duration
+	// DegradeToAsync trades consistency for availability: instead of
+	// failing writes when the quorum is lost, commit locally and raise a
+	// sticky degraded flag that clears once a quorum of acks reaches the
+	// durable frontier again.
+	DegradeToAsync bool
 	// Logger receives per-link notes; nil uses log.Default().
 	Logger *log.Logger
 }
 
+// ErrQuorumLost is returned (wrapped) by the commit gate when SyncReplicas
+// followers fail to ack a group commit within AckTimeout and DegradeToAsync
+// is off. The record IS durable on the primary's local WAL — the caller
+// must not roll back applied state, only surface the reduced durability.
+var ErrQuorumLost = errors.New("quorum lost")
+
 // Metrics are the optional instruments a Primary ticks (obs instruments
 // are nil-receiver no-ops).
 type Metrics struct {
-	SentRecords   *obs.Counter
-	SentBytes     *obs.Counter
-	SnapshotsSent *obs.Counter
-	Handshakes    *obs.Counter
-	LinkErrors    *obs.Counter
+	SentRecords    *obs.Counter
+	SentBytes      *obs.Counter
+	SnapshotsSent  *obs.Counter
+	Handshakes     *obs.Counter
+	LinkErrors     *obs.Counter
+	QuorumTimeouts *obs.Counter
+}
+
+// FollowerLinkStats describes one connected follower from the primary's
+// side: how far its durable acks have reached and how stale they are.
+type FollowerLinkStats struct {
+	Remote     string `json:"remote"`
+	Version    uint64 `json:"version"`
+	AckGen     uint64 `json:"ack_gen"`
+	AckRecords uint64 `json:"ack_records"`
+	AckBytes   uint64 `json:"ack_bytes"`
+	// AckLagRecords/AckLagBytes measure the gap between the primary's
+	// durable frontier and the follower's last ack (frontier totals when
+	// the ack is from an older generation — a lower bound).
+	AckLagRecords int64 `json:"ack_lag_records"`
+	AckLagBytes   int64 `json:"ack_lag_bytes"`
+	// SecsSinceAck is -1 until the first ack arrives.
+	SecsSinceAck float64 `json:"secs_since_ack"`
+	// SyncEligible marks protocol v2+ links that can count toward the
+	// quorum; v1 followers stream async-only.
+	SyncEligible bool `json:"sync_eligible"`
 }
 
 // PrimaryStats snapshots the streaming side's counters.
 type PrimaryStats struct {
-	Followers     int    `json:"followers"`
-	Handshakes    uint64 `json:"handshakes"`
-	SentRecords   uint64 `json:"sent_records"`
-	SentBytes     uint64 `json:"sent_bytes"`
-	SnapshotsSent uint64 `json:"snapshots_sent"`
-	LinkErrors    uint64 `json:"link_errors"`
+	Followers      int                 `json:"followers"`
+	Handshakes     uint64              `json:"handshakes"`
+	SentRecords    uint64              `json:"sent_records"`
+	SentBytes      uint64              `json:"sent_bytes"`
+	SnapshotsSent  uint64              `json:"snapshots_sent"`
+	LinkErrors     uint64              `json:"link_errors"`
+	SyncReplicas   int                 `json:"sync_replicas"`
+	Degraded       bool                `json:"degraded"`
+	QuorumWaits    uint64              `json:"quorum_waits"`
+	QuorumTimeouts uint64              `json:"quorum_timeouts"`
+	Links          []FollowerLinkStats `json:"links,omitempty"`
 }
 
 // Primary streams a Store's committed WAL frames to followers. Each
@@ -59,20 +104,48 @@ type Primary struct {
 	cfg   PrimaryConfig
 	log   *log.Logger
 
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
-	done   chan struct{}
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	links    map[net.Conn]*linkState
+	ackCh    chan struct{} // closed+replaced on every ack (broadcast)
+	degraded bool          // sticky until a quorum of acks reaches the frontier
+	closed   bool
+	done     chan struct{}
+	wg       sync.WaitGroup
 
 	metrics atomic.Pointer[Metrics]
 
-	handshakes  atomic.Uint64
-	sentRecords atomic.Uint64
-	sentBytes   atomic.Uint64
-	snapshots   atomic.Uint64
-	linkErrors  atomic.Uint64
+	handshakes     atomic.Uint64
+	sentRecords    atomic.Uint64
+	sentBytes      atomic.Uint64
+	snapshots      atomic.Uint64
+	linkErrors     atomic.Uint64
+	quorumWaits    atomic.Uint64
+	quorumTimeouts atomic.Uint64
+}
+
+// linkState is the primary-side view of one handshaken follower link,
+// guarded by Primary.mu.
+type linkState struct {
+	remote     string
+	version    uint64
+	ackGen     uint64
+	ackRecords uint64
+	ackBytes   uint64
+	lastAck    time.Time
+	hasAck     bool
+}
+
+// syncEligible reports whether the link's acks may count toward a quorum.
+func (l *linkState) syncEligible() bool { return l.version >= 2 }
+
+// ackedAtLeast reports whether the link has durably acked (gen, records).
+func (l *linkState) ackedAtLeast(gen uint64, records int64) bool {
+	if !l.hasAck {
+		return false
+	}
+	return l.ackGen > gen || (l.ackGen == gen && l.ackRecords >= uint64(records))
 }
 
 // NewPrimary wraps store for streaming; call Serve to start accepting.
@@ -86,6 +159,9 @@ func NewPrimary(store *wal.Store, cfg PrimaryConfig) *Primary {
 	if cfg.HandshakeTimeout <= 0 {
 		cfg.HandshakeTimeout = 10 * time.Second
 	}
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = 2 * time.Second
+	}
 	lg := cfg.Logger
 	if lg == nil {
 		lg = log.Default()
@@ -95,6 +171,8 @@ func NewPrimary(store *wal.Store, cfg PrimaryConfig) *Primary {
 		cfg:   cfg,
 		log:   lg,
 		conns: make(map[net.Conn]struct{}),
+		links: make(map[net.Conn]*linkState),
+		ackCh: make(chan struct{}),
 		done:  make(chan struct{}),
 	}
 }
@@ -170,18 +248,163 @@ func (p *Primary) Close() error {
 	return err
 }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters and per-link ack positions.
 func (p *Primary) Stats() PrimaryStats {
+	fr := p.store.Frontier()
+	now := time.Now()
 	p.mu.Lock()
 	followers := len(p.conns)
+	degraded := p.degraded
+	var links []FollowerLinkStats
+	for _, l := range p.links {
+		ls := FollowerLinkStats{
+			Remote:       l.remote,
+			Version:      l.version,
+			AckGen:       l.ackGen,
+			AckRecords:   l.ackRecords,
+			AckBytes:     l.ackBytes,
+			SecsSinceAck: -1,
+			SyncEligible: l.syncEligible(),
+		}
+		if l.hasAck {
+			ls.SecsSinceAck = now.Sub(l.lastAck).Seconds()
+		}
+		if l.hasAck && l.ackGen == fr.Gen {
+			ls.AckLagRecords = fr.Records - int64(l.ackRecords)
+			ls.AckLagBytes = fr.Bytes - int64(l.ackBytes)
+		} else {
+			// No ack yet, or the ack predates the current generation:
+			// report the whole current generation as the (lower-bound) lag.
+			ls.AckLagRecords = fr.Records
+			ls.AckLagBytes = fr.Bytes
+		}
+		links = append(links, ls)
+	}
 	p.mu.Unlock()
 	return PrimaryStats{
-		Followers:     followers,
-		Handshakes:    p.handshakes.Load(),
-		SentRecords:   p.sentRecords.Load(),
-		SentBytes:     p.sentBytes.Load(),
-		SnapshotsSent: p.snapshots.Load(),
-		LinkErrors:    p.linkErrors.Load(),
+		Followers:      followers,
+		Handshakes:     p.handshakes.Load(),
+		SentRecords:    p.sentRecords.Load(),
+		SentBytes:      p.sentBytes.Load(),
+		SnapshotsSent:  p.snapshots.Load(),
+		LinkErrors:     p.linkErrors.Load(),
+		SyncReplicas:   p.cfg.SyncReplicas,
+		Degraded:       degraded,
+		QuorumWaits:    p.quorumWaits.Load(),
+		QuorumTimeouts: p.quorumTimeouts.Load(),
+		Links:          links,
+	}
+}
+
+// Degraded reports the sticky degraded-mode flag.
+func (p *Primary) Degraded() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.degraded
+}
+
+// quorumMetLocked counts sync-eligible followers whose acks have reached
+// (gen, records). Callers hold p.mu.
+func (p *Primary) quorumMetLocked(gen uint64, records int64) bool {
+	n := 0
+	for _, l := range p.links {
+		if l.syncEligible() && l.ackedAtLeast(gen, records) {
+			n++
+			if n >= p.cfg.SyncReplicas {
+				return true
+			}
+		}
+	}
+	return p.cfg.SyncReplicas <= 0
+}
+
+// WaitCommitted is the store's commit gate: it blocks a locally-durable
+// group commit until SyncReplicas followers have acked at-or-past it, the
+// AckTimeout expires, or the primary closes. The record is already on the
+// primary's own WAL when this runs, so every exit path leaves local state
+// consistent; the error only reports reduced durability.
+func (p *Primary) WaitCommitted(gen uint64, records int64) error {
+	if p.cfg.SyncReplicas <= 0 {
+		return nil
+	}
+	timer := time.NewTimer(p.cfg.AckTimeout)
+	defer timer.Stop()
+	p.quorumWaits.Add(1)
+	p.mu.Lock()
+	for {
+		if p.closed {
+			p.mu.Unlock()
+			return nil
+		}
+		if p.degraded && p.cfg.DegradeToAsync {
+			p.mu.Unlock()
+			return nil
+		}
+		if p.quorumMetLocked(gen, records) {
+			p.mu.Unlock()
+			return nil
+		}
+		ch := p.ackCh
+		p.mu.Unlock()
+		select {
+		case <-ch:
+		case <-timer.C:
+			return p.quorumTimeout(gen, records)
+		case <-p.done:
+			// Shutdown: the gate is torn down before the primary closes in
+			// the engine; a straggler here must not fail the local commit.
+			return nil
+		}
+		p.mu.Lock()
+	}
+}
+
+// quorumTimeout handles an expired quorum wait: fail the write with
+// ErrQuorumLost, or — with DegradeToAsync — commit locally and raise the
+// sticky degraded flag.
+func (p *Primary) quorumTimeout(gen uint64, records int64) error {
+	p.quorumTimeouts.Add(1)
+	if m := p.metrics.Load(); m != nil {
+		m.QuorumTimeouts.Inc()
+	}
+	if p.cfg.DegradeToAsync {
+		p.mu.Lock()
+		if !p.degraded {
+			p.degraded = true
+			p.log.Printf("repl: quorum of %d sync replica(s) not reached within %s; degrading to async replication (sticky until quorum heals)",
+				p.cfg.SyncReplicas, p.cfg.AckTimeout)
+		}
+		p.mu.Unlock()
+		return nil
+	}
+	return fmt.Errorf("repl: %w: %d sync replica(s) did not ack gen %d record %d within %s",
+		ErrQuorumLost, p.cfg.SyncReplicas, gen, records, p.cfg.AckTimeout)
+}
+
+// recordAck folds a follower's ack into its link state, wakes quorum
+// waiters, and heals degraded mode once a quorum of acks reaches the
+// durable frontier.
+func (p *Primary) recordAck(l *linkState, a Ack) {
+	p.mu.Lock()
+	// Acks are monotonic per link; ignore reordered/stale ones.
+	if !l.hasAck || a.Gen > l.ackGen || (a.Gen == l.ackGen && a.Records >= l.ackRecords) {
+		l.ackGen, l.ackRecords, l.ackBytes = a.Gen, a.Records, a.Bytes
+		l.lastAck = time.Now()
+		l.hasAck = true
+	}
+	close(p.ackCh)
+	p.ackCh = make(chan struct{})
+	healed := false
+	if p.degraded {
+		fr := p.store.Frontier()
+		if p.quorumMetLocked(fr.Gen, fr.Records) {
+			p.degraded = false
+			healed = true
+		}
+	}
+	p.mu.Unlock()
+	if healed {
+		p.log.Printf("repl: sync replica quorum healed; leaving degraded mode")
 	}
 }
 
@@ -202,6 +425,11 @@ func (p *Primary) serveConn(conn net.Conn) {
 		_ = conn.Close()
 		p.mu.Lock()
 		delete(p.conns, conn)
+		delete(p.links, conn)
+		// A departing sync follower can change quorum math; wake waiters so
+		// they re-check instead of idling on a channel nobody will close.
+		close(p.ackCh)
+		p.ackCh = make(chan struct{})
 		p.mu.Unlock()
 	}()
 	if err := p.streamTo(conn); err != nil {
@@ -228,9 +456,12 @@ func (p *Primary) streamTo(conn net.Conn) error {
 	if err != nil {
 		return p.reject(conn, err.Error())
 	}
-	if hello.Version != ProtoVersion {
-		return p.reject(conn, fmt.Sprintf("protocol version %d not supported (want %d)", hello.Version, ProtoVersion))
+	if hello.Version < MinProtoVersion || hello.Version > ProtoVersion {
+		return p.reject(conn, fmt.Sprintf("protocol version %d not supported (want %d..%d)", hello.Version, MinProtoVersion, ProtoVersion))
 	}
+	// Negotiated version: the follower never claims more than it speaks,
+	// so its Hello version (capped above at ours) is the stream version.
+	version := hello.Version
 	if err := faultinject.Fire(faultinject.SiteReplHandshake); err != nil {
 		return fmt.Errorf("handshake: %w", err)
 	}
@@ -240,13 +471,16 @@ func (p *Primary) streamTo(conn net.Conn) error {
 		m.Handshakes.Inc()
 	}
 
-	// The follower sends nothing after Hello; a reader goroutine exists
-	// only to notice the peer closing and unblock our writes promptly.
-	go func() {
-		var buf [1]byte
-		_, _ = conn.Read(buf[:])
-		_ = conn.Close()
-	}()
+	link := &linkState{remote: conn.RemoteAddr().String(), version: version}
+	p.mu.Lock()
+	p.links[conn] = link
+	p.mu.Unlock()
+
+	// v2+ followers send Ack frames after applying+fsyncing records; v1
+	// followers send nothing, so the reader just notices the peer closing
+	// and unblocks our writes promptly. Either way a read error (or any
+	// non-ack frame) severs the link.
+	go p.readAcks(conn, link)
 
 	sub, cancel := p.store.Subscribe()
 	defer cancel()
@@ -255,10 +489,11 @@ func (p *Primary) streamTo(conn net.Conn) error {
 	// garbage-collect older logs immediately. Gen 0 means "never
 	// bootstrapped".
 	fr := p.store.Frontier()
+	hbMS := uint64(p.cfg.HeartbeatEvery.Milliseconds())
 	pos := position{gen: hello.Gen, seq: hello.Records}
 	canResume := hello.Gen != 0 && hello.Gen == fr.Gen && int64(hello.Records) <= fr.Records
 	if canResume {
-		if err := p.send(conn, MsgWelcome, encodeWelcome(Welcome{Version: ProtoVersion, Gen: pos.gen, Records: pos.seq})); err != nil {
+		if err := p.send(conn, MsgWelcome, encodeWelcome(Welcome{Version: version, Gen: pos.gen, Records: pos.seq, HeartbeatMS: hbMS})); err != nil {
 			return err
 		}
 	} else {
@@ -266,7 +501,7 @@ func (p *Primary) streamTo(conn net.Conn) error {
 		if err != nil {
 			return err
 		}
-		if err := p.send(conn, MsgWelcome, encodeWelcome(Welcome{Version: ProtoVersion, Snapshot: true, Gen: gen})); err != nil {
+		if err := p.send(conn, MsgWelcome, encodeWelcome(Welcome{Version: version, Snapshot: true, Gen: gen, HeartbeatMS: hbMS})); err != nil {
 			return err
 		}
 		if err := p.sendSnapshot(conn, gen, raw); err != nil {
@@ -364,6 +599,33 @@ func (p *Primary) streamTo(conn net.Conn) error {
 		case <-p.done:
 			return nil
 		}
+	}
+}
+
+// readAcks drains the follower→primary half of the link, folding Ack
+// frames into the quorum state. Any read error, decode error, or
+// unexpected frame type severs the link (closing conn also unblocks the
+// stream side's writes).
+func (p *Primary) readAcks(conn net.Conn, link *linkState) {
+	defer func() { _ = conn.Close() }()
+	for {
+		if err := faultinject.Fire(faultinject.SiteReplAckRecv); err != nil {
+			return
+		}
+		typ, body, err := readMsg(conn)
+		if err != nil {
+			return
+		}
+		if typ != MsgAck {
+			p.log.Printf("repl: follower %s sent unexpected %s frame; dropping link", link.remote, typ)
+			return
+		}
+		ack, err := decodeAck(body)
+		if err != nil {
+			p.log.Printf("repl: follower %s: %v; dropping link", link.remote, err)
+			return
+		}
+		p.recordAck(link, ack)
 	}
 }
 

@@ -21,6 +21,12 @@
 // rotations are implicit: after the last record of generation G, the next
 // record arrives as (G+1, 0) — a fully caught-up follower crosses a
 // checkpoint without re-bootstrapping.
+//
+// Protocol version 2 (PRCREPL2) adds the follower→primary Ack frame: the
+// follower reports its durable-applied position, and a primary configured
+// with SyncReplicas > 0 releases each group commit only once a quorum of
+// followers has acked at-or-past it. The handshake negotiates down, so a
+// version-1 follower still streams — it just never counts toward a quorum.
 package repl
 
 import (
@@ -31,12 +37,24 @@ import (
 	"io"
 )
 
-// Magic opens every Hello; a server can reject a stray client on byte one.
-const Magic = "PRCREPL1"
+// Magic opens every version-1 Hello; a server can reject a stray client on
+// byte one. Magic2 is the version-2 spelling. Both magics are 8 bytes, so
+// the decoder slices the same prefix either way.
+const (
+	Magic  = "PRCREPL1"
+	Magic2 = "PRCREPL2"
+)
 
-// ProtoVersion is bumped on incompatible wire changes; both ends refuse a
-// mismatch during the handshake.
-const ProtoVersion = 1
+// ProtoVersion is the newest protocol this build speaks; MinProtoVersion
+// is the oldest it still accepts. The handshake negotiates down: a primary
+// answers a version-1 Hello with a version-1 Welcome and treats the
+// follower as async-only (version 1 has no MsgAck, so it can never count
+// toward a synchronous-replication quorum). Version 2 adds the
+// follower→primary Ack frame and a heartbeat-interval field in Welcome.
+const (
+	ProtoVersion    = 2
+	MinProtoVersion = 1
+)
 
 // maxMsgPayload caps one message. Snapshots are chunked well below it;
 // WAL records are capped far lower by the WAL's own frame limit. A header
@@ -65,6 +83,7 @@ const (
 	MsgRecord
 	MsgHeartbeat
 	MsgError
+	MsgAck
 )
 
 // String names the message type for diagnostics.
@@ -86,6 +105,8 @@ func (t MsgType) String() string {
 		return "heartbeat"
 	case MsgError:
 		return "error"
+	case MsgAck:
+		return "ack"
 	default:
 		return fmt.Sprintf("msg(%d)", uint8(t))
 	}
@@ -118,12 +139,24 @@ type Hello struct {
 	Records uint64 // records applied within Gen
 }
 
-// Welcome is the primary's handshake answer.
+// Welcome is the primary's handshake answer. HeartbeatMS (version ≥ 2
+// only) tells the follower how often to expect traffic on an idle link, so
+// it can size its read-stall deadline.
 type Welcome struct {
-	Version  uint64
-	Snapshot bool   // true: a snapshot bootstrap follows before records
-	Gen      uint64 // generation the stream will continue in
-	Records  uint64 // sequence the first record will carry
+	Version     uint64
+	Snapshot    bool   // true: a snapshot bootstrap follows before records
+	Gen         uint64 // generation the stream will continue in
+	Records     uint64 // sequence the first record will carry
+	HeartbeatMS uint64 // primary's heartbeat interval in ms (0 on version 1)
+}
+
+// Ack is the follower's durable-applied position (version ≥ 2): Records
+// frames of generation Gen — Bytes bytes of its local WAL — are on the
+// follower's disk (or applied in memory, for a diskless follower).
+type Ack struct {
+	Gen     uint64
+	Records uint64
+	Bytes   uint64
 }
 
 // SnapBegin announces a snapshot transfer.
@@ -272,12 +305,17 @@ func (d *bodyReader) done() error {
 // produced.
 
 func encodeHello(h Hello) []byte {
-	body := append([]byte(nil), Magic...)
+	magic := Magic
+	if h.Version >= 2 {
+		magic = Magic2
+	}
+	body := append([]byte(nil), magic...)
 	return appendUvarints(body, h.Version, h.Gen, h.Records)
 }
 
 func decodeHello(body []byte) (Hello, error) {
-	if len(body) < len(Magic) || string(body[:len(Magic)]) != Magic {
+	if len(body) < len(Magic) ||
+		(string(body[:len(Magic)]) != Magic && string(body[:len(Magic2)]) != Magic2) {
 		return Hello{}, &ProtocolError{Msg: MsgHello, Detail: "bad magic"}
 	}
 	d := &bodyReader{typ: MsgHello, b: body[len(Magic):]}
@@ -289,12 +327,19 @@ func decodeHello(body []byte) (Hello, error) {
 	return h, d.done()
 }
 
+// encodeWelcome emits the wire form the announced version defines: the
+// HeartbeatMS field exists only from version 2 on (a version-1 follower
+// rejects trailing bytes, so the primary speaks each follower's dialect).
 func encodeWelcome(w Welcome) []byte {
 	snap := uint64(0)
 	if w.Snapshot {
 		snap = 1
 	}
-	return appendUvarints(nil, w.Version, snap, w.Gen, w.Records)
+	body := appendUvarints(nil, w.Version, snap, w.Gen, w.Records)
+	if w.Version >= 2 {
+		body = appendUvarints(body, w.HeartbeatMS)
+	}
+	return body
 }
 
 func decodeWelcome(body []byte) (Welcome, error) {
@@ -311,7 +356,24 @@ func decodeWelcome(body []byte) (Welcome, error) {
 	}
 	w.Gen = d.uvarint("gen")
 	w.Records = d.uvarint("records")
+	if d.err == nil && w.Version >= 2 {
+		w.HeartbeatMS = d.uvarint("heartbeat ms")
+	}
 	return w, d.done()
+}
+
+func encodeAck(a Ack) []byte {
+	return appendUvarints(nil, a.Gen, a.Records, a.Bytes)
+}
+
+func decodeAck(body []byte) (Ack, error) {
+	d := &bodyReader{typ: MsgAck, b: body}
+	a := Ack{
+		Gen:     d.uvarint("gen"),
+		Records: d.uvarint("records"),
+		Bytes:   d.uvarint("bytes"),
+	}
+	return a, d.done()
 }
 
 func encodeSnapBegin(s SnapBegin) []byte {

@@ -374,6 +374,13 @@ func WriteSnapshot(dir string, gen uint64, data *SnapshotData) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return WriteRawSnapshot(dir, gen, raw)
+}
+
+// WriteRawSnapshot durably writes already-encoded snapshot bytes as
+// generation gen — the follower's install path, which must keep the file
+// byte-identical to the primary's.
+func WriteRawSnapshot(dir string, gen uint64, raw []byte) (string, error) {
 	final := filepath.Join(dir, snapshotName(gen))
 	tmp, err := os.CreateTemp(dir, ".tmp-snap-*")
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -69,7 +70,21 @@ type Store struct {
 	subMu sync.Mutex
 	subs  map[int]chan struct{}
 	subID int
+
+	// commitGate, when set, is called after every locally successful
+	// Append with the record's position; Append does not return until the
+	// gate does. Synchronous replication installs its quorum wait here, so
+	// the gate rides the same group-commit path that makes the record
+	// locally durable. A gate error is returned from Append, but the
+	// record stays in the log — the caller distinguishes "not written"
+	// from "written locally, replication guarantee not met".
+	commitGate atomic.Pointer[CommitGate]
 }
+
+// CommitGate blocks a locally durable append until an external commit
+// condition (a replication quorum) is satisfied. records is the 1-based
+// index of the appended record within gen.
+type CommitGate func(gen uint64, records int64) error
 
 // genEnd is the durable frontier a generation's log ended at.
 type genEnd struct {
@@ -208,16 +223,49 @@ func (s *Store) Initialize(data *SnapshotData) error {
 	return nil
 }
 
-// Append logs one mutation record.
+// SetCommitGate installs (or, with nil, removes) the commit gate Append
+// runs after each locally successful append. Safe to call concurrently
+// with appends; an in-flight Append uses whichever gate it loads.
+func (s *Store) SetCommitGate(g CommitGate) {
+	if g == nil {
+		s.commitGate.Store(nil)
+		return
+	}
+	s.commitGate.Store(&g)
+}
+
+// Append logs one mutation record. With a commit gate installed, Append
+// additionally blocks until the gate releases the record's position; a
+// gate error is returned with the record already in the local log (see
+// CommitGate).
 func (s *Store) Append(r Record) error {
+	return s.append(r.encode(make([]byte, 0, 64)))
+}
+
+// AppendRaw logs one already-encoded record payload verbatim — the
+// follower's write-through path, which must keep its log byte-identical
+// to the primary's.
+func (s *Store) AppendRaw(payload []byte) error {
+	return s.append(payload)
+}
+
+func (s *Store) append(payload []byte) error {
 	s.mu.Lock()
 	w := s.w
+	gen := s.gen
 	closed := s.closed
 	s.mu.Unlock()
 	if closed || w == nil {
 		return fmt.Errorf("wal: store is closed")
 	}
-	return w.Append(r.encode(make([]byte, 0, 64)))
+	records, err := w.Append(payload)
+	if err != nil {
+		return err
+	}
+	if gp := s.commitGate.Load(); gp != nil {
+		return (*gp)(gen, records)
+	}
+	return nil
 }
 
 // Checkpoint writes data as the next snapshot generation, rotates the WAL,
@@ -272,6 +320,62 @@ func (s *Store) Checkpoint(data *SnapshotData) error {
 	if s.metrics != nil {
 		s.metrics.Checkpoints.Inc()
 		s.metrics.CheckpointSecs.ObserveNanos(time.Since(start).Nanoseconds())
+	}
+	s.notifySubs()
+	return nil
+}
+
+// InstallSnapshot makes raw (an already-encoded snapshot, as streamed from
+// a replication primary) the store's entire state at generation gen: the
+// snapshot is written durably, a fresh WAL is opened for gen, and every
+// other generation's files are removed. This is the follower's bootstrap
+// and re-bootstrap path — unlike Checkpoint, the generation number comes
+// from the stream (it may jump forward past GC'd generations, or even
+// backward after a stale-primary restart), so alignment with the primary's
+// numbering is preserved. The caller must guarantee no Append runs
+// concurrently.
+func (s *Store) InstallSnapshot(gen uint64, raw []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("wal: store is closed")
+	}
+	if gen == 0 {
+		return fmt.Errorf("wal: cannot install snapshot at generation 0")
+	}
+	if _, err := WriteRawSnapshot(s.dir, gen, raw); err != nil {
+		return err
+	}
+	nw, err := openWriter(filepath.Join(s.dir, walName(gen)), s.cfg.Fsync, s.cfg.FsyncInterval)
+	if err != nil {
+		_ = os.Remove(filepath.Join(s.dir, snapshotName(gen)))
+		return err
+	}
+	nw.SetMetrics(s.metrics)
+	nw.OnAdvance(s.notifySubs)
+	if s.w != nil {
+		_ = s.w.Close()
+	}
+	s.w = nw
+	s.gen = gen
+	s.lastCkpt = time.Now()
+	s.genEnds = nil
+	// Remove every other generation — including newer ones a stale-primary
+	// re-bootstrap would otherwise leave for recovery to prefer.
+	entries, err := os.ReadDir(s.dir)
+	if err == nil {
+		for _, e := range entries {
+			name := e.Name()
+			var g uint64
+			switch {
+			case parseGen(name, "snap-", ".snap", &g), parseGen(name, "wal-", ".log", &g):
+				if g != gen {
+					if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
+						s.log.Printf("wal: install snapshot: cannot remove %s: %v", name, err)
+					}
+				}
+			}
+		}
 	}
 	s.notifySubs()
 	return nil

@@ -230,24 +230,27 @@ func (w *Writer) Size() int64 { return w.size.Load() }
 func (w *Writer) Records() int64 { return w.records.Load() }
 
 // Append frames payload, writes it, and — under FsyncAlways — blocks until
-// it is durable. The error, if any, means the record did not and will not
-// become durable: a write error leaves nothing behind, and an fsync error
-// poisons the writer, truncating the un-durable tail (see Writer). The
-// file is never left in a state recovery cannot parse (at worst a torn
-// tail, which recovery truncates).
-func (w *Writer) Append(payload []byte) error {
+// it is durable. On success it returns the record count after this append
+// (the record's 1-based index within the generation), which the store's
+// commit gate uses as the position a replication quorum must ack. The
+// error, if any, means the record did not and will not become durable: a
+// write error leaves nothing behind, and an fsync error poisons the
+// writer, truncating the un-durable tail (see Writer). The file is never
+// left in a state recovery cannot parse (at worst a torn tail, which
+// recovery truncates).
+func (w *Writer) Append(payload []byte) (int64, error) {
 	if err := faultinject.Fire(faultinject.SiteWALAppend); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
+		return 0, fmt.Errorf("wal: append: %w", err)
 	}
 	frame, err := appendFrame(make([]byte, 0, frameHeaderSize+len(payload)), payload)
 	if err != nil {
-		return fmt.Errorf("wal: append to %s: %w", w.path, err)
+		return 0, fmt.Errorf("wal: append to %s: %w", w.path, err)
 	}
 
 	w.mu.Lock()
 	if w.f == nil {
 		w.mu.Unlock()
-		return fmt.Errorf("wal: append to closed writer %s", w.path)
+		return 0, fmt.Errorf("wal: append to closed writer %s", w.path)
 	}
 	// The poison check must happen under mu: poisoning truncates the file
 	// under mu after setting the error, so any appender that gets past this
@@ -255,7 +258,7 @@ func (w *Writer) Append(payload []byte) error {
 	// syncTo fails) or sees the error here and never writes.
 	if ep := w.failed.Load(); ep != nil {
 		w.mu.Unlock()
-		return fmt.Errorf("wal: writer %s poisoned by earlier fsync failure: %w", w.path, *ep)
+		return 0, fmt.Errorf("wal: writer %s poisoned by earlier fsync failure: %w", w.path, *ep)
 	}
 	if _, err := w.f.Write(frame); err != nil {
 		// A short write may have left a partial frame behind. Cut it off so
@@ -269,7 +272,7 @@ func (w *Writer) Append(payload []byte) error {
 			w.failed.CompareAndSwap(nil, &perr)
 		}
 		w.mu.Unlock()
-		return fmt.Errorf("wal: append to %s: %w", w.path, err)
+		return 0, fmt.Errorf("wal: append to %s: %w", w.path, err)
 	}
 	newSize := w.size.Add(int64(len(frame)))
 	newRecords := w.records.Add(1)
@@ -282,7 +285,7 @@ func (w *Writer) Append(payload []byte) error {
 		m.AppendedRecords.Inc()
 	}
 	if w.policy == FsyncAlways {
-		return w.syncTo(seq)
+		return newRecords, w.syncTo(seq)
 	}
 	if w.policy == FsyncNever {
 		// Never delegates durability to the OS, so the record is as
@@ -292,7 +295,7 @@ func (w *Writer) Append(payload []byte) error {
 		// read it back.
 		w.advanceDurable(newRecords, newSize)
 	}
-	return nil
+	return newRecords, nil
 }
 
 // syncTo makes every frame up to seq durable, sharing fsyncs between

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"precis/internal/faultinject"
 	"precis/internal/obs"
@@ -491,13 +492,19 @@ func TestStoreCorruptSnapshotHardFails(t *testing.T) {
 
 // TestGroupCommit runs concurrent FsyncAlways appends and checks that the
 // writer shared fsyncs between them (far fewer fsyncs than appends) while
-// every append still returned durable.
+// every append still returned durable. A small injected fsync latency
+// makes the overlap deterministic: on a fast filesystem real fsyncs can
+// finish before the next appender arrives, leaving batching to scheduler
+// luck and the assertion flaky.
 func TestGroupCommit(t *testing.T) {
 	dir := t.TempDir()
 	w, err := openWriter(filepath.Join(dir, walName(1)), FsyncAlways, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
+	deactivate := faultinject.Activate(faultinject.NewPlan().
+		Set(faultinject.SiteWALFsync, faultinject.Rule{Delay: 2 * time.Millisecond}))
+	defer deactivate()
 	reg := obs.NewRegistry()
 	m := &Metrics{
 		AppendedBytes:   reg.Counter("b"),
@@ -515,7 +522,7 @@ func TestGroupCommit(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
 				r := Record{Op: OpMacro, Def: fmt.Sprintf("DEFINE M%d_%d AS x", g, i)}
-				if err := w.Append(r.encode(nil)); err != nil {
+				if _, err := w.Append(r.encode(nil)); err != nil {
 					errs <- err
 					return
 				}
@@ -598,7 +605,7 @@ func TestFsyncFailurePoisonsWriter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Append(Record{Op: OpMacro, Def: "DEFINE A AS x"}.encode(nil)); err != nil {
+	if _, err := w.Append(Record{Op: OpMacro, Def: "DEFINE A AS x"}.encode(nil)); err != nil {
 		t.Fatal(err)
 	}
 	durable := w.Size()
@@ -606,7 +613,7 @@ func TestFsyncFailurePoisonsWriter(t *testing.T) {
 	errBoom := errors.New("injected fsync failure")
 	deactivate := faultinject.Activate(faultinject.NewPlan().
 		Set(faultinject.SiteWALFsync, faultinject.Rule{Err: errBoom}))
-	if err := w.Append(Record{Op: OpMacro, Def: "DEFINE B AS y"}.encode(nil)); !errors.Is(err, errBoom) {
+	if _, err := w.Append(Record{Op: OpMacro, Def: "DEFINE B AS y"}.encode(nil)); !errors.Is(err, errBoom) {
 		t.Fatalf("Append under fsync failure = %v, want injected error", err)
 	}
 	deactivate()
@@ -631,7 +638,7 @@ func TestFsyncFailurePoisonsWriter(t *testing.T) {
 	// The poison is sticky: with the fault gone, appends and syncs still
 	// refuse — a device that failed one fsync cannot be trusted with the
 	// next, and the store heals by checkpointing into a fresh generation.
-	if err := w.Append(Record{Op: OpMacro, Def: "DEFINE C AS z"}.encode(nil)); err == nil {
+	if _, err := w.Append(Record{Op: OpMacro, Def: "DEFINE C AS z"}.encode(nil)); err == nil {
 		t.Fatal("append to poisoned writer succeeded")
 	}
 	if err := w.Sync(); err == nil {

@@ -10,12 +10,24 @@ import (
 
 	"precis"
 	"precis/internal/repl"
+	"precis/internal/storage"
 )
 
 type replStatsJSON struct {
 	Role    string `json:"role"`
 	Primary *struct {
-		Followers int `json:"followers"`
+		Followers      int    `json:"followers"`
+		SyncReplicas   int    `json:"sync_replicas"`
+		Degraded       bool   `json:"degraded"`
+		QuorumWaits    uint64 `json:"quorum_waits"`
+		QuorumTimeouts uint64 `json:"quorum_timeouts"`
+		Links          []struct {
+			Remote        string  `json:"remote"`
+			AckGen        uint64  `json:"ack_gen"`
+			AckLagRecords int64   `json:"ack_lag_records"`
+			SecsSinceAck  float64 `json:"secs_since_ack"`
+			SyncEligible  bool    `json:"sync_eligible"`
+		} `json:"links,omitempty"`
 	} `json:"primary,omitempty"`
 	Follower *struct {
 		Addr           string `json:"addr"`
@@ -95,6 +107,71 @@ func TestAPIReplRoles(t *testing.T) {
 		}
 		if time.Now().After(deadline) {
 			t.Fatalf("roles never settled: primary=%+v follower=%+v", p, f)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestAPIReplDegraded: a sync primary that loses its quorum with
+// DegradeToAsync surfaces the sticky degraded flag, the quorum counters,
+// and — once a follower attaches — the per-link ack positions, all through
+// /api/repl.
+func TestAPIReplDegraded(t *testing.T) {
+	db, g := exampleEngineParts(t)
+	primary, err := precis.Open(db, g, quietPersist(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = primary.Close() })
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := primary.StartReplication(ln, repl.PrimaryConfig{
+		HeartbeatEvery: 20 * time.Millisecond,
+		SyncReplicas:   1,
+		AckTimeout:     30 * time.Millisecond,
+		DegradeToAsync: true,
+		Logger:         quietPersist("").Logger,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pts := httptest.NewServer(NewServer(primary).Handler())
+	t.Cleanup(pts.Close)
+
+	// No follower: the write degrades and the flag shows on the wire.
+	if _, err := primary.Insert("GENRE", storage.Int(1), storage.String("degraded-probe")); err != nil {
+		t.Fatalf("degraded insert: %v", err)
+	}
+	out := getRepl(t, pts.URL)
+	if out.Primary == nil || !out.Primary.Degraded || out.Primary.SyncReplicas != 1 ||
+		out.Primary.QuorumWaits == 0 || out.Primary.QuorumTimeouts == 0 {
+		t.Fatalf("degraded primary over /api/repl: %+v", out.Primary)
+	}
+
+	// A follower attaches and acks: the flag heals and the link's ack
+	// position appears with zero lag.
+	_, fg := exampleEngineParts(t)
+	follower, err := precis.OpenFollower(fg, precis.ReplicaConfig{
+		Addr:   ln.Addr().String(),
+		Logger: quietPersist("").Logger,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = follower.Close() })
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		out = getRepl(t, pts.URL)
+		p := out.Primary
+		if p != nil && !p.Degraded && len(p.Links) == 1 &&
+			p.Links[0].SyncEligible && p.Links[0].AckGen > 0 &&
+			p.Links[0].AckLagRecords == 0 && p.Links[0].SecsSinceAck >= 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("degraded flag never healed over /api/repl: %+v", p)
 		}
 		time.Sleep(5 * time.Millisecond)
 	}

@@ -273,6 +273,12 @@ func (e *Engine) Close() error {
 	r := e.replica
 	e.mu.Unlock()
 	if rp != nil {
+		// Remove the quorum gate before closing the primary: a mutation
+		// mid-wait must not block shutdown, and the final checkpoint below
+		// must not wait on acks from links we are about to sever.
+		if e.persist != nil {
+			e.persist.store.SetCommitGate(nil)
+		}
 		_ = rp.Close()
 	}
 	if r != nil {

@@ -325,6 +325,14 @@ func (e *Engine) AddSynonym(alias, canonical string) error {
 		return ErrReadOnly
 	}
 	if err := e.appendWALLocked(wal.Record{Op: wal.OpSynonym, Alias: alias, Canonical: canonical}); err != nil {
+		if !errors.Is(err, ErrQuorumLost) {
+			return err
+		}
+		// Quorum lost ≠ not written: the record is durable on the local
+		// WAL, so the in-memory change must happen (a recovery would
+		// replay it) — the error only reports reduced durability.
+		e.index.AddSynonym(alias, canonical)
+		e.purgeCacheLocked()
 		return err
 	}
 	e.index.AddSynonym(alias, canonical)
@@ -349,6 +357,12 @@ func (e *Engine) DefineMacro(def string) error {
 		return err
 	}
 	if err := e.appendWALLocked(wal.Record{Op: wal.OpMacro, Def: def}); err != nil {
+		if !errors.Is(err, ErrQuorumLost) {
+			return err
+		}
+		// Locally durable; keep memory consistent with what recovery
+		// would replay and report the quorum failure.
+		e.trackMacroLocked(def)
 		return err
 	}
 	e.trackMacroLocked(def)
@@ -393,6 +407,12 @@ func (e *Engine) Insert(relation string, vals ...storage.Value) (storage.TupleID
 		e.index.AddTuple(relation, t)
 	}
 	if err := e.appendWALLocked(wal.Record{Op: wal.OpInsert, Rel: relation, ID: id, Values: vals}); err != nil {
+		if errors.Is(err, ErrQuorumLost) {
+			// The record is durable on the local WAL — rolling back would
+			// diverge memory from what recovery replays. Return the real
+			// ID with the error so the caller sees both facts.
+			return id, err
+		}
 		if ok {
 			e.index.RemoveTuple(relation, t)
 		}
@@ -429,6 +449,9 @@ func (e *Engine) Update(relation string, id storage.TupleID, vals []storage.Valu
 		e.index.AddTuple(relation, t)
 	}
 	if err := e.appendWALLocked(wal.Record{Op: wal.OpUpdate, Rel: relation, ID: id, Values: vals}); err != nil {
+		if errors.Is(err, ErrQuorumLost) {
+			return err // locally durable; no rollback (see Insert)
+		}
 		// Roll the in-memory update back so memory and disk agree.
 		if haveUpdated {
 			e.index.RemoveTuple(relation, updated)
@@ -468,6 +491,9 @@ func (e *Engine) Delete(relation string, id storage.TupleID) (bool, error) {
 		return deleted, err
 	}
 	if err := e.appendWALLocked(wal.Record{Op: wal.OpDelete, Rel: relation, ID: id}); err != nil {
+		if errors.Is(err, ErrQuorumLost) {
+			return true, err // locally durable; no rollback (see Insert)
+		}
 		// Resurrect the tuple (same ID) so memory and disk agree.
 		if rbErr := e.db.InsertWithID(relation, id, t.Values...); rbErr == nil {
 			e.index.AddTuple(relation, t)

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"precis/internal/faultinject"
 	"precis/internal/invidx"
 	"precis/internal/nlg"
 	"precis/internal/repl"
@@ -28,6 +29,13 @@ import (
 // ErrReadOnly is returned by every mutation on a follower engine. Follower
 // state is exactly the primary's WAL stream; a local write would fork it.
 var ErrReadOnly = errors.New("precis: follower engine is read-only")
+
+// ErrQuorumLost is the engine-level alias of repl.ErrQuorumLost: a
+// mutation under synchronous replication timed out waiting for its ack
+// quorum. The mutation IS applied and locally durable — only the
+// replication guarantee was missed — so callers must not retry blindly;
+// match with errors.Is.
+var ErrQuorumLost = repl.ErrQuorumLost
 
 // ReplicaConfig tunes a follower engine.
 type ReplicaConfig struct {
@@ -43,6 +51,18 @@ type ReplicaConfig struct {
 	HandshakeTimeout time.Duration
 	BackoffMin       time.Duration
 	BackoffMax       time.Duration
+	// Dir, when non-empty, makes the follower durable: every replicated
+	// snapshot and record is written through a local WAL store under
+	// cfg.Fsync before it is acked to the primary (an ack means "on
+	// follower disk"), and a restarted follower recovers from this
+	// directory and resumes from its local frontier instead of taking a
+	// full snapshot. An empty Dir keeps the follower diskless; it still
+	// acks (applied position), but an ack then only means "in follower
+	// memory" — don't count such followers toward a durability quorum.
+	Dir string
+	// Fsync / FsyncInterval tune the local store's durability policy.
+	Fsync         wal.FsyncPolicy
+	FsyncInterval time.Duration
 	// Logger receives link and bootstrap notes; nil uses log.Default().
 	Logger *log.Logger
 }
@@ -51,6 +71,11 @@ type ReplicaConfig struct {
 type FollowerStats struct {
 	Addr      string `json:"addr"`
 	Connected bool   `json:"connected"`
+	// Durable reports whether the follower writes replicated state through
+	// a local WAL store before acking (ReplicaConfig.Dir was set).
+	Durable bool `json:"durable"`
+	// AcksSent counts durable-position acks reported to the primary.
+	AcksSent uint64 `json:"acks_sent"`
 	// AppliedGen / AppliedRecords are the follower's last applied LSN:
 	// AppliedRecords frames of generation AppliedGen are in the engine.
 	AppliedGen     uint64 `json:"applied_gen"`
@@ -90,6 +115,10 @@ type replicaState struct {
 	graph  *schemagraph.Graph
 	client *repl.Client
 	log    *log.Logger
+	// store is the follower's local WAL store (nil when diskless). Only
+	// the transport goroutine appends/installs/checkpoints; Frontier and
+	// Stats are safe from any goroutine.
+	store *wal.Store
 
 	cancel   context.CancelFunc
 	done     chan struct{}
@@ -141,6 +170,27 @@ func OpenFollower(g *schemagraph.Graph, cfg ReplicaConfig) (*Engine, error) {
 		done:  make(chan struct{}),
 		ready: make(chan struct{}),
 	}
+	if cfg.Dir != "" {
+		store, rec, err := wal.Open(cfg.Dir, wal.Config{
+			Fsync:         cfg.Fsync,
+			FsyncInterval: cfg.FsyncInterval,
+			Logger:        logger,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("precis: follower store: %w", err)
+		}
+		r.store = store
+		if rec.Data != nil {
+			// Resume from local disk: build the engine from the recovered
+			// snapshot+WAL and rejoin the stream at the local frontier — no
+			// snapshot transfer needed unless the primary has since
+			// checkpointed past us.
+			if err := r.recoverLocal(rec); err != nil {
+				_ = store.Close()
+				return nil, err
+			}
+		}
+	}
 	r.client = repl.New(repl.Config{
 		Addr:             cfg.Addr,
 		DialTimeout:      cfg.DialTimeout,
@@ -153,6 +203,7 @@ func OpenFollower(g *schemagraph.Graph, cfg ReplicaConfig) (*Engine, error) {
 		Snapshot: r.onSnapshot,
 		Record:   r.onRecord,
 		Frontier: r.onFrontier,
+		Ack:      r.ackPosition,
 	})
 	ctx, cancel := context.WithCancel(context.Background())
 	r.cancel = cancel
@@ -177,11 +228,54 @@ func OpenFollower(g *schemagraph.Graph, cfg ReplicaConfig) (*Engine, error) {
 	return eng, nil
 }
 
-// stop cancels the transport and waits for its goroutine; idempotent.
+// recoverLocal rebuilds the follower engine from its own data directory —
+// the same verification the streamed-snapshot path runs — and sets the
+// applied position to the local frontier so the next Hello resumes the
+// stream instead of requesting a bootstrap.
+func (r *replicaState) recoverLocal(rec *wal.Recovered) error {
+	db := rec.Data.DB
+	if err := db.CreateJoinIndexes(); err != nil {
+		return fmt.Errorf("precis: follower recovery: rebuilding join indexes: %w", err)
+	}
+	if violations := db.CheckIntegrity(); len(violations) > 0 {
+		return fmt.Errorf("precis: follower recovery: database violates referential integrity (%d violation(s), first: %s)",
+			len(violations), violations[0])
+	}
+	eng, err := New(db, r.graph)
+	if err != nil {
+		return err
+	}
+	for _, p := range rec.Data.Synonyms {
+		eng.index.AddSynonym(p[0], p[1])
+	}
+	for _, def := range rec.Data.Macros {
+		if err := eng.renderer.DefineMacro(def); err != nil {
+			return fmt.Errorf("precis: follower recovery: replaying macro: %w", err)
+		}
+		eng.trackMacroLocked(def)
+	}
+	eng.replica = r
+	fr := r.store.Frontier()
+	r.mu.Lock()
+	r.eng = eng
+	r.gen, r.records, r.appliedBytes = fr.Gen, uint64(fr.Records), fr.Bytes
+	r.mu.Unlock()
+	r.log.Printf("repl: follower resumed from local store: generation %d, %d record(s) replayed, %d tuples",
+		fr.Gen, rec.WALRecords, db.TotalTuples())
+	close(r.ready)
+	return nil
+}
+
+// stop cancels the transport, waits for its goroutine, and closes the
+// local store (no appends can race it once the transport is down);
+// idempotent.
 func (r *replicaState) stop() {
 	r.stopOnce.Do(func() {
 		r.cancel()
 		<-r.done
+		if r.store != nil {
+			_ = r.store.Close()
+		}
 	})
 }
 
@@ -190,6 +284,19 @@ func (r *replicaState) position() (gen, records uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.gen, r.records
+}
+
+// ackPosition reports the position the follower may truthfully ack: the
+// local store's durable frontier on a durable follower, the applied
+// position on a diskless one.
+func (r *replicaState) ackPosition() (gen, records, bytes uint64) {
+	if r.store != nil {
+		fr := r.store.Frontier()
+		return fr.Gen, uint64(fr.Records), uint64(fr.Bytes)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gen, r.records, uint64(r.appliedBytes)
 }
 
 // onFrontier records the primary's durable frontier.
@@ -215,6 +322,13 @@ func (r *replicaState) onSnapshot(gen uint64, raw []byte) error {
 	if violations := db.CheckIntegrity(); len(violations) > 0 {
 		return fmt.Errorf("streamed snapshot violates referential integrity (%d violation(s), first: %s)",
 			len(violations), violations[0])
+	}
+	if r.store != nil {
+		// Durability first: the snapshot must be on local disk before the
+		// position it establishes can ever be acked.
+		if err := r.store.InstallSnapshot(gen, raw); err != nil {
+			return fmt.Errorf("install streamed snapshot: %w", err)
+		}
 	}
 
 	r.mu.Lock()
@@ -301,6 +415,11 @@ func (r *replicaState) onRecord(gen, seq uint64, payload []byte) error {
 	if eng == nil {
 		return fmt.Errorf("record (%d,%d) before first snapshot", gen, seq)
 	}
+	if r.store != nil {
+		if err := r.persistRecord(eng, gen, seq, payload); err != nil {
+			return err
+		}
+	}
 	if err := eng.applyReplicated(rec); err != nil {
 		return fmt.Errorf("apply streamed %s record (%d,%d): %w", rec.Op, gen, seq, err)
 	}
@@ -312,6 +431,41 @@ func (r *replicaState) onRecord(gen, seq uint64, payload []byte) error {
 	r.records++
 	r.appliedBytes += int64(len(payload)) + wal.FrameOverhead
 	r.mu.Unlock()
+	return nil
+}
+
+// persistRecord writes one streamed frame through the follower's local
+// store before it is applied (and thus before it can be acked). The local
+// log stays byte-identical to the primary's: frames are appended verbatim,
+// and a generation rotation on the stream is mirrored by a local
+// checkpoint so the numbering never drifts. Re-delivered frames (a
+// reconnect after the append but before the apply advanced the position)
+// are skipped — the bytes are already durable.
+func (r *replicaState) persistRecord(eng *Engine, gen, seq uint64, payload []byte) error {
+	st := r.store.Stats()
+	if st.Generation == gen && st.WALRecords > int64(seq) {
+		return nil
+	}
+	if st.Generation != gen {
+		// The primary rotated generations at this boundary; its new
+		// snapshot equals "old snapshot + every record already streamed",
+		// which is exactly the engine state the follower holds right now.
+		if st.Generation+1 != gen || seq != 0 {
+			return fmt.Errorf("follower store at generation %d cannot persist record (%d,%d)", st.Generation, gen, seq)
+		}
+		eng.mu.Lock()
+		data := eng.snapshotDataLocked()
+		eng.mu.Unlock()
+		if err := r.store.Checkpoint(data); err != nil {
+			return fmt.Errorf("follower checkpoint at rotation to generation %d: %w", gen, err)
+		}
+	}
+	if err := faultinject.Fire(faultinject.SiteReplFollowerFsync); err != nil {
+		return fmt.Errorf("follower wal append (%d,%d): %w", gen, seq, err)
+	}
+	if err := r.store.AppendRaw(payload); err != nil {
+		return fmt.Errorf("follower wal append (%d,%d): %w", gen, seq, err)
+	}
 	return nil
 }
 
@@ -398,6 +552,12 @@ func (e *Engine) StartReplication(ln net.Listener, cfg repl.PrimaryConfig) (*rep
 	e.replPrimary = p
 	reg := e.registry
 	e.mu.Unlock()
+	if cfg.SyncReplicas > 0 {
+		// Synchronous mode: every group commit rides through the quorum
+		// wait before the mutation returns. Engine.Close removes the gate
+		// before closing the primary so shutdown never wedges a writer.
+		e.persist.store.SetCommitGate(p.WaitCommitted)
+	}
 	if reg != nil {
 		instrumentReplPrimary(reg, p)
 	}
@@ -439,6 +599,8 @@ func (r *replicaState) followerStats() FollowerStats {
 	fs := FollowerStats{
 		Addr:            r.addr,
 		Connected:       cs.Connected,
+		Durable:         r.store != nil,
+		AcksSent:        cs.AcksSent,
 		AppliedGen:      r.gen,
 		AppliedRecords:  r.records,
 		AppliedBytes:    r.appliedBytes,

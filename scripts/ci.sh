@@ -27,7 +27,20 @@
 # send/recv/corruption faults around every live mutation, and storms a
 # replicated pair — all under -race, because the follower applies the
 # stream on one goroutine while queries read on others. The repl fuzz
-# smoke feeds the follower's frame decoder raw adversarial bytes for 10s.
+# smoke feeds the follower's frame decoder raw adversarial bytes for 10s;
+# its checked-in corpus includes MsgAck frames, so the primary's ack
+# decode path is fuzzed alongside the follower's stream decoder.
+#
+# The quorum torture suite (quorum_replication_test.go) exercises
+# synchronous replication's durability contract: it kills the primary
+# after every quorum-acked mutation and promotes the durable follower,
+# asserting the promoted copy equals the exact acked prefix (every acked
+# write present, no unacked write surfaced); it also truncates the dead
+# primary's WAL at swept byte strides, injects faults on the ack
+# send/recv and follower-fsync sites mid-commit, and drives the
+# ErrQuorumLost and sticky degraded-async fallback paths. It gets its own
+# -race step with a per-step timeout because a quorum bug's natural
+# failure mode is a writer blocked forever on an ack that never comes.
 #
 # The bench smoke step compiles and runs every benchmark exactly once
 # (-benchtime=1x) with no tests (-run=NONE). It does not measure anything;
@@ -59,6 +72,9 @@ go test -race -count=1 -timeout=10m -run 'TestCrashTorture' .
 echo "== replication convergence -race (full strength: swept link cuts)"
 go test -race -count=1 -timeout=10m -run 'TestRepl|TestChaosReplicatedStorm' .
 go test -race -count=1 -timeout=10m ./internal/repl
+
+echo "== quorum torture -race (primary kills after every acked write, ack faults)"
+go test -race -count=1 -timeout=10m -run 'TestQuorum|TestFollowerResume' .
 
 echo "== fuzz smoke (10s per durability target)"
 go test -timeout=5m -run=NONE -fuzz='FuzzSnapshotDecode' -fuzztime=10s ./internal/wal
