@@ -13,11 +13,14 @@
 //	precis-bench -persist [-quick]    WAL fsync throughput + recovery time
 //	precis-bench -replicate [-quick]  follower catch-up time + steady-state lag
 //	precis-bench -quorum [-quick]     commit latency vs sync-replica quorum size
+//	precis-bench -shards [-quick]     throughput/latency vs shard count (+ parity check)
+//	precis-bench -rebuild [-quick]    parallel inverted-index rebuild speedup
 //
 // -quick shrinks each experiment's run counts for a fast smoke pass; -csv
 // prints machine-readable rows instead of aligned text. -parallel, -cache,
-// -deadline, -stages, -persist, -replicate and -quorum run the
-// engine-level resource experiments (they can be combined with -exp).
+// -deadline, -stages, -persist, -replicate, -quorum, -shards and -rebuild
+// run the engine-level resource experiments (they can be combined with
+// -exp).
 package main
 
 import (
@@ -43,6 +46,8 @@ func main() {
 		persist   = flag.Bool("persist", false, "measure WAL append throughput per fsync policy and recovery time vs dataset size")
 		replicate = flag.Bool("replicate", false, "measure follower catch-up time and steady-state replication lag vs mutation rate")
 		quorum    = flag.Bool("quorum", false, "measure commit latency vs sync-replica quorum size per fsync policy")
+		shardsF   = flag.Bool("shards", false, "measure query latency vs shard count with byte-parity checks")
+		rebuild   = flag.Bool("rebuild", false, "measure parallel inverted-index rebuild speedup vs worker count")
 	)
 	flag.Parse()
 
@@ -50,7 +55,7 @@ func main() {
 	for _, e := range strings.Split(*exp, ",") {
 		run[strings.TrimSpace(e)] = true
 	}
-	if *parallel || *cache || *deadline || *stages || *persist || *replicate || *quorum {
+	if *parallel || *cache || *deadline || *stages || *persist || *replicate || *quorum || *shardsF || *rebuild {
 		// The resource experiments replace the figure suite unless the
 		// caller asked for both explicitly.
 		if *exp == "all" {
@@ -76,6 +81,12 @@ func main() {
 		}
 		if *quorum {
 			run["qm"] = true
+		}
+		if *shardsF {
+			run["sh"] = true
+		}
+		if *rebuild {
+			run["rb"] = true
 		}
 	}
 	all := run["all"]
@@ -150,6 +161,48 @@ func main() {
 			fatal(err)
 		}
 	}
+	if run["sh"] {
+		if err := runShards(*quick); err != nil {
+			fatal(err)
+		}
+	}
+	if run["rb"] {
+		if err := runRebuild(*quick); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func runShards(quick bool) error {
+	cfg := experiments.DefaultShardBenchConfig()
+	if quick {
+		cfg.Films = 500
+		cfg.Shards = []int{1, 4}
+		cfg.Runs = 3
+	}
+	report, err := experiments.ShardBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.String())
+	fmt.Println()
+	return nil
+}
+
+func runRebuild(quick bool) error {
+	cfg := experiments.DefaultRebuildConfig()
+	if quick {
+		cfg.Films = 2000
+		cfg.Workers = []int{1, 4}
+		cfg.Runs = 2
+	}
+	report, err := experiments.IndexRebuild(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.String())
+	fmt.Println()
+	return nil
 }
 
 func runQuorum(quick bool) error {

@@ -12,6 +12,7 @@
 //	              [-data-dir DIR] [-fsync always|interval|never]
 //	              [-fsync-interval D] [-checkpoint-bytes N] [-checkpoint-interval D]
 //	              [-listen-repl ADDR] [-replicate-from ADDR]
+//	              [-shards N] [-partitioner hash|range]
 //
 // The answer cache is on by default (-cache-size 0 disables it); any
 // mutation through the engine invalidates it wholesale. Every search runs
@@ -46,6 +47,16 @@
 // availability when the quorum is lost. /api/repl reports the role,
 // follower lag in frames and bytes, per-follower ack lag, the degraded
 // flag, and the last applied LSN.
+//
+// Sharding: -shards N (N > 1) partitions the dataset across N embedded
+// engines by tuple-id ownership (-partitioner picks hash or range) and
+// executes every search with scattered index probes and scatter/gather
+// tuple fetches; answers are byte-identical to the unsharded server. With
+// -data-dir each shard keeps its own directory DIR/shard-NNN and recovers
+// independently; DIR/shards.json pins the topology and a mismatched reopen
+// is refused. /api/shards reports the topology and per-shard state.
+// Sharding is exclusive with replication flags for now (replicate per
+// shard instead).
 //
 // Load governance: at most -max-inflight searches run concurrently and at
 // most -queue-depth wait for a slot; overflow is shed with 503 and a
@@ -104,6 +115,9 @@ func main() {
 		syncReplicas   = flag.Int("sync-replicas", 0, "group commits wait for this many durable follower acks (0 = async replication)")
 		ackTimeout     = flag.Duration("ack-timeout", 0, "per-commit quorum wait bound (0 = 2s); on expiry the write fails with quorum-lost or degrades")
 		degradeToAsync = flag.Bool("degrade-to-async", false, "on quorum loss commit locally and run degraded (sticky flag in /api/repl) instead of failing writes")
+
+		shards      = flag.Int("shards", 1, "partition the dataset across this many embedded engines (1 = unsharded)")
+		partitioner = flag.String("partitioner", "hash", "shard ownership scheme: hash or range")
 	)
 	flag.Parse()
 
@@ -117,11 +131,14 @@ func main() {
 	if *syncReplicas > 0 && *listenRepl == "" {
 		log.Fatal("-sync-replicas requires -listen-repl: quorum acks come from followers")
 	}
+	if *shards > 1 && (*listenRepl != "" || *replicateFrom != "") {
+		log.Fatal("-shards is exclusive with replication flags: replicate per shard instead")
+	}
 	var eng *precis.Engine
 	if *replicateFrom != "" {
 		eng, err = buildFollower(*dbKind, *films, *seed, *replicateFrom, *dataDir, fsyncPolicy, *fsyncEvery)
 	} else {
-		eng, err = buildEngine(*dbKind, *films, *seed, precis.PersistConfig{
+		eng, err = buildEngine(*dbKind, *films, *seed, *shards, *partitioner, precis.PersistConfig{
 			Dir:             *dataDir,
 			Fsync:           fsyncPolicy,
 			FsyncInterval:   *fsyncEvery,
@@ -187,8 +204,11 @@ func main() {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	log.Printf("précis server on %s (%s data, %d tuples, cache=%d, timeout=%v, inflight=%d, queue=%d, metrics=%t, pprof=%t, slowlog=%dms)",
-		*addr, *dbKind, eng.Database().TotalTuples(), *cacheSize, *timeout, *inflight, *queueDepth, *metrics, *pprofFlag, *slowlogMS)
-	if *dataDir != "" && *replicateFrom == "" {
+		*addr, *dbKind, eng.TotalTuples(), *cacheSize, *timeout, *inflight, *queueDepth, *metrics, *pprofFlag, *slowlogMS)
+	if ss := eng.ShardStats(); ss.Enabled {
+		log.Printf("sharding: %d %s-partitioned shard(s)", ss.Shards, ss.Partitioner)
+	}
+	if *dataDir != "" && *replicateFrom == "" && *shards <= 1 {
 		st := eng.PersistStats()
 		log.Printf("persistence: dir=%s fsync=%s generation=%d (recovered: snapshot=%t, %d WAL records replayed, %d torn bytes truncated in %.1fms)",
 			*dataDir, st.Fsync, st.Generation, st.Recovery.SnapshotLoaded,
@@ -299,8 +319,9 @@ func buildFollower(kind string, films int, seed int64, addr, dir string, fsync p
 
 // buildEngine mirrors cmd/precis's dataset wiring, plus durability: with a
 // data directory configured the engine recovers (or seeds) persistent
-// state; without one it is purely in-memory.
-func buildEngine(kind string, films int, seed int64, pcfg precis.PersistConfig) (*precis.Engine, error) {
+// state; without one it is purely in-memory. shards > 1 builds a sharded
+// coordinator instead (per-shard data directories under pcfg.Dir).
+func buildEngine(kind string, films int, seed int64, shards int, partitioner string, pcfg precis.PersistConfig) (*precis.Engine, error) {
 	var (
 		db  *storage.Database
 		g   *schemagraph.Graph
@@ -330,7 +351,16 @@ func buildEngine(kind string, films int, seed int64, pcfg precis.PersistConfig) 
 	if err := dataset.AnnotateNarrative(g); err != nil {
 		return nil, err
 	}
-	eng, err := precis.Open(db, g, pcfg)
+	var eng *precis.Engine
+	if shards > 1 {
+		eng, err = precis.NewSharded(db, g, precis.ShardedConfig{
+			Shards:      shards,
+			Partitioner: partitioner,
+			Persist:     pcfg,
+		})
+	} else {
+		eng, err = precis.Open(db, g, pcfg)
+	}
 	if err != nil {
 		return nil, err
 	}

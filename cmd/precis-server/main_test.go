@@ -27,7 +27,7 @@ func quietPersist(dir string) precis.PersistConfig {
 // checkpoint left the directory clean.
 func TestShutdownPersistenceCheckpoints(t *testing.T) {
 	dir := t.TempDir()
-	eng, err := buildEngine("example", 0, 1, quietPersist(dir))
+	eng, err := buildEngine("example", 0, 1, 1, "hash", quietPersist(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func TestShutdownPersistenceCheckpoints(t *testing.T) {
 		t.Errorf("generation %d after shutdown, want > %d (checkpoint must rotate)", got, genBefore)
 	}
 
-	reopened, err := buildEngine("example", 0, 1, quietPersist(dir))
+	reopened, err := buildEngine("example", 0, 1, 1, "hash", quietPersist(dir))
 	if err != nil {
 		t.Fatalf("reopen after clean shutdown: %v", err)
 	}
@@ -72,7 +72,7 @@ func TestShutdownPersistenceCheckpoints(t *testing.T) {
 // TestShutdownPersistenceInMemoryNoop: without a data directory the helper
 // is silent and leaves the engine usable.
 func TestShutdownPersistenceInMemoryNoop(t *testing.T) {
-	eng, err := buildEngine("example", 0, 1, precis.PersistConfig{})
+	eng, err := buildEngine("example", 0, 1, 1, "hash", precis.PersistConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestShutdownPersistenceInMemoryNoop(t *testing.T) {
 
 // TestBuildEngineRejectsUnknownKind pins the flag-validation error path.
 func TestBuildEngineRejectsUnknownKind(t *testing.T) {
-	if _, err := buildEngine("bogus", 0, 1, precis.PersistConfig{}); err == nil {
+	if _, err := buildEngine("bogus", 0, 1, 1, "hash", precis.PersistConfig{}); err == nil {
 		t.Fatal("unknown -db kind accepted")
 	}
 }

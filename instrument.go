@@ -261,20 +261,23 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 	if e.cache != nil {
 		e.cache.AdoptCounters(cacheCountersFrom(reg))
 	}
+	// The size gauges go through the sharded-aware locked helpers: on a
+	// coordinator e.db/e.index are nil and the totals are summed over the
+	// shard engines.
 	reg.GaugeFunc(MetricDBTuples, func() float64 {
 		e.mu.RLock()
 		defer e.mu.RUnlock()
-		return float64(e.db.TotalTuples())
+		return float64(e.totalTuplesLocked())
 	})
 	reg.GaugeFunc(MetricDBRelations, func() float64 {
 		e.mu.RLock()
 		defer e.mu.RUnlock()
-		return float64(e.db.NumRelations())
+		return float64(e.numRelationsLocked())
 	})
 	reg.GaugeFunc(MetricIndexTokens, func() float64 {
 		e.mu.RLock()
 		defer e.mu.RUnlock()
-		return float64(e.index.NumTokens())
+		return float64(e.indexTokensLocked())
 	})
 	reg.GaugeFunc(MetricCacheEntries, func() float64 {
 		e.mu.RLock()
@@ -286,6 +289,9 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 	})
 	if e.persist != nil {
 		e.persist.instrument(reg)
+	}
+	if e.shards != nil {
+		e.shards.instrument(reg)
 	}
 	if e.replPrimary != nil {
 		instrumentReplPrimary(reg, e.replPrimary)

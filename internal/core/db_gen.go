@@ -128,9 +128,22 @@ type DBGenOptions struct {
 	Trace *obs.Trace
 }
 
+// Fetcher is the generator's view of the original database: a read-only
+// SELECT executor plus the schema catalog. *sqlx.Engine satisfies it
+// directly (the single-engine path); internal/shard provides a
+// scatter/gather implementation that fans each statement out across shard
+// engines and merges the results deterministically. ExecStmt must be safe
+// for concurrent use; AccumulateStats is only called from the serial apply
+// phase.
+type Fetcher interface {
+	ExecStmt(st sqlx.Stmt) (*sqlx.Result, error)
+	Database() *storage.Database
+	AccumulateStats(s sqlx.Stats)
+}
+
 // generator carries the state of one Figure 5 run.
 type generator struct {
-	eng     *sqlx.Engine
+	eng     Fetcher
 	rs      *ResultSchema
 	card    CardinalityConstraint
 	strat   Strategy
@@ -161,12 +174,12 @@ type fetched struct {
 // eng wraps the original database; rs is the result schema G'; seedTuples
 // maps each seed relation to the tuple ids the inverted index matched; c is
 // the cardinality constraint and strat the retrieval strategy.
-func GenerateDatabase(eng *sqlx.Engine, rs *ResultSchema, seedTuples map[string][]storage.TupleID, c CardinalityConstraint, strat Strategy) (*ResultDatabase, error) {
+func GenerateDatabase(eng Fetcher, rs *ResultSchema, seedTuples map[string][]storage.TupleID, c CardinalityConstraint, strat Strategy) (*ResultDatabase, error) {
 	return GenerateDatabaseOpts(eng, rs, seedTuples, c, strat, DBGenOptions{})
 }
 
 // GenerateDatabaseOpts is GenerateDatabase with explicit ablation options.
-func GenerateDatabaseOpts(eng *sqlx.Engine, rs *ResultSchema, seedTuples map[string][]storage.TupleID, c CardinalityConstraint, strat Strategy, opts DBGenOptions) (*ResultDatabase, error) {
+func GenerateDatabaseOpts(eng Fetcher, rs *ResultSchema, seedTuples map[string][]storage.TupleID, c CardinalityConstraint, strat Strategy, opts DBGenOptions) (*ResultDatabase, error) {
 	if c == nil {
 		return nil, fmt.Errorf("core: nil cardinality constraint")
 	}

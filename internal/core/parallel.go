@@ -1,120 +1,30 @@
 package core
 
-import (
-	"fmt"
-	"runtime"
-	"runtime/debug"
-	"sync"
-	"sync/atomic"
-)
+import "precis/internal/parallel"
+
+// The pool implementation lives in internal/parallel so the inverted-index
+// builder can share it; core re-exports the API its callers already use.
 
 // MaxWorkers caps any worker pool the engine spawns; beyond this the
 // coordination overhead dominates on the read-mostly workloads the
 // generator runs.
-const MaxWorkers = 64
+const MaxWorkers = parallel.MaxWorkers
 
 // NormalizeWorkers resolves a requested pool size: 0 means one worker per
 // logical CPU (runtime.GOMAXPROCS), negatives mean serial, and everything
 // is capped at MaxWorkers.
-func NormalizeWorkers(n int) int {
-	if n == 0 {
-		n = runtime.GOMAXPROCS(0)
-	}
-	if n < 1 {
-		return 1
-	}
-	if n > MaxWorkers {
-		return MaxWorkers
-	}
-	return n
-}
+func NormalizeWorkers(n int) int { return parallel.NormalizeWorkers(n) }
 
 // PanicError wraps a panic that escaped a ParallelFor worker, carrying the
 // panicking goroutine's stack. ParallelFor re-raises it on the calling
 // goroutine, and the engine boundary converts it into ErrInternal — so one
 // poisoned tuple can never kill the process.
-type PanicError struct {
-	// Value is the original panic value.
-	Value any
-	// Stack is the panicking worker goroutine's stack trace.
-	Stack []byte
-}
-
-// Error renders the panic value and the captured worker stack.
-func (e *PanicError) Error() string {
-	return fmt.Sprintf("panic: %v\n\nworker stack:\n%s", e.Value, e.Stack)
-}
+type PanicError = parallel.PanicError
 
 // ParallelFor runs fn(i) for every i in [0, n) on at most workers
-// goroutines, returning when all calls finished. With workers <= 1 (or a
-// single item) it degenerates to a plain loop on the calling goroutine, so
-// serial paths pay no synchronization cost. Work is handed out through an
-// atomic counter in chunks (so tiny per-item tasks don't pay one
-// synchronization per index), which makes the mapping of index to goroutine
-// arbitrary — fn must be safe to call concurrently and should only write
-// state owned by its index (e.g. slot i of a results slice).
-//
-// Panic isolation: a panic inside fn on a worker goroutine does not crash
-// the process. The first panicking worker records its value and stack, the
-// remaining workers stop pulling new chunks and drain, and once the pool has
-// quiesced the panic is re-raised on the calling goroutine as a *PanicError.
-// (On the serial path the panic propagates to the caller unwrapped, exactly
-// as a plain loop would.)
-func ParallelFor(n, workers int, fn func(i int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	// Chunked handout: aim for a few chunks per worker so the pool stays
-	// balanced under skewed task costs without an atomic op per index.
-	chunk := n / (workers * 4)
-	if chunk < 1 {
-		chunk = 1
-	}
-	var next atomic.Int64
-	var poisoned atomic.Bool
-	var panicOnce sync.Once
-	var firstPanic *PanicError
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					// First panic wins; later ones are dropped (they are
-					// almost always the same fault hit by another chunk).
-					panicOnce.Do(func() {
-						firstPanic = &PanicError{Value: r, Stack: debug.Stack()}
-					})
-					poisoned.Store(true)
-				}
-			}()
-			for !poisoned.Load() {
-				lo := int(next.Add(int64(chunk))) - chunk
-				if lo >= n {
-					return
-				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				for i := lo; i < hi; i++ {
-					fn(i)
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if firstPanic != nil {
-		panic(firstPanic)
-	}
-}
+// goroutines, returning when all calls finished; see parallel.For for the
+// chunking and panic-isolation contract.
+func ParallelFor(n, workers int, fn func(i int)) { parallel.For(n, workers, fn) }
 
 // parallelFor is the package-internal alias used by the generator.
-func parallelFor(n, workers int, fn func(i int)) { ParallelFor(n, workers, fn) }
+func parallelFor(n, workers int, fn func(i int)) { parallel.For(n, workers, fn) }

@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"precis"
+	"precis/internal/dataset"
+	"precis/internal/invidx"
+	"precis/internal/schemagraph"
+	"precis/internal/storage"
+)
+
+// ShardBenchConfig scales the sharded-execution experiment: the same heavy
+// précis query is answered by coordinators of increasing shard count over
+// one synthetic dataset, and every sharded answer is checked against the
+// single-engine answer for parity.
+type ShardBenchConfig struct {
+	Films       int
+	Shards      []int // shard counts to sweep; 1 is the single-engine baseline
+	Runs        int   // timed runs per shard count (median reported)
+	Partitioner string
+}
+
+// DefaultShardBenchConfig sweeps the shard counts the determinism suite
+// exercises.
+func DefaultShardBenchConfig() ShardBenchConfig {
+	return ShardBenchConfig{Films: 2000, Shards: []int{1, 2, 4, 8}, Runs: 5, Partitioner: "hash"}
+}
+
+// ShardPoint is one shard count's result.
+type ShardPoint struct {
+	Shards  int
+	Median  time.Duration
+	QPS     float64
+	Speedup float64 // single-engine median / this median
+}
+
+// ShardReport is the output of ShardBench.
+type ShardReport struct {
+	Films       int
+	Query       string
+	Partitioner string
+	Tuples      int // tuples in the answer (identical for every shard count)
+	Points      []ShardPoint
+}
+
+func (r ShardReport) String() string {
+	s := fmt.Sprintf("Sharded execution (%d films, q=%q, %s partitioning, %d answer tuples)\n",
+		r.Films, r.Query, r.Partitioner, r.Tuples)
+	for _, p := range r.Points {
+		s += fmt.Sprintf("  shards=%-3d median=%-12v qps=%-8.1f speedup=%.2fx\n",
+			p.Shards, p.Median, p.QPS, p.Speedup)
+	}
+	s += "  (single-process measurement: shards share the machine's cores, so this\n" +
+		"   shows scatter/gather overhead and merge cost, not multi-node scaling)\n"
+	return s
+}
+
+func defineStandardMacros(e *precis.Engine) error {
+	for _, def := range dataset.StandardMacros() {
+		if err := e.DefineMacro(def); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// popularDataset builds the synthetic-movies dataset and returns it with
+// the name of its most prolific director (the zipf head).
+func popularDataset(films int) (*storage.Database, *schemagraph.Graph, string, error) {
+	cfg := dataset.DefaultSyntheticConfig()
+	cfg.Films = films
+	db, err := dataset.SyntheticMovies(cfg)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	g, err := dataset.PaperGraph(db)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	if err := dataset.AnnotateNarrative(g); err != nil {
+		return nil, nil, "", err
+	}
+	movies := db.Relation("MOVIE")
+	di := movies.Schema().ColumnIndex("did")
+	counts := make(map[string]int)
+	movies.Scan(func(t storage.Tuple) bool {
+		counts[t.Values[di].String()]++
+		return true
+	})
+	best, bestN := "", -1
+	directors := db.Relation("DIRECTOR")
+	did := directors.Schema().ColumnIndex("did")
+	dn := directors.Schema().ColumnIndex("dname")
+	directors.Scan(func(t storage.Tuple) bool {
+		if n := counts[t.Values[did].String()]; n > bestN {
+			bestN = n
+			best = t.Values[dn].AsString()
+		}
+		return true
+	})
+	return db, g, best, nil
+}
+
+// ShardBench measures the same précis query across shard counts and checks
+// that every sharded answer matches the single-engine answer (tuple count
+// and narrative — sharding must only change latency).
+func ShardBench(cfg ShardBenchConfig) (ShardReport, error) {
+	var report ShardReport
+	report.Films = cfg.Films
+	if cfg.Partitioner == "" {
+		cfg.Partitioner = "hash"
+	}
+	report.Partitioner = cfg.Partitioner
+	if cfg.Runs < 1 {
+		cfg.Runs = 1
+	}
+	db, g, q, err := popularDataset(cfg.Films)
+	if err != nil {
+		return report, err
+	}
+	report.Query = q
+	opts := parallelOptions(0)
+
+	// Single-engine reference: the narrative every sharded run must equal.
+	ref, err := precis.New(db, g)
+	if err != nil {
+		return report, err
+	}
+	if err := defineStandardMacros(ref); err != nil {
+		return report, err
+	}
+	narOpts := opts
+	narOpts.SkipNarrative = false
+	refAns, err := ref.QueryString(q, narOpts)
+	if err != nil {
+		return report, err
+	}
+	report.Tuples = refAns.Database.TotalTuples()
+
+	single := time.Duration(0)
+	for _, n := range cfg.Shards {
+		eng, err := precis.NewSharded(db, g, precis.ShardedConfig{Shards: n, Partitioner: cfg.Partitioner})
+		if err != nil {
+			return report, err
+		}
+		if err := defineStandardMacros(eng); err != nil {
+			return report, err
+		}
+		ans, err := eng.QueryString(q, narOpts)
+		if err != nil {
+			return report, err
+		}
+		if got := ans.Database.TotalTuples(); got != report.Tuples {
+			return report, fmt.Errorf("shardbench: %d shard(s) produced %d tuples, single engine produced %d",
+				n, got, report.Tuples)
+		}
+		if ans.Narrative != refAns.Narrative {
+			return report, fmt.Errorf("shardbench: %d shard(s) produced a different narrative", n)
+		}
+		durs := make([]time.Duration, 0, cfg.Runs)
+		for r := 0; r < cfg.Runs; r++ {
+			start := time.Now()
+			if _, err := eng.QueryString(q, opts); err != nil {
+				return report, err
+			}
+			durs = append(durs, time.Since(start))
+		}
+		med := median(durs)
+		if single == 0 {
+			single = med
+		}
+		p := ShardPoint{Shards: n, Median: med}
+		if med > 0 {
+			p.QPS = float64(time.Second) / float64(med)
+			p.Speedup = float64(single) / float64(med)
+		}
+		report.Points = append(report.Points, p)
+	}
+	return report, nil
+}
+
+// RebuildConfig scales the parallel index-rebuild experiment: the
+// inverted index is rebuilt from scratch over a synthetic database — the
+// dominant cost of crash recovery at scale — across worker-pool sizes.
+type RebuildConfig struct {
+	Films   int
+	Workers []int // pool sizes to sweep; 1 is the serial invidx.New baseline
+	Runs    int   // timed runs per pool size (median reported)
+}
+
+// DefaultRebuildConfig sweeps the pool sizes ROADMAP's cold-start item
+// cites.
+func DefaultRebuildConfig() RebuildConfig {
+	return RebuildConfig{Films: 20000, Workers: []int{1, 2, 4, 8}, Runs: 3}
+}
+
+// RebuildPoint is one pool size's result.
+type RebuildPoint struct {
+	Workers int
+	Median  time.Duration
+	Speedup float64
+}
+
+// RebuildReport is the output of IndexRebuild.
+type RebuildReport struct {
+	Films  int
+	Tuples int
+	Tokens int // distinct tokens (identical for every pool size)
+	Points []RebuildPoint
+}
+
+func (r RebuildReport) String() string {
+	s := fmt.Sprintf("Parallel inverted-index rebuild (%d films, %d tuples, %d tokens)\n",
+		r.Films, r.Tuples, r.Tokens)
+	for _, p := range r.Points {
+		s += fmt.Sprintf("  workers=%-3d median=%-12v speedup=%.2fx\n", p.Workers, p.Median, p.Speedup)
+	}
+	s += "  (single-CPU containers see ~1x: the sweep shows the available headroom)\n"
+	return s
+}
+
+// IndexRebuild measures invidx.NewParallel across worker counts, checking
+// that every pool size builds an index with the serial token count.
+func IndexRebuild(cfg RebuildConfig) (RebuildReport, error) {
+	var report RebuildReport
+	report.Films = cfg.Films
+	if cfg.Runs < 1 {
+		cfg.Runs = 1
+	}
+	dcfg := dataset.DefaultSyntheticConfig()
+	dcfg.Films = cfg.Films
+	db, err := dataset.SyntheticMovies(dcfg)
+	if err != nil {
+		return report, err
+	}
+	report.Tuples = db.TotalTuples()
+	report.Tokens = invidx.New(db).NumTokens()
+
+	serial := time.Duration(0)
+	for _, w := range cfg.Workers {
+		durs := make([]time.Duration, 0, cfg.Runs)
+		for r := 0; r < cfg.Runs; r++ {
+			start := time.Now()
+			ix := invidx.NewParallel(db, w)
+			durs = append(durs, time.Since(start))
+			if got := ix.NumTokens(); got != report.Tokens {
+				return report, fmt.Errorf("rebuild: workers=%d built %d tokens, serial built %d", w, got, report.Tokens)
+			}
+		}
+		med := median(durs)
+		if serial == 0 {
+			serial = med
+		}
+		sp := 0.0
+		if med > 0 {
+			sp = float64(serial) / float64(med)
+		}
+		report.Points = append(report.Points, RebuildPoint{Workers: w, Median: med, Speedup: sp})
+	}
+	return report, nil
+}

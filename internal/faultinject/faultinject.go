@@ -70,6 +70,17 @@ const (
 	// replicated frame to its local WAL (so the append — and the ack that
 	// depends on it — never happens when the rule errors).
 	SiteReplFollowerFsync = "repl.follower.fsync"
+	// SiteShardScatter fires before a sharded coordinator fans a statement
+	// or index lookup out to its shard engines; an error rule fails the
+	// whole scatter with a typed error before any shard runs.
+	SiteShardScatter = "shard.scatter"
+	// SiteShardGather fires after every shard answered, before the
+	// coordinator merges the per-shard results; an error rule discards the
+	// gathered partials and fails the operation typed.
+	SiteShardGather = "shard.gather"
+	// SiteShardApply fires before a sharded coordinator routes a mutation
+	// (insert/update/delete/synonym/macro) to the owning shard(s).
+	SiteShardApply = "shard.apply"
 )
 
 // Rule describes what happens when a site fires. Exactly one of Err and

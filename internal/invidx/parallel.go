@@ -1,0 +1,74 @@
+package invidx
+
+import (
+	"precis/internal/parallel"
+	"precis/internal/storage"
+)
+
+// NewParallel builds exactly the index New builds, fanning the tuple scan
+// out over a worker pool: each worker indexes a stripe of the database into
+// a private posting map and the stripes are merged serially. Postings are
+// sets keyed by token, location, and tuple id, so the merge is
+// order-independent and the result is structurally identical to New's for
+// every worker count. workers <= 1 (after normalization) falls back to New.
+//
+// This is the cold-start path: recovery rebuilds the whole index from the
+// recovered database, and at hundreds of thousands of tuples the serial
+// scan dominates reopen latency (see EXPERIMENTS.md, "Parallel index
+// rebuild").
+func NewParallel(db *storage.Database, workers int) *Index {
+	workers = parallel.NormalizeWorkers(workers)
+	if workers <= 1 {
+		return New(db)
+	}
+	type task struct {
+		rel    string
+		schema *storage.Schema
+		t      storage.Tuple
+	}
+	var tasks []task
+	for _, name := range db.RelationNames() {
+		rel := db.Relation(name)
+		sc := rel.Schema()
+		rel.Scan(func(t storage.Tuple) bool {
+			tasks = append(tasks, task{rel: name, schema: sc, t: t})
+			return true
+		})
+	}
+	if len(tasks) < 2*workers {
+		return New(db) // not enough work to amortize the fan-out
+	}
+	parts := make([]*Index, workers)
+	parallel.For(workers, workers, func(b int) {
+		px := &Index{
+			db:       db,
+			postings: make(map[string]map[postingKey]map[storage.TupleID]bool),
+		}
+		for i := b; i < len(tasks); i += workers {
+			px.addTuple(tasks[i].rel, tasks[i].schema, tasks[i].t)
+		}
+		parts[b] = px
+	})
+	ix := parts[0]
+	for _, px := range parts[1:] {
+		for tok, byLoc := range px.postings {
+			dst := ix.postings[tok]
+			if dst == nil {
+				ix.postings[tok] = byLoc
+				ix.tokens++
+				continue
+			}
+			for key, ids := range byLoc {
+				di := dst[key]
+				if di == nil {
+					dst[key] = ids
+					continue
+				}
+				for id := range ids {
+					di[id] = true
+				}
+			}
+		}
+	}
+	return ix
+}

@@ -136,6 +136,22 @@ func (s StepToken) End(tuples, queries int) {
 	})
 }
 
+// RecordStep appends a step whose duration was measured externally — the
+// shard scatter/gather fetcher tallies per-shard busy time with atomics on
+// its worker goroutines and records the totals here, on the coordination
+// goroutine, once the generation finished. Start is back-dated so the step
+// sits inside the enclosing db_gen span. Nil-safe.
+func (t *Trace) RecordStep(name string, dur time.Duration, tuples, queries int) {
+	if t == nil {
+		return
+	}
+	start := t.since() - dur
+	if start < 0 {
+		start = 0
+	}
+	t.Steps = append(t.Steps, Step{Name: name, Start: start, Dur: dur, Tuples: tuples, Queries: queries})
+}
+
 // SpanDur returns the duration of the named top-level span (0 when absent).
 func (t *Trace) SpanDur(name string) time.Duration {
 	if t == nil {

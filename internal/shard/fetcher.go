@@ -1,0 +1,278 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"precis/internal/faultinject"
+	"precis/internal/obs"
+	"precis/internal/sqlx"
+	"precis/internal/storage"
+)
+
+// Metrics are the registry-backed shard counters one sharded engine shares
+// across all of its queries' fetchers. All fields are nil-safe (obs
+// counters no-op when nil), so an uninstrumented engine passes nil.
+type Metrics struct {
+	// Scatters counts statements fanned out (one per ExecStmt, whatever
+	// the number of target shards).
+	Scatters *obs.Counter
+	// Queries[i] counts statements executed on shard i.
+	Queries []*obs.Counter
+	// Rows[i] counts rows shard i returned.
+	Rows []*obs.Counter
+}
+
+// tally accumulates one shard's physical work during a single query. The
+// fields are atomics because fetch tasks run on the generator's worker
+// pool; the totals are read on the coordination goroutine after the
+// generator returned.
+type tally struct {
+	queries atomic.Int64
+	rows    atomic.Int64
+	busy    atomic.Int64 // nanoseconds spent executing on this shard
+}
+
+// Fetcher executes the generator's SELECTs across shard engines —
+// core.Fetcher's scatter/gather implementation. One Fetcher serves one
+// query: it snapshots the shard databases at construction (the coordinator
+// serializes queries against mutations, so the snapshot is stable) and
+// tallies per-shard work for the query's trace.
+//
+// ExecStmt is safe for concurrent use. AccumulateStats and TotalStats are
+// only called from the query's coordination goroutine.
+type Fetcher struct {
+	part    Partitioner
+	engs    []*sqlx.Engine
+	metrics *Metrics
+	tallies []tally
+	total   sqlx.Stats
+}
+
+// NewFetcher builds a per-query scatter/gather fetcher over the shard
+// databases. m may be nil (uninstrumented engine).
+func NewFetcher(part Partitioner, dbs []*storage.Database, m *Metrics) *Fetcher {
+	engs := make([]*sqlx.Engine, len(dbs))
+	for i, db := range dbs {
+		engs[i] = sqlx.NewEngine(db)
+	}
+	return &Fetcher{part: part, engs: engs, metrics: m, tallies: make([]tally, len(dbs))}
+}
+
+// Database returns shard 0's database as the schema catalog. The generator
+// only reads schemas and foreign keys from it — both replicated to every
+// shard — never tuples.
+func (f *Fetcher) Database() *storage.Database { return f.engs[0].Database() }
+
+// AccumulateStats implements core.Fetcher; called serially from the apply
+// phase.
+func (f *Fetcher) AccumulateStats(s sqlx.Stats) { f.total.Add(s) }
+
+// TotalStats returns the physical work accumulated via AccumulateStats.
+func (f *Fetcher) TotalStats() sqlx.Stats { return f.total }
+
+// ExecStmt scatters one generated SELECT and gathers a deterministic
+// merge. Statements with a top-level rowid predicate route only to the
+// shards owning the named ids; everything else fans out to all shards.
+func (f *Fetcher) ExecStmt(st sqlx.Stmt) (*sqlx.Result, error) {
+	sel, ok := st.(*sqlx.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("shard: scatter execution only supports SELECT, got %T", st)
+	}
+	if sel.Distinct || len(sel.OrderBy) > 0 || sel.Offset != 0 {
+		return nil, fmt.Errorf("shard: scatter execution does not support DISTINCT/ORDER BY/OFFSET")
+	}
+	if err := faultinject.Fire(faultinject.SiteShardScatter); err != nil {
+		return nil, fmt.Errorf("shard: scatter %s: %w", sel.Table, err)
+	}
+	f.metrics.scatters().Inc()
+
+	rowIDs, routed := sqlx.RowIDOrder(sel.Where)
+	targets := f.targets(rowIDs, routed)
+
+	results := make([]*sqlx.Result, len(targets))
+	errs := make([]error, len(targets))
+	if len(targets) == 1 {
+		results[0], errs[0] = f.runOn(targets[0], sel)
+	} else if len(targets) > 1 {
+		var wg sync.WaitGroup
+		for ti := range targets {
+			wg.Add(1)
+			go func(ti int) {
+				defer wg.Done()
+				results[ti], errs[ti] = f.runOn(targets[ti], sel)
+			}(ti)
+		}
+		wg.Wait()
+	}
+	for ti, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", targets[ti], err)
+		}
+	}
+	if err := faultinject.Fire(faultinject.SiteShardGather); err != nil {
+		return nil, fmt.Errorf("shard: gather %s: %w", sel.Table, err)
+	}
+	if len(targets) == 1 {
+		// Single owner: the shard's result is already in final order.
+		return results[0], nil
+	}
+	return f.merge(sel, rowIDs, routed, results), nil
+}
+
+// targets resolves the shard set a statement must visit: the owners of the
+// rowid predicate's ids (in ascending shard order) when one exists, all
+// shards otherwise.
+func (f *Fetcher) targets(rowIDs []storage.TupleID, routed bool) []int {
+	n := len(f.engs)
+	if !routed {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	seen := make([]bool, n)
+	var targets []int
+	for _, id := range rowIDs {
+		if o := f.part.Owner(id); o >= 0 && o < n && !seen[o] {
+			seen[o] = true
+			targets = append(targets, o)
+		}
+	}
+	sort.Ints(targets)
+	return targets
+}
+
+// runOn executes the statement on one shard, tallying its work.
+func (f *Fetcher) runOn(shard int, sel *sqlx.SelectStmt) (*sqlx.Result, error) {
+	start := time.Now()
+	res, err := f.engs[shard].ExecStmt(sel)
+	t := &f.tallies[shard]
+	t.busy.Add(time.Since(start).Nanoseconds())
+	t.queries.Add(1)
+	if res != nil {
+		t.rows.Add(int64(len(res.Rows)))
+		if f.metrics != nil {
+			f.metrics.shardRows(shard).Add(uint64(len(res.Rows)))
+		}
+	}
+	if f.metrics != nil {
+		f.metrics.shardQueries(shard).Inc()
+	}
+	return res, err
+}
+
+// merge combines per-shard results into the row order a single engine
+// would emit. Statements served from a rowid predicate are merged by
+// predicate-list position (each id exists on at most one shard); all other
+// plans emit ascending tuple ids per shard, so a global ascending sort
+// reproduces the single-engine order. The statement's LIMIT then bounds
+// the merged prefix — exact, because each shard over-fetched up to the
+// full limit locally.
+func (f *Fetcher) merge(sel *sqlx.SelectStmt, rowIDs []storage.TupleID, routed bool, results []*sqlx.Result) *sqlx.Result {
+	out := &sqlx.Result{}
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		out.Stats.Add(r.Stats)
+		if out.Columns == nil {
+			out.Columns = r.Columns
+		}
+	}
+	if out.Columns == nil {
+		out.Columns = sel.Columns
+	}
+	if routed {
+		rows := make(map[storage.TupleID][]storage.Value)
+		for _, r := range results {
+			if r == nil {
+				continue
+			}
+			for i, id := range r.RowIDs {
+				rows[id] = r.Rows[i]
+			}
+		}
+		for _, id := range rowIDs {
+			row, ok := rows[id]
+			if !ok {
+				continue
+			}
+			out.Rows = append(out.Rows, row)
+			out.RowIDs = append(out.RowIDs, id)
+			if sel.Limit >= 0 && len(out.Rows) >= sel.Limit {
+				break
+			}
+		}
+		return out
+	}
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		out.Rows = append(out.Rows, r.Rows...)
+		out.RowIDs = append(out.RowIDs, r.RowIDs...)
+	}
+	sort.Sort(&rowSorter{rows: out.Rows, ids: out.RowIDs})
+	if sel.Limit >= 0 && len(out.Rows) > sel.Limit {
+		out.Rows = out.Rows[:sel.Limit]
+		out.RowIDs = out.RowIDs[:sel.Limit]
+	}
+	return out
+}
+
+// rowSorter sorts rows and their ids together by ascending tuple id.
+type rowSorter struct {
+	rows [][]storage.Value
+	ids  []storage.TupleID
+}
+
+func (s *rowSorter) Len() int           { return len(s.ids) }
+func (s *rowSorter) Less(i, j int) bool { return s.ids[i] < s.ids[j] }
+func (s *rowSorter) Swap(i, j int) {
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+	s.rows[i], s.rows[j] = s.rows[j], s.rows[i]
+}
+
+// RecordTrace appends one back-dated step per shard that did work during
+// this query ("shard:i" with the rows it returned, the statements it ran,
+// and its busy time) to the trace — called on the coordination goroutine
+// inside the db_gen span, after the generator returned.
+func (f *Fetcher) RecordTrace(tr *obs.Trace) {
+	for i := range f.tallies {
+		t := &f.tallies[i]
+		q := t.queries.Load()
+		if q == 0 {
+			continue
+		}
+		tr.RecordStep(fmt.Sprintf("shard:%d", i), time.Duration(t.busy.Load()), int(t.rows.Load()), int(q))
+	}
+}
+
+// scatters returns the scatter counter (nil-safe).
+func (m *Metrics) scatters() *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.Scatters
+}
+
+// shardQueries returns shard i's statement counter (nil-safe).
+func (m *Metrics) shardQueries(i int) *obs.Counter {
+	if m == nil || i >= len(m.Queries) {
+		return nil
+	}
+	return m.Queries[i]
+}
+
+// shardRows returns shard i's row counter (nil-safe).
+func (m *Metrics) shardRows(i int) *obs.Counter {
+	if m == nil || i >= len(m.Rows) {
+		return nil
+	}
+	return m.Rows[i]
+}

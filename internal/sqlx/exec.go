@@ -442,6 +442,28 @@ func (e *Engine) execSelect(st *SelectStmt) (*Result, error) {
 	return res, nil
 }
 
+// RowIDOrder reports whether planAccess would serve this WHERE clause from
+// a top-level `rowid = v` / `rowid IN (...)` conjunct and, if so, returns
+// the candidate tuple ids exactly as the executor would visit them: in
+// predicate-list order, neither sorted nor deduplicated. Scatter/gather
+// executors need this to merge per-shard results in the same order a
+// single engine would emit them (the generator's weight-ordered IN-list
+// fetches depend on that order surviving the merge).
+func RowIDOrder(where Expr) ([]storage.TupleID, bool) {
+	for _, c := range collectConjuncts(where) {
+		if col, vals, ok := eqOrInTarget(c); ok && col == RowIDColumn {
+			ids := make([]storage.TupleID, 0, len(vals))
+			for _, v := range vals {
+				if v.Kind() == storage.KindInt {
+					ids = append(ids, storage.TupleID(v.AsInt()))
+				}
+			}
+			return ids, true
+		}
+	}
+	return nil, false
+}
+
 // planAccess inspects the top-level AND-conjuncts of where for an equality
 // or IN predicate on rowid or on an indexed column and, if found, returns
 // the candidate tuple ids (in deterministic order) for re-checking against
@@ -453,16 +475,8 @@ func (e *Engine) planAccess(rel *storage.Relation, where Expr, stats *Stats) ([]
 	schema := rel.Schema()
 
 	// Prefer rowid predicates: direct fetches, no index probe needed.
-	for _, c := range conjuncts {
-		if col, vals, ok := eqOrInTarget(c); ok && col == RowIDColumn {
-			ids := make([]storage.TupleID, 0, len(vals))
-			for _, v := range vals {
-				if v.Kind() == storage.KindInt {
-					ids = append(ids, storage.TupleID(v.AsInt()))
-				}
-			}
-			return ids, true, nil
-		}
+	if ids, ok := RowIDOrder(where); ok {
+		return ids, true, nil
 	}
 	// Otherwise the first indexed equality/IN column wins.
 	for _, c := range conjuncts {

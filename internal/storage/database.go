@@ -14,6 +14,10 @@ type Database struct {
 	order  []string // relation names in creation order, for deterministic walks
 	fks    []ForeignKey
 	nextID TupleID
+	// Strided allocation (SetIDStride): when idStride > 1, Insert only
+	// allocates ids ≡ idOffset (mod idStride) — shard-local allocation
+	// that stays globally unique.
+	idOffset, idStride TupleID
 }
 
 // NewDatabase returns an empty database.
@@ -107,13 +111,47 @@ func (db *Database) Insert(relation string, vals ...Value) (TupleID, error) {
 	if r == nil {
 		return 0, fmt.Errorf("storage: no relation %s", relation)
 	}
-	id := db.nextID
+	id := db.alignID(db.nextID)
 	got, err := r.insert(id, vals)
 	if err != nil {
 		return 0, err
 	}
-	db.nextID++
+	db.nextID = id + 1
 	return got, nil
+}
+
+// alignID advances id to the database's stride class: the smallest id' >= id
+// with id' ≡ offset (mod stride). With no stride configured it is the
+// identity.
+func (db *Database) alignID(id TupleID) TupleID {
+	if db.idStride <= 1 {
+		return id
+	}
+	rem := id % db.idStride
+	if rem == db.idOffset {
+		return id
+	}
+	id += (db.idOffset - rem + db.idStride) % db.idStride
+	return id
+}
+
+// SetIDStride restricts the ids Insert allocates to the congruence class
+// id ≡ offset (mod stride). A hash-partitioned shard sets stride to the
+// shard count and offset to its own index, so every shard allocates ids it
+// owns and the ids stay globally unique without any cross-shard
+// coordination. stride <= 1 clears the restriction. The setting is not
+// persisted: a sharded coordinator re-applies it after each shard
+// recovers.
+func (db *Database) SetIDStride(offset, stride TupleID) error {
+	if stride <= 1 {
+		db.idOffset, db.idStride = 0, 0
+		return nil
+	}
+	if offset < 0 || offset >= stride {
+		return fmt.Errorf("storage: id stride offset %d out of range [0,%d)", offset, stride)
+	}
+	db.idOffset, db.idStride = offset, stride
+	return nil
 }
 
 // InsertWithID adds a tuple with a caller-chosen id, used when materializing

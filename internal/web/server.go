@@ -145,6 +145,7 @@ func NewServerWithConfig(eng *precis.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("GET /api/stats", s.handleAPIStats)
 	s.mux.HandleFunc("GET /api/persist", s.handleAPIPersist)
 	s.mux.HandleFunc("GET /api/repl", s.handleAPIRepl)
+	s.mux.HandleFunc("GET /api/shards", s.handleAPIShards)
 	s.mux.HandleFunc("GET /graph.dot", s.handleDOT)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -442,11 +443,12 @@ type apiEngineStats struct {
 }
 
 func (s *Server) handleAPIStats(w http.ResponseWriter, _ *http.Request) {
-	db := s.eng.Database()
+	// The shard-aware accessors work on both topologies; on a sharded
+	// coordinator eng.Database() would be nil.
 	out := apiEngineStats{
-		Database:  db.Name(),
-		Relations: db.NumRelations(),
-		Tuples:    db.TotalTuples(),
+		Database:  s.eng.DatabaseName(),
+		Relations: s.eng.NumRelations(),
+		Tuples:    s.eng.TotalTuples(),
 		Admission: s.adm.stats(),
 	}
 	if s.eng.CacheEnabled() {
@@ -472,6 +474,14 @@ func (s *Server) handleAPIPersist(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleAPIRepl(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(s.eng.ReplStats())
+}
+
+// handleAPIShards serves the sharded topology: shard count, partitioning
+// scheme, and per-shard tuple/index/persistence state. On an unsharded
+// engine enabled is false and everything else is omitted.
+func (s *Server) handleAPIShards(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.eng.ShardStats())
 }
 
 // apiSchemaRelation describes one relation node of the schema graph.
@@ -508,7 +518,7 @@ func (s *Server) handleAPISchema(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleDOT(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/vnd.graphviz")
-	fmt.Fprint(w, s.eng.Graph().DOT(s.eng.Database().Name()))
+	fmt.Fprint(w, s.eng.Graph().DOT(s.eng.DatabaseName()))
 }
 
 var homeTemplate = template.Must(template.New("home").Parse(`<!DOCTYPE html>

@@ -128,6 +128,14 @@ type PersistStats struct {
 // Callers own the returned engine's lifecycle: Close checkpoints and
 // releases the directory.
 func Open(db *storage.Database, g *schemagraph.Graph, cfg PersistConfig) (*Engine, error) {
+	return openEngine(db, g, cfg, true)
+}
+
+// openEngine is Open with integrity verification switchable: a shard of a
+// partitioned database legitimately holds foreign-key values whose target
+// tuples live on other shards, so per-shard recovery (NewSharded) skips
+// the check — the dataset is only whole at the coordinator.
+func openEngine(db *storage.Database, g *schemagraph.Graph, cfg PersistConfig, verifyIntegrity bool) (*Engine, error) {
 	if cfg.Dir == "" {
 		return New(db, g)
 	}
@@ -153,9 +161,11 @@ func Open(db *storage.Database, g *schemagraph.Graph, cfg PersistConfig) (*Engin
 		if err := db.CreateJoinIndexes(); err != nil {
 			return fail(fmt.Errorf("precis: rebuilding join indexes after recovery: %w", err))
 		}
-		if violations := db.CheckIntegrity(); len(violations) > 0 {
-			return fail(fmt.Errorf("precis: recovered database violates referential integrity (%d violation(s), first: %s)",
-				len(violations), violations[0]))
+		if verifyIntegrity {
+			if violations := db.CheckIntegrity(); len(violations) > 0 {
+				return fail(fmt.Errorf("precis: recovered database violates referential integrity (%d violation(s), first: %s)",
+					len(violations), violations[0]))
+			}
 		}
 	}
 	eng, err := New(db, g)
@@ -230,6 +240,9 @@ func (e *Engine) appendWALLocked(rec wal.Record) error {
 // policy — the benchmark and pre-crash hooks use it to draw a durable
 // line. On an in-memory engine it is a no-op.
 func (e *Engine) Sync() error {
+	if e.shards != nil {
+		return e.shards.each(func(_ int, sh *Engine) error { return sh.Sync() })
+	}
 	if e.persist == nil {
 		return nil
 	}
@@ -246,6 +259,9 @@ func (e *Engine) Sync() error {
 // for the duration (it holds the engine mutation lock). Returns
 // ErrNotPersistent on an in-memory engine.
 func (e *Engine) Checkpoint() error {
+	if e.shards != nil {
+		return e.shards.each(func(_ int, sh *Engine) error { return sh.Checkpoint() })
+	}
 	if e.persist == nil {
 		return ErrNotPersistent
 	}
@@ -267,6 +283,10 @@ func (e *Engine) Checkpoint() error {
 // follower links before the final checkpoint rotates the WAL away; a
 // follower stops its transport and keeps serving its last applied state.
 func (e *Engine) Close() error {
+	if e.shards != nil {
+		// Close every shard even if one fails; the first error wins.
+		return e.shards.each(func(_ int, sh *Engine) error { return sh.Close() })
+	}
 	e.mu.Lock()
 	rp := e.replPrimary
 	e.replPrimary = nil
@@ -313,6 +333,9 @@ func (e *Engine) Close() error {
 // PersistStats snapshots the persistence counters. Enabled is false (and
 // everything else zero) on an in-memory engine.
 func (e *Engine) PersistStats() PersistStats {
+	if e.shards != nil {
+		return e.shards.persistStats()
+	}
 	p := e.persist
 	if p == nil {
 		return PersistStats{}

@@ -25,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"runtime/debug"
 	"sort"
 	"strconv"
@@ -41,6 +42,7 @@ import (
 	"precis/internal/profile"
 	"precis/internal/repl"
 	"precis/internal/schemagraph"
+	"precis/internal/shard"
 	"precis/internal/sqlx"
 	"precis/internal/storage"
 	"precis/internal/wal"
@@ -168,6 +170,11 @@ type Engine struct {
 	// checkpoints can persist them (the renderer has no introspection API).
 	macroDefs []string
 	macroSeen map[string]bool
+	// shards is the sharded coordinator state mounted by NewSharded; nil on
+	// a single-engine instance. A sharded coordinator has nil db/index — the
+	// data lives on the shard engines — and routes fetches, index probes and
+	// mutations through this.
+	shards *shardSet
 }
 
 // CacheConfig sizes the engine's answer cache.
@@ -280,7 +287,7 @@ func New(db *storage.Database, g *schemagraph.Graph) (*Engine, error) {
 	return &Engine{
 		db:       db,
 		graph:    g,
-		index:    invidx.New(db),
+		index:    invidx.NewParallel(db, runtime.GOMAXPROCS(0)),
 		renderer: nlg.NewRenderer(),
 		profiles: profile.NewRegistry(),
 	}, nil
@@ -288,7 +295,9 @@ func New(db *storage.Database, g *schemagraph.Graph) (*Engine, error) {
 
 // Database returns the underlying database. It holds the engine read
 // lock: a follower re-bootstrap swaps the database wholesale, so an
-// unlocked read would race the swap.
+// unlocked read would race the swap. On a sharded coordinator there is no
+// single underlying database and this returns nil — use DatabaseName,
+// TotalTuples, NumRelations, or ShardStats instead.
 func (e *Engine) Database() *storage.Database {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -302,7 +311,8 @@ func (e *Engine) Graph() *schemagraph.Graph {
 	return e.graph
 }
 
-// Index returns the inverted index (see Database about the lock).
+// Index returns the inverted index (see Database about the lock). Nil on a
+// sharded coordinator — each shard owns an index over its own tuples.
 func (e *Engine) Index() *invidx.Index {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -323,6 +333,10 @@ func (e *Engine) AddSynonym(alias, canonical string) error {
 	defer e.mu.Unlock()
 	if e.replica != nil {
 		return ErrReadOnly
+	}
+	if e.shards != nil {
+		e.purgeCacheLocked()
+		return e.shards.addSynonym(alias, canonical)
 	}
 	if err := e.appendWALLocked(wal.Record{Op: wal.OpSynonym, Alias: alias, Canonical: canonical}); err != nil {
 		if !errors.Is(err, ErrQuorumLost) {
@@ -348,6 +362,9 @@ func (e *Engine) DefineMacro(def string) error {
 		return ErrReadOnly
 	}
 	e.purgeCacheLocked()
+	if e.shards != nil {
+		return e.shards.defineMacro(e, def)
+	}
 	// Validate-then-log: a definition the renderer rejects must never reach
 	// the WAL (it would poison every future recovery), so the parse runs
 	// first. If the log write then fails, the error is returned and the
@@ -398,6 +415,9 @@ func (e *Engine) Insert(relation string, vals ...storage.Value) (storage.TupleID
 		return 0, ErrReadOnly
 	}
 	e.purgeCacheLocked()
+	if e.shards != nil {
+		return e.shards.insert(relation, vals)
+	}
 	id, err := e.db.Insert(relation, vals...)
 	if err != nil {
 		return 0, err
@@ -430,6 +450,9 @@ func (e *Engine) Update(relation string, id storage.TupleID, vals []storage.Valu
 		return ErrReadOnly
 	}
 	e.purgeCacheLocked()
+	if e.shards != nil {
+		return e.shards.update(relation, id, vals)
+	}
 	rel := e.db.Relation(relation)
 	if rel == nil {
 		return fmt.Errorf("precis: no relation %s", relation)
@@ -474,6 +497,9 @@ func (e *Engine) Delete(relation string, id storage.TupleID) (bool, error) {
 		return false, ErrReadOnly
 	}
 	e.purgeCacheLocked()
+	if e.shards != nil {
+		return e.shards.delete(relation, id)
+	}
 	rel := e.db.Relation(relation)
 	if rel == nil {
 		return false, fmt.Errorf("precis: no relation %s", relation)
@@ -866,9 +892,24 @@ func (e *Engine) queryLocked(ctx context.Context, terms []string, opts Options, 
 	// answer byte-identical to the serial walk.
 	sp := tr.StartSpan(obs.StageIndexLookup)
 	perTerm := make([][]invidx.Occurrence, len(terms))
-	core.ParallelFor(len(terms), workers, func(i int) {
-		perTerm[i] = e.index.LookupExpanded(terms[i])
-	})
+	if e.shards != nil {
+		// Sharded: each term's probe scatters across the shard indexes and
+		// merges to the exact single-index occurrence list. Scatter/gather
+		// faults fail the query typed instead of panicking.
+		lookupErrs := make([]error, len(terms))
+		core.ParallelFor(len(terms), workers, func(i int) {
+			perTerm[i], lookupErrs[i] = e.shards.lookup(terms[i])
+		})
+		for _, lerr := range lookupErrs {
+			if lerr != nil {
+				return nil, lerr
+			}
+		}
+	} else {
+		core.ParallelFor(len(terms), workers, func(i int) {
+			perTerm[i] = e.index.LookupExpanded(terms[i])
+		})
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("precis: query canceled: %w", err)
 	}
@@ -917,7 +958,15 @@ func (e *Engine) queryLocked(ctx context.Context, terms []string, opts Options, 
 	// statistics accumulation. The generator honours ctx between steps and
 	// fans independent fetches out over the same worker pool.
 	sp = tr.StartSpan(obs.StageDBGen)
-	rd, err := core.GenerateDatabaseOpts(sqlx.NewEngine(e.db), rs, seeds, card, strat,
+	var fetcher core.Fetcher
+	var sf *shard.Fetcher
+	if e.shards != nil {
+		sf = e.shards.newFetcher()
+		fetcher = sf
+	} else {
+		fetcher = sqlx.NewEngine(e.db)
+	}
+	rd, err := core.GenerateDatabaseOpts(fetcher, rs, seeds, card, strat,
 		core.DBGenOptions{Weights: weights, Workers: workers, Context: ctx, Budget: opts.Budget, Trace: tr})
 	if err != nil {
 		return nil, err
@@ -927,6 +976,9 @@ func (e *Engine) queryLocked(ctx context.Context, terms []string, opts Options, 
 	ans.Stats = rd.Stats
 	ans.Partial = rd.Partial()
 	ans.Truncation = rd.Truncation
+	if sf != nil {
+		sf.RecordTrace(tr)
+	}
 	sp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("precis: query canceled: %w", err)

@@ -540,6 +540,9 @@ func (e *Engine) applyReplicated(rec wal.Record) error {
 // closes it. Returns ErrNotPersistent on an in-memory engine (there is no
 // WAL to stream) and an error if replication is already started.
 func (e *Engine) StartReplication(ln net.Listener, cfg repl.PrimaryConfig) (*repl.Primary, error) {
+	if e.shards != nil {
+		return nil, fmt.Errorf("precis: sharded engines do not support WAL replication yet (replicate per shard instead)")
+	}
 	if e.persist == nil {
 		return nil, ErrNotPersistent
 	}

@@ -42,6 +42,15 @@
 # -race step with a per-step timeout because a quorum bug's natural
 # failure mode is a writer blocked forever on an ack that never comes.
 #
+# The sharding suite (shard_test.go, internal/shard) holds sharded
+# answers byte-identical to the single engine across datasets,
+# partitioners, shard counts, and pool sizes; kills and reopens every
+# shard directory mid-storm; and storms the coordinator from 24
+# goroutines under rotating scatter/gather/apply faults — all under
+# -race, because the gather path merges per-shard goroutine results
+# while mutations route concurrently. The quick sharded bench run at
+# the end re-checks answer parity through the bench harness itself.
+#
 # The bench smoke step compiles and runs every benchmark exactly once
 # (-benchtime=1x) with no tests (-run=NONE). It does not measure anything;
 # it keeps the benchmark code itself from rotting — a benchmark that no
@@ -76,6 +85,10 @@ go test -race -count=1 -timeout=10m ./internal/repl
 echo "== quorum torture -race (primary kills after every acked write, ack faults)"
 go test -race -count=1 -timeout=10m -run 'TestQuorum|TestFollowerResume' .
 
+echo "== sharding -race (byte-parity sweep, crash recovery, faulted storm)"
+go test -race -count=1 -timeout=10m -run 'TestSharded' .
+go test -race -count=1 -timeout=5m ./internal/shard
+
 echo "== fuzz smoke (10s per durability target)"
 go test -timeout=5m -run=NONE -fuzz='FuzzSnapshotDecode' -fuzztime=10s ./internal/wal
 go test -timeout=5m -run=NONE -fuzz='FuzzWALReplay' -fuzztime=10s ./internal/wal
@@ -83,5 +96,8 @@ go test -timeout=5m -run=NONE -fuzz='FuzzReplFrameDecode' -fuzztime=10s ./intern
 
 echo "== bench smoke (compile + one iteration)"
 go test -timeout=10m -run=NONE -bench=. -benchtime=1x ./...
+
+echo "== sharded bench smoke (quick parity-checked runs)"
+go run ./cmd/precis-bench -quick -shards -rebuild
 
 echo "CI OK"
