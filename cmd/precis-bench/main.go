@@ -13,14 +13,15 @@
 //	precis-bench -persist [-quick]    WAL fsync throughput + recovery time
 //	precis-bench -replicate [-quick]  follower catch-up time + steady-state lag
 //	precis-bench -quorum [-quick]     commit latency vs sync-replica quorum size
+//	precis-bench -failover [-quick]   primary-kill MTTR: detection/promotion/first-answer
 //	precis-bench -shards [-quick]     throughput/latency vs shard count (+ parity check)
 //	precis-bench -rebuild [-quick]    parallel inverted-index rebuild speedup
 //
 // -quick shrinks each experiment's run counts for a fast smoke pass; -csv
 // prints machine-readable rows instead of aligned text. -parallel, -cache,
-// -deadline, -stages, -persist, -replicate, -quorum, -shards and -rebuild
-// run the engine-level resource experiments (they can be combined with
-// -exp).
+// -deadline, -stages, -persist, -replicate, -quorum, -failover, -shards
+// and -rebuild run the engine-level resource experiments (they can be
+// combined with -exp).
 package main
 
 import (
@@ -46,6 +47,7 @@ func main() {
 		persist   = flag.Bool("persist", false, "measure WAL append throughput per fsync policy and recovery time vs dataset size")
 		replicate = flag.Bool("replicate", false, "measure follower catch-up time and steady-state replication lag vs mutation rate")
 		quorum    = flag.Bool("quorum", false, "measure commit latency vs sync-replica quorum size per fsync policy")
+		failover  = flag.Bool("failover", false, "measure primary-kill recovery time: detection, promotion and first answered write")
 		shardsF   = flag.Bool("shards", false, "measure query latency vs shard count with byte-parity checks")
 		rebuild   = flag.Bool("rebuild", false, "measure parallel inverted-index rebuild speedup vs worker count")
 	)
@@ -55,7 +57,7 @@ func main() {
 	for _, e := range strings.Split(*exp, ",") {
 		run[strings.TrimSpace(e)] = true
 	}
-	if *parallel || *cache || *deadline || *stages || *persist || *replicate || *quorum || *shardsF || *rebuild {
+	if *parallel || *cache || *deadline || *stages || *persist || *replicate || *quorum || *failover || *shardsF || *rebuild {
 		// The resource experiments replace the figure suite unless the
 		// caller asked for both explicitly.
 		if *exp == "all" {
@@ -81,6 +83,9 @@ func main() {
 		}
 		if *quorum {
 			run["qm"] = true
+		}
+		if *failover {
+			run["fo"] = true
 		}
 		if *shardsF {
 			run["sh"] = true
@@ -161,6 +166,11 @@ func main() {
 			fatal(err)
 		}
 	}
+	if run["fo"] {
+		if err := runFailover(*quick); err != nil {
+			fatal(err)
+		}
+	}
 	if run["sh"] {
 		if err := runShards(*quick); err != nil {
 			fatal(err)
@@ -214,6 +224,23 @@ func runQuorum(quick bool) error {
 		cfg.Fsyncs = []precis.FsyncPolicy{precis.FsyncAlways}
 	}
 	report, err := experiments.QuorumBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.String())
+	fmt.Println()
+	return nil
+}
+
+func runFailover(quick bool) error {
+	cfg := experiments.DefaultFailoverBenchConfig()
+	if quick {
+		cfg.Films = 200
+		cfg.Mutations = 20
+		cfg.HeartbeatTimeouts = []time.Duration{100 * time.Millisecond}
+		cfg.Trials = 1
+	}
+	report, err := experiments.FailoverBench(cfg)
 	if err != nil {
 		return err
 	}

@@ -12,6 +12,8 @@
 //	              [-data-dir DIR] [-fsync always|interval|never]
 //	              [-fsync-interval D] [-checkpoint-bytes N] [-checkpoint-interval D]
 //	              [-listen-repl ADDR] [-replicate-from ADDR]
+//	              [-sync-replicas N] [-ack-timeout D] [-degrade-to-async]
+//	              [-auto-failover] [-priority N] [-failover-timeout D]
 //	              [-shards N] [-partitioner hash|range]
 //
 // The answer cache is on by default (-cache-size 0 disables it); any
@@ -47,6 +49,16 @@
 // availability when the quorum is lost. /api/repl reports the role,
 // follower lag in frames and bytes, per-follower ack lag, the degraded
 // flag, and the last applied LSN.
+//
+// Failover: POST /api/promote converts a durable follower into a writable
+// primary (operator-driven), bumping the durable fencing epoch so the old
+// primary — alive, partitioned, or resurrected later — is refused by every
+// follower and cannot make another write durable. -auto-failover arms the
+// same promotion automatically: when the primary has been silent for
+// -failover-timeout, the follower runs a deterministic election (epoch,
+// then applied LSN, then -priority) and promotes itself if it wins,
+// listening for followers on -listen-repl afterwards. /api/repl reports
+// the role ("primary", "follower", "promoting"), the epoch, and the fence.
 //
 // Sharding: -shards N (N > 1) partitions the dataset across N embedded
 // engines by tuple-id ownership (-partitioner picks hash or range) and
@@ -110,11 +122,14 @@ func main() {
 		ckptBytes  = flag.Int64("checkpoint-bytes", precis.DefaultCheckpointBytes, "checkpoint when the WAL reaches this size (negative disables)")
 		ckptEvery  = flag.Duration("checkpoint-interval", 0, "checkpoint on this timer (0 disables the time trigger)")
 
-		listenRepl     = flag.String("listen-repl", "", "stream the WAL to followers on this address (requires -data-dir)")
+		listenRepl     = flag.String("listen-repl", "", "stream the WAL to followers on this address (requires -data-dir); with -auto-failover, the address this follower will listen on after promotion")
 		replicateFrom  = flag.String("replicate-from", "", "run as a read-only follower of the primary at this address (-data-dir makes the follower durable)")
 		syncReplicas   = flag.Int("sync-replicas", 0, "group commits wait for this many durable follower acks (0 = async replication)")
 		ackTimeout     = flag.Duration("ack-timeout", 0, "per-commit quorum wait bound (0 = 2s); on expiry the write fails with quorum-lost or degrades")
 		degradeToAsync = flag.Bool("degrade-to-async", false, "on quorum loss commit locally and run degraded (sticky flag in /api/repl) instead of failing writes")
+		autoFailover   = flag.Bool("auto-failover", false, "on a durable follower, self-promote to primary when the primary goes silent (requires -replicate-from and -data-dir)")
+		priority       = flag.Int("priority", 0, "election weight among equally caught-up candidates under -auto-failover (higher wins)")
+		hbTimeout      = flag.Duration("failover-timeout", 0, "how long the primary may be silent before -auto-failover promotes (0 = 2s)")
 
 		shards      = flag.Int("shards", 1, "partition the dataset across this many embedded engines (1 = unsharded)")
 		partitioner = flag.String("partitioner", "hash", "shard ownership scheme: hash or range")
@@ -125,14 +140,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *replicateFrom != "" && *listenRepl != "" {
-		log.Fatal("-replicate-from is exclusive with -listen-repl: a follower's state is the primary's stream")
+	if *replicateFrom != "" && *listenRepl != "" && !*autoFailover {
+		log.Fatal("-replicate-from is exclusive with -listen-repl: a follower's state is the primary's stream (add -auto-failover to reserve -listen-repl for this follower's post-promotion listener)")
 	}
 	if *syncReplicas > 0 && *listenRepl == "" {
 		log.Fatal("-sync-replicas requires -listen-repl: quorum acks come from followers")
 	}
+	if *autoFailover && (*replicateFrom == "" || *dataDir == "") {
+		log.Fatal("-auto-failover requires -replicate-from and -data-dir: only a durable follower holds an acked prefix it can safely promote")
+	}
 	if *shards > 1 && (*listenRepl != "" || *replicateFrom != "") {
-		log.Fatal("-shards is exclusive with replication flags: replicate per shard instead")
+		log.Fatalf("-shards %d cannot be combined with the replication flags -listen-repl/-replicate-from: a sharded coordinator has no single WAL to stream. Run one replicated precis-server per shard instead; coordinator-managed per-shard replication is tracked in ROADMAP.md under the sharded-execution item.", *shards)
 	}
 	var eng *precis.Engine
 	if *replicateFrom != "" {
@@ -149,7 +167,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *listenRepl != "" {
+	if *listenRepl != "" && *replicateFrom == "" {
 		if *dataDir == "" {
 			log.Fatal("-listen-repl requires -data-dir: replication streams the write-ahead log")
 		}
@@ -216,8 +234,28 @@ func main() {
 	}
 	if *replicateFrom != "" {
 		rs := eng.ReplStats()
-		log.Printf("replication: read-only follower of %s (generation %d, %d records applied, durable=%t)",
-			*replicateFrom, rs.Follower.AppliedGen, rs.Follower.AppliedRecords, rs.Follower.Durable)
+		log.Printf("replication: read-only follower of %s (generation %d, %d records applied, durable=%t, epoch %d)",
+			*replicateFrom, rs.Follower.AppliedGen, rs.Follower.AppliedRecords, rs.Follower.Durable, rs.Epoch)
+		if *autoFailover {
+			if _, err := eng.EnableAutoFailover(precis.AutoFailoverConfig{
+				ID:               *addr,
+				HeartbeatTimeout: *hbTimeout,
+				Priority:         *priority,
+				Promote: precis.PromoteConfig{
+					ListenAddr: *listenRepl,
+					Primary: repl.PrimaryConfig{
+						SyncReplicas:   *syncReplicas,
+						AckTimeout:     *ackTimeout,
+						DegradeToAsync: *degradeToAsync,
+					},
+					CheckpointBytes: *ckptBytes,
+					CheckpointEvery: *ckptEvery,
+				},
+			}); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("replication: auto-failover armed (priority %d, promotion listener %q)", *priority, *listenRepl)
+		}
 	}
 
 	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections and

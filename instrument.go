@@ -31,6 +31,12 @@ const (
 	MetricReplLagBytes       = "precis_repl_lag_bytes"
 	MetricReplSnapshots      = "precis_repl_snapshots_applied"
 	MetricReplDials          = "precis_repl_dials"
+
+	MetricReplEpoch              = "precis_repl_epoch"
+	MetricReplFenced             = "precis_repl_fenced"
+	MetricReplEpochRejections    = "precis_repl_epoch_rejections_total"
+	MetricReplFailoverDetections = "precis_repl_failover_detections_total"
+	MetricReplFailoverPromotions = "precis_repl_failover_promotions_total"
 )
 
 // instrumentReplPrimary wires a streaming primary's counters into reg.
@@ -299,6 +305,43 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 	if e.replica != nil {
 		instrumentReplFollower(reg, e.replica)
 	}
+	instrumentFencing(reg, e)
+}
+
+// instrumentFencing registers the failover observables. They read through
+// ReplStats, so they stay correct across a live role change (a follower
+// promoted to primary keeps its registry and the gauges follow the role).
+func instrumentFencing(reg *obs.Registry, e *Engine) {
+	reg.Help(MetricReplEpoch, "current fencing epoch (bumped by every promotion)")
+	reg.Help(MetricReplFenced, "1 while this engine is fenced by a newer primary epoch")
+	reg.Help(MetricReplEpochRejections, "handshakes or commits refused over an epoch mismatch")
+	reg.Help(MetricReplFailoverDetections, "primary-silence detections by the auto-failover supervisor")
+	reg.Help(MetricReplFailoverPromotions, "promotions performed by the auto-failover supervisor")
+	reg.GaugeFunc(MetricReplEpoch, func() float64 { return float64(e.ReplStats().Epoch) })
+	reg.GaugeFunc(MetricReplFenced, func() float64 {
+		if e.ReplStats().FencedBy != 0 {
+			return 1
+		}
+		return 0
+	})
+	reg.GaugeFunc(MetricReplEpochRejections, func() float64 {
+		if st := e.ReplStats(); st.Primary != nil {
+			return float64(st.Primary.EpochRejections)
+		}
+		return 0
+	})
+	reg.GaugeFunc(MetricReplFailoverDetections, func() float64 {
+		if st := e.ReplStats(); st.Failover != nil {
+			return float64(st.Failover.Detections)
+		}
+		return 0
+	})
+	reg.GaugeFunc(MetricReplFailoverPromotions, func() float64 {
+		if st := e.ReplStats(); st.Failover != nil {
+			return float64(st.Failover.Promotions)
+		}
+		return 0
+	})
 }
 
 // Registry returns the metrics registry the engine was instrumented with

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"precis"
+	"precis/internal/repl"
+)
+
+// FailoverBenchConfig measures mean time to recovery after a primary
+// kill: a synchronous pair runs with supervised auto-failover armed on
+// the follower, the primary is killed, and the clock is split into
+// detection (kill → the supervisor declares the primary dead), promotion
+// (declaration → the follower is a writable primary at the next epoch)
+// and first answer (kill → the first mutation accepted by the new
+// primary). The heartbeat timeout is the knob: detection can never beat
+// it, so the sweep shows how close the implementation gets to that floor.
+type FailoverBenchConfig struct {
+	Films             int             // synthetic dataset size behind the pair
+	Mutations         int             // acked writes applied before the kill
+	HeartbeatTimeouts []time.Duration // detector settings to sweep
+	PollEvery         time.Duration   // detector sampling interval
+	Trials            int             // kills per timeout setting
+}
+
+// DefaultFailoverBenchConfig sweeps sub-second detector settings — the
+// range where the detection floor and the promotion cost are the same
+// order of magnitude.
+func DefaultFailoverBenchConfig() FailoverBenchConfig {
+	return FailoverBenchConfig{
+		Films:             500,
+		Mutations:         100,
+		HeartbeatTimeouts: []time.Duration{100 * time.Millisecond, 250 * time.Millisecond, 500 * time.Millisecond},
+		PollEvery:         5 * time.Millisecond,
+		Trials:            3,
+	}
+}
+
+// FailoverPoint is the mean recovery breakdown for one detector setting.
+type FailoverPoint struct {
+	HeartbeatTimeout time.Duration
+	Trials           int
+	Detection        time.Duration // kill → primary declared dead (mean)
+	Promotion        time.Duration // declaration → writable at the next epoch (mean)
+	FirstAnswer      time.Duration // kill → first accepted mutation (mean MTTR)
+	MaxFirstAnswer   time.Duration // worst trial
+}
+
+// FailoverReport is the output of FailoverBench.
+type FailoverReport struct {
+	Mutations int
+	Points    []FailoverPoint
+}
+
+func (r FailoverReport) String() string {
+	s := fmt.Sprintf("Failover MTTR vs heartbeat timeout (primary killed after %d acked writes, loopback TCP)\n", r.Mutations)
+	for _, p := range r.Points {
+		s += fmt.Sprintf("  timeout=%-6v trials=%d detection=%-10v promotion=%-10v first_answer=%-10v worst=%v\n",
+			p.HeartbeatTimeout, p.Trials,
+			p.Detection.Round(time.Millisecond), p.Promotion.Round(time.Microsecond),
+			p.FirstAnswer.Round(time.Millisecond), p.MaxFirstAnswer.Round(time.Millisecond))
+	}
+	return s
+}
+
+// FailoverBench runs Trials kill-and-promote cycles per detector setting
+// and reports the mean recovery breakdown.
+func FailoverBench(cfg FailoverBenchConfig) (FailoverReport, error) {
+	report := FailoverReport{Mutations: cfg.Mutations}
+	for _, timeout := range cfg.HeartbeatTimeouts {
+		point := FailoverPoint{HeartbeatTimeout: timeout, Trials: cfg.Trials}
+		var detect, promote, first time.Duration
+		for i := 0; i < cfg.Trials; i++ {
+			d, p, f, err := failoverTrial(cfg, timeout)
+			if err != nil {
+				return report, fmt.Errorf("timeout %v trial %d: %w", timeout, i, err)
+			}
+			detect += d
+			promote += p
+			first += f
+			if f > point.MaxFirstAnswer {
+				point.MaxFirstAnswer = f
+			}
+		}
+		n := time.Duration(cfg.Trials)
+		point.Detection, point.Promotion, point.FirstAnswer = detect/n, promote/n, first/n
+		report.Points = append(report.Points, point)
+	}
+	return report, nil
+}
+
+// failoverTrial runs one kill: build a converged synchronous pair, arm
+// auto-failover, kill the primary, and time the three recovery phases.
+func failoverTrial(cfg FailoverBenchConfig, timeout time.Duration) (detect, promote, first time.Duration, err error) {
+	pdir, err := os.MkdirTemp("", "precis-failover-primary-")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer os.RemoveAll(pdir)
+	fdir, err := os.MkdirTemp("", "precis-failover-follower-")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer os.RemoveAll(fdir)
+
+	db, g, err := syntheticParts(cfg.Films)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	pcfg := benchPersistConfig(pdir, precis.FsyncNever)
+	primary, err := precis.Open(db, g, pcfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer primary.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	heartbeat := timeout / 10
+	if heartbeat < time.Millisecond {
+		heartbeat = time.Millisecond
+	}
+	if _, err := primary.StartReplication(ln, repl.PrimaryConfig{
+		HeartbeatEvery: heartbeat,
+		SyncReplicas:   1,
+		AckTimeout:     30 * time.Second,
+		Logger:         pcfg.Logger,
+	}); err != nil {
+		return 0, 0, 0, err
+	}
+
+	_, fg, err := syntheticParts(cfg.Films)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	follower, err := precis.OpenFollower(fg, precis.ReplicaConfig{
+		Addr:       ln.Addr().String(),
+		Dir:        fdir,
+		Fsync:      precis.FsyncNever,
+		BackoffMin: time.Millisecond,
+		Logger:     pcfg.Logger,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer follower.Close()
+	if _, err := waitConverged(primary, follower, 30*time.Second); err != nil {
+		return 0, 0, 0, err
+	}
+
+	mid, err := firstMovieID(primary.Database())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	for i := 0; i < cfg.Mutations; i++ {
+		if err := benchMutation(primary, mid, 3_000_000+i); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	if _, err := waitConverged(primary, follower, 30*time.Second); err != nil {
+		return 0, 0, 0, err
+	}
+
+	if _, err := follower.EnableAutoFailover(precis.AutoFailoverConfig{
+		ID:               "bench-standby",
+		HeartbeatTimeout: timeout,
+		PollEvery:        cfg.PollEvery,
+		Promote:          precis.PromoteConfig{Logger: pcfg.Logger},
+		Logger:           pcfg.Logger,
+	}); err != nil {
+		return 0, 0, 0, err
+	}
+
+	killed := time.Now()
+	if err := primary.Close(); err != nil {
+		return 0, 0, 0, err
+	}
+
+	deadline := killed.Add(30*time.Second + 10*timeout)
+	var detected, promoted time.Time
+	for detected.IsZero() || promoted.IsZero() {
+		st := follower.ReplStats().Failover
+		if st != nil && st.Detections > 0 && detected.IsZero() {
+			detected = time.Now()
+		}
+		if st != nil && st.Promotions > 0 {
+			promoted = time.Now()
+		}
+		if time.Now().After(deadline) {
+			return 0, 0, 0, fmt.Errorf("failover bench: no promotion within %v of the kill", time.Since(killed))
+		}
+		if detected.IsZero() || promoted.IsZero() {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	// First answer: the moment a mutation is accepted by the new primary.
+	for i := 0; ; i++ {
+		err := benchMutation(follower, mid, 4_000_000+i)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, precis.ErrReadOnly) {
+			return 0, 0, 0, fmt.Errorf("failover bench: post-kill mutation: %w", err)
+		}
+		if time.Now().After(deadline) {
+			return 0, 0, 0, fmt.Errorf("failover bench: promoted node never accepted a write")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	firstAt := time.Now()
+	return detected.Sub(killed), promoted.Sub(detected), firstAt.Sub(killed), nil
+}

@@ -17,13 +17,13 @@ import (
 // held constant (Followers attached in every leg) so the sweep isolates
 // the quorum requirement from the streaming load.
 type QuorumBenchConfig struct {
-	Films          int                   // synthetic dataset size behind the primary
-	Appends        int                   // timed mutations per leg
-	SyncReplicas   []int                 // quorum sizes to sweep (0 = async)
-	Fsyncs         []precis.FsyncPolicy  // fsync policies to sweep (primary AND followers)
-	FsyncInterval  time.Duration         // interval for FsyncInterval legs
-	Followers      int                   // durable followers attached in every leg
-	HeartbeatEvery time.Duration         // primary heartbeat pacing (carries interval-fsync acks)
+	Films          int                  // synthetic dataset size behind the primary
+	Appends        int                  // timed mutations per leg
+	SyncReplicas   []int                // quorum sizes to sweep (0 = async)
+	Fsyncs         []precis.FsyncPolicy // fsync policies to sweep (primary AND followers)
+	FsyncInterval  time.Duration        // interval for FsyncInterval legs
+	Followers      int                  // durable followers attached in every leg
+	HeartbeatEvery time.Duration        // primary heartbeat pacing (carries interval-fsync acks)
 }
 
 // DefaultQuorumBenchConfig keeps each leg short while letting the quorum

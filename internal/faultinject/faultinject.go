@@ -81,6 +81,13 @@ const (
 	// SiteShardApply fires before a sharded coordinator routes a mutation
 	// (insert/update/delete/synonym/macro) to the owning shard(s).
 	SiteShardApply = "shard.apply"
+	// SiteReplPromote fires at the start of Engine.Promote, before the
+	// follower transport is stopped or the epoch bumped.
+	SiteReplPromote = "repl.promote"
+	// SiteReplEpochCheck fires wherever a v3 epoch stamp is compared
+	// against local state: the primary's handshake check and the
+	// follower's per-message ObserveEpoch.
+	SiteReplEpochCheck = "repl.epoch.check"
 )
 
 // Rule describes what happens when a site fires. Exactly one of Err and

@@ -40,6 +40,14 @@ type Callbacks struct {
 	// waits. Gen 0 suppresses the ack. Optional; nil followers never ack
 	// and thus never count toward a sync quorum.
 	Ack func() (gen, records, bytes uint64)
+	// Epoch returns the follower's fencing epoch, carried in Hello on every
+	// (re)connect (v3 links only). Optional; nil sends 0.
+	Epoch func() uint64
+	// ObserveEpoch delivers every epoch the primary stamps on a v3 stream
+	// (Welcome, then each Record and Heartbeat). Returning an error severs
+	// the link — this is how a follower refuses to follow a stale, deposed
+	// primary. Optional.
+	ObserveEpoch func(epoch uint64) error
 }
 
 // Config tunes the follower transport.
@@ -194,8 +202,12 @@ func (c *Client) session(ctx context.Context) (progress bool, err error) {
 		return false, fmt.Errorf("handshake: %w", err)
 	}
 	gen, records := c.cb.Position()
+	var epoch uint64
+	if c.cb.Epoch != nil {
+		epoch = c.cb.Epoch()
+	}
 	_ = conn.SetWriteDeadline(time.Now().Add(c.cfg.HandshakeTimeout))
-	if err := writeMsg(conn, MsgHello, encodeHello(Hello{Version: c.cfg.Version, Gen: gen, Records: records})); err != nil {
+	if err := writeMsg(conn, MsgHello, encodeHello(Hello{Version: c.cfg.Version, Gen: gen, Records: records, Epoch: epoch})); err != nil {
 		return false, fmt.Errorf("send hello: %w", err)
 	}
 	_ = conn.SetReadDeadline(time.Now().Add(c.cfg.HandshakeTimeout))
@@ -217,6 +229,9 @@ func (c *Client) session(ctx context.Context) (progress bool, err error) {
 		return false, fmt.Errorf("primary speaks protocol version %d (want %d..%d)", welcome.Version, MinProtoVersion, c.cfg.Version)
 	}
 	version := welcome.Version
+	if err := c.observeEpoch(version, welcome.Epoch); err != nil {
+		return false, err
+	}
 	// Rolling stall deadline: a silently dead primary must look like a
 	// link error, not a forever-blocked read. The primary heartbeats idle
 	// links, so any healthy stream refreshes the deadline continuously.
@@ -301,8 +316,11 @@ func (c *Client) session(ctx context.Context) (progress bool, err error) {
 			if inSnap || awaitSnap {
 				return progress, &ProtocolError{Msg: typ, Detail: "record during snapshot transfer"}
 			}
-			rm, err := decodeRecord(body)
+			rm, err := decodeRecord(body, version)
 			if err != nil {
+				return progress, err
+			}
+			if err := c.observeEpoch(version, rm.Epoch); err != nil {
 				return progress, err
 			}
 			switch {
@@ -329,8 +347,11 @@ func (c *Client) session(ctx context.Context) (progress bool, err error) {
 				return progress, err
 			}
 		case MsgHeartbeat:
-			hb, err := decodeHeartbeat(body)
+			hb, err := decodeHeartbeat(body, version)
 			if err != nil {
+				return progress, err
+			}
+			if err := c.observeEpoch(version, hb.Epoch); err != nil {
 				return progress, err
 			}
 			if c.cb.Frontier != nil {
@@ -347,6 +368,19 @@ func (c *Client) session(ctx context.Context) (progress bool, err error) {
 			return progress, &ProtocolError{Msg: typ, Detail: "unexpected message"}
 		}
 	}
+}
+
+// observeEpoch forwards a v3 stream's epoch stamp to the follower engine.
+// An error severs the session before the message it rode in on is applied —
+// a stale primary's records must never reach the follower's WAL.
+func (c *Client) observeEpoch(version, epoch uint64) error {
+	if version < 3 || c.cb.ObserveEpoch == nil {
+		return nil
+	}
+	if err := c.cb.ObserveEpoch(epoch); err != nil {
+		return fmt.Errorf("epoch check: %w", err)
+	}
+	return nil
 }
 
 // maybeAck reports the follower's durable position to a v2+ primary,

@@ -1,0 +1,212 @@
+package repl
+
+// Automatic failover: a supervisor that watches a follower's replication
+// progress and, when the primary goes silent, runs a deterministic
+// election and promotes the winner. The election needs no extra protocol
+// round — every candidate orders itself by durable state (epoch, then
+// generation, then applied records), so with a full candidate list every
+// node computes the same winner, and the epoch bump at promotion fences
+// any node that voted on stale information.
+
+import (
+	"context"
+	"log"
+	"sync"
+	"time"
+)
+
+// Candidate is one node's claim in an election, ordered by how much acked
+// state it can prove it holds.
+type Candidate struct {
+	// ID names the node (e.g. its replication address); the final,
+	// deterministic tiebreak is lexicographic on ID.
+	ID string
+	// Epoch is the node's fencing epoch; a higher epoch has strictly newer
+	// information and always wins.
+	Epoch uint64
+	// Gen and Records are the node's durably applied WAL position — the
+	// node holding the longest acked prefix must win, or promotion would
+	// roll back acknowledged writes.
+	Gen     uint64
+	Records uint64
+	// Priority is the operator's preference among equally caught-up nodes
+	// (higher wins).
+	Priority int
+}
+
+// Beats reports whether c wins an election against o. The order is total:
+// epoch, then generation, then records, then priority, then lexically
+// smaller ID — so every node with the same candidate list elects the same
+// winner without exchanging votes.
+func (c Candidate) Beats(o Candidate) bool {
+	if c.Epoch != o.Epoch {
+		return c.Epoch > o.Epoch
+	}
+	if c.Gen != o.Gen {
+		return c.Gen > o.Gen
+	}
+	if c.Records != o.Records {
+		return c.Records > o.Records
+	}
+	if c.Priority != o.Priority {
+		return c.Priority > o.Priority
+	}
+	return c.ID < o.ID
+}
+
+// Elect returns the winning candidate. ok is false for an empty slate.
+func Elect(cands []Candidate) (winner Candidate, ok bool) {
+	for i, c := range cands {
+		if i == 0 || c.Beats(winner) {
+			winner = c
+		}
+	}
+	return winner, len(cands) > 0
+}
+
+// SupervisorConfig tunes the heartbeat-loss detector.
+type SupervisorConfig struct {
+	// HeartbeatTimeout is how long replication progress may stall before
+	// the primary is declared dead (0: 2s). A healthy primary heartbeats
+	// idle links, so progress only stalls when the link is down and
+	// reconnects are failing.
+	HeartbeatTimeout time.Duration
+	// PollEvery is the progress sampling interval (0: HeartbeatTimeout/4,
+	// floored at 10ms).
+	PollEvery time.Duration
+	// Progress returns a counter that advances whenever the primary is
+	// alive (typically the follower transport's bytes-received total).
+	Progress func() uint64
+	// Self returns this node's candidacy, sampled at detection time.
+	Self func() Candidate
+	// Peers returns the other known candidates. With an empty slate a
+	// lone follower elects itself. Static configuration is fine: stale
+	// positions cost only a suboptimal winner, never a rolled-back write,
+	// because fencing is enforced by epoch, not by the election.
+	Peers func() []Candidate
+	// Promote converts this node to primary; called only when Self wins.
+	// An error re-arms the detector for another attempt.
+	Promote func() error
+	// Logger receives detection and election notes; nil uses log.Default().
+	Logger *log.Logger
+}
+
+// SupervisorStats counts detector activity.
+type SupervisorStats struct {
+	Detections uint64 `json:"detections"`
+	Promotions uint64 `json:"promotions"`
+	LastWinner string `json:"last_winner,omitempty"`
+}
+
+// Supervisor runs the detector loop. Start it on a follower; it stops
+// itself after a successful promotion (the node is no longer following
+// anyone) or when Stop is called.
+type Supervisor struct {
+	cfg SupervisorConfig
+	log *log.Logger
+
+	mu         sync.Mutex
+	cancel     context.CancelFunc
+	done       chan struct{}
+	detections uint64
+	promotions uint64
+	lastWinner string
+}
+
+// NewSupervisor builds a supervisor; call Start to arm it.
+func NewSupervisor(cfg SupervisorConfig) *Supervisor {
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 2 * time.Second
+	}
+	if cfg.PollEvery <= 0 {
+		cfg.PollEvery = cfg.HeartbeatTimeout / 4
+		if cfg.PollEvery < 10*time.Millisecond {
+			cfg.PollEvery = 10 * time.Millisecond
+		}
+	}
+	lg := cfg.Logger
+	if lg == nil {
+		lg = log.Default()
+	}
+	return &Supervisor{cfg: cfg, log: lg}
+}
+
+// Start arms the detector. Idempotent while running.
+func (s *Supervisor) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cancel != nil {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	s.done = make(chan struct{})
+	go s.run(ctx, s.done)
+}
+
+// Stop disarms the detector and waits for its goroutine to exit.
+func (s *Supervisor) Stop() {
+	s.mu.Lock()
+	cancel, done := s.cancel, s.done
+	s.cancel, s.done = nil, nil
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+		<-done
+	}
+}
+
+// Stats snapshots the detector counters.
+func (s *Supervisor) Stats() SupervisorStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SupervisorStats{Detections: s.detections, Promotions: s.promotions, LastWinner: s.lastWinner}
+}
+
+func (s *Supervisor) run(ctx context.Context, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(s.cfg.PollEvery)
+	defer ticker.Stop()
+	last := s.cfg.Progress()
+	stalledFor := time.Duration(0)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		if now := s.cfg.Progress(); now != last {
+			last, stalledFor = now, 0
+			continue
+		}
+		if stalledFor += s.cfg.PollEvery; stalledFor < s.cfg.HeartbeatTimeout {
+			continue
+		}
+		// The primary has been silent a full timeout: elect.
+		stalledFor = 0
+		self := s.cfg.Self()
+		slate := []Candidate{self}
+		if s.cfg.Peers != nil {
+			slate = append(slate, s.cfg.Peers()...)
+		}
+		winner, _ := Elect(slate)
+		s.mu.Lock()
+		s.detections++
+		s.lastWinner = winner.ID
+		s.mu.Unlock()
+		if winner.ID != self.ID {
+			s.log.Printf("repl: primary silent for %s; election winner is %s (epoch %d, pos %d/%d) — standing by",
+				s.cfg.HeartbeatTimeout, winner.ID, winner.Epoch, winner.Gen, winner.Records)
+			continue // re-arm: if the winner also fails, a later round falls to us
+		}
+		s.log.Printf("repl: primary silent for %s; this node (%s) won the election — promoting", s.cfg.HeartbeatTimeout, self.ID)
+		if err := s.cfg.Promote(); err != nil {
+			s.log.Printf("repl: auto-promotion failed: %v (detector re-armed)", err)
+			continue
+		}
+		s.mu.Lock()
+		s.promotions++
+		s.mu.Unlock()
+		return // promoted: nothing left to supervise
+	}
+}

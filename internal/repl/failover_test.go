@@ -1,0 +1,202 @@
+package repl
+
+// Unit tests for the election order and the heartbeat-loss supervisor.
+// The election must be a total, deterministic order — every node with the
+// same slate computes the same winner — and the supervisor must promote
+// only after a full timeout of silence, stand by when a peer wins, and
+// re-arm after a failed promotion.
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCandidateBeatsTotalOrder(t *testing.T) {
+	base := Candidate{ID: "b", Epoch: 2, Gen: 3, Records: 10, Priority: 1}
+	cases := []struct {
+		name string
+		c    Candidate
+		want bool // c.Beats(base)
+	}{
+		{"higher epoch beats longer log", Candidate{ID: "z", Epoch: 3}, true},
+		{"lower epoch loses despite log", Candidate{ID: "a", Epoch: 1, Gen: 9, Records: 99, Priority: 9}, false},
+		{"higher gen", Candidate{ID: "z", Epoch: 2, Gen: 4}, true},
+		{"higher records", Candidate{ID: "z", Epoch: 2, Gen: 3, Records: 11}, true},
+		{"lower records loses despite priority", Candidate{ID: "a", Epoch: 2, Gen: 3, Records: 9, Priority: 9}, false},
+		{"higher priority", Candidate{ID: "z", Epoch: 2, Gen: 3, Records: 10, Priority: 2}, true},
+		{"lexically smaller id wins the tie", Candidate{ID: "a", Epoch: 2, Gen: 3, Records: 10, Priority: 1}, true},
+		{"lexically larger id loses the tie", Candidate{ID: "c", Epoch: 2, Gen: 3, Records: 10, Priority: 1}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Beats(base); got != tc.want {
+			t.Errorf("%s: %+v.Beats(base) = %v, want %v", tc.name, tc.c, got, tc.want)
+		}
+		// The order is total: for distinct candidates exactly one direction wins.
+		if tc.c != base {
+			if fwd, rev := tc.c.Beats(base), base.Beats(tc.c); fwd == rev {
+				t.Errorf("%s: Beats is not antisymmetric (both directions = %v)", tc.name, fwd)
+			}
+		}
+	}
+}
+
+func TestElectDeterministic(t *testing.T) {
+	cands := []Candidate{
+		{ID: "slow", Epoch: 1, Gen: 1, Records: 3},
+		{ID: "caught-up", Epoch: 1, Gen: 1, Records: 10},
+		{ID: "old-epoch-long-log", Epoch: 1, Gen: 2, Records: 1},
+		{ID: "new-epoch", Epoch: 2, Records: 0},
+	}
+	// Every rotation of the slate elects the same winner.
+	for shift := range cands {
+		rotated := append(append([]Candidate{}, cands[shift:]...), cands[:shift]...)
+		winner, ok := Elect(rotated)
+		if !ok || winner.ID != "new-epoch" {
+			t.Fatalf("rotation %d: Elect = (%+v, %v), want new-epoch", shift, winner, ok)
+		}
+	}
+	if _, ok := Elect(nil); ok {
+		t.Fatal("Elect(nil) reported a winner")
+	}
+}
+
+// TestSupervisorPromotesLoneFollowerOnStall: constant progress, no peers —
+// after a full heartbeat timeout the lone candidate elects and promotes
+// itself, then the supervisor retires.
+func TestSupervisorPromotesLoneFollowerOnStall(t *testing.T) {
+	promoted := make(chan struct{})
+	s := NewSupervisor(SupervisorConfig{
+		HeartbeatTimeout: 50 * time.Millisecond,
+		PollEvery:        5 * time.Millisecond,
+		Progress:         func() uint64 { return 7 },
+		Self:             func() Candidate { return Candidate{ID: "self", Epoch: 1} },
+		Promote:          func() error { close(promoted); return nil },
+		Logger:           quietLogger(),
+	})
+	s.Start()
+	defer s.Stop()
+	select {
+	case <-promoted:
+	case <-time.After(10 * time.Second):
+		t.Fatal("supervisor never promoted a stalled lone follower")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Promotions != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stats never recorded the promotion: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := s.Stats(); st.Detections == 0 || st.LastWinner != "self" {
+		t.Fatalf("stats after promotion: %+v", st)
+	}
+}
+
+// TestSupervisorStandsByWhenPeerWins: a better-positioned peer on the
+// slate means this node logs the winner, never promotes, and keeps
+// re-arming (a later round would fall to it if the peer also died).
+func TestSupervisorStandsByWhenPeerWins(t *testing.T) {
+	var promoteCalls atomic.Uint64
+	s := NewSupervisor(SupervisorConfig{
+		HeartbeatTimeout: 30 * time.Millisecond,
+		PollEvery:        5 * time.Millisecond,
+		Progress:         func() uint64 { return 0 },
+		Self:             func() Candidate { return Candidate{ID: "self", Epoch: 1, Records: 5} },
+		Peers: func() []Candidate {
+			return []Candidate{{ID: "peer", Epoch: 1, Records: 99}}
+		},
+		Promote: func() error { promoteCalls.Add(1); return nil },
+		Logger:  quietLogger(),
+	})
+	s.Start()
+	defer s.Stop()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Stats().Detections < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("detector never re-armed after standing by: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := promoteCalls.Load(); got != 0 {
+		t.Fatalf("stand-by node promoted itself %d time(s)", got)
+	}
+	if st := s.Stats(); st.LastWinner != "peer" || st.Promotions != 0 {
+		t.Fatalf("stand-by stats: %+v", st)
+	}
+}
+
+// TestSupervisorProgressSuppressesElection: progress that advances between
+// polls (a live primary) must never trip the detector, no matter how many
+// timeouts elapse.
+func TestSupervisorProgressSuppressesElection(t *testing.T) {
+	var ticks atomic.Uint64
+	s := NewSupervisor(SupervisorConfig{
+		HeartbeatTimeout: 30 * time.Millisecond,
+		PollEvery:        5 * time.Millisecond,
+		Progress:         func() uint64 { return ticks.Add(1) },
+		Self:             func() Candidate { return Candidate{ID: "self"} },
+		Promote:          func() error { t.Error("promoted despite live progress"); return nil },
+		Logger:           quietLogger(),
+	})
+	s.Start()
+	time.Sleep(200 * time.Millisecond) // > 6 full timeouts
+	s.Stop()
+	if st := s.Stats(); st.Detections != 0 {
+		t.Fatalf("live progress still produced %d detection(s)", st.Detections)
+	}
+}
+
+// TestSupervisorPromoteErrorRearms: a failed promotion re-arms the
+// detector; the next stall retries and succeeds.
+func TestSupervisorPromoteErrorRearms(t *testing.T) {
+	var calls atomic.Uint64
+	s := NewSupervisor(SupervisorConfig{
+		HeartbeatTimeout: 30 * time.Millisecond,
+		PollEvery:        5 * time.Millisecond,
+		Progress:         func() uint64 { return 0 },
+		Self:             func() Candidate { return Candidate{ID: "self"} },
+		Promote: func() error {
+			if calls.Add(1) == 1 {
+				return errors.New("transient promote failure")
+			}
+			return nil
+		},
+		Logger: quietLogger(),
+	})
+	s.Start()
+	defer s.Stop()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Stats().Promotions != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("promotion never succeeded after the transient failure: %+v (calls=%d)", s.Stats(), calls.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("Promote called %d time(s), want 2 (one failure, one success)", got)
+	}
+	if st := s.Stats(); st.Detections != 2 {
+		t.Fatalf("detections = %d, want 2", st.Detections)
+	}
+}
+
+// TestSupervisorStopRestart: Stop is idempotent and a stopped supervisor
+// can be re-armed.
+func TestSupervisorStopRestart(t *testing.T) {
+	s := NewSupervisor(SupervisorConfig{
+		HeartbeatTimeout: time.Hour,
+		PollEvery:        time.Millisecond,
+		Progress:         func() uint64 { return 0 },
+		Self:             func() Candidate { return Candidate{ID: "self"} },
+		Promote:          func() error { return nil },
+		Logger:           quietLogger(),
+	})
+	s.Start()
+	s.Start() // idempotent while running
+	s.Stop()
+	s.Stop() // idempotent when stopped
+	s.Start()
+	s.Stop()
+}

@@ -38,6 +38,15 @@ type PrimaryConfig struct {
 	// sticky degraded flag that clears once a quorum of acks reaches the
 	// durable frontier again.
 	DegradeToAsync bool
+	// Epoch is the primary's fencing epoch, stamped on every v3 stream
+	// (Welcome, Record, Heartbeat). A v3 follower arriving with a higher
+	// epoch deposes this primary: the link is rejected, OnDeposed fires,
+	// and the commit gate refuses every subsequent commit.
+	Epoch uint64
+	// OnDeposed fires (once) when a follower proves a newer primary exists
+	// at the given epoch. The engine layer uses it to fence the WAL store
+	// so no write can become durable after deposition.
+	OnDeposed func(epoch uint64)
 	// Logger receives per-link notes; nil uses log.Default().
 	Logger *log.Logger
 }
@@ -81,17 +90,20 @@ type FollowerLinkStats struct {
 
 // PrimaryStats snapshots the streaming side's counters.
 type PrimaryStats struct {
-	Followers      int                 `json:"followers"`
-	Handshakes     uint64              `json:"handshakes"`
-	SentRecords    uint64              `json:"sent_records"`
-	SentBytes      uint64              `json:"sent_bytes"`
-	SnapshotsSent  uint64              `json:"snapshots_sent"`
-	LinkErrors     uint64              `json:"link_errors"`
-	SyncReplicas   int                 `json:"sync_replicas"`
-	Degraded       bool                `json:"degraded"`
-	QuorumWaits    uint64              `json:"quorum_waits"`
-	QuorumTimeouts uint64              `json:"quorum_timeouts"`
-	Links          []FollowerLinkStats `json:"links,omitempty"`
+	Followers       int                 `json:"followers"`
+	Handshakes      uint64              `json:"handshakes"`
+	SentRecords     uint64              `json:"sent_records"`
+	SentBytes       uint64              `json:"sent_bytes"`
+	SnapshotsSent   uint64              `json:"snapshots_sent"`
+	LinkErrors      uint64              `json:"link_errors"`
+	SyncReplicas    int                 `json:"sync_replicas"`
+	Degraded        bool                `json:"degraded"`
+	QuorumWaits     uint64              `json:"quorum_waits"`
+	QuorumTimeouts  uint64              `json:"quorum_timeouts"`
+	Epoch           uint64              `json:"epoch"`
+	DeposedBy       uint64              `json:"deposed_by,omitempty"`
+	EpochRejections uint64              `json:"epoch_rejections,omitempty"`
+	Links           []FollowerLinkStats `json:"links,omitempty"`
 }
 
 // Primary streams a Store's committed WAL frames to followers. Each
@@ -104,25 +116,29 @@ type Primary struct {
 	cfg   PrimaryConfig
 	log   *log.Logger
 
-	mu       sync.Mutex
-	ln       net.Listener
-	conns    map[net.Conn]struct{}
-	links    map[net.Conn]*linkState
-	ackCh    chan struct{} // closed+replaced on every ack (broadcast)
-	degraded bool          // sticky until a quorum of acks reaches the frontier
-	closed   bool
-	done     chan struct{}
-	wg       sync.WaitGroup
+	mu        sync.Mutex
+	ln        net.Listener
+	conns     map[net.Conn]struct{}
+	links     map[net.Conn]*linkState
+	ackCh     chan struct{} // closed+replaced on every ack (broadcast)
+	degraded  bool          // sticky until a quorum of acks reaches the frontier
+	deposedBy uint64        // sticky: epoch of the newer primary that deposed us
+	closed    bool
+	done      chan struct{}
+	wg        sync.WaitGroup
+
+	onDeposed sync.Once
 
 	metrics atomic.Pointer[Metrics]
 
-	handshakes     atomic.Uint64
-	sentRecords    atomic.Uint64
-	sentBytes      atomic.Uint64
-	snapshots      atomic.Uint64
-	linkErrors     atomic.Uint64
-	quorumWaits    atomic.Uint64
-	quorumTimeouts atomic.Uint64
+	handshakes      atomic.Uint64
+	sentRecords     atomic.Uint64
+	sentBytes       atomic.Uint64
+	snapshots       atomic.Uint64
+	linkErrors      atomic.Uint64
+	quorumWaits     atomic.Uint64
+	quorumTimeouts  atomic.Uint64
+	epochRejections atomic.Uint64
 }
 
 // linkState is the primary-side view of one handshaken follower link,
@@ -255,6 +271,7 @@ func (p *Primary) Stats() PrimaryStats {
 	p.mu.Lock()
 	followers := len(p.conns)
 	degraded := p.degraded
+	deposedBy := p.deposedBy
 	var links []FollowerLinkStats
 	for _, l := range p.links {
 		ls := FollowerLinkStats{
@@ -282,18 +299,49 @@ func (p *Primary) Stats() PrimaryStats {
 	}
 	p.mu.Unlock()
 	return PrimaryStats{
-		Followers:      followers,
-		Handshakes:     p.handshakes.Load(),
-		SentRecords:    p.sentRecords.Load(),
-		SentBytes:      p.sentBytes.Load(),
-		SnapshotsSent:  p.snapshots.Load(),
-		LinkErrors:     p.linkErrors.Load(),
-		SyncReplicas:   p.cfg.SyncReplicas,
-		Degraded:       degraded,
-		QuorumWaits:    p.quorumWaits.Load(),
-		QuorumTimeouts: p.quorumTimeouts.Load(),
-		Links:          links,
+		Followers:       followers,
+		Handshakes:      p.handshakes.Load(),
+		SentRecords:     p.sentRecords.Load(),
+		SentBytes:       p.sentBytes.Load(),
+		SnapshotsSent:   p.snapshots.Load(),
+		LinkErrors:      p.linkErrors.Load(),
+		SyncReplicas:    p.cfg.SyncReplicas,
+		Degraded:        degraded,
+		QuorumWaits:     p.quorumWaits.Load(),
+		QuorumTimeouts:  p.quorumTimeouts.Load(),
+		Epoch:           p.cfg.Epoch,
+		DeposedBy:       deposedBy,
+		EpochRejections: p.epochRejections.Load(),
+		Links:           links,
 	}
+}
+
+// DeposedBy returns the epoch of the newer primary that deposed this one,
+// or 0 while this primary is still legitimate.
+func (p *Primary) DeposedBy() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.deposedBy
+}
+
+// depose marks the primary permanently deposed by a newer epoch and fires
+// OnDeposed exactly once (outside the lock — the engine's hook fences the
+// WAL store, which takes its own locks).
+func (p *Primary) depose(by uint64) {
+	p.mu.Lock()
+	if p.deposedBy == 0 || by > p.deposedBy {
+		p.deposedBy = by
+	}
+	// Wake quorum waiters: they must fail with the fence, not idle out.
+	close(p.ackCh)
+	p.ackCh = make(chan struct{})
+	p.mu.Unlock()
+	p.onDeposed.Do(func() {
+		p.log.Printf("repl: primary at epoch %d deposed by epoch %d; fencing", p.cfg.Epoch, by)
+		if p.cfg.OnDeposed != nil {
+			p.cfg.OnDeposed(by)
+		}
+	})
 }
 
 // Degraded reports the sticky degraded-mode flag.
@@ -332,6 +380,13 @@ func (p *Primary) WaitCommitted(gen uint64, records int64) error {
 	p.quorumWaits.Add(1)
 	p.mu.Lock()
 	for {
+		if p.deposedBy != 0 {
+			// The commit gate is part of the fence: a deposed primary must
+			// not release a commit even if a quorum of stale acks exists.
+			by := p.deposedBy
+			p.mu.Unlock()
+			return fmt.Errorf("repl: %w (primary deposed by epoch %d)", wal.ErrFenced, by)
+		}
 		if p.closed {
 			p.mu.Unlock()
 			return nil
@@ -465,6 +520,30 @@ func (p *Primary) streamTo(conn net.Conn) error {
 	if err := faultinject.Fire(faultinject.SiteReplHandshake); err != nil {
 		return fmt.Errorf("handshake: %w", err)
 	}
+	// Epoch fencing (v3 links only; older peers carry no epoch and never
+	// participate). A follower ahead of us proves a newer primary was
+	// elected: we are deposed — permanently. A follower behind us may carry
+	// a diverged, unacked WAL suffix from its previous life as the old
+	// primary, so it is forced through a snapshot bootstrap, which
+	// truncates that suffix.
+	forceBootstrap := false
+	if version >= 3 {
+		if err := faultinject.Fire(faultinject.SiteReplEpochCheck); err != nil {
+			return fmt.Errorf("epoch check: %w", err)
+		}
+		if hello.Epoch > p.cfg.Epoch {
+			p.epochRejections.Add(1)
+			p.depose(hello.Epoch)
+			return p.reject(conn, fmt.Sprintf("primary epoch %d is stale: follower is at epoch %d", p.cfg.Epoch, hello.Epoch))
+		}
+		forceBootstrap = hello.Epoch < p.cfg.Epoch
+	}
+	if by := func() uint64 { p.mu.Lock(); defer p.mu.Unlock(); return p.deposedBy }(); by != 0 {
+		// Once deposed, this primary serves no one — not even same-epoch
+		// followers, whose acks could otherwise release fenced commits.
+		p.epochRejections.Add(1)
+		return p.reject(conn, fmt.Sprintf("primary deposed by epoch %d", by))
+	}
 	_ = conn.SetReadDeadline(time.Time{})
 	p.handshakes.Add(1)
 	if m := p.metrics.Load(); m != nil {
@@ -491,9 +570,9 @@ func (p *Primary) streamTo(conn net.Conn) error {
 	fr := p.store.Frontier()
 	hbMS := uint64(p.cfg.HeartbeatEvery.Milliseconds())
 	pos := position{gen: hello.Gen, seq: hello.Records}
-	canResume := hello.Gen != 0 && hello.Gen == fr.Gen && int64(hello.Records) <= fr.Records
+	canResume := !forceBootstrap && hello.Gen != 0 && hello.Gen == fr.Gen && int64(hello.Records) <= fr.Records
 	if canResume {
-		if err := p.send(conn, MsgWelcome, encodeWelcome(Welcome{Version: version, Gen: pos.gen, Records: pos.seq, HeartbeatMS: hbMS})); err != nil {
+		if err := p.send(conn, MsgWelcome, encodeWelcome(Welcome{Version: version, Gen: pos.gen, Records: pos.seq, HeartbeatMS: hbMS, Epoch: p.cfg.Epoch})); err != nil {
 			return err
 		}
 	} else {
@@ -501,7 +580,7 @@ func (p *Primary) streamTo(conn net.Conn) error {
 		if err != nil {
 			return err
 		}
-		if err := p.send(conn, MsgWelcome, encodeWelcome(Welcome{Version: version, Snapshot: true, Gen: gen, HeartbeatMS: hbMS})); err != nil {
+		if err := p.send(conn, MsgWelcome, encodeWelcome(Welcome{Version: version, Snapshot: true, Gen: gen, HeartbeatMS: hbMS, Epoch: p.cfg.Epoch})); err != nil {
 			return err
 		}
 		if err := p.sendSnapshot(conn, gen, raw); err != nil {
@@ -550,7 +629,7 @@ func (p *Primary) streamTo(conn net.Conn) error {
 				}
 			}
 			if err == nil {
-				err = p.sendRecords(conn, frames, &pos, limit, fr)
+				err = p.sendRecords(conn, frames, &pos, limit, fr, version)
 			}
 		}
 		if err == nil && rotated && int64(pos.seq) == limit {
@@ -593,7 +672,8 @@ func (p *Primary) streamTo(conn net.Conn) error {
 				FrontierGen:     fr.Gen,
 				FrontierRecords: uint64(fr.Records),
 				FrontierBytes:   uint64(fr.Bytes),
-			})); err != nil {
+				Epoch:           p.cfg.Epoch,
+			}, version)); err != nil {
 				return err
 			}
 		case <-p.done:
@@ -629,8 +709,9 @@ func (p *Primary) readAcks(conn net.Conn, link *linkState) {
 	}
 }
 
-// sendRecords streams frames [pos.seq, limit) of pos.gen.
-func (p *Primary) sendRecords(conn net.Conn, frames *wal.FrameReader, pos *position, limit int64, fr wal.Frontier) error {
+// sendRecords streams frames [pos.seq, limit) of pos.gen in the link's
+// negotiated protocol version.
+func (p *Primary) sendRecords(conn net.Conn, frames *wal.FrameReader, pos *position, limit int64, fr wal.Frontier, version uint64) error {
 	for int64(pos.seq) < limit {
 		payload, err := frames.Next()
 		if err != nil {
@@ -648,9 +729,10 @@ func (p *Primary) sendRecords(conn net.Conn, frames *wal.FrameReader, pos *posit
 			FrontierGen:     fr.Gen,
 			FrontierRecords: uint64(fr.Records),
 			FrontierBytes:   uint64(fr.Bytes),
+			Epoch:           p.cfg.Epoch,
 			Payload:         payload,
 		}
-		if err := p.send(conn, MsgRecord, encodeRecord(msg)); err != nil {
+		if err := p.send(conn, MsgRecord, encodeRecord(msg, version)); err != nil {
 			return err
 		}
 		pos.seq++

@@ -27,6 +27,17 @@
 // with SyncReplicas > 0 releases each group commit only once a quorum of
 // followers has acked at-or-past it. The handshake negotiates down, so a
 // version-1 follower still streams — it just never counts toward a quorum.
+//
+// Protocol version 3 (PRCREPL3) adds the failover fencing epoch: the
+// follower's Hello carries its locally persisted epoch, and the primary
+// stamps its own epoch on Welcome and on every Record and Heartbeat. Both
+// sides compare on every frame: a primary that sees a follower at a higher
+// epoch has been deposed (it rejects the link and fences itself); a
+// follower that sees a primary at a lower epoch refuses to follow it; and
+// a follower arriving with a lower epoch is forced through a snapshot
+// bootstrap, which truncates any diverged, unacked WAL suffix it may carry
+// from its previous life as a primary. Version 1/2 peers negotiate down
+// and see no epoch fields at all.
 package repl
 
 import (
@@ -38,11 +49,12 @@ import (
 )
 
 // Magic opens every version-1 Hello; a server can reject a stray client on
-// byte one. Magic2 is the version-2 spelling. Both magics are 8 bytes, so
-// the decoder slices the same prefix either way.
+// byte one. Magic2 and Magic3 are the version-2 and version-3 spellings.
+// All magics are 8 bytes, so the decoder slices the same prefix either way.
 const (
 	Magic  = "PRCREPL1"
 	Magic2 = "PRCREPL2"
+	Magic3 = "PRCREPL3"
 )
 
 // ProtoVersion is the newest protocol this build speaks; MinProtoVersion
@@ -51,8 +63,11 @@ const (
 // follower as async-only (version 1 has no MsgAck, so it can never count
 // toward a synchronous-replication quorum). Version 2 adds the
 // follower→primary Ack frame and a heartbeat-interval field in Welcome.
+// Version 3 adds the failover fencing epoch to Hello, Welcome, Record, and
+// Heartbeat; a version-1/2 peer sees none of the epoch fields and never
+// participates in fencing.
 const (
-	ProtoVersion    = 2
+	ProtoVersion    = 3
 	MinProtoVersion = 1
 )
 
@@ -132,22 +147,29 @@ func (e *ProtocolError) Error() string {
 // producing genuine mid-frame wire corruption for the receiver to detect.
 var ErrInjectCorrupt = errors.New("repl: inject wire corruption")
 
-// Hello is the follower's opening message.
+// Hello is the follower's opening message. Epoch (version ≥ 3 only) is the
+// follower's locally persisted fencing epoch: a primary seeing a higher
+// epoch than its own has been deposed; one seeing a lower epoch forces a
+// snapshot bootstrap to truncate any diverged suffix the follower carries.
 type Hello struct {
 	Version uint64
 	Gen     uint64 // applied generation (0: nothing applied, bootstrap me)
 	Records uint64 // records applied within Gen
+	Epoch   uint64 // follower's fencing epoch (0 below version 3)
 }
 
 // Welcome is the primary's handshake answer. HeartbeatMS (version ≥ 2
 // only) tells the follower how often to expect traffic on an idle link, so
-// it can size its read-stall deadline.
+// it can size its read-stall deadline. Epoch (version ≥ 3 only) is the
+// primary's fencing epoch; the follower adopts a higher one and refuses a
+// lower one.
 type Welcome struct {
 	Version     uint64
 	Snapshot    bool   // true: a snapshot bootstrap follows before records
 	Gen         uint64 // generation the stream will continue in
 	Records     uint64 // sequence the first record will carry
 	HeartbeatMS uint64 // primary's heartbeat interval in ms (0 on version 1)
+	Epoch       uint64 // primary's fencing epoch (0 below version 3)
 }
 
 // Ack is the follower's durable-applied position (version ≥ 2): Records
@@ -166,22 +188,26 @@ type SnapBegin struct {
 }
 
 // RecordMsg carries one WAL frame payload plus the primary's durable
-// frontier at send time (for follower lag accounting).
+// frontier at send time (for follower lag accounting). Epoch (version ≥ 3
+// only) re-stamps the primary's fencing epoch on every frame, so a
+// follower detects a stale primary even mid-stream.
 type RecordMsg struct {
 	Gen             uint64
 	Seq             uint64 // record index within Gen (0-based)
 	FrontierGen     uint64
 	FrontierRecords uint64
 	FrontierBytes   uint64
+	Epoch           uint64 // primary's fencing epoch (0 below version 3)
 	Payload         []byte
 }
 
 // Heartbeat refreshes the follower's view of the primary frontier on an
-// idle link.
+// idle link, and (version ≥ 3) re-stamps the primary's fencing epoch.
 type Heartbeat struct {
 	FrontierGen     uint64
 	FrontierRecords uint64
 	FrontierBytes   uint64
+	Epoch           uint64 // primary's fencing epoch (0 below version 3)
 }
 
 // writeMsg frames one message onto w: header, then typ+body.
@@ -306,16 +332,24 @@ func (d *bodyReader) done() error {
 
 func encodeHello(h Hello) []byte {
 	magic := Magic
-	if h.Version >= 2 {
+	switch {
+	case h.Version >= 3:
+		magic = Magic3
+	case h.Version == 2:
 		magic = Magic2
 	}
 	body := append([]byte(nil), magic...)
-	return appendUvarints(body, h.Version, h.Gen, h.Records)
+	body = appendUvarints(body, h.Version, h.Gen, h.Records)
+	if h.Version >= 3 {
+		body = appendUvarints(body, h.Epoch)
+	}
+	return body
 }
 
 func decodeHello(body []byte) (Hello, error) {
 	if len(body) < len(Magic) ||
-		(string(body[:len(Magic)]) != Magic && string(body[:len(Magic2)]) != Magic2) {
+		(string(body[:len(Magic)]) != Magic && string(body[:len(Magic2)]) != Magic2 &&
+			string(body[:len(Magic3)]) != Magic3) {
 		return Hello{}, &ProtocolError{Msg: MsgHello, Detail: "bad magic"}
 	}
 	d := &bodyReader{typ: MsgHello, b: body[len(Magic):]}
@@ -324,12 +358,16 @@ func decodeHello(body []byte) (Hello, error) {
 		Gen:     d.uvarint("gen"),
 		Records: d.uvarint("records"),
 	}
+	if d.err == nil && h.Version >= 3 {
+		h.Epoch = d.uvarint("epoch")
+	}
 	return h, d.done()
 }
 
 // encodeWelcome emits the wire form the announced version defines: the
-// HeartbeatMS field exists only from version 2 on (a version-1 follower
-// rejects trailing bytes, so the primary speaks each follower's dialect).
+// HeartbeatMS field exists only from version 2 on, the Epoch field only
+// from version 3 on (an older follower rejects trailing bytes, so the
+// primary speaks each follower's dialect).
 func encodeWelcome(w Welcome) []byte {
 	snap := uint64(0)
 	if w.Snapshot {
@@ -338,6 +376,9 @@ func encodeWelcome(w Welcome) []byte {
 	body := appendUvarints(nil, w.Version, snap, w.Gen, w.Records)
 	if w.Version >= 2 {
 		body = appendUvarints(body, w.HeartbeatMS)
+	}
+	if w.Version >= 3 {
+		body = appendUvarints(body, w.Epoch)
 	}
 	return body
 }
@@ -358,6 +399,9 @@ func decodeWelcome(body []byte) (Welcome, error) {
 	w.Records = d.uvarint("records")
 	if d.err == nil && w.Version >= 2 {
 		w.HeartbeatMS = d.uvarint("heartbeat ms")
+	}
+	if d.err == nil && w.Version >= 3 {
+		w.Epoch = d.uvarint("epoch")
 	}
 	return w, d.done()
 }
@@ -386,12 +430,20 @@ func decodeSnapBegin(body []byte) (SnapBegin, error) {
 	return s, d.done()
 }
 
-func encodeRecord(r RecordMsg) []byte {
+// encodeRecord/decodeRecord are version-parameterized: the Epoch uvarint
+// sits between the frontier fields and the raw payload from version 3 on,
+// and is absent below it (the payload is "the rest", so the field cannot
+// be self-describing — both ends already agreed on a version at
+// handshake).
+func encodeRecord(r RecordMsg, version uint64) []byte {
 	body := appendUvarints(nil, r.Gen, r.Seq, r.FrontierGen, r.FrontierRecords, r.FrontierBytes)
+	if version >= 3 {
+		body = appendUvarints(body, r.Epoch)
+	}
 	return append(body, r.Payload...)
 }
 
-func decodeRecord(body []byte) (RecordMsg, error) {
+func decodeRecord(body []byte, version uint64) (RecordMsg, error) {
 	d := &bodyReader{typ: MsgRecord, b: body}
 	r := RecordMsg{
 		Gen:             d.uvarint("gen"),
@@ -400,6 +452,9 @@ func decodeRecord(body []byte) (RecordMsg, error) {
 		FrontierRecords: d.uvarint("frontier records"),
 		FrontierBytes:   d.uvarint("frontier bytes"),
 	}
+	if version >= 3 {
+		r.Epoch = d.uvarint("epoch")
+	}
 	if d.err != nil {
 		return r, d.err
 	}
@@ -407,16 +462,23 @@ func decodeRecord(body []byte) (RecordMsg, error) {
 	return r, nil
 }
 
-func encodeHeartbeat(h Heartbeat) []byte {
-	return appendUvarints(nil, h.FrontierGen, h.FrontierRecords, h.FrontierBytes)
+func encodeHeartbeat(h Heartbeat, version uint64) []byte {
+	body := appendUvarints(nil, h.FrontierGen, h.FrontierRecords, h.FrontierBytes)
+	if version >= 3 {
+		body = appendUvarints(body, h.Epoch)
+	}
+	return body
 }
 
-func decodeHeartbeat(body []byte) (Heartbeat, error) {
+func decodeHeartbeat(body []byte, version uint64) (Heartbeat, error) {
 	d := &bodyReader{typ: MsgHeartbeat, b: body}
 	h := Heartbeat{
 		FrontierGen:     d.uvarint("frontier gen"),
 		FrontierRecords: d.uvarint("frontier records"),
 		FrontierBytes:   d.uvarint("frontier bytes"),
+	}
+	if version >= 3 {
+		h.Epoch = d.uvarint("epoch")
 	}
 	return h, d.done()
 }

@@ -23,11 +23,11 @@ func quietLogger() *log.Logger { return log.New(io.Discard, "", 0) }
 
 func TestProtoRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	hello := Hello{Version: ProtoVersion, Gen: 7, Records: 900}
-	welcome := Welcome{Version: ProtoVersion, Snapshot: true, Gen: 8, Records: 0}
+	hello := Hello{Version: ProtoVersion, Gen: 7, Records: 900, Epoch: 4}
+	welcome := Welcome{Version: ProtoVersion, Snapshot: true, Gen: 8, Records: 0, Epoch: 4}
 	sb := SnapBegin{Gen: 8, Size: 4096}
-	rec := RecordMsg{Gen: 8, Seq: 41, FrontierGen: 8, FrontierRecords: 100, FrontierBytes: 5000, Payload: []byte("payload-bytes")}
-	hb := Heartbeat{FrontierGen: 8, FrontierRecords: 100, FrontierBytes: 5000}
+	rec := RecordMsg{Gen: 8, Seq: 41, FrontierGen: 8, FrontierRecords: 100, FrontierBytes: 5000, Epoch: 4, Payload: []byte("payload-bytes")}
+	hb := Heartbeat{FrontierGen: 8, FrontierRecords: 100, FrontierBytes: 5000, Epoch: 4}
 
 	for _, m := range []struct {
 		typ  MsgType
@@ -38,8 +38,8 @@ func TestProtoRoundTrip(t *testing.T) {
 		{MsgSnapBegin, encodeSnapBegin(sb)},
 		{MsgSnapChunk, []byte("chunk")},
 		{MsgSnapEnd, nil},
-		{MsgRecord, encodeRecord(rec)},
-		{MsgHeartbeat, encodeHeartbeat(hb)},
+		{MsgRecord, encodeRecord(rec, ProtoVersion)},
+		{MsgHeartbeat, encodeHeartbeat(hb, ProtoVersion)},
 		{MsgError, []byte("boom")},
 	} {
 		if err := writeMsg(&buf, m.typ, m.body); err != nil {
@@ -71,19 +71,19 @@ func TestProtoRoundTrip(t *testing.T) {
 	if typ, body, err := readMsg(&buf); err != nil || typ != MsgRecord {
 		t.Fatalf("read record: %v (%s)", err, typ)
 	} else {
-		got, err := decodeRecord(body)
+		got, err := decodeRecord(body, ProtoVersion)
 		if err != nil {
 			t.Fatalf("record decode: %v", err)
 		}
 		if got.Gen != rec.Gen || got.Seq != rec.Seq || got.FrontierGen != rec.FrontierGen ||
 			got.FrontierRecords != rec.FrontierRecords || got.FrontierBytes != rec.FrontierBytes ||
-			!bytes.Equal(got.Payload, rec.Payload) {
+			got.Epoch != rec.Epoch || !bytes.Equal(got.Payload, rec.Payload) {
 			t.Fatalf("record round trip: %+v", got)
 		}
 	}
 	if typ, body, err := readMsg(&buf); err != nil || typ != MsgHeartbeat {
 		t.Fatalf("read heartbeat: %v (%s)", err, typ)
-	} else if got, err := decodeHeartbeat(body); err != nil || got != hb {
+	} else if got, err := decodeHeartbeat(body, ProtoVersion); err != nil || got != hb {
 		t.Fatalf("heartbeat round trip: %+v, %v", got, err)
 	}
 	if typ, body, err := readMsg(&buf); err != nil || typ != MsgError || string(body) != "boom" {
@@ -96,7 +96,7 @@ func TestProtoRoundTrip(t *testing.T) {
 // decode), never a silent success with different content.
 func TestProtoCorruptionAttributed(t *testing.T) {
 	var buf bytes.Buffer
-	if err := writeMsg(&buf, MsgRecord, encodeRecord(RecordMsg{Gen: 3, Seq: 9, Payload: []byte("precis")})); err != nil {
+	if err := writeMsg(&buf, MsgRecord, encodeRecord(RecordMsg{Gen: 3, Seq: 9, Payload: []byte("precis")}, ProtoVersion)); err != nil {
 		t.Fatal(err)
 	}
 	frame := buf.Bytes()
@@ -121,7 +121,7 @@ func TestProtoCorruptionAttributed(t *testing.T) {
 
 func TestReadMsgTruncation(t *testing.T) {
 	var buf bytes.Buffer
-	if err := writeMsg(&buf, MsgHeartbeat, encodeHeartbeat(Heartbeat{FrontierGen: 1})); err != nil {
+	if err := writeMsg(&buf, MsgHeartbeat, encodeHeartbeat(Heartbeat{FrontierGen: 1}, ProtoVersion)); err != nil {
 		t.Fatal(err)
 	}
 	frame := buf.Bytes()
@@ -135,6 +135,84 @@ func TestReadMsgTruncation(t *testing.T) {
 			t.Fatalf("cut at %d: want ProtocolError, got %v", cut, err)
 		}
 	}
+}
+
+// TestProtoEpochVersionGating pins the wire shapes across the v2/v3
+// boundary: a v2 frame carries no epoch and decodes to epoch 0 at either
+// version's framing, while a v3 frame decoded with v2 framing is rejected
+// (the epoch bytes would otherwise be silently folded into the payload).
+func TestProtoEpochVersionGating(t *testing.T) {
+	rec := RecordMsg{Gen: 2, Seq: 5, FrontierGen: 2, FrontierRecords: 6, FrontierBytes: 99, Epoch: 9, Payload: []byte("p")}
+	v2 := encodeRecord(rec, 2)
+	got, err := decodeRecord(v2, 2)
+	if err != nil {
+		t.Fatalf("v2 record decode: %v", err)
+	}
+	if got.Epoch != 0 || !bytes.Equal(got.Payload, rec.Payload) {
+		t.Fatalf("v2 record carried an epoch: %+v", got)
+	}
+	// v2 bytes under v3 framing: the first payload byte is consumed as the
+	// epoch uvarint, so the payload must differ — never silently equal.
+	if got3, err := decodeRecord(v2, ProtoVersion); err == nil && bytes.Equal(got3.Payload, rec.Payload) && got3.Epoch == rec.Epoch {
+		t.Fatalf("v2 record bytes decoded identically under v3 framing: %+v", got3)
+	}
+
+	hb := Heartbeat{FrontierGen: 2, FrontierRecords: 6, FrontierBytes: 99, Epoch: 9}
+	if got, err := decodeHeartbeat(encodeHeartbeat(hb, 2), 2); err != nil || got.Epoch != 0 {
+		t.Fatalf("v2 heartbeat: %+v, %v", got, err)
+	}
+	// A v3 heartbeat decoded with v2 framing has a trailing epoch uvarint.
+	if _, err := decodeHeartbeat(encodeHeartbeat(hb, ProtoVersion), 2); err == nil {
+		t.Fatal("v3 heartbeat accepted under v2 framing despite trailing epoch bytes")
+	}
+
+	// Hello and Welcome are self-describing: the epoch field rides only
+	// when the encoded version is >= 3, and v2 frames keep the v2 magic.
+	h2 := Hello{Version: 2, Gen: 1, Records: 2, Epoch: 9}
+	if got, err := decodeHello(encodeHello(h2)); err != nil || got.Epoch != 0 {
+		t.Fatalf("v2 hello grew an epoch: %+v, %v", got, err)
+	}
+	w2 := Welcome{Version: 2, Gen: 1, HeartbeatMS: 500, Epoch: 9}
+	if got, err := decodeWelcome(encodeWelcome(w2)); err != nil || got.Epoch != 0 {
+		t.Fatalf("v2 welcome grew an epoch: %+v, %v", got, err)
+	}
+}
+
+// TestV2ClientNegotiatesDown runs a follower that pins protocol version 2
+// against a v3 primary: the primary must answer at version 2, never stamp
+// epochs, and still stream to convergence — old followers keep working
+// across a primary upgrade.
+func TestV2ClientNegotiatesDown(t *testing.T) {
+	s := newTestStore(t)
+	for i := 0; i < 5; i++ {
+		if err := s.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, addr := startPrimary(t, s)
+	col := &collector{}
+	cb := col.callbacks()
+	observed := make(chan uint64, 16)
+	cb.ObserveEpoch = func(epoch uint64) error {
+		observed <- epoch
+		return nil
+	}
+	client := New(Config{Addr: addr, Version: 2, Logger: quietLogger()}, cb)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); client.Run(ctx) }()
+	waitFor(t, "v2 catch-up", atLeast(col, 5))
+	select {
+	case e := <-observed:
+		t.Fatalf("v2 session observed an epoch stamp (%d)", e)
+	default:
+	}
+	if st := p.Stats(); st.Followers != 1 {
+		t.Fatalf("primary stats: %+v", st)
+	}
+	cancel()
+	<-done
 }
 
 // --- end-to-end transport over a real Store ---

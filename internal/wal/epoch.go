@@ -1,0 +1,161 @@
+package wal
+
+// Failover epoch persistence. The epoch is a monotonically increasing
+// fencing token kept in a small checksummed file next to the snapshots and
+// logs. Every promotion of a follower to primary bumps it; replication
+// stamps it on every stream, so two primaries can never both be believed —
+// the higher epoch wins, and the loser is *fenced*: the fence (the epoch of
+// the deposer) is persisted in the same file, so a deposed primary that
+// crashes and resurrects refuses every append from the moment it boots,
+// before any replication link could tell it the cluster moved on.
+//
+// A directory without an epoch file is at epoch 1, unfenced — directories
+// written before failover existed keep working, and no file is created
+// until the first promotion or fence actually happens.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// ErrFenced is returned by Append/AppendRaw on a fenced store: a newer
+// primary exists (its epoch is recorded in the fence) and this store must
+// never make another write durable. Unfencing happens only by adopting an
+// epoch at least as new — i.e. rejoining the cluster as a follower.
+var ErrFenced = errors.New("wal: store is fenced by a newer primary epoch")
+
+const (
+	epochMagic    = "PRCEPOC1"
+	epochFileName = "epoch"
+	epochFileSize = len(epochMagic) + 8 + 8 + 4 // magic, epoch, fencedBy, CRC32C
+)
+
+// loadEpoch reads the epoch file during Open. A missing file is epoch 1,
+// unfenced; a malformed or corrupt file is an error (silently resetting the
+// fence could resurrect a split brain).
+func (s *Store) loadEpoch() error {
+	raw, err := os.ReadFile(filepath.Join(s.dir, epochFileName))
+	if errors.Is(err, os.ErrNotExist) {
+		s.epoch = 1
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if len(raw) != epochFileSize || string(raw[:len(epochMagic)]) != epochMagic {
+		return fmt.Errorf("wal: %s: malformed epoch file (%d bytes)", s.dir, len(raw))
+	}
+	body := raw[:epochFileSize-4]
+	if got, want := crc32.Checksum(body, castagnoli), binary.LittleEndian.Uint32(raw[epochFileSize-4:]); got != want {
+		return fmt.Errorf("wal: %s: epoch file checksum mismatch (got %08x, want %08x)", s.dir, got, want)
+	}
+	s.epoch = binary.LittleEndian.Uint64(raw[len(epochMagic):])
+	s.fencedBy = binary.LittleEndian.Uint64(raw[len(epochMagic)+8:])
+	if s.epoch == 0 {
+		s.epoch = 1
+	}
+	if s.fencedBy != 0 {
+		s.log.Printf("wal: %s is fenced by primary epoch %d (local epoch %d): refusing appends until it rejoins as a follower", s.dir, s.fencedBy, s.epoch)
+	}
+	return nil
+}
+
+// persistEpochLocked writes the epoch file atomically (temp, fsync, rename,
+// directory fsync — the same discipline as snapshots). Caller holds s.mu.
+func (s *Store) persistEpochLocked() error {
+	buf := make([]byte, epochFileSize)
+	copy(buf, epochMagic)
+	binary.LittleEndian.PutUint64(buf[len(epochMagic):], s.epoch)
+	binary.LittleEndian.PutUint64(buf[len(epochMagic)+8:], s.fencedBy)
+	binary.LittleEndian.PutUint32(buf[epochFileSize-4:], crc32.Checksum(buf[:epochFileSize-4], castagnoli))
+	f, err := os.CreateTemp(s.dir, ".tmp-epoch-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(buf); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, epochFileName)); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return syncDir(s.dir)
+}
+
+// Epoch returns the store's fencing epoch (1 for directories that have
+// never seen a promotion). Safe after Close.
+func (s *Store) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// SetEpoch durably adopts a new fencing epoch. Regressions are refused —
+// an epoch only ever moves forward. Adopting an epoch at least as new as
+// the fence clears it: the store has rejoined the cluster the fence was
+// protecting it from.
+func (s *Store) SetEpoch(epoch uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("wal: store is closed")
+	}
+	if epoch < s.epoch {
+		return fmt.Errorf("wal: epoch regression (have %d, asked to set %d)", s.epoch, epoch)
+	}
+	if epoch == s.epoch && s.fencedBy == 0 {
+		return nil
+	}
+	prevEpoch, prevFence := s.epoch, s.fencedBy
+	s.epoch = epoch
+	if s.fencedBy != 0 && epoch >= s.fencedBy {
+		s.fencedBy = 0
+	}
+	if err := s.persistEpochLocked(); err != nil {
+		s.epoch, s.fencedBy = prevEpoch, prevFence
+		return err
+	}
+	return nil
+}
+
+// Fence durably marks the store deposed by a newer primary at epoch by:
+// every subsequent Append — in this process and in any future process that
+// opens the directory — fails with ErrFenced. The in-memory fence holds
+// even if persisting it fails (fail-safe: better to refuse writes we could
+// have taken than to take writes we must not).
+func (s *Store) Fence(by uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if by <= s.fencedBy {
+		return nil
+	}
+	s.fencedBy = by
+	if s.closed {
+		return nil
+	}
+	return s.persistEpochLocked()
+}
+
+// FencedBy returns the epoch of the primary that fenced this store, or 0
+// when the store is not fenced.
+func (s *Store) FencedBy() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fencedBy
+}

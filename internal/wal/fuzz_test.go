@@ -55,9 +55,9 @@ func fuzzSeedWAL() []byte {
 func FuzzSnapshotDecode(f *testing.F) {
 	seed := fuzzSeedSnapshot()
 	f.Add(seed)
-	f.Add(seed[:len(seed)/2])       // truncation
-	f.Add([]byte(snapMagic))        // magic only
-	f.Add([]byte("PRCSNAP2junk"))   // wrong magic version
+	f.Add(seed[:len(seed)/2])                                                       // truncation
+	f.Add([]byte(snapMagic))                                                        // magic only
+	f.Add([]byte("PRCSNAP2junk"))                                                   // wrong magic version
 	f.Add(mustFrame([]byte(snapMagic), []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x01})) // absurd uvarint header
 	mut := append([]byte(nil), seed...)
 	mut[len(mut)/3] ^= 0x40

@@ -58,6 +58,12 @@ type Store struct {
 	lastCkpt    time.Time
 	closed      bool
 
+	// epoch is the failover fencing epoch (see epoch.go); fencedBy, when
+	// non-zero, is the newer epoch that deposed this store — every append
+	// fails with ErrFenced until the store rejoins at that epoch or later.
+	epoch    uint64
+	fencedBy uint64
+
 	// genEnds records the final durable frontier of rotated (and closed)
 	// generations, so a replication streamer crossing a rotation knows
 	// where the old log ends. Pruned to the most recent few rotations.
@@ -118,11 +124,17 @@ func Open(dir string, cfg Config) (*Store, *Recovered, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	// Remove abandoned temp files from an interrupted snapshot write.
-	tmps, _ := filepath.Glob(filepath.Join(dir, ".tmp-snap-*"))
-	for _, t := range tmps {
-		lg.Printf("wal: removing abandoned snapshot temp file %s", t)
-		_ = os.Remove(t)
+	// Remove abandoned temp files from an interrupted snapshot or epoch
+	// write.
+	for _, pattern := range []string{".tmp-snap-*", ".tmp-epoch-*"} {
+		tmps, _ := filepath.Glob(filepath.Join(dir, pattern))
+		for _, t := range tmps {
+			lg.Printf("wal: removing abandoned temp file %s", t)
+			_ = os.Remove(t)
+		}
+	}
+	if err := s.loadEpoch(); err != nil {
+		return nil, nil, err
 	}
 
 	// Walk snapshot generations newest-first. An incomplete snapshot (an
@@ -254,9 +266,15 @@ func (s *Store) append(payload []byte) error {
 	w := s.w
 	gen := s.gen
 	closed := s.closed
+	fencedBy := s.fencedBy
 	s.mu.Unlock()
 	if closed || w == nil {
 		return fmt.Errorf("wal: store is closed")
+	}
+	if fencedBy != 0 {
+		// A deposed primary must never make another write durable: the
+		// fence outranks even a caller that believes it is still primary.
+		return fmt.Errorf("%w (deposed by epoch %d)", ErrFenced, fencedBy)
 	}
 	records, err := w.Append(payload)
 	if err != nil {
@@ -345,6 +363,14 @@ func (s *Store) InstallSnapshot(gen uint64, raw []byte) error {
 	}
 	if _, err := WriteRawSnapshot(s.dir, gen, raw); err != nil {
 		return err
+	}
+	// A WAL for this generation may already exist — a deposed primary
+	// rejoining at the same generation number carries a diverged, unacked
+	// suffix in it. The writer opens O_APPEND, so the stale file must go:
+	// the installed snapshot plus the primary's re-streamed records are the
+	// whole truth from here on.
+	if err := os.Remove(filepath.Join(s.dir, walName(gen))); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("wal: install snapshot: removing stale log: %w", err)
 	}
 	nw, err := openWriter(filepath.Join(s.dir, walName(gen)), s.cfg.Fsync, s.cfg.FsyncInterval)
 	if err != nil {

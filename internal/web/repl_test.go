@@ -2,9 +2,11 @@ package web
 
 import (
 	"encoding/json"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -14,8 +16,10 @@ import (
 )
 
 type replStatsJSON struct {
-	Role    string `json:"role"`
-	Primary *struct {
+	Role     string `json:"role"`
+	Epoch    uint64 `json:"epoch"`
+	FencedBy uint64 `json:"fenced_by"`
+	Primary  *struct {
 		Followers      int    `json:"followers"`
 		SyncReplicas   int    `json:"sync_replicas"`
 		Degraded       bool   `json:"degraded"`
@@ -109,6 +113,103 @@ func TestAPIReplRoles(t *testing.T) {
 			t.Fatalf("roles never settled: primary=%+v follower=%+v", p, f)
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// postPromote hits POST /api/promote and returns the status code and body.
+func postPromote(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url+"/api/promote", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(raw)
+}
+
+// TestAPIPromote drives the operator failover endpoint: promoting a
+// durable follower returns the new epoch and flips what /api/repl
+// reports, while a non-follower answers 409 and a diskless follower 412
+// (its state is not a durable prefix).
+func TestAPIPromote(t *testing.T) {
+	db, g := exampleEngineParts(t)
+	primary, err := precis.Open(db, g, quietPersist(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = primary.Close() })
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := primary.StartReplication(ln, repl.PrimaryConfig{Logger: quietPersist("").Logger}); err != nil {
+		t.Fatal(err)
+	}
+	pts := httptest.NewServer(NewServer(primary).Handler())
+	t.Cleanup(pts.Close)
+	if code, body := postPromote(t, pts.URL, ""); code != http.StatusConflict {
+		t.Fatalf("promote on a primary: code=%d body=%s (want 409)", code, body)
+	}
+
+	_, dg := exampleEngineParts(t)
+	diskless, err := precis.OpenFollower(dg, precis.ReplicaConfig{
+		Addr:   ln.Addr().String(),
+		Logger: quietPersist("").Logger,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = diskless.Close() })
+	dts := httptest.NewServer(NewServer(diskless).Handler())
+	t.Cleanup(dts.Close)
+	if code, body := postPromote(t, dts.URL, ""); code != http.StatusPreconditionFailed {
+		t.Fatalf("promote on a diskless follower: code=%d body=%s (want 412)", code, body)
+	}
+
+	_, fg := exampleEngineParts(t)
+	follower, err := precis.OpenFollower(fg, precis.ReplicaConfig{
+		Addr:   ln.Addr().String(),
+		Dir:    t.TempDir(),
+		Logger: quietPersist("").Logger,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = follower.Close() })
+	fts := httptest.NewServer(NewServer(follower).Handler())
+	t.Cleanup(fts.Close)
+	if out := getRepl(t, fts.URL); out.Role != "follower" || out.Epoch != 1 {
+		t.Fatalf("durable follower before promote: %+v", out)
+	}
+
+	code, body := postPromote(t, fts.URL, "{}")
+	if code != http.StatusOK {
+		t.Fatalf("promote: code=%d body=%s", code, body)
+	}
+	var res struct {
+		Promoted bool   `json:"promoted"`
+		Epoch    uint64 `json:"epoch"`
+	}
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatalf("promote JSON: %v\n%s", err, body)
+	}
+	if !res.Promoted || res.Epoch != 2 {
+		t.Fatalf("promote response: %+v", res)
+	}
+	if out := getRepl(t, fts.URL); out.Role == "follower" || out.Role == "promoting" || out.Epoch != 2 || out.FencedBy != 0 {
+		t.Fatalf("promoted engine over /api/repl: %+v", out)
+	}
+	// The promoted engine is writable through the same handle.
+	if _, err := follower.Insert("GENRE", storage.Int(1), storage.String("post-promote")); err != nil {
+		t.Fatalf("insert on promoted engine: %v", err)
+	}
+	// Promote is not repeatable: the engine is no longer a follower.
+	if code, body := postPromote(t, fts.URL, ""); code != http.StatusConflict {
+		t.Fatalf("second promote: code=%d body=%s (want 409)", code, body)
 	}
 }
 

@@ -41,6 +41,7 @@ import (
 	"errors"
 	"fmt"
 	"html/template"
+	"io"
 	"log"
 	"net/http"
 	"strconv"
@@ -145,6 +146,7 @@ func NewServerWithConfig(eng *precis.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("GET /api/stats", s.handleAPIStats)
 	s.mux.HandleFunc("GET /api/persist", s.handleAPIPersist)
 	s.mux.HandleFunc("GET /api/repl", s.handleAPIRepl)
+	s.mux.HandleFunc("POST /api/promote", s.handleAPIPromote)
 	s.mux.HandleFunc("GET /api/shards", s.handleAPIShards)
 	s.mux.HandleFunc("GET /graph.dot", s.handleDOT)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -474,6 +476,38 @@ func (s *Server) handleAPIPersist(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleAPIRepl(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(s.eng.ReplStats())
+}
+
+// handleAPIPromote converts a durable follower into a writable primary
+// (operator-driven failover). The optional JSON body {"listen": addr}
+// starts a replication listener on the new primary so surviving followers
+// can re-point at it. Errors map to status codes a failover script can
+// branch on: 409 on a non-follower (already primary, or unreplicated),
+// 412 on a diskless follower, 500 otherwise.
+func (s *Server) handleAPIPromote(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Listen string `json:"listen"`
+	}
+	if r.Body != nil {
+		if err := json.NewDecoder(io.LimitReader(r.Body, 4096)).Decode(&req); err != nil && err != io.EOF {
+			http.Error(w, fmt.Sprintf("bad promote request: %v", err), http.StatusBadRequest)
+			return
+		}
+	}
+	epoch, err := s.eng.Promote(precis.PromoteConfig{ListenAddr: req.Listen})
+	if err != nil {
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, precis.ErrNotFollower):
+			code = http.StatusConflict
+		case errors.Is(err, precis.ErrNotPersistent):
+			code = http.StatusPreconditionFailed
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"promoted": true, "epoch": epoch})
 }
 
 // handleAPIShards serves the sharded topology: shard count, partitioning

@@ -191,6 +191,13 @@ func openEngine(db *storage.Database, g *schemagraph.Graph, cfg PersistConfig, v
 		logger.Printf("precis: recovered %s: generation %d, %d tuples, %d relations, %d WAL record(s) replayed, %d torn byte(s) truncated in %v",
 			cfg.Dir, rec.Gen, db.TotalTuples(), db.NumRelations(), rec.WALRecords, rec.TornBytes, rec.Duration.Round(time.Microsecond))
 	}
+	if by := store.FencedBy(); by != 0 {
+		// The directory belonged to a deposed primary: the fence is durable
+		// and survives restarts, so this engine refuses mutations from its
+		// first instruction. Rejoining the cluster as a follower
+		// (OpenFollower on the same directory) is the only way out.
+		eng.fencedBy = by
+	}
 	p := &persistState{store: store, cfg: cfg, logger: logger, recovered: *rec}
 	eng.persist = p
 	p.startCheckpointer(eng)
@@ -287,6 +294,17 @@ func (e *Engine) Close() error {
 		// Close every shard even if one fails; the first error wins.
 		return e.shards.each(func(_ int, sh *Engine) error { return sh.Close() })
 	}
+	// Stop the failover supervisor before taking the lifecycle lock: its
+	// promotion callback takes lifeMu, and Stop waits for it to finish.
+	e.mu.Lock()
+	fo := e.failover
+	e.failover = nil
+	e.mu.Unlock()
+	if fo != nil {
+		fo.Stop()
+	}
+	e.lifeMu.Lock()
+	defer e.lifeMu.Unlock()
 	e.mu.Lock()
 	rp := e.replPrimary
 	e.replPrimary = nil

@@ -166,6 +166,19 @@ type Engine struct {
 	replica *replicaState
 	// replPrimary streams the WAL to followers once StartReplication runs.
 	replPrimary *repl.Primary
+	// promoting is true while Promote is converting this follower into a
+	// primary; mutations stay refused for the duration.
+	promoting bool
+	// fencedBy, when non-zero, is the epoch of the primary that deposed
+	// this engine: every mutation fails with ErrFenced. Set at Open (the
+	// fence is durable) or live via the primary's deposition hook.
+	fencedBy uint64
+	// failover is the auto-promotion supervisor armed by
+	// EnableAutoFailover; Close stops it before anything else.
+	failover *repl.Supervisor
+	// lifeMu serializes role changes (Promote) against Close. It is taken
+	// before mu and never while holding it.
+	lifeMu sync.Mutex
 	// macroDefs / macroSeen remember narrative macro definitions so
 	// checkpoints can persist them (the renderer has no introspection API).
 	macroDefs []string
@@ -331,8 +344,8 @@ func (e *Engine) Index() *invidx.Index {
 func (e *Engine) AddSynonym(alias, canonical string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.replica != nil {
-		return ErrReadOnly
+	if err := e.mutableLocked(); err != nil {
+		return err
 	}
 	if e.shards != nil {
 		e.purgeCacheLocked()
@@ -358,8 +371,8 @@ func (e *Engine) AddSynonym(alias, canonical string) error {
 func (e *Engine) DefineMacro(def string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.replica != nil {
-		return ErrReadOnly
+	if err := e.mutableLocked(); err != nil {
+		return err
 	}
 	e.purgeCacheLocked()
 	if e.shards != nil {
@@ -411,8 +424,8 @@ func (e *Engine) Profiles() []string {
 func (e *Engine) Insert(relation string, vals ...storage.Value) (storage.TupleID, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.replica != nil {
-		return 0, ErrReadOnly
+	if err := e.mutableLocked(); err != nil {
+		return 0, err
 	}
 	e.purgeCacheLocked()
 	if e.shards != nil {
@@ -446,8 +459,8 @@ func (e *Engine) Insert(relation string, vals ...storage.Value) (storage.TupleID
 func (e *Engine) Update(relation string, id storage.TupleID, vals []storage.Value) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.replica != nil {
-		return ErrReadOnly
+	if err := e.mutableLocked(); err != nil {
+		return err
 	}
 	e.purgeCacheLocked()
 	if e.shards != nil {
@@ -493,8 +506,8 @@ func (e *Engine) Update(relation string, id storage.TupleID, vals []storage.Valu
 func (e *Engine) Delete(relation string, id storage.TupleID) (bool, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.replica != nil {
-		return false, ErrReadOnly
+	if err := e.mutableLocked(); err != nil {
+		return false, err
 	}
 	e.purgeCacheLocked()
 	if e.shards != nil {

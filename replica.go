@@ -37,6 +37,64 @@ var ErrReadOnly = errors.New("precis: follower engine is read-only")
 // match with errors.Is.
 var ErrQuorumLost = repl.ErrQuorumLost
 
+// ErrFenced is the engine-level alias of wal.ErrFenced: this engine was
+// deposed by a newer primary epoch and refuses every mutation, durably,
+// until its directory rejoins the cluster as a follower. Match with
+// errors.Is.
+var ErrFenced = wal.ErrFenced
+
+// ErrNotPrimary is returned (alongside ErrReadOnly, for compatibility —
+// both match under errors.Is) by mutations on an engine that is not the
+// primary. The concrete error's message carries a leader hint when the
+// engine knows where the primary is.
+var ErrNotPrimary = errors.New("precis: engine is not the primary")
+
+// ErrNotFollower is returned by Promote and EnableAutoFailover on an
+// engine that is not a follower.
+var ErrNotFollower = errors.New("precis: engine is not a follower")
+
+// notPrimaryError is the concrete mutation-refusal error on a follower:
+// it matches both ErrNotPrimary and the historical ErrReadOnly, and names
+// the primary so a client can redirect.
+type notPrimaryError struct{ leader string }
+
+func (e *notPrimaryError) Error() string {
+	if e.leader != "" {
+		return fmt.Sprintf("precis: follower engine is read-only (leader hint: %s)", e.leader)
+	}
+	return "precis: follower engine is read-only"
+}
+
+func (e *notPrimaryError) Is(target error) bool {
+	return target == ErrNotPrimary || target == ErrReadOnly
+}
+
+// fencedError is the concrete mutation-refusal error on a deposed
+// primary; it matches ErrFenced and names the deposing epoch.
+type fencedError struct{ epoch uint64 }
+
+func (e *fencedError) Error() string {
+	return fmt.Sprintf("precis: engine is fenced by primary epoch %d; reopen its directory as a follower to rejoin", e.epoch)
+}
+
+func (e *fencedError) Is(target error) bool { return target == ErrFenced }
+
+// mutableLocked is the gate every mutation passes: nil on a writable
+// primary, a typed refusal otherwise. Callers hold e.mu.
+func (e *Engine) mutableLocked() error {
+	if e.replica != nil || e.promoting {
+		var leader string
+		if e.replica != nil {
+			leader = e.replica.addr
+		}
+		return &notPrimaryError{leader: leader}
+	}
+	if e.fencedBy != 0 {
+		return &fencedError{epoch: e.fencedBy}
+	}
+	return nil
+}
+
 // ReplicaConfig tunes a follower engine.
 type ReplicaConfig struct {
 	// Addr is the primary's replication address (host:port). Required.
@@ -103,10 +161,17 @@ type FollowerStats struct {
 
 // ReplStats reports an engine's replication role and counters.
 type ReplStats struct {
-	// Role is "none", "primary", or "follower".
-	Role     string             `json:"role"`
-	Primary  *repl.PrimaryStats `json:"primary,omitempty"`
-	Follower *FollowerStats     `json:"follower,omitempty"`
+	// Role is "none", "primary", "follower", or "promoting" (a follower
+	// mid-conversion to primary).
+	Role string `json:"role"`
+	// Epoch is the engine's fencing epoch (1 until the first failover).
+	Epoch uint64 `json:"epoch"`
+	// FencedBy is the epoch of the primary that deposed this engine; 0
+	// when not fenced.
+	FencedBy uint64                `json:"fenced_by,omitempty"`
+	Primary  *repl.PrimaryStats    `json:"primary,omitempty"`
+	Follower *FollowerStats        `json:"follower,omitempty"`
+	Failover *repl.SupervisorStats `json:"failover,omitempty"`
 }
 
 // replicaState is the follower side's plumbing, held by Engine.replica.
@@ -120,12 +185,16 @@ type replicaState struct {
 	// Stats are safe from any goroutine.
 	store *wal.Store
 
-	cancel   context.CancelFunc
-	done     chan struct{}
-	ready    chan struct{} // closed once the first snapshot built the engine
-	stopOnce sync.Once
+	cancel        context.CancelFunc
+	done          chan struct{}
+	ready         chan struct{} // closed once the first snapshot built the engine
+	stopOnce      sync.Once
+	transportOnce sync.Once
 
 	mu sync.Mutex
+	// epoch is the fencing epoch of a diskless follower (a durable one
+	// reads it from the store); 0 means 1.
+	epoch uint64
 	// eng is set once, when the first snapshot arrives.
 	eng *Engine
 	// gen/records/appliedBytes are the applied position: records frames of
@@ -199,11 +268,13 @@ func OpenFollower(g *schemagraph.Graph, cfg ReplicaConfig) (*Engine, error) {
 		BackoffMax:       cfg.BackoffMax,
 		Logger:           logger,
 	}, repl.Callbacks{
-		Position: r.position,
-		Snapshot: r.onSnapshot,
-		Record:   r.onRecord,
-		Frontier: r.onFrontier,
-		Ack:      r.ackPosition,
+		Position:     r.position,
+		Snapshot:     r.onSnapshot,
+		Record:       r.onRecord,
+		Frontier:     r.onFrontier,
+		Ack:          r.ackPosition,
+		Epoch:        r.localEpoch,
+		ObserveEpoch: r.observeEpoch,
 	})
 	ctx, cancel := context.WithCancel(context.Background())
 	r.cancel = cancel
@@ -271,12 +342,65 @@ func (r *replicaState) recoverLocal(rec *wal.Recovered) error {
 // idempotent.
 func (r *replicaState) stop() {
 	r.stopOnce.Do(func() {
-		r.cancel()
-		<-r.done
+		r.stopTransport()
 		if r.store != nil {
 			_ = r.store.Close()
 		}
 	})
+}
+
+// stopTransport cancels the replication link and waits for its goroutine,
+// leaving the local store open — Promote uses it to take ownership of the
+// store; idempotent.
+func (r *replicaState) stopTransport() {
+	r.transportOnce.Do(func() {
+		r.cancel()
+		<-r.done
+	})
+}
+
+// localEpoch reports the follower's fencing epoch: the store's on a
+// durable follower, an in-memory shadow on a diskless one.
+func (r *replicaState) localEpoch() uint64 {
+	if r.store != nil {
+		return r.store.Epoch()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.epoch == 0 {
+		return 1
+	}
+	return r.epoch
+}
+
+// observeEpoch handles every epoch stamp the primary puts on the stream
+// (welcome, records, heartbeats). A newer epoch is adopted — durably, on a
+// durable follower, which also clears any fence the directory carried from
+// a deposed former life. An older epoch means the node we are connected to
+// is a stale primary that lost a failover; refusing severs the link before
+// its record is applied, and the reconnect loop finds the real primary.
+func (r *replicaState) observeEpoch(remote uint64) error {
+	if err := faultinject.Fire(faultinject.SiteReplEpochCheck); err != nil {
+		return err
+	}
+	local := r.localEpoch()
+	if remote < local {
+		return fmt.Errorf("primary is at stale epoch %d (local epoch %d): refusing its stream", remote, local)
+	}
+	if remote == local {
+		return nil
+	}
+	if r.store != nil {
+		if err := r.store.SetEpoch(remote); err != nil {
+			return fmt.Errorf("adopting primary epoch %d: %w", remote, err)
+		}
+	} else {
+		r.mu.Lock()
+		r.epoch = remote
+		r.mu.Unlock()
+	}
+	r.log.Printf("repl: follower adopted primary epoch %d (was %d)", remote, local)
+	return nil
 }
 
 // position reports the applied LSN for the Hello of each (re)connect.
@@ -546,8 +670,23 @@ func (e *Engine) StartReplication(ln net.Listener, cfg repl.PrimaryConfig) (*rep
 	if e.persist == nil {
 		return nil, ErrNotPersistent
 	}
+	// The primary streams at the store's fencing epoch, and a deposition
+	// (a v3 follower proves a newer epoch exists) fences this engine so
+	// no rolled-back write can ever become durable here.
+	cfg.Epoch = e.persist.store.Epoch()
+	userDeposed := cfg.OnDeposed
+	cfg.OnDeposed = func(by uint64) {
+		e.fence(by)
+		if userDeposed != nil {
+			userDeposed(by)
+		}
+	}
 	p := repl.NewPrimary(e.persist.store, cfg)
 	e.mu.Lock()
+	if by := e.fencedBy; by != 0 {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("precis: start replication: %w", &fencedError{epoch: by})
+	}
 	if e.replPrimary != nil {
 		e.mu.Unlock()
 		return nil, fmt.Errorf("precis: replication already started")
@@ -578,21 +717,233 @@ func (e *Engine) StartReplication(ln net.Listener, cfg repl.PrimaryConfig) (*rep
 
 // ReplStats reports the engine's replication role and counters: zero-value
 // ("none") on an unreplicated engine, the streaming counters on a primary,
-// and position/lag on a follower.
+// and position/lag on a follower. Epoch and FencedBy report the fencing
+// state in every role.
 func (e *Engine) ReplStats() ReplStats {
 	e.mu.RLock()
 	r, p := e.replica, e.replPrimary
+	promoting := e.promoting
+	fencedBy := e.fencedBy
+	ps := e.persist
+	fo := e.failover
 	e.mu.RUnlock()
+	st := ReplStats{Role: "none", Epoch: 1, FencedBy: fencedBy}
+	if fo != nil {
+		fst := fo.Stats()
+		st.Failover = &fst
+	}
 	switch {
 	case r != nil:
 		fs := r.followerStats()
-		return ReplStats{Role: "follower", Follower: &fs}
+		st.Role, st.Follower = "follower", &fs
+		if promoting {
+			st.Role = "promoting"
+		}
+		st.Epoch = r.localEpoch()
 	case p != nil:
-		ps := p.Stats()
-		return ReplStats{Role: "primary", Primary: &ps}
+		pst := p.Stats()
+		st.Role, st.Primary = "primary", &pst
+		st.Epoch = pst.Epoch
+		if st.FencedBy == 0 {
+			st.FencedBy = pst.DeposedBy
+		}
 	default:
-		return ReplStats{Role: "none"}
+		if ps != nil {
+			st.Epoch = ps.store.Epoch()
+		}
 	}
+	return st
+}
+
+// fence durably marks this engine deposed by a newer primary at epoch by:
+// every mutation from now on — and on any future Open of the same
+// directory — fails with ErrFenced. Called from the replication primary's
+// deposition hook; the in-memory fence is set before the durable one so no
+// mutation can slip through while the file write is in flight.
+func (e *Engine) fence(by uint64) {
+	e.mu.Lock()
+	if e.fencedBy == 0 || by > e.fencedBy {
+		e.fencedBy = by
+	}
+	p := e.persist
+	e.mu.Unlock()
+	if p != nil {
+		if err := p.store.Fence(by); err != nil {
+			p.logger.Printf("precis: persisting fence (deposed by epoch %d): %v", by, err)
+		}
+	}
+}
+
+// PromoteConfig tunes Engine.Promote.
+type PromoteConfig struct {
+	// ListenAddr, when non-empty, starts a replication listener on the new
+	// primary immediately after promotion, so surviving followers can
+	// re-point at it.
+	ListenAddr string
+	// Primary configures that listener (quorum, heartbeat, limits); its
+	// Epoch is overwritten with the post-promotion epoch.
+	Primary repl.PrimaryConfig
+	// CheckpointBytes / CheckpointEvery configure the promoted engine's
+	// background checkpointer, exactly as in PersistConfig.
+	CheckpointBytes int64
+	CheckpointEvery time.Duration
+	// Logger receives promotion notes; nil inherits the follower's logger.
+	Logger *log.Logger
+}
+
+// Promote converts a durable follower, in place, into a writable primary:
+// it stops the replication link, durably bumps the fencing epoch (so the
+// old primary — alive, partitioned, or resurrected later — can never again
+// make a write durable that this node hasn't seen), mounts the persistence
+// layer on the follower's store, and drops the read-only gate. The engine,
+// its caches, and its instrumentation survive; only the role changes.
+// Returns the new epoch.
+//
+// Returns ErrNotFollower on a non-follower, ErrNotPersistent on a diskless
+// follower (it holds no durable prefix to promote), and an error if the
+// engine is concurrently closing. Safe to race Close: whichever takes the
+// lifecycle lock second sees the other's completed state and fails typed.
+func (e *Engine) Promote(cfg PromoteConfig) (uint64, error) {
+	e.lifeMu.Lock()
+	defer e.lifeMu.Unlock()
+	if err := faultinject.Fire(faultinject.SiteReplPromote); err != nil {
+		return 0, fmt.Errorf("precis: promote: %w", err)
+	}
+	e.mu.Lock()
+	r := e.replica
+	if r == nil {
+		e.mu.Unlock()
+		return 0, fmt.Errorf("precis: promote: %w", ErrNotFollower)
+	}
+	if r.store == nil {
+		e.mu.Unlock()
+		return 0, fmt.Errorf("precis: promote: follower is memory-only, its state is not a durable prefix: %w", ErrNotPersistent)
+	}
+	e.promoting = true
+	e.mu.Unlock()
+
+	// Stop the stream first: nothing may append to the store between the
+	// epoch bump and the role swap.
+	r.stopTransport()
+
+	epoch := r.store.Epoch() + 1
+	if err := r.store.SetEpoch(epoch); err != nil {
+		// Close won the race (store closed), or the epoch file is
+		// unwritable; either way the follower remains a follower.
+		e.mu.Lock()
+		e.promoting = false
+		e.mu.Unlock()
+		return 0, fmt.Errorf("precis: promote: %w", err)
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = r.log
+	}
+	p := &persistState{
+		store: r.store,
+		cfg: PersistConfig{
+			Dir:             r.store.Stats().Dir,
+			CheckpointBytes: cfg.CheckpointBytes,
+			CheckpointEvery: cfg.CheckpointEvery,
+			Logger:          logger,
+		},
+		logger: logger,
+	}
+	e.mu.Lock()
+	e.replica = nil
+	e.persist = p
+	e.promoting = false
+	e.mu.Unlock()
+	p.startCheckpointer(e)
+	logger.Printf("precis: promoted follower (of %s) to primary at epoch %d", r.addr, epoch)
+	if cfg.ListenAddr != "" {
+		ln, err := net.Listen("tcp", cfg.ListenAddr)
+		if err != nil {
+			return epoch, fmt.Errorf("precis: promote: replication listener: %w", err)
+		}
+		if _, err := e.StartReplication(ln, cfg.Primary); err != nil {
+			_ = ln.Close()
+			return epoch, fmt.Errorf("precis: promote: %w", err)
+		}
+	}
+	return epoch, nil
+}
+
+// AutoFailoverConfig arms supervised promotion on a durable follower.
+type AutoFailoverConfig struct {
+	// ID names this node in elections (default: Promote.ListenAddr, then
+	// "follower"). The lexically smaller ID wins the final tiebreak, so
+	// give every node a distinct one.
+	ID string
+	// HeartbeatTimeout / PollEvery tune the silence detector (defaults in
+	// repl.SupervisorConfig).
+	HeartbeatTimeout time.Duration
+	PollEvery        time.Duration
+	// Priority is this node's election weight among equally caught-up
+	// candidates (higher wins).
+	Priority int
+	// Peers reports the other candidates at election time; nil means a
+	// lone follower that elects itself.
+	Peers func() []repl.Candidate
+	// Promote configures the promotion performed if this node wins.
+	Promote PromoteConfig
+	// Logger receives detection and election notes; nil inherits the
+	// follower's logger.
+	Logger *log.Logger
+}
+
+// EnableAutoFailover starts a supervisor that watches the replication link
+// and, when the primary has been silent for a full heartbeat timeout, runs
+// a deterministic election (epoch, then applied LSN, then priority) and
+// promotes this node if it wins. The supervisor stops itself after a
+// successful promotion and is stopped by Close. Split-brain safety does
+// NOT depend on the election being unanimous — a wrong winner is fenced by
+// the epoch protocol — the election only decides who goes first.
+func (e *Engine) EnableAutoFailover(cfg AutoFailoverConfig) (*repl.Supervisor, error) {
+	e.mu.Lock()
+	r := e.replica
+	if r == nil {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("precis: auto-failover: %w", ErrNotFollower)
+	}
+	if r.store == nil {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("precis: auto-failover: follower is memory-only: %w", ErrNotPersistent)
+	}
+	if e.failover != nil {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("precis: auto-failover already enabled")
+	}
+	id := cfg.ID
+	if id == "" {
+		id = cfg.Promote.ListenAddr
+	}
+	if id == "" {
+		id = "follower"
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = r.log
+	}
+	sup := repl.NewSupervisor(repl.SupervisorConfig{
+		HeartbeatTimeout: cfg.HeartbeatTimeout,
+		PollEvery:        cfg.PollEvery,
+		Progress:         func() uint64 { return r.client.Stats().BytesReceived },
+		Self: func() repl.Candidate {
+			gen, records := r.position()
+			return repl.Candidate{ID: id, Epoch: r.localEpoch(), Gen: gen, Records: records, Priority: cfg.Priority}
+		},
+		Peers: cfg.Peers,
+		Promote: func() error {
+			_, err := e.Promote(cfg.Promote)
+			return err
+		},
+		Logger: logger,
+	})
+	e.failover = sup
+	e.mu.Unlock()
+	sup.Start()
+	return sup, nil
 }
 
 // followerStats assembles the position/lag view.

@@ -42,6 +42,18 @@
 # -race step with a per-step timeout because a quorum bug's natural
 # failure mode is a writer blocked forever on an ack that never comes.
 #
+# The failover torture suite (failover_test.go, internal/repl
+# failover_test.go) kills the primary after every acked mutation and
+# promotes the follower IN PLACE via Engine.Promote, asserting the new
+# primary serves exactly the acked prefix at the bumped epoch, that a
+# live-deposed or resurrected old primary answers every mutation kind
+# with the typed ErrFenced, and that the deposed directory rejoins as a
+# follower through a forced snapshot bootstrap that truncates its
+# diverged WAL suffix. It runs under -race with its own timeout for the
+# same reason the quorum step does: promotion races Close and the
+# supervisor's election loop, and a fencing bug's natural failure mode
+# is a hang or a silent split brain, not a clean assertion.
+#
 # The sharding suite (shard_test.go, internal/shard) holds sharded
 # answers byte-identical to the single engine across datasets,
 # partitioners, shard counts, and pool sizes; kills and reopens every
@@ -84,6 +96,9 @@ go test -race -count=1 -timeout=10m ./internal/repl
 
 echo "== quorum torture -race (primary kills after every acked write, ack faults)"
 go test -race -count=1 -timeout=10m -run 'TestQuorum|TestFollowerResume' .
+
+echo "== failover torture -race (kill/promote after every acked write, fencing)"
+go test -race -count=1 -timeout=10m -run 'TestFailover|TestPromote|TestDeposed|TestAutoFailover' .
 
 echo "== sharding -race (byte-parity sweep, crash recovery, faulted storm)"
 go test -race -count=1 -timeout=10m -run 'TestSharded' .
