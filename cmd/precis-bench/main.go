@@ -11,6 +11,7 @@
 //	precis-bench -deadline [-quick]   answer size vs wall-clock deadline
 //	precis-bench -stages [-quick]     per-pipeline-stage latency breakdown
 //	precis-bench -persist [-quick]    WAL fsync throughput + recovery time
+//	precis-bench -checkpoint [-quick] checkpoint pause full vs delta + persisted-index recovery
 //	precis-bench -replicate [-quick]  follower catch-up time + steady-state lag
 //	precis-bench -quorum [-quick]     commit latency vs sync-replica quorum size
 //	precis-bench -failover [-quick]   primary-kill MTTR: detection/promotion/first-answer
@@ -19,9 +20,9 @@
 //
 // -quick shrinks each experiment's run counts for a fast smoke pass; -csv
 // prints machine-readable rows instead of aligned text. -parallel, -cache,
-// -deadline, -stages, -persist, -replicate, -quorum, -failover, -shards
-// and -rebuild run the engine-level resource experiments (they can be
-// combined with -exp).
+// -deadline, -stages, -persist, -checkpoint, -replicate, -quorum,
+// -failover, -shards and -rebuild run the engine-level resource experiments
+// (they can be combined with -exp).
 package main
 
 import (
@@ -45,6 +46,7 @@ func main() {
 		deadline  = flag.Bool("deadline", false, "measure answer size vs wall-clock deadline (graceful degradation)")
 		stages    = flag.Bool("stages", false, "measure per-pipeline-stage latency via query traces")
 		persist   = flag.Bool("persist", false, "measure WAL append throughput per fsync policy and recovery time vs dataset size")
+		ckpt      = flag.Bool("checkpoint", false, "measure checkpoint pause full vs delta and persisted-index recovery speedup")
 		replicate = flag.Bool("replicate", false, "measure follower catch-up time and steady-state replication lag vs mutation rate")
 		quorum    = flag.Bool("quorum", false, "measure commit latency vs sync-replica quorum size per fsync policy")
 		failover  = flag.Bool("failover", false, "measure primary-kill recovery time: detection, promotion and first answered write")
@@ -57,7 +59,7 @@ func main() {
 	for _, e := range strings.Split(*exp, ",") {
 		run[strings.TrimSpace(e)] = true
 	}
-	if *parallel || *cache || *deadline || *stages || *persist || *replicate || *quorum || *failover || *shardsF || *rebuild {
+	if *parallel || *cache || *deadline || *stages || *persist || *ckpt || *replicate || *quorum || *failover || *shardsF || *rebuild {
 		// The resource experiments replace the figure suite unless the
 		// caller asked for both explicitly.
 		if *exp == "all" {
@@ -77,6 +79,9 @@ func main() {
 		}
 		if *persist {
 			run["ps"] = true
+		}
+		if *ckpt {
+			run["cp"] = true
 		}
 		if *replicate {
 			run["rp"] = true
@@ -153,6 +158,11 @@ func main() {
 	}
 	if run["ps"] {
 		if err := runPersist(*quick); err != nil {
+			fatal(err)
+		}
+	}
+	if run["cp"] {
+		if err := runCheckpoint(*quick); err != nil {
 			fatal(err)
 		}
 	}
@@ -275,6 +285,22 @@ func runPersist(quick bool) error {
 		cfg.Runs = 2
 	}
 	report, err := experiments.PersistBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.String())
+	fmt.Println()
+	return nil
+}
+
+func runCheckpoint(quick bool) error {
+	cfg := experiments.DefaultCheckpointBenchConfig()
+	if quick {
+		cfg.Films = []int{200, 500}
+		cfg.Dirty = 50
+		cfg.Runs = 2
+	}
+	report, err := experiments.CheckpointBench(cfg)
 	if err != nil {
 		return err
 	}

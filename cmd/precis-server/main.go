@@ -11,6 +11,7 @@
 //	              [-metrics] [-pprof] [-slowlog-ms N]
 //	              [-data-dir DIR] [-fsync always|interval|never]
 //	              [-fsync-interval D] [-checkpoint-bytes N] [-checkpoint-interval D]
+//	              [-compact-every N] [-compact-bytes N]
 //	              [-listen-repl ADDR] [-replicate-from ADDR]
 //	              [-sync-replicas N] [-ack-timeout D] [-degrade-to-async]
 //	              [-auto-failover] [-priority N] [-failover-timeout D]
@@ -27,6 +28,10 @@
 // directory. -fsync picks the WAL durability policy; checkpoints run when
 // the WAL passes -checkpoint-bytes or every -checkpoint-interval, and a
 // final checkpoint runs during graceful shutdown inside -shutdown-grace.
+// Checkpoints are incremental deltas (pause proportional to changed tuples,
+// not database size) until the chain reaches -compact-every elements or
+// -compact-bytes of deltas, when a full compaction rewrites the snapshot
+// and persists the inverted index beside it for near-instant reopen.
 // /api/persist reports recovery and checkpoint counters.
 //
 // Observability: /metrics serves every engine and HTTP counter in
@@ -121,6 +126,8 @@ func main() {
 		fsyncEvery = flag.Duration("fsync-interval", 0, "flush interval for -fsync interval (0 = package default)")
 		ckptBytes  = flag.Int64("checkpoint-bytes", precis.DefaultCheckpointBytes, "checkpoint when the WAL reaches this size (negative disables)")
 		ckptEvery  = flag.Duration("checkpoint-interval", 0, "checkpoint on this timer (0 disables the time trigger)")
+		cmpEvery   = flag.Int("compact-every", 0, "full-compact the checkpoint chain at this length (0 = default, negative = every checkpoint is a full snapshot)")
+		cmpBytes   = flag.Int64("compact-bytes", 0, "full-compact when chain deltas total this many bytes (0 = default, negative disables)")
 
 		listenRepl     = flag.String("listen-repl", "", "stream the WAL to followers on this address (requires -data-dir); with -auto-failover, the address this follower will listen on after promotion")
 		replicateFrom  = flag.String("replicate-from", "", "run as a read-only follower of the primary at this address (-data-dir makes the follower durable)")
@@ -162,6 +169,8 @@ func main() {
 			FsyncInterval:   *fsyncEvery,
 			CheckpointBytes: *ckptBytes,
 			CheckpointEvery: *ckptEvery,
+			CompactEvery:    *cmpEvery,
+			CompactBytes:    *cmpBytes,
 		})
 	}
 	if err != nil {
@@ -228,9 +237,10 @@ func main() {
 	}
 	if *dataDir != "" && *replicateFrom == "" && *shards <= 1 {
 		st := eng.PersistStats()
-		log.Printf("persistence: dir=%s fsync=%s generation=%d (recovered: snapshot=%t, %d WAL records replayed, %d torn bytes truncated in %.1fms)",
-			*dataDir, st.Fsync, st.Generation, st.Recovery.SnapshotLoaded,
-			st.Recovery.WALRecordsReplayed, st.Recovery.TornBytesTruncated, st.Recovery.DurationMS)
+		log.Printf("persistence: dir=%s fsync=%s generation=%d chain=%d (recovered: snapshot=%t, %d delta(s), %d WAL records replayed, %d torn bytes truncated, index loaded=%t, in %.1fms)",
+			*dataDir, st.Fsync, st.Generation, st.ChainDepth, st.Recovery.SnapshotLoaded,
+			st.Recovery.DeltasApplied, st.Recovery.WALRecordsReplayed, st.Recovery.TornBytesTruncated,
+			st.Recovery.IndexLoaded, st.Recovery.DurationMS)
 	}
 	if *replicateFrom != "" {
 		rs := eng.ReplStats()

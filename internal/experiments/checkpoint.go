@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"precis"
+)
+
+// CheckpointBenchConfig scales the bounded-pause durability experiments:
+// checkpoint pause (full vs delta) on a mostly-clean database as it grows,
+// and cold-start recovery with the persisted inverted index vs a rebuild.
+type CheckpointBenchConfig struct {
+	Films []int // synthetic dataset sizes
+	Dirty int   // mutations between checkpoints (the dirty set)
+	Runs  int   // recovery timings per size (median reported)
+}
+
+// DefaultCheckpointBenchConfig mirrors the durability sweep sizes so the
+// two reports line up row for row.
+func DefaultCheckpointBenchConfig() CheckpointBenchConfig {
+	return CheckpointBenchConfig{
+		Films: []int{500, 2000, 8000},
+		Dirty: 200,
+		Runs:  3,
+	}
+}
+
+// CheckpointPoint is one dataset size's checkpoint-cost result. Pause is
+// the time the mutation lock was held (rotation + dirty capture); Wall is
+// the whole checkpoint including off-lock serialization and fsync.
+type CheckpointPoint struct {
+	Films      int
+	Tuples     int
+	Dirty      int
+	FullWall   time.Duration
+	FullPause  time.Duration
+	FullBytes  int64
+	DeltaWall  time.Duration
+	DeltaPause time.Duration
+	DeltaBytes int64
+}
+
+// IndexRecoveryPoint compares a cold start that loads the persisted
+// inverted index against one forced to rebuild it (index file removed).
+type IndexRecoveryPoint struct {
+	Films         int
+	Tuples        int
+	MedianLoad    time.Duration // persisted index present and adopted
+	MedianRebuild time.Duration // index file deleted: full re-tokenize
+}
+
+// CheckpointReport is the output of CheckpointBench.
+type CheckpointReport struct {
+	Pause    []CheckpointPoint
+	Recovery []IndexRecoveryPoint
+}
+
+func (r CheckpointReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Checkpoint cost on a mostly-clean database (%s dirty mutations per checkpoint)\n",
+		countLabel(r.Pause))
+	for _, p := range r.Pause {
+		fmt.Fprintf(&b, "  films=%-6d tuples=%-7d full: wall=%-12v pause=%-10v %9dB   delta: wall=%-12v pause=%-10v %7dB\n",
+			p.Films, p.Tuples,
+			p.FullWall.Round(time.Microsecond), p.FullPause.Round(time.Microsecond), p.FullBytes,
+			p.DeltaWall.Round(time.Microsecond), p.DeltaPause.Round(time.Microsecond), p.DeltaBytes)
+	}
+	b.WriteString("Cold-start recovery: persisted inverted index vs forced rebuild\n")
+	for _, p := range r.Recovery {
+		speedup := "n/a"
+		if p.MedianLoad > 0 {
+			speedup = fmt.Sprintf("%.1fx", float64(p.MedianRebuild)/float64(p.MedianLoad))
+		}
+		fmt.Fprintf(&b, "  films=%-6d tuples=%-7d open(index loaded)=%-12v open(rebuild)=%-12v speedup=%s\n",
+			p.Films, p.Tuples, p.MedianLoad.Round(time.Microsecond), p.MedianRebuild.Round(time.Microsecond), speedup)
+	}
+	return b.String()
+}
+
+func countLabel(pts []CheckpointPoint) string {
+	if len(pts) == 0 {
+		return "?"
+	}
+	return fmt.Sprintf("%d", pts[0].Dirty)
+}
+
+// CheckpointBench measures (a) checkpoint pause and wall time, full vs
+// delta, as the database grows while the dirty set stays fixed, and (b)
+// cold-start recovery latency with and without the persisted index.
+func CheckpointBench(cfg CheckpointBenchConfig) (CheckpointReport, error) {
+	var report CheckpointReport
+	for _, films := range cfg.Films {
+		point, err := checkpointPoint(cfg, films)
+		if err != nil {
+			return report, err
+		}
+		report.Pause = append(report.Pause, point)
+	}
+	for _, films := range cfg.Films {
+		point, err := indexRecoveryPoint(cfg, films)
+		if err != nil {
+			return report, err
+		}
+		report.Recovery = append(report.Recovery, point)
+	}
+	return report, nil
+}
+
+// checkpointOnce opens a fresh engine of the given size, dirties cfg.Dirty
+// tuples, takes one checkpoint under the supplied compaction policy, and
+// returns its wall time, lock pause, and bytes written.
+func checkpointOnce(cfg CheckpointBenchConfig, films, compactEvery int) (wall, pause time.Duration, bytes int64, tuples int, err error) {
+	dir, err := os.MkdirTemp("", "precis-ckpt-bench-")
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	db, g, err := syntheticParts(films)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	pcfg := benchPersistConfig(dir, precis.FsyncNever)
+	pcfg.CompactEvery = compactEvery
+	pcfg.CompactBytes = -1 // size-triggered compaction off: the flag decides
+	eng, err := precis.Open(db, g, pcfg)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer eng.Close()
+	mid, err := firstMovieID(eng.Database())
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	for i := 0; i < cfg.Dirty; i++ {
+		if err := benchMutation(eng, mid, i); err != nil {
+			return 0, 0, 0, 0, err
+		}
+	}
+	before := eng.PersistStats()
+	start := time.Now()
+	if err := eng.Checkpoint(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	wall = time.Since(start)
+	after := eng.PersistStats()
+	pause = time.Duration(after.LastCheckpointPauseMS * float64(time.Millisecond))
+	bytes = (after.DeltaBytesWritten - before.DeltaBytesWritten) +
+		(after.FullBytesWritten - before.FullBytesWritten)
+	return wall, pause, bytes, eng.Database().TotalTuples(), nil
+}
+
+func checkpointPoint(cfg CheckpointBenchConfig, films int) (CheckpointPoint, error) {
+	point := CheckpointPoint{Films: films, Dirty: cfg.Dirty}
+	// Full: compaction on every checkpoint (CompactEvery < 0).
+	wall, pause, bytes, tuples, err := checkpointOnce(cfg, films, -1)
+	if err != nil {
+		return point, err
+	}
+	point.FullWall, point.FullPause, point.FullBytes, point.Tuples = wall, pause, bytes, tuples
+	// Delta: compaction pushed out of reach.
+	wall, pause, bytes, _, err = checkpointOnce(cfg, films, 1<<20)
+	if err != nil {
+		return point, err
+	}
+	point.DeltaWall, point.DeltaPause, point.DeltaBytes = wall, pause, bytes
+	return point, nil
+}
+
+// indexRecoveryPoint seeds one size, takes a full checkpoint (which
+// persists the index beside the snapshot), "crashes", and times reopens of
+// the crash dir twice per run: once as-is (index adopted) and once with the
+// index file removed (forced rebuild).
+func indexRecoveryPoint(cfg CheckpointBenchConfig, films int) (IndexRecoveryPoint, error) {
+	crashDir, err := os.MkdirTemp("", "precis-ckpt-bench-")
+	if err != nil {
+		return IndexRecoveryPoint{}, err
+	}
+	defer os.RemoveAll(crashDir)
+	db, g, err := syntheticParts(films)
+	if err != nil {
+		return IndexRecoveryPoint{}, err
+	}
+	pcfg := benchPersistConfig(crashDir, precis.FsyncNever)
+	pcfg.CompactEvery = -1 // full checkpoint: persists the index snapshot
+	eng, err := precis.Open(db, g, pcfg)
+	if err != nil {
+		return IndexRecoveryPoint{}, err
+	}
+	mid, err := firstMovieID(eng.Database())
+	if err == nil {
+		for i := 0; i < cfg.Dirty && err == nil; i++ {
+			err = benchMutation(eng, mid, i)
+		}
+	}
+	if err == nil {
+		err = eng.Checkpoint()
+	}
+	if err != nil {
+		eng.Close()
+		return IndexRecoveryPoint{}, err
+	}
+	defer eng.Close() // held open: the crash copies must keep their chain
+
+	point := IndexRecoveryPoint{Films: films}
+	runs := cfg.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	loads := make([]time.Duration, 0, runs)
+	rebuilds := make([]time.Duration, 0, runs)
+	for r := 0; r < runs; r++ {
+		for _, removeIndex := range []bool{false, true} {
+			runDir, err := os.MkdirTemp("", "precis-ckpt-run-")
+			if err != nil {
+				return point, err
+			}
+			if err := copyDir(crashDir, runDir); err != nil {
+				os.RemoveAll(runDir)
+				return point, err
+			}
+			if removeIndex {
+				matches, _ := filepath.Glob(filepath.Join(runDir, "index-*.pidx"))
+				for _, m := range matches {
+					os.Remove(m)
+				}
+			}
+			seedDB, seedG, err := syntheticParts(films)
+			if err != nil {
+				os.RemoveAll(runDir)
+				return point, err
+			}
+			start := time.Now()
+			re, err := precis.Open(seedDB, seedG, benchPersistConfig(runDir, precis.FsyncNever))
+			if err != nil {
+				os.RemoveAll(runDir)
+				return point, err
+			}
+			elapsed := time.Since(start)
+			loaded := re.PersistStats().Recovery.IndexLoaded
+			point.Tuples = re.Database().TotalTuples()
+			cerr := re.Close()
+			os.RemoveAll(runDir)
+			if cerr != nil {
+				return point, cerr
+			}
+			if removeIndex {
+				if loaded {
+					return point, fmt.Errorf("checkpoint bench: films=%d reported a loaded index with the file removed", films)
+				}
+				rebuilds = append(rebuilds, elapsed)
+			} else {
+				if !loaded {
+					return point, fmt.Errorf("checkpoint bench: films=%d did not load the persisted index", films)
+				}
+				loads = append(loads, elapsed)
+			}
+		}
+	}
+	point.MedianLoad = median(loads)
+	point.MedianRebuild = median(rebuilds)
+	return point, nil
+}

@@ -744,20 +744,19 @@ func (p *Primary) sendRecords(conn net.Conn, frames *wal.FrameReader, pos *posit
 	return nil
 }
 
-// loadSnapshot reads the current snapshot file, retrying across the tiny
-// window where a checkpoint rotation has advanced the generation but GC
-// already removed the file we were told about.
+// loadSnapshot produces full snapshot bytes for the state at the start of
+// the active generation. With delta checkpointing the on-disk state is a
+// chain (full snapshot + deltas) that need not reach the active
+// generation, so the store flattens it — a plain file read when the chain
+// is a single current full snapshot, an in-memory reconstruction otherwise.
+// The wire protocol is untouched: followers always receive one full
+// snapshot.
 func (p *Primary) loadSnapshot() (uint64, []byte, error) {
-	for attempt := 0; ; attempt++ {
-		gen, path := p.store.SnapshotPath()
-		raw, err := os.ReadFile(path)
-		if err == nil {
-			return gen, raw, nil
-		}
-		if !os.IsNotExist(err) || attempt >= 5 {
-			return 0, nil, fmt.Errorf("load snapshot: %w", err)
-		}
+	gen, raw, err := p.store.FlattenedSnapshot()
+	if err != nil {
+		return 0, nil, fmt.Errorf("load snapshot: %w", err)
 	}
+	return gen, raw, nil
 }
 
 // sendSnapshot chunks the snapshot over the link.

@@ -18,6 +18,10 @@ type Database struct {
 	// allocates ids ≡ idOffset (mod idStride) — shard-local allocation
 	// that stays globally unique.
 	idOffset, idStride TupleID
+	// Dirty tracking (dirty.go): nil unless EnableDirtyTracking — every
+	// mutation below notifies it so incremental checkpoints can capture
+	// only what changed.
+	tracker *dirtyTracker
 }
 
 // NewDatabase returns an empty database.
@@ -117,6 +121,7 @@ func (db *Database) Insert(relation string, vals ...Value) (TupleID, error) {
 		return 0, err
 	}
 	db.nextID = id + 1
+	db.tracker.mark(relation, got)
 	return got, nil
 }
 
@@ -173,6 +178,7 @@ func (db *Database) InsertWithID(relation string, id TupleID, vals ...Value) err
 	if id >= db.nextID {
 		db.nextID = id + 1
 	}
+	db.tracker.mark(relation, id)
 	return nil
 }
 
@@ -197,7 +203,11 @@ func (db *Database) Delete(relation string, id TupleID) (bool, error) {
 	if r == nil {
 		return false, fmt.Errorf("storage: no relation %s", relation)
 	}
-	return r.delete(id), nil
+	ok := r.delete(id)
+	if ok {
+		db.tracker.markDeleted(relation, id)
+	}
+	return ok, nil
 }
 
 // CreateJoinIndexes builds hash indexes on every column that participates in
@@ -314,5 +324,9 @@ func (db *Database) Update(relation string, id TupleID, vals []Value) error {
 	if r == nil {
 		return fmt.Errorf("storage: no relation %s", relation)
 	}
-	return r.update(id, vals)
+	if err := r.update(id, vals); err != nil {
+		return err
+	}
+	db.tracker.mark(relation, id)
+	return nil
 }

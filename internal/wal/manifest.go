@@ -1,0 +1,106 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Chain manifest ("PRCMANF1", file manifest.mf): the generations of the
+// live checkpoint chain — a full snapshot followed by zero or more deltas,
+// ascending. The manifest is ADVISORY: recovery can always re-derive the
+// chain from the files themselves (newest loadable full snapshot, then
+// every delta above it, validated link by link through each delta's
+// BaseGen), so a missing, stale, or corrupt manifest is ignored rather
+// than failing the open. It exists to make the intended chain explicit on
+// disk and to let recovery skip probing snapshot generations the last
+// checkpoint already superseded. It is rewritten atomically after every
+// completed checkpoint.
+const (
+	manifestMagic = "PRCMANF1"
+	manifestName  = "manifest.mf"
+	manifestVer   = 1
+)
+
+// encodeManifest renders a chain as manifest bytes: magic plus one CRC
+// frame holding version, length, and the generations.
+func encodeManifest(chain []uint64) ([]byte, error) {
+	var e enc
+	e.uvarint(manifestVer)
+	e.uvarint(uint64(len(chain)))
+	for _, g := range chain {
+		e.uvarint(g)
+	}
+	return appendFrame([]byte(manifestMagic), e.bytes())
+}
+
+// decodeManifest parses manifest bytes back into a chain. Any defect —
+// bad magic, checksum failure, truncation, version skew, non-ascending
+// generations — is an error the caller treats as "no manifest".
+func decodeManifest(file string, raw []byte) ([]uint64, error) {
+	if len(raw) < len(manifestMagic) || string(raw[:len(manifestMagic)]) != manifestMagic {
+		return nil, fmt.Errorf("wal: %s: not a manifest (bad magic)", fileLabel(file))
+	}
+	var chain []uint64
+	frames := 0
+	torn, err := scanFrames(file, raw[len(manifestMagic):], func(i int, off int64, payload []byte) error {
+		if i != 0 {
+			return fmt.Errorf("unexpected extra frame")
+		}
+		frames++
+		d := &dec{b: payload}
+		ver, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if ver != manifestVer {
+			return fmt.Errorf("unsupported manifest version %d", ver)
+		}
+		n, err := d.count(1)
+		if err != nil {
+			return err
+		}
+		chain = make([]uint64, 0, n)
+		for j := 0; j < n; j++ {
+			g, err := d.uvarint()
+			if err != nil {
+				return fmt.Errorf("generation %d: %w", j, err)
+			}
+			if j > 0 && g <= chain[j-1] {
+				return fmt.Errorf("generations not ascending at %d", j)
+			}
+			chain = append(chain, g)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if torn != nil || frames == 0 || len(chain) == 0 {
+		return nil, fmt.Errorf("wal: %s: manifest incomplete", fileLabel(file))
+	}
+	return chain, nil
+}
+
+// writeManifest atomically replaces dir's manifest with chain.
+func writeManifest(dir string, chain []uint64) error {
+	raw, err := encodeManifest(chain)
+	if err != nil {
+		return err
+	}
+	_, err = writeRawFile(dir, manifestName, raw)
+	return err
+}
+
+// readManifest loads dir's manifest chain, or nil when absent or invalid.
+func readManifest(dir string) []uint64 {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil
+	}
+	chain, err := decodeManifest(filepath.Join(dir, manifestName), raw)
+	if err != nil {
+		return nil
+	}
+	return chain
+}

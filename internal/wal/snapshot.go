@@ -3,7 +3,6 @@ package wal
 import (
 	"fmt"
 	"os"
-	"path/filepath"
 	"sort"
 
 	"precis/internal/faultinject"
@@ -381,33 +380,7 @@ func WriteSnapshot(dir string, gen uint64, data *SnapshotData) (string, error) {
 // generation gen — the follower's install path, which must keep the file
 // byte-identical to the primary's.
 func WriteRawSnapshot(dir string, gen uint64, raw []byte) (string, error) {
-	final := filepath.Join(dir, snapshotName(gen))
-	tmp, err := os.CreateTemp(dir, ".tmp-snap-*")
-	if err != nil {
-		return "", err
-	}
-	tmpName := tmp.Name()
-	cleanup := func() { _ = tmp.Close(); _ = os.Remove(tmpName) }
-	if _, err := tmp.Write(raw); err != nil {
-		cleanup()
-		return "", err
-	}
-	if err := tmp.Sync(); err != nil {
-		cleanup()
-		return "", err
-	}
-	if err := tmp.Close(); err != nil {
-		cleanup()
-		return "", err
-	}
-	if err := os.Rename(tmpName, final); err != nil {
-		_ = os.Remove(tmpName)
-		return "", err
-	}
-	if err := syncDir(dir); err != nil {
-		return "", err
-	}
-	return final, nil
+	return writeRawFile(dir, snapshotName(gen), raw)
 }
 
 // syncDir fsyncs a directory so a completed rename survives power loss.

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"os"
@@ -10,7 +11,16 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"precis/internal/faultinject"
 )
+
+// ErrUnsyncedLog means a checkpoint rotation could not finalize the active
+// log (its writer is poisoned by an earlier fsync failure). Incremental
+// checkpoints are impossible in this state — recovery may need the log a
+// delta would let GC collect — but CheckpointFull still heals it by writing
+// the full snapshot before abandoning the unsyncable log.
+var ErrUnsyncedLog = errors.New("wal: cannot sync log for rotation")
 
 // Config tunes a Store.
 type Config struct {
@@ -21,6 +31,11 @@ type Config struct {
 	// Logger receives recovery warnings and checkpoint notes; nil uses
 	// log.Default().
 	Logger *log.Logger
+	// Observer, when set, watches recovery reconstruct the database — the
+	// base snapshot, every delta-applied tuple, every replayed WAL record —
+	// so the engine can keep a persisted inverted index current instead of
+	// rebuilding it.
+	Observer RecoveryObserver
 }
 
 // Recovered reports what Open reconstructed from disk.
@@ -30,10 +45,16 @@ type Recovered struct {
 	Data *SnapshotData
 	// Gen is the active generation.
 	Gen uint64
-	// SnapshotPath is the snapshot file loaded ("" when fresh).
+	// SnapshotPath is the base snapshot file loaded ("" when fresh).
 	SnapshotPath string
+	// ChainDepth is the checkpoint chain length loaded (1 = full snapshot
+	// only, each delta adds one).
+	ChainDepth int
+	// DeltasApplied is how many delta checkpoints were applied on top of
+	// the base snapshot.
+	DeltasApplied int
 	// WALRecords is how many log records were replayed on top of the
-	// snapshot.
+	// chain.
 	WALRecords int
 	// TornBytes is how many bytes of torn WAL tail were truncated.
 	TornBytes int64
@@ -41,10 +62,11 @@ type Recovered struct {
 	Duration time.Duration
 }
 
-// Store manages one data directory: the current snapshot generation and its
-// write-ahead log. Callers serialize Append against Checkpoint (the engine
-// holds its mutation lock for both); Stats/LogSize are safe from any
-// goroutine.
+// Store manages one data directory: the current checkpoint chain (a full
+// snapshot plus zero or more delta checkpoints) and its write-ahead log.
+// Callers serialize Append against checkpoints (the engine holds its
+// mutation lock for rotation and serializes whole checkpoints itself);
+// Stats/LogSize are safe from any goroutine.
 type Store struct {
 	dir string
 	cfg Config
@@ -57,6 +79,16 @@ type Store struct {
 	checkpoints uint64
 	lastCkpt    time.Time
 	closed      bool
+
+	// chain is the live checkpoint chain: chain[0] is a full snapshot
+	// generation, every later element a delta generation, ascending. The
+	// active log generation gen is >= the chain tip; it runs ahead of it
+	// only while a begun checkpoint has not completed.
+	chain []uint64
+	// deltaBytes / fullBytes are cumulative checkpoint bytes written by
+	// kind, for the bytes-per-checkpoint story in stats and metrics.
+	deltaBytes int64
+	fullBytes  int64
 
 	// epoch is the failover fencing epoch (see epoch.go); fencedBy, when
 	// non-zero, is the newer epoch that deposed this store — every append
@@ -99,12 +131,15 @@ type genEnd struct {
 }
 
 // Open mounts dir, recovering whatever a previous process left: it loads
-// the newest valid snapshot, replays its WAL (truncating a torn tail with a
-// warning), and opens the log for appending. Corruption — a checksum
-// mismatch in the snapshot or in the middle of the WAL — is returned as a
-// *CorruptionError with file, offset, and record index; it is never
-// silently skipped. An empty directory yields Recovered.Data == nil; call
-// Initialize with the seed state before appending.
+// the newest valid base snapshot, applies the delta checkpoints chained on
+// top of it, replays every WAL from the chain tip through the newest
+// generation (truncating a torn final tail with a warning), and opens the
+// log for appending. Corruption — a checksum mismatch in a snapshot, a
+// delta, or the middle of a WAL; a broken chain link; a gap in the log
+// sequence — is returned as a *CorruptionError (or a hard error naming the
+// gap); it is never silently skipped. An empty directory yields
+// Recovered.Data == nil; call Initialize with the seed state before
+// appending.
 func Open(dir string, cfg Config) (*Store, *Recovered, error) {
 	if dir == "" {
 		return nil, nil, fmt.Errorf("wal: empty data directory")
@@ -120,12 +155,12 @@ func Open(dir string, cfg Config) (*Store, *Recovered, error) {
 
 	start := time.Now()
 	rec := &Recovered{}
-	gens, err := s.listGenerations()
+	snaps, err := s.listGenerations()
 	if err != nil {
 		return nil, nil, err
 	}
-	// Remove abandoned temp files from an interrupted snapshot or epoch
-	// write.
+	// Remove abandoned temp files from an interrupted snapshot, delta,
+	// manifest, or epoch write.
 	for _, pattern := range []string{".tmp-snap-*", ".tmp-epoch-*"} {
 		tmps, _ := filepath.Glob(filepath.Join(dir, pattern))
 		for _, t := range tmps {
@@ -136,13 +171,24 @@ func Open(dir string, cfg Config) (*Store, *Recovered, error) {
 	if err := s.loadEpoch(); err != nil {
 		return nil, nil, err
 	}
+	deltas := s.listDeltaGens()
+	walGens := s.listWALGens()
+	walSet := make(map[uint64]bool, len(walGens))
+	for _, g := range walGens {
+		walSet[g] = true
+	}
 
-	// Walk snapshot generations newest-first. An incomplete snapshot (an
-	// interrupted write that still became visible — possible on filesystems
-	// without atomic-rename durability) falls back to the previous
-	// generation with a warning; a corrupt one (flipped bits) hard-fails.
-	for i := len(gens) - 1; i >= 0; i-- {
-		g := gens[i]
+	// Choose the chain base: walk snapshot generations newest-first. An
+	// incomplete snapshot (an interrupted write that still became visible —
+	// possible on filesystems without atomic-rename durability) falls back
+	// to an older generation; if nothing was ever built on it (no WAL, no
+	// delta) it is removed outright, otherwise the WAL-continuity check
+	// below decides whether the fallback loses anything. A corrupt snapshot
+	// (flipped bits) hard-fails.
+	var base *SnapshotData
+	var baseGen uint64
+	for i := len(snaps) - 1; i >= 0; i-- {
+		g := snaps[i]
 		path := filepath.Join(dir, snapshotName(g))
 		raw, err := os.ReadFile(path)
 		if err != nil {
@@ -150,24 +196,31 @@ func Open(dir string, cfg Config) (*Store, *Recovered, error) {
 		}
 		data, err := DecodeSnapshot(path, raw)
 		if err != nil {
-			if IsIncomplete(err) && !exists(filepath.Join(dir, walName(g))) {
-				// No WAL was ever opened for this generation, so nothing
-				// after the previous snapshot is lost by ignoring it.
-				lg.Printf("wal: ignoring incomplete snapshot %s (%v)", path, err)
-				_ = os.Remove(path)
+			if IsIncomplete(err) {
+				if !walSet[g] && !hasGenAbove(deltas, g) {
+					// Nothing was ever written after this snapshot, so
+					// nothing is lost by ignoring it.
+					lg.Printf("wal: ignoring incomplete snapshot %s (%v)", path, err)
+					_ = os.Remove(path)
+					continue
+				}
+				lg.Printf("wal: snapshot %s incomplete (%v); falling back to an older base", path, err)
 				continue
 			}
 			return nil, nil, err
 		}
-		rec.Data = data
-		rec.Gen = g
+		base = data
+		baseGen = g
 		rec.SnapshotPath = path
 		break
 	}
 
-	if rec.Data == nil {
-		if len(gens) > 0 {
-			return nil, nil, fmt.Errorf("wal: %s holds %d snapshot file(s) but none is loadable", dir, len(gens))
+	if base == nil {
+		if len(snaps) > 0 {
+			return nil, nil, fmt.Errorf("wal: %s holds %d snapshot file(s) but none is loadable", dir, len(snaps))
+		}
+		if len(deltas) > 0 {
+			return nil, nil, fmt.Errorf("wal: %s holds %d delta file(s) but no base snapshot; refusing to guess at a base state", dir, len(deltas))
 		}
 		if leftover := s.walFiles(); len(leftover) > 0 {
 			return nil, nil, fmt.Errorf("wal: %s holds WAL files %v but no snapshot; refusing to guess at a base state", dir, leftover)
@@ -177,38 +230,158 @@ func Open(dir string, cfg Config) (*Store, *Recovered, error) {
 		return s, rec, nil
 	}
 
-	// Replay the active generation's log on top of the snapshot.
-	walPath := filepath.Join(dir, walName(rec.Gen))
-	info, err := ReplayFile(walPath, func(r Record) error { return r.apply(rec.Data) })
-	if err != nil {
-		return nil, nil, err
-	}
-	rec.WALRecords = info.Records
-	rec.TornBytes = info.TornBytes
-	if info.TornBytes > 0 {
-		lg.Printf("wal: truncated torn tail of %s: %d byte(s) dropped (%s) — last write did not survive the crash",
-			walPath, info.TornBytes, info.TornDetail)
+	obs := cfg.Observer
+	if obs != nil {
+		obs.RecoveryBase(baseGen, base.DB)
 	}
 
-	w, err := openWriter(walPath, cfg.Fsync, cfg.FsyncInterval)
+	// Apply the delta chain above the base, validating every link: each
+	// delta's BaseGen must name the previous chain element. A torn tip
+	// delta is dropped only when the retained logs still cover its content
+	// (they always do when the crash interrupted the checkpoint that was
+	// writing it — GC runs strictly after completion); anything else that
+	// fails to decode is corruption.
+	chain := []uint64{baseGen}
+	maxWal := baseGen
+	for _, g := range walGens {
+		if g > maxWal {
+			maxWal = g
+		}
+	}
+	chainDeltas := gensAbove(deltas, baseGen)
+	for idx, g := range chainDeltas {
+		path := filepath.Join(dir, deltaName(g))
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		d, derr := DecodeDelta(path, raw)
+		if derr != nil {
+			if IsIncomplete(derr) && idx == len(chainDeltas)-1 {
+				tip := chain[len(chain)-1]
+				if walsCover(walSet, tip, maxWal) {
+					lg.Printf("wal: dropping incomplete delta %s (%v) — its content is re-derivable from the retained logs", path, derr)
+					_ = os.Remove(path)
+					break
+				}
+				return nil, nil, &CorruptionError{File: path, Offset: 0, Record: 0,
+					Detail: "incomplete delta is not covered by the retained logs; dropping it would lose data"}
+			}
+			if IsIncomplete(derr) {
+				return nil, nil, &CorruptionError{File: path, Offset: 0, Record: 0,
+					Detail: fmt.Sprintf("incomplete delta mid-chain (%v)", derr)}
+			}
+			return nil, nil, derr
+		}
+		if want := chain[len(chain)-1]; d.BaseGen != want {
+			return nil, nil, &CorruptionError{File: path, Offset: 0, Record: 0,
+				Detail: fmt.Sprintf("delta declares base generation %d, chain tip is %d", d.BaseGen, want)}
+		}
+		if err := ApplyDelta(base, d, obs); err != nil {
+			return nil, nil, &CorruptionError{File: path, Offset: 0, Record: 0, Detail: err.Error()}
+		}
+		chain = append(chain, g)
+		rec.DeltasApplied++
+	}
+
+	// The chain is applied: everything from here on — the WAL tail now,
+	// live mutations later — is not covered by any checkpoint yet, so dirty
+	// tracking starts exactly here.
+	base.DB.EnableDirtyTracking()
+
+	if m := readManifest(dir); m != nil && !gensEqual(m, chain) {
+		lg.Printf("wal: manifest chain %v disagrees with derived chain %v; trusting the files", m, chain)
+	}
+
+	// Replay every log from the chain tip through the newest generation. A
+	// generation gap, or a torn tail anywhere but the final log, means
+	// records are missing from the middle of history — hard failure. (A
+	// rotated log was synced before its successor accepted a single record,
+	// so a mid-sequence torn tail can only be corruption.)
+	tip := chain[len(chain)-1]
+	lastCount := 0
+	for g := tip; g <= maxWal; g++ {
+		walPath := filepath.Join(dir, walName(g))
+		if !walSet[g] && g < maxWal {
+			return nil, nil, fmt.Errorf("wal: log generation %d missing while %s exists; refusing to skip a gap in history", g, walName(maxWal))
+		}
+		info, err := ReplayFile(walPath, func(r Record) error { return applyObserved(r, base, obs) })
+		if err != nil {
+			return nil, nil, err
+		}
+		if info.TornBytes > 0 && g < maxWal {
+			return nil, nil, &CorruptionError{File: walPath, Offset: 0, Record: info.Records,
+				Detail: fmt.Sprintf("torn tail in rotated log (%s); later generations exist", info.TornDetail)}
+		}
+		if info.TornBytes > 0 {
+			lg.Printf("wal: truncated torn tail of %s: %d byte(s) dropped (%s) — last write did not survive the crash",
+				walPath, info.TornBytes, info.TornDetail)
+		}
+		rec.WALRecords += info.Records
+		rec.TornBytes += info.TornBytes
+		lastCount = info.Records
+	}
+
+	w, err := openWriter(filepath.Join(dir, walName(maxWal)), cfg.Fsync, cfg.FsyncInterval)
 	if err != nil {
 		return nil, nil, err
 	}
-	w.setReplayed(int64(info.Records))
+	w.setReplayed(int64(lastCount))
 	w.OnAdvance(s.notifySubs)
-	s.gen = rec.Gen
+	s.gen = maxWal
 	s.w = w
-	// The recovered snapshot is the last checkpoint: date LastCkpt from its
-	// mtime (falling back to now) so a configured CheckpointEvery does not
-	// see a zero time and fire an immediate checkpoint on every boot, and
-	// Stats reports a truthful last_checkpoint after restart.
+	s.chain = chain
+	// The chain tip is the last checkpoint: date LastCkpt from its mtime
+	// (falling back to now) so a configured CheckpointEvery does not see a
+	// zero time and fire an immediate checkpoint on every boot, and Stats
+	// reports a truthful last_checkpoint after restart.
 	s.lastCkpt = time.Now()
-	if st, err := os.Stat(rec.SnapshotPath); err == nil {
+	tipPath := rec.SnapshotPath
+	if len(chain) > 1 {
+		tipPath = filepath.Join(dir, deltaName(tip))
+	}
+	if st, err := os.Stat(tipPath); err == nil {
 		s.lastCkpt = st.ModTime()
 	}
-	s.gcLocked(rec.Gen)
+	s.gcChainLocked()
+	rec.Data = base
+	rec.Gen = maxWal
+	rec.ChainDepth = len(chain)
 	rec.Duration = time.Since(start)
 	return s, rec, nil
+}
+
+// walsCover reports whether every log generation in [from, to] is present.
+func walsCover(walSet map[uint64]bool, from, to uint64) bool {
+	for g := from; g <= to; g++ {
+		if !walSet[g] {
+			return false
+		}
+	}
+	return true
+}
+
+// hasGenAbove reports whether sorted gens contains an element > g.
+func hasGenAbove(gens []uint64, g uint64) bool {
+	return len(gensAbove(gens, g)) > 0
+}
+
+// gensAbove returns the suffix of sorted gens strictly above g.
+func gensAbove(gens []uint64, g uint64) []uint64 {
+	i := sort.Search(len(gens), func(i int) bool { return gens[i] > g })
+	return gens[i:]
+}
+
+func gensEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Initialize seeds an empty directory: it writes the generation-1 snapshot
@@ -231,7 +404,16 @@ func (s *Store) Initialize(data *SnapshotData) error {
 	w.OnAdvance(s.notifySubs)
 	s.gen = 1
 	s.w = w
+	s.chain = []uint64{1}
 	s.lastCkpt = time.Now()
+	if data.DB != nil {
+		// Everything after the seed snapshot belongs in the next
+		// checkpoint's delta.
+		data.DB.EnableDirtyTracking()
+	}
+	if err := writeManifest(s.dir, s.chain); err != nil {
+		s.log.Printf("wal: cannot write manifest: %v", err)
+	}
 	return nil
 }
 
@@ -286,44 +468,59 @@ func (s *Store) append(payload []byte) error {
 	return nil
 }
 
-// Checkpoint writes data as the next snapshot generation, rotates the WAL,
-// and garbage-collects every older generation. The caller must guarantee no
-// Append runs concurrently (the engine holds its mutation lock). On
-// failure the previous generation stays fully intact.
-func (s *Store) Checkpoint(data *SnapshotData) error {
+// CheckpointHandle is an in-flight two-phase checkpoint: BeginCheckpoint
+// rotated the log under the caller's mutation lock; exactly one of
+// CompleteDelta, CompleteFull, or Abort finishes it off-lock.
+type CheckpointHandle struct {
+	s         *Store
+	old       *Writer
+	prevChain []uint64
+	gen       uint64
+	start     time.Time
+}
+
+// Gen returns the generation this checkpoint is creating.
+func (h *CheckpointHandle) Gen() uint64 { return h.gen }
+
+// PrevChain returns the checkpoint chain the rotation happened on top of.
+func (h *CheckpointHandle) PrevChain() []uint64 {
+	return append([]uint64(nil), h.prevChain...)
+}
+
+// BeginCheckpoint rotates the log to the next generation: it syncs the old
+// log (so its durable frontier is final and a mid-sequence torn tail is
+// provably corruption), opens the new generation's log, and swaps. This is
+// the only part of a checkpoint that must run under the engine's mutation
+// lock, and it is O(1) in database size — no snapshot bytes are written
+// here. The caller then captures its dirty state under the same lock and
+// completes the checkpoint off-lock via CompleteDelta or CompleteFull (or
+// Abort, on a capture failure). A crash or failure between Begin and
+// Complete leaves an extra log generation with no checkpoint, which
+// recovery replays seamlessly.
+func (s *Store) BeginCheckpoint() (*CheckpointHandle, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed || s.w == nil {
-		return fmt.Errorf("wal: store is closed")
+		return nil, fmt.Errorf("wal: store is closed")
 	}
 	start := time.Now()
-	next := s.gen + 1
-	if _, err := WriteSnapshot(s.dir, next, data); err != nil {
-		return err
+	old := s.w
+	oldGen := s.gen
+	// Finalize the old log's durable frontier before its successor can
+	// accept a record: recovery depends on rotated logs never having a
+	// benign torn tail, and streamers depend on genEnds being final.
+	if err := old.Sync(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnsyncedLog, err)
 	}
-	// The snapshot is durable: everything in the old log is now redundant.
-	// Open the new generation's log before retiring the old one so there is
-	// no window with no writable log.
+	next := s.gen + 1
 	nw, err := openWriter(filepath.Join(s.dir, walName(next)), s.cfg.Fsync, s.cfg.FsyncInterval)
 	if err != nil {
-		// Roll back to the old generation: remove the orphan snapshot.
-		_ = os.Remove(filepath.Join(s.dir, snapshotName(next)))
-		return err
+		return nil, err
 	}
 	nw.SetMetrics(s.metrics)
 	nw.OnAdvance(s.notifySubs)
-	old := s.w
-	oldGen := s.gen
 	s.w = nw
 	s.gen = next
-	s.checkpoints++
-	s.lastCkpt = time.Now()
-	_ = old.Close()
-	// Close synced, so the old writer's frontier is final: record where the
-	// retired generation ends for streamers still crossing it. (If the old
-	// writer was poisoned, the published frontier may exceed the truncated
-	// file; a streamer then hits EOF mid-generation, drops its link, and the
-	// follower re-bootstraps from the snapshot just written — self-healing.)
 	r, b := old.DurableFrontier()
 	if s.genEnds == nil {
 		s.genEnds = make(map[uint64]genEnd)
@@ -334,7 +531,259 @@ func (s *Store) Checkpoint(data *SnapshotData) error {
 			delete(s.genEnds, g)
 		}
 	}
-	s.gcLocked(next)
+	h := &CheckpointHandle{
+		s:         s,
+		old:       old,
+		prevChain: append([]uint64(nil), s.chain...),
+		gen:       next,
+		start:     start,
+	}
+	s.notifySubs()
+	return h, nil
+}
+
+// finishOld closes the rotated-out writer (idempotent). Its durable
+// frontier was already finalized and recorded by BeginCheckpoint, so this
+// is just resource release — safe off-lock.
+func (h *CheckpointHandle) finishOld() {
+	if h.old != nil {
+		_ = h.old.Close()
+		h.old = nil
+	}
+}
+
+// Abort abandons a begun checkpoint without writing one. The rotation
+// stands (the new log keeps accumulating); the next checkpoint simply
+// covers a longer stretch of history.
+func (h *CheckpointHandle) Abort() { h.finishOld() }
+
+// CompleteDelta finishes a begun checkpoint as an incremental delta:
+// d (the dirty state captured under the rotation lock) is stamped with the
+// chain tip as its base, written durably, and appended to the chain. Runs
+// entirely off the mutation lock. On failure the rotation stands and the
+// caller merges the captured dirty set back (the delta's content stays
+// covered by the retained logs either way).
+func (s *Store) CompleteDelta(h *CheckpointHandle, d *DeltaData) error {
+	h.finishOld()
+	d.BaseGen = h.prevChain[len(h.prevChain)-1]
+	_, n, err := WriteDelta(s.dir, h.gen, d)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.chain = append(append([]uint64(nil), h.prevChain...), h.gen)
+	s.deltaBytes += n
+	s.checkpoints++
+	s.lastCkpt = time.Now()
+	if err := writeManifest(s.dir, s.chain); err != nil {
+		s.log.Printf("wal: cannot write manifest: %v", err)
+	}
+	s.gcChainLocked()
+	if s.metrics != nil {
+		s.metrics.Checkpoints.Inc()
+		s.metrics.CheckpointSecs.ObserveNanos(time.Since(h.start).Nanoseconds())
+		s.metrics.DeltaCheckpoints.Inc()
+		s.metrics.DeltaBytes.Add(uint64(n))
+	}
+	s.notifySubs()
+	return nil
+}
+
+// CompleteFull finishes a begun checkpoint as a full snapshot (a chain
+// compaction): data must be the database state at the rotation point —
+// Synthesize builds exactly that from disk — and indexRaw, when non-nil,
+// is persisted beside it as the generation's inverted-index snapshot. Runs
+// entirely off the mutation lock.
+func (s *Store) CompleteFull(h *CheckpointHandle, data *SnapshotData, indexRaw []byte) error {
+	h.finishOld()
+	if err := faultinject.Fire(faultinject.SiteSnapshotWrite); err != nil {
+		return fmt.Errorf("wal: snapshot write: %w", err)
+	}
+	raw, err := EncodeSnapshot(data)
+	if err != nil {
+		return err
+	}
+	if _, err := WriteRawSnapshot(s.dir, h.gen, raw); err != nil {
+		return err
+	}
+	if indexRaw != nil {
+		if _, err := writeRawFile(s.dir, IndexSnapshotName(h.gen), indexRaw); err != nil {
+			// The DB snapshot is already durable; a missing index file only
+			// costs a rebuild on the next open.
+			s.log.Printf("wal: cannot persist index snapshot for generation %d: %v", h.gen, err)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.chain = []uint64{h.gen}
+	s.fullBytes += int64(len(raw))
+	s.checkpoints++
+	s.lastCkpt = time.Now()
+	if err := writeManifest(s.dir, s.chain); err != nil {
+		s.log.Printf("wal: cannot write manifest: %v", err)
+	}
+	s.gcChainLocked()
+	if s.metrics != nil {
+		s.metrics.Checkpoints.Inc()
+		s.metrics.CheckpointSecs.ObserveNanos(time.Since(h.start).Nanoseconds())
+	}
+	s.notifySubs()
+	return nil
+}
+
+// Synthesize reconstructs, purely from disk plus the captured delta, the
+// database state at h's rotation point: the previous chain decoded and
+// applied, then d on top. The captured dirty set covers everything after
+// the chain tip (including records in logs the chain tip never saw), so no
+// WAL replay is needed. Used by chain compaction to build the full
+// snapshot without serializing the live database under the mutation lock.
+func (s *Store) Synthesize(h *CheckpointHandle, d *DeltaData) (*SnapshotData, error) {
+	data, err := s.decodeChain(h.prevChain, nil)
+	if err != nil {
+		return nil, err
+	}
+	dd := *d
+	dd.BaseGen = h.prevChain[len(h.prevChain)-1]
+	if err := ApplyDelta(data, &dd, nil); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// decodeChain loads and applies a checkpoint chain from disk: the base
+// snapshot, then each delta in order, validating every link.
+func (s *Store) decodeChain(chain []uint64, obs RecoveryObserver) (*SnapshotData, error) {
+	basePath := filepath.Join(s.dir, snapshotName(chain[0]))
+	raw, err := os.ReadFile(basePath)
+	if err != nil {
+		return nil, err
+	}
+	data, err := DecodeSnapshot(basePath, raw)
+	if err != nil {
+		return nil, err
+	}
+	if obs != nil {
+		obs.RecoveryBase(chain[0], data.DB)
+	}
+	for i := 1; i < len(chain); i++ {
+		path := filepath.Join(s.dir, deltaName(chain[i]))
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		d, err := DecodeDelta(path, raw)
+		if err != nil {
+			return nil, err
+		}
+		if want := chain[i-1]; d.BaseGen != want {
+			return nil, &CorruptionError{File: path, Offset: 0, Record: 0,
+				Detail: fmt.Sprintf("delta declares base generation %d, chain predecessor is %d", d.BaseGen, want)}
+		}
+		if err := ApplyDelta(data, d, obs); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// Checkpoint writes data as the next full snapshot generation, rotates the
+// WAL, and garbage-collects every older generation — the original
+// monolithic protocol, retained for the follower's rotation mirror, the
+// engine's shutdown checkpoint, and any caller that can afford the pause.
+// The caller must guarantee no Append runs concurrently. On failure the
+// previous chain stays fully intact (modulo the log rotation, which
+// recovery absorbs).
+func (s *Store) Checkpoint(data *SnapshotData) error {
+	return s.CheckpointFull(data, nil)
+}
+
+// CheckpointFull is Checkpoint with an optional persisted-index snapshot
+// written beside the new full snapshot.
+func (s *Store) CheckpointFull(data *SnapshotData, indexRaw []byte) error {
+	h, err := s.BeginCheckpoint()
+	if err != nil {
+		if errors.Is(err, ErrUnsyncedLog) {
+			// The active writer is poisoned: heal by superseding the log
+			// entirely — full snapshot first, rotation only once it is
+			// durable, so no crash leaves recovery needing the bad log.
+			if err := s.checkpointSupersede(data, indexRaw); err != nil {
+				return err
+			}
+			if data.DB != nil && data.DB.DirtyTrackingEnabled() {
+				data.DB.CaptureDirty()
+			}
+			return nil
+		}
+		return err
+	}
+	if err := s.CompleteFull(h, data, indexRaw); err != nil {
+		h.Abort()
+		return err
+	}
+	// A full checkpoint covers everything: whatever dirty state accumulated
+	// (on a follower mirroring rotations, or the engine's shutdown path) is
+	// now redundant. The no-concurrent-append guarantee makes this safe.
+	if data.DB != nil && data.DB.DirtyTrackingEnabled() {
+		data.DB.CaptureDirty()
+	}
+	return nil
+}
+
+// checkpointSupersede is the poisoned-writer healing path: the active log
+// cannot be synced, so the full snapshot of data is written and made
+// durable FIRST — superseding the log entirely — and only then does the
+// rotation abandon it. This is the original monolithic checkpoint ordering;
+// a crash at any point leaves either the old state (snapshot not yet
+// visible) or the new base (from which recovery never touches the bad log).
+func (s *Store) checkpointSupersede(data *SnapshotData, indexRaw []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.w == nil {
+		return fmt.Errorf("wal: store is closed")
+	}
+	start := time.Now()
+	if err := faultinject.Fire(faultinject.SiteSnapshotWrite); err != nil {
+		return fmt.Errorf("wal: snapshot write: %w", err)
+	}
+	next := s.gen + 1
+	raw, err := EncodeSnapshot(data)
+	if err != nil {
+		return err
+	}
+	if _, err := WriteRawSnapshot(s.dir, next, raw); err != nil {
+		return err
+	}
+	if indexRaw != nil {
+		if _, err := writeRawFile(s.dir, IndexSnapshotName(next), indexRaw); err != nil {
+			s.log.Printf("wal: cannot persist index snapshot for generation %d: %v", next, err)
+		}
+	}
+	nw, err := openWriter(filepath.Join(s.dir, walName(next)), s.cfg.Fsync, s.cfg.FsyncInterval)
+	if err != nil {
+		_ = os.Remove(filepath.Join(s.dir, snapshotName(next)))
+		return err
+	}
+	nw.SetMetrics(s.metrics)
+	nw.OnAdvance(s.notifySubs)
+	old := s.w
+	oldGen := s.gen
+	_ = old.Close()
+	r, b := old.DurableFrontier()
+	if s.genEnds == nil {
+		s.genEnds = make(map[uint64]genEnd)
+	}
+	s.genEnds[oldGen] = genEnd{records: r, bytes: b}
+	s.w = nw
+	s.gen = next
+	s.chain = []uint64{next}
+	s.fullBytes += int64(len(raw))
+	s.checkpoints++
+	s.lastCkpt = time.Now()
+	if err := writeManifest(s.dir, s.chain); err != nil {
+		s.log.Printf("wal: cannot write manifest: %v", err)
+	}
+	s.gcChainLocked()
 	if s.metrics != nil {
 		s.metrics.Checkpoints.Inc()
 		s.metrics.CheckpointSecs.ObserveNanos(time.Since(start).Nanoseconds())
@@ -384,18 +833,24 @@ func (s *Store) InstallSnapshot(gen uint64, raw []byte) error {
 	}
 	s.w = nw
 	s.gen = gen
+	s.chain = []uint64{gen}
 	s.lastCkpt = time.Now()
 	s.genEnds = nil
+	if err := writeManifest(s.dir, s.chain); err != nil {
+		s.log.Printf("wal: cannot write manifest: %v", err)
+	}
 	// Remove every other generation — including newer ones a stale-primary
-	// re-bootstrap would otherwise leave for recovery to prefer.
+	// re-bootstrap would otherwise leave for recovery to prefer, and any
+	// delta or index files (the installed snapshot is a full base).
 	entries, err := os.ReadDir(s.dir)
 	if err == nil {
 		for _, e := range entries {
 			name := e.Name()
 			var g uint64
 			switch {
-			case parseGen(name, "snap-", ".snap", &g), parseGen(name, "wal-", ".log", &g):
-				if g != gen {
+			case parseGen(name, "snap-", ".snap", &g), parseGen(name, "wal-", ".log", &g),
+				parseGen(name, "delta-", ".dlt", &g), parseGen(name, "index-", ".pidx", &g):
+				if g != gen || strings.HasPrefix(name, "delta-") || strings.HasPrefix(name, "index-") {
 					if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
 						s.log.Printf("wal: install snapshot: cannot remove %s: %v", name, err)
 					}
@@ -407,8 +862,18 @@ func (s *Store) InstallSnapshot(gen uint64, raw []byte) error {
 	return nil
 }
 
-// gcLocked removes snapshots and logs of generations older than keep.
-func (s *Store) gcLocked(keep uint64) {
+// gcChainLocked removes every checkpoint or log file the live chain no
+// longer needs: snapshots and deltas outside the chain, logs below the
+// chain tip, and index snapshots for any generation but the chain base.
+func (s *Store) gcChainLocked() {
+	if len(s.chain) == 0 {
+		return
+	}
+	inChain := make(map[uint64]bool, len(s.chain))
+	for _, g := range s.chain {
+		inChain[g] = true
+	}
+	tip := s.chain[len(s.chain)-1]
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
 		return
@@ -416,15 +881,95 @@ func (s *Store) gcLocked(keep uint64) {
 	for _, e := range entries {
 		name := e.Name()
 		var g uint64
+		drop := false
 		switch {
-		case parseGen(name, "snap-", ".snap", &g), parseGen(name, "wal-", ".log", &g):
-			if g < keep {
-				if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
-					s.log.Printf("wal: gc: cannot remove %s: %v", name, err)
-				}
+		case parseGen(name, "snap-", ".snap", &g), parseGen(name, "delta-", ".dlt", &g):
+			drop = !inChain[g]
+		case parseGen(name, "wal-", ".log", &g):
+			drop = g < tip
+		case parseGen(name, "index-", ".pidx", &g):
+			drop = g != s.chain[0]
+		}
+		if drop {
+			if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
+				s.log.Printf("wal: gc: cannot remove %s: %v", name, err)
 			}
 		}
 	}
+}
+
+// FlattenedSnapshot returns full snapshot bytes for the state at the start
+// of the active generation — what a bootstrapping follower must install so
+// the primary can stream the active log's records on top. When the chain
+// is a single full snapshot at the active generation this is a plain file
+// read; otherwise the chain is decoded and the intermediate logs replayed
+// in memory (the live files are never modified), and the result re-encoded.
+// A concurrent checkpoint can GC chain files mid-read; the read retries on
+// a fresh chain.
+func (s *Store) FlattenedSnapshot() (uint64, []byte, error) {
+	const retries = 5
+	var lastErr error
+	for attempt := 0; attempt < retries; attempt++ {
+		s.mu.Lock()
+		gen := s.gen
+		chain := append([]uint64(nil), s.chain...)
+		s.mu.Unlock()
+		if len(chain) == 0 {
+			return 0, nil, fmt.Errorf("wal: store not initialized")
+		}
+		if len(chain) == 1 && chain[0] == gen {
+			raw, err := os.ReadFile(filepath.Join(s.dir, snapshotName(gen)))
+			if err == nil {
+				return gen, raw, nil
+			}
+			if !os.IsNotExist(err) {
+				return 0, nil, err
+			}
+			lastErr = err
+			continue // checkpoint raced us; re-read the chain
+		}
+		data, err := s.decodeChain(chain, nil)
+		if err != nil {
+			if os.IsNotExist(err) {
+				lastErr = err
+				continue
+			}
+			return 0, nil, err
+		}
+		// Replay the logs between the chain tip and the active generation.
+		tip := chain[len(chain)-1]
+		replayErr := error(nil)
+		for g := tip; g < gen; g++ {
+			raw, err := os.ReadFile(filepath.Join(s.dir, walName(g)))
+			if err != nil {
+				if os.IsNotExist(err) {
+					// Rotated logs are only GC'd when the chain advances past
+					// them; a missing one means we raced a checkpoint.
+					replayErr = err
+					break
+				}
+				return 0, nil, err
+			}
+			info, err := ReplayBytes(raw, func(r Record) error { return r.apply(data) })
+			if err != nil {
+				return 0, nil, err
+			}
+			if info.TornBytes > 0 {
+				return 0, nil, &CorruptionError{File: filepath.Join(s.dir, walName(g)), Offset: 0, Record: info.Records,
+					Detail: fmt.Sprintf("torn tail in rotated log (%s)", info.TornDetail)}
+			}
+		}
+		if replayErr != nil {
+			lastErr = replayErr
+			continue
+		}
+		raw, err := EncodeSnapshot(data)
+		if err != nil {
+			return 0, nil, err
+		}
+		return gen, raw, nil
+	}
+	return 0, nil, fmt.Errorf("wal: flattened snapshot kept racing checkpoints: %w", lastErr)
 }
 
 // Sync forces the active log to stable storage.
@@ -480,6 +1025,13 @@ type Stats struct {
 	WALRecords  int64     `json:"wal_records"`
 	Checkpoints uint64    `json:"checkpoints"`
 	LastCkpt    time.Time `json:"last_checkpoint"`
+	// ChainDepth is the live checkpoint chain length (1 = just the full
+	// base snapshot).
+	ChainDepth int `json:"chain_depth"`
+	// DeltaBytes / FullBytes are cumulative checkpoint bytes written by
+	// kind since the store opened.
+	DeltaBytes int64 `json:"delta_bytes_written"`
+	FullBytes  int64 `json:"full_bytes_written"`
 }
 
 // Stats returns the store's current counters.
@@ -492,6 +1044,9 @@ func (s *Store) Stats() Stats {
 		Generation:  s.gen,
 		Checkpoints: s.checkpoints,
 		LastCkpt:    s.lastCkpt,
+		ChainDepth:  len(s.chain),
+		DeltaBytes:  s.deltaBytes,
+		FullBytes:   s.fullBytes,
 	}
 	if s.w != nil {
 		st.WALBytes = s.w.Size()
@@ -511,11 +1066,41 @@ func (s *Store) LogSize() int64 {
 	return w.Size()
 }
 
-// Generation returns the active snapshot generation.
+// Generation returns the active log generation.
 func (s *Store) Generation() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.gen
+}
+
+// Chain returns the live checkpoint chain generations (base first).
+func (s *Store) Chain() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]uint64(nil), s.chain...)
+}
+
+// ChainDepth returns the live checkpoint chain length.
+func (s *Store) ChainDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.chain)
+}
+
+// ChainDeltaBytes returns the total on-disk size of the delta files in the
+// live chain — the input to compaction-by-bytes policies. A file a
+// concurrent compaction already removed counts as zero.
+func (s *Store) ChainDeltaBytes() int64 {
+	s.mu.Lock()
+	chain := append([]uint64(nil), s.chain...)
+	s.mu.Unlock()
+	var total int64
+	for i := 1; i < len(chain); i++ {
+		if st, err := os.Stat(filepath.Join(s.dir, deltaName(chain[i]))); err == nil {
+			total += st.Size()
+		}
+	}
+	return total
 }
 
 // Frontier is the durable replication frontier: every record of generation
@@ -589,12 +1174,20 @@ func (s *Store) notifySubs() {
 	s.subMu.Unlock()
 }
 
-// SnapshotPath returns the current generation and its snapshot file path
-// (the newest durable snapshot — what a follower bootstraps from).
+// SnapshotPath returns the active generation and the path its full
+// snapshot would live at. With delta checkpointing the file only exists
+// when the chain is a single full snapshot at the active generation;
+// callers that need guaranteed-loadable full bytes use FlattenedSnapshot.
 func (s *Store) SnapshotPath() (uint64, string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.gen, filepath.Join(s.dir, snapshotName(s.gen))
+}
+
+// IndexSnapshotPath returns the path of the persisted-index snapshot for
+// the chain's base generation, and that generation.
+func (s *Store) IndexSnapshotPath(gen uint64) string {
+	return filepath.Join(s.dir, IndexSnapshotName(gen))
 }
 
 // WALPath returns the log file path of generation gen. The file may have
@@ -602,6 +1195,9 @@ func (s *Store) SnapshotPath() (uint64, string) {
 func (s *Store) WALPath(gen uint64) string {
 	return filepath.Join(s.dir, walName(gen))
 }
+
+// Dir returns the data directory.
+func (s *Store) Dir() string { return s.dir }
 
 // listGenerations returns the snapshot generations present, ascending.
 func (s *Store) listGenerations() ([]uint64, error) {
@@ -618,6 +1214,40 @@ func (s *Store) listGenerations() ([]uint64, error) {
 	}
 	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
 	return gens, nil
+}
+
+// listDeltaGens returns the delta generations present, ascending.
+func (s *Store) listDeltaGens() []uint64 {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	var gens []uint64
+	for _, e := range entries {
+		var g uint64
+		if parseGen(e.Name(), "delta-", ".dlt", &g) {
+			gens = append(gens, g)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens
+}
+
+// listWALGens returns the log generations present, ascending.
+func (s *Store) listWALGens() []uint64 {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	var gens []uint64
+	for _, e := range entries {
+		var g uint64
+		if parseGen(e.Name(), "wal-", ".log", &g) {
+			gens = append(gens, g)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens
 }
 
 // walFiles lists the WAL file names present, sorted.

@@ -68,6 +68,10 @@ type Metrics struct {
 	FsyncSeconds    *obs.Histogram
 	Checkpoints     *obs.Counter
 	CheckpointSecs  *obs.Histogram
+	// DeltaCheckpoints / DeltaBytes count the incremental-checkpoint
+	// subset of checkpoints and the delta bytes they wrote.
+	DeltaCheckpoints *obs.Counter
+	DeltaBytes       *obs.Counter
 }
 
 // Writer is an append-only, checksummed log file. Appends are framed and

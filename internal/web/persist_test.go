@@ -100,3 +100,84 @@ func TestAPIPersistDurable(t *testing.T) {
 		t.Errorf("wal_records %d -> %d, want +1", before.WALRecords, after.WALRecords)
 	}
 }
+
+// TestAPIPersistChainAndIndexFields: after a delta checkpoint the endpoint
+// reports the chain depth, the lock-pause of the last checkpoint, and the
+// bytes written by kind; after a reopen it reports whether the inverted
+// index was loaded from its persisted snapshot.
+func TestAPIPersistChainAndIndexFields(t *testing.T) {
+	dir := t.TempDir()
+	db, g := exampleEngineParts(t)
+	eng, err := precis.Open(db, g, quietPersist(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := false
+	t.Cleanup(func() {
+		if !closed {
+			_ = eng.Close()
+		}
+	})
+	ts := httptest.NewServer(NewServer(eng).Handler())
+
+	read := func(url string) (st struct {
+		ChainDepth int     `json:"chain_depth"`
+		PauseMS    float64 `json:"last_checkpoint_pause_ms"`
+		DeltaBytes int64   `json:"delta_bytes_written"`
+		FullBytes  int64   `json:"full_bytes_written"`
+		Recovery   struct {
+			ChainDepth    int  `json:"chain_depth"`
+			DeltasApplied int  `json:"deltas_applied"`
+			IndexLoaded   bool `json:"index_loaded"`
+		} `json:"recovery"`
+	}) {
+		t.Helper()
+		code, body := get(t, url+"/api/persist")
+		if code != http.StatusOK {
+			t.Fatalf("persist code=%d body=%s", code, body)
+		}
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Fatalf("persist JSON: %v\n%s", err, body)
+		}
+		return st
+	}
+
+	eng.AddSynonym("wooody", "Woody Allen")
+	if err := eng.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := read(ts.URL)
+	if st.ChainDepth != 2 {
+		t.Errorf("chain_depth = %d after one delta checkpoint, want 2", st.ChainDepth)
+	}
+	if st.PauseMS <= 0 {
+		t.Errorf("last_checkpoint_pause_ms = %v, want > 0", st.PauseMS)
+	}
+	if st.DeltaBytes <= 0 {
+		t.Errorf("delta_bytes_written = %d, want > 0", st.DeltaBytes)
+	}
+	ts.Close()
+	if err := eng.Close(); err != nil { // flattens the chain, persists the index
+		t.Fatal(err)
+	}
+	closed = true
+
+	db2, g2 := exampleEngineParts(t)
+	eng2, err := precis.Open(db2, g2, quietPersist(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng2.Close() })
+	ts2 := httptest.NewServer(NewServer(eng2).Handler())
+	t.Cleanup(ts2.Close)
+	st2 := read(ts2.URL)
+	if !st2.Recovery.IndexLoaded {
+		t.Error("recovery.index_loaded = false after clean shutdown with a persisted index")
+	}
+	if st2.Recovery.ChainDepth != 1 {
+		t.Errorf("recovery.chain_depth = %d after close-time flatten, want 1", st2.Recovery.ChainDepth)
+	}
+	if st2.FullBytes != 0 {
+		t.Errorf("full_bytes_written = %d on a fresh open, want 0", st2.FullBytes)
+	}
+}

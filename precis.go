@@ -306,6 +306,25 @@ func New(db *storage.Database, g *schemagraph.Graph) (*Engine, error) {
 	}, nil
 }
 
+// newWithIndex is New with a prebuilt inverted index — recovery loading a
+// persisted index snapshot instead of re-tokenizing every tuple. The index
+// must already be bound to db and current with it.
+func newWithIndex(db *storage.Database, g *schemagraph.Graph, ix *invidx.Index) (*Engine, error) {
+	if db == nil || g == nil {
+		return nil, fmt.Errorf("precis: need a database and a schema graph")
+	}
+	if err := g.Validate(db); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		db:       db,
+		graph:    g,
+		index:    ix,
+		renderer: nlg.NewRenderer(),
+		profiles: profile.NewRegistry(),
+	}, nil
+}
+
 // Database returns the underlying database. It holds the engine read
 // lock: a follower re-bootstrap swaps the database wholesale, so an
 // unlocked read would race the swap. On a sharded coordinator there is no

@@ -17,10 +17,22 @@
 # The crash-torture pass (persist_crash_test.go) kills the WAL at every
 # byte offset and bit-flips both durability files; the -short run above
 # strides through offsets, this dedicated pass covers every single one
-# under -race. The fuzz smoke then runs both internal/wal fuzz targets
-# (snapshot decoder, WAL replayer) for 10s each on top of the checked-in
-# corpus — long enough to catch a regression in the decoders' bounds
-# checks, short enough for CI.
+# under -race. The fuzz smoke then runs the durability fuzz targets
+# (snapshot decoder, WAL replayer, delta decoder, index-snapshot decoder)
+# for 10s each on top of the checked-in corpus — long enough to catch a
+# regression in the decoders' bounds checks, short enough for CI.
+#
+# The incremental-checkpoint torture pass (persist_delta_crash_test.go,
+# internal/wal delta_test.go) recovers the same scripted workload from
+# every checkpoint-chain depth byte-identically, damages every byte of
+# the base snapshot and every delta in the chain (committed deltas must
+# hard-fail with an attributed CorruptionError — their covering logs are
+# GC'd, so dropping one would lose data), and damages every byte of the
+# persisted inverted index (which must NEVER fail an open: stale or
+# corrupt index files silently fall back to a rebuild). It runs under
+# -race with its own timeout because checkpoints now run concurrently
+# with mutations — the serialize/fsync phase happens off the engine
+# lock against captured copy-on-write state.
 #
 # The replication convergence suite (replication_test.go, internal/repl)
 # severs the primary→follower stream at swept byte offsets, injects
@@ -90,6 +102,10 @@ go test -race -count=2 -timeout=10m -run 'TestChaos' .
 echo "== crash torture -race (full strength: every WAL byte offset)"
 go test -race -count=1 -timeout=10m -run 'TestCrashTorture' .
 
+echo "== incremental checkpoint torture -race (chain depths, every chain/index byte)"
+go test -race -count=1 -timeout=15m -run 'TestDeltaChain|TestPersistedIndex' .
+go test -race -count=1 -timeout=10m -run 'TestDelta|TestStore|TestManifest|TestApplyDelta|TestIndexSnapshot' ./internal/wal ./internal/invidx
+
 echo "== replication convergence -race (full strength: swept link cuts)"
 go test -race -count=1 -timeout=10m -run 'TestRepl|TestChaosReplicatedStorm' .
 go test -race -count=1 -timeout=10m ./internal/repl
@@ -107,6 +123,8 @@ go test -race -count=1 -timeout=5m ./internal/shard
 echo "== fuzz smoke (10s per durability target)"
 go test -timeout=5m -run=NONE -fuzz='FuzzSnapshotDecode' -fuzztime=10s ./internal/wal
 go test -timeout=5m -run=NONE -fuzz='FuzzWALReplay' -fuzztime=10s ./internal/wal
+go test -timeout=5m -run=NONE -fuzz='FuzzDeltaDecode' -fuzztime=10s ./internal/wal
+go test -timeout=5m -run=NONE -fuzz='FuzzIndexSnapshotDecode' -fuzztime=10s ./internal/invidx
 go test -timeout=5m -run=NONE -fuzz='FuzzReplFrameDecode' -fuzztime=10s ./internal/repl
 
 echo "== bench smoke (compile + one iteration)"

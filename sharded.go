@@ -456,6 +456,7 @@ func (s *shardSet) persistStats() PersistStats {
 		Fsync:      first.Fsync,
 		Generation: first.Generation,
 	}
+	agg.Recovery.IndexLoaded = true
 	for _, sh := range s.engines {
 		st := sh.PersistStats()
 		agg.WALBytes += st.WALBytes
@@ -464,7 +465,20 @@ func (s *shardSet) persistStats() PersistStats {
 		if st.LastCheckpoint.After(agg.LastCheckpoint) {
 			agg.LastCheckpoint = st.LastCheckpoint
 		}
+		// Bytes sum across shards; chain depth and pause report the worst
+		// shard; the index counts as loaded only when every shard loaded it.
+		agg.DeltaBytesWritten += st.DeltaBytesWritten
+		agg.FullBytesWritten += st.FullBytesWritten
+		if st.ChainDepth > agg.ChainDepth {
+			agg.ChainDepth = st.ChainDepth
+		}
+		if st.LastCheckpointPauseMS > agg.LastCheckpointPauseMS {
+			agg.LastCheckpointPauseMS = st.LastCheckpointPauseMS
+		}
 		agg.Recovery.SnapshotLoaded = agg.Recovery.SnapshotLoaded || st.Recovery.SnapshotLoaded
+		agg.Recovery.IndexLoaded = agg.Recovery.IndexLoaded && st.Recovery.IndexLoaded
+		agg.Recovery.ChainDepth += st.Recovery.ChainDepth
+		agg.Recovery.DeltasApplied += st.Recovery.DeltasApplied
 		agg.Recovery.WALRecordsReplayed += st.Recovery.WALRecordsReplayed
 		agg.Recovery.TornBytesTruncated += st.Recovery.TornBytesTruncated
 		agg.Recovery.DurationMS += st.Recovery.DurationMS
